@@ -1,0 +1,61 @@
+// E8 — Lemma 15 / Theorem 16: the frac->int reduction, swept over eps.
+//
+// The reduction's guarantee is max((1+eps)^alpha, 1 + 1/eps) times the
+// fractional guarantee: small eps keeps energy but pays flow, large eps the
+// reverse.  This bench maps the measured integral objective across eps and
+// compares against the direct integral accounting of Algorithm NC (Thm 9),
+// locating the empirical optimum eps.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "src/algo/algorithm_nc_uniform.h"
+#include "src/algo/bounds.h"
+#include "src/algo/frac_to_int.h"
+#include "src/analysis/ascii_chart.h"
+#include "src/analysis/table.h"
+#include "src/numerics/stats.h"
+#include "src/workload/generators.h"
+
+using namespace speedscale;
+using analysis::Series;
+using analysis::Table;
+
+int main() {
+  std::printf("E8 / Lemma 15 — fractional -> integral reduction across eps\n");
+  std::printf("(alpha = 2, 16 uniform-density seeds, 20 jobs)\n\n");
+  const double alpha = 2.0;
+
+  Table t({"eps", "theory factor", "energy mult (meas)", "flow mult (meas)",
+           "int objective / NC frac", "vs direct NC integral"});
+  Series meas{"measured int/frac multiplier", {}, {}, '*'};
+  Series theory{"max((1+e)^a, 1+1/e)", {}, {}, '.'};
+  for (double eps : {0.1, 0.2, 0.35, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0}) {
+    numerics::RunningStats e_mult, f_mult, obj_mult, vs_direct;
+    for (int seed = 1; seed <= 16; ++seed) {
+      const Instance inst = workload::generate({.n_jobs = 20,
+                                                .arrival_rate = 1.5,
+                                                .seed = static_cast<std::uint64_t>(seed)});
+      const RunResult nc = run_nc_uniform(inst, alpha);
+      const IntReductionRun red = reduce_frac_to_int(inst, nc.schedule, eps);
+      e_mult.add(red.energy / nc.metrics.energy);
+      f_mult.add(red.integral_flow / nc.metrics.fractional_flow);
+      obj_mult.add(red.integral_objective() / nc.metrics.fractional_objective());
+      vs_direct.add(red.integral_objective() / nc.metrics.integral_objective());
+    }
+    t.add_row({Table::cell(eps), Table::cell(bounds::reduction_factor(alpha, eps)),
+               Table::cell(e_mult.mean()), Table::cell(f_mult.mean()),
+               Table::cell(obj_mult.mean()), Table::cell(vs_direct.mean())});
+    meas.x.push_back(eps);
+    meas.y.push_back(obj_mult.mean());
+    theory.x.push_back(eps);
+    theory.y.push_back(bounds::reduction_factor(alpha, eps));
+  }
+  t.print(std::cout);
+  std::printf("\n");
+  analysis::plot(std::cout, {meas, theory}, 72, 14, "reduction multiplier vs eps");
+  std::printf("\nExpected shape: measured multipliers sit below the theory curve, both\n");
+  std::printf("U-shaped in eps; the direct integral NC (Thm 9) beats the reduction for\n");
+  std::printf("most eps — the reduction's value is its black-box generality (Thm 16).\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// E11 — Lemma 3 and Lemma 6 beyond power laws.
+//
+// The paper notes both lemmas hold for EVERY monotone convex power function;
+// only the flow-time comparison (Lemma 4) needs P = s^alpha.  The generic
+// numeric engine integrates the defining ODEs for a leaky power law and an
+// exponential power function and reports the energy equality and level-set
+// agreement, plus the flow ratio — which is NOT the power-law constant,
+// illustrating exactly where s^alpha enters the analysis.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "src/analysis/table.h"
+#include "src/core/power.h"
+#include "src/sim/numeric_engine.h"
+#include "src/workload/generators.h"
+
+using namespace speedscale;
+using analysis::Table;
+
+int main() {
+  std::printf("E11 — Lemmas 3/6 for general power functions (numeric engine)\n");
+  std::printf("(uniform-density instances, 6 jobs; leaky completions truncated at 1e-9)\n\n");
+
+  std::vector<std::unique_ptr<PowerFunction>> fns;
+  fns.push_back(std::make_unique<PowerLaw>(2.0));
+  fns.push_back(std::make_unique<PowerLaw>(3.0));
+  fns.push_back(std::make_unique<LeakyPowerLaw>(2.0, 0.5));
+  fns.push_back(std::make_unique<LeakyPowerLaw>(3.0, 2.0));
+  fns.push_back(std::make_unique<ExpPower>());
+
+  Table t({"power function", "energy(C)", "energy(NC)", "rel gap [Lem 3]",
+           "max level-set gap [Lem 6]", "flow(NC)/flow(C)"});
+  for (const auto& fn : fns) {
+    const Instance inst = workload::generate({.n_jobs = 6, .arrival_rate = 1.2, .seed = 23});
+    const SampledRun c = run_generic_c(inst, *fn);
+    const SampledRun nc = run_generic_nc_uniform(inst, *fn);
+    double s_max = 0.0;
+    for (double s : c.speed) s_max = std::max(s_max, s);
+    double worst = 0.0;
+    for (int i = 1; i <= 19; ++i) {
+      const double x = s_max * i / 20.0;
+      worst = std::max(worst, std::abs(nc.time_at_or_above(x) - c.time_at_or_above(x)));
+    }
+    t.add_row({fn->name(), Table::cell(c.energy), Table::cell(nc.energy),
+               Table::cell(std::abs(nc.energy - c.energy) / c.energy, 3),
+               Table::cell(worst, 3),
+               Table::cell(nc.fractional_flow / c.fractional_flow)});
+  }
+  t.print(std::cout);
+
+  std::printf("\nFor P = s^alpha the flow ratio must equal 1/(1-1/alpha): 2 at alpha=2,\n");
+  std::printf("1.5 at alpha=3.  For the other functions the ratio drifts from any such\n");
+  std::printf("constant — Lemma 4 is genuinely power-law-specific, Lemmas 3/6 are not.\n");
+  return 0;
+}

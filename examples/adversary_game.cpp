@@ -1,0 +1,66 @@
+// The single-job game (Section 1.2): non-clairvoyance as an online game.
+//
+// The adversary keeps the job alive; the algorithm must keep adjusting its
+// speed, staying competitive against the optimum of the *current* instance
+// I(t) (the volume revealed so far) at every moment — because the adversary
+// may stop at any time.  This example plays the game move by move: at a
+// sequence of adversary stopping points it compares Algorithm NC's
+// cost-so-far against the clairvoyant cost and the true offline optimum of
+// the revealed instance.
+#include <cmath>
+#include <cstdio>
+
+#include "src/algo/algorithm_c.h"
+#include "src/algo/algorithm_nc_uniform.h"
+#include "src/algo/bounds.h"
+#include "src/opt/single_job_opt.h"
+
+using namespace speedscale;
+
+int main() {
+  const double alpha = 2.0;
+  std::printf("the single-job non-clairvoyant game (alpha = %.1f, unit density)\n\n", alpha);
+  std::printf("the adversary announces 'not done yet' until volume V has been\n");
+  std::printf("processed, then stops; NC must be competitive at EVERY stopping point.\n\n");
+
+  std::printf("%10s %14s %14s %14s %10s %12s\n", "stop V", "opt(I(t))", "C cost", "NC cost",
+              "NC/opt", "Thm 5 bound");
+  for (double v : {0.01, 0.1, 0.5, 1.0, 2.0, 8.0, 64.0}) {
+    const Instance revealed({Job{kNoJob, 0.0, v, 1.0}});
+    const SingleJobFracOpt opt = single_job_frac_opt(v, 1.0, alpha);
+    const RunResult c = run_c(revealed, alpha);
+    const RunResult nc = run_nc_uniform(revealed, alpha);
+    std::printf("%10.2f %14.5f %14.5f %14.5f %10.4f %12.2f\n", v, opt.objective,
+                c.metrics.fractional_objective(), nc.metrics.fractional_objective(),
+                nc.metrics.fractional_objective() / opt.objective,
+                bounds::nc_uniform_fractional(alpha));
+  }
+
+  std::printf("\nwhy a fixed guess fails: commit to the optimal speed profile for a\n");
+  std::printf("guessed volume Vg, and the adversary picks the true volume V adversarially.\n\n");
+  std::printf("%10s %10s %16s %16s\n", "guess Vg", "true V", "committed cost", "vs NC");
+  const double v_true_hi = 16.0, v_true_lo = 0.0625;
+  for (double guess : {0.0625, 1.0, 16.0}) {
+    for (double v_true : {v_true_lo, v_true_hi}) {
+      // Committed policy: run the speed profile optimal for `guess`; if the
+      // job survives, continue at the profile's final (tiny) speed — model
+      // that as restarting the guess profile, a standard doubling strawman.
+      // Cost here: optimal cost of the guess, then (if V > Vg) pay the
+      // optimum again from scratch on the remainder, with the accumulated
+      // delay multiplying the flow — a generous under-estimate.
+      const SingleJobFracOpt g = single_job_frac_opt(guess, 1.0, alpha);
+      double committed = g.objective;
+      if (v_true > guess) {
+        const SingleJobFracOpt rest = single_job_frac_opt(v_true - guess, 1.0, alpha);
+        committed += rest.objective + (v_true - guess) * g.horizon;  // carried delay
+      }
+      const Instance revealed({Job{kNoJob, 0.0, std::max(v_true, guess), 1.0}});
+      const RunResult nc = run_nc_uniform(Instance({Job{kNoJob, 0.0, v_true, 1.0}}), alpha);
+      std::printf("%10.4f %10.4f %16.5f %16.5f\n", guess, v_true, committed,
+                  nc.metrics.fractional_objective());
+    }
+  }
+  std::printf("\nNC never guesses: its power tracks the processed weight, which is why\n");
+  std::printf("its ratio is a uniform constant at every stopping point above.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Cloud billing: the paper's motivating application (Section 1).
+//
+// A cloud customer pays (lambda - rho * t_delay) per unit volume.  The only
+// part the scheduler controls is the penalty rho * F[j] * V[j] — weighted
+// flow-time with density rho known at submission (it's in the contract!)
+// and volume unknown until the job finishes.  Adding the datacenter's
+// energy bill gives exactly the paper's objective.
+//
+// This example prices a synthetic trace of interactive and batch requests
+// under three operating policies and prints the monthly-style bill.
+#include <cstdio>
+
+#include "src/algo/algorithm_c.h"
+#include "src/algo/algorithm_nc_nonuniform.h"
+#include "src/algo/baselines.h"
+#include "src/workload/generators.h"
+
+using namespace speedscale;
+
+int main() {
+  const double alpha = 3.0;  // cube-law power, the classical CMOS model
+
+  workload::CloudParams cp;
+  cp.n_interactive = 40;
+  cp.n_batch = 12;
+  cp.interactive_rho = 8.0;  // latency-sensitive: high contractual penalty
+  cp.batch_rho = 0.5;        // batch: cheap to delay
+  cp.arrival_rate = 2.5;
+  cp.seed = 2026;
+  const Instance trace = workload::cloud_trace(cp);
+
+  std::printf("cloud trace: %zu requests (%d interactive @ rho=%.1f, %d batch @ rho=%.1f)\n\n",
+              trace.size(), cp.n_interactive, cp.interactive_rho, cp.n_batch, cp.batch_rho);
+
+  struct Row {
+    const char* name;
+    Metrics m;
+  };
+  std::vector<Row> rows;
+
+  // What the paper's non-clairvoyant algorithm achieves, knowing only the
+  // contractual densities.
+  const NCNonUniformRun nc = run_nc_nonuniform(trace, alpha);
+  rows.push_back({"NC (known density, unknown volume)", nc.result.metrics});
+
+  // The clairvoyant bound: would require knowing every job's volume at
+  // submission (not available in practice).
+  const RunResult c = run_c(trace, alpha);
+  rows.push_back({"C  (clairvoyant oracle)", c.metrics});
+
+  // The no-speed-scaling strawman: a fixed-frequency machine provisioned at
+  // twice the average demand.
+  const double avg_speed = trace.total_volume() / (trace.max_release() + 1.0);
+  const RunResult fixed = run_fixed_speed(trace, alpha, 2.0 * avg_speed);
+  rows.push_back({"fixed frequency (2x avg demand)", fixed.metrics});
+
+  std::printf("%-36s %12s %14s %14s\n", "policy", "energy", "delay penalty", "total bill");
+  for (const Row& r : rows) {
+    std::printf("%-36s %12.2f %14.2f %14.2f\n", r.name, r.m.energy, r.m.fractional_flow,
+                r.m.fractional_objective());
+  }
+  std::printf("\nNC runs blind on volumes yet lands within a constant factor of the\n");
+  std::printf("clairvoyant bill, because it reconstructs the clairvoyant power curve\n");
+  std::printf("from densities alone (the paper's headline result).\n");
+  return 0;
+}

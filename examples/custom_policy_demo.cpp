@@ -1,0 +1,79 @@
+// Custom-policy demo: extending the library with your own non-clairvoyant
+// speed rule through the ObservableState game interface (Section 1.2's
+// formalization of non-clairvoyance).
+//
+// Implements two policies from scratch:
+//   1. "SquareRootCount": FIFO order, power = number of active jobs
+//      (a known-weight-style rule, here used blind);
+//   2. "ProcessedPlusOne": FIFO, power = 1 + weight processed of the
+//      current job (an NC-like rule with a crude constant offset);
+// and compares both against the paper's Algorithm NC and the clairvoyant C.
+#include <cstdio>
+
+#include "src/algo/algorithm_c.h"
+#include "src/algo/algorithm_nc_uniform.h"
+#include "src/core/kinematics.h"
+#include "src/sim/custom_policy.h"
+#include "src/workload/generators.h"
+
+using namespace speedscale;
+
+namespace {
+
+JobId fifo_pick(const ObservableState& st) {
+  for (const auto& j : st.jobs) {
+    if (!j.completed) return j.id;
+  }
+  return kNoJob;
+}
+
+}  // namespace
+
+int main() {
+  const double alpha = 2.0;
+  const Instance inst = workload::generate({.n_jobs = 16, .arrival_rate = 1.5, .seed = 12});
+  const PowerLawKinematics kin(alpha);
+
+  // Policy 1: power = active count.
+  const SpeedPolicy sqrt_count = [&](const ObservableState& st) -> PolicyDecision {
+    const JobId cur = fifo_pick(st);
+    if (cur == kNoJob) return {};
+    return {cur, kin.speed_at_weight(static_cast<double>(st.active_count()))};
+  };
+
+  // Policy 2: power = 1 + processed weight of the current job.
+  const SpeedPolicy processed_plus_one = [&](const ObservableState& st) -> PolicyDecision {
+    const JobId cur = fifo_pick(st);
+    if (cur == kNoJob) return {};
+    double processed = 0.0, density = 1.0;
+    for (const auto& j : st.jobs) {
+      if (j.id == cur) {
+        processed = j.processed;
+        density = j.density;
+      }
+    }
+    return {cur, kin.speed_at_weight(1.0 + density * processed)};
+  };
+
+  const RunResult p1 = run_custom_policy(inst, alpha, sqrt_count);
+  const RunResult p2 = run_custom_policy(inst, alpha, processed_plus_one);
+  const RunResult nc = run_nc_uniform(inst, alpha);
+  const RunResult c = run_c(inst, alpha);
+
+  std::printf("custom non-clairvoyant policies vs the paper's algorithms\n");
+  std::printf("(16 jobs, alpha = 2, fractional objective = energy + weighted flow)\n\n");
+  std::printf("%-32s %10s %10s %12s\n", "policy", "energy", "flow", "objective");
+  const auto row = [](const char* name, const Metrics& m) {
+    std::printf("%-32s %10.3f %10.3f %12.3f\n", name, m.energy, m.fractional_flow,
+                m.fractional_objective());
+  };
+  row("C (clairvoyant reference)", c.metrics);
+  row("NC (paper, exact offsets)", nc.metrics);
+  row("custom: power = active count", p1.metrics);
+  row("custom: power = 1 + processed", p2.metrics);
+
+  std::printf("\nThe engine enforces non-clairvoyance structurally: ObservableState has\n");
+  std::printf("no volume field, so a policy physically cannot cheat.  See\n");
+  std::printf("src/sim/custom_policy.h to plug in your own rule.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Plot CSVs exported by trace_tool / analysis::export_*.
+
+Usage:
+  examples/trace_tool --algo nc --profile nc.csv --jobs nc_jobs.csv
+  examples/trace_tool --algo c  --profile c.csv
+  scripts/plot_profiles.py nc.csv c.csv -o profiles.png
+
+Requires matplotlib (not needed by the C++ build or tests).
+"""
+import argparse
+import csv
+import sys
+
+
+def read_profile(path):
+    t, speed, power = [], [], []
+    with open(path) as f:
+        for row in csv.DictReader(f):
+            t.append(float(row["t"]))
+            speed.append(float(row["speed"]))
+            power.append(float(row["power"]))
+    return t, speed, power
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("profiles", nargs="+", help="profile CSVs from --profile")
+    ap.add_argument("-o", "--out", default="profiles.png")
+    ap.add_argument("--power", action="store_true", help="plot power instead of speed")
+    args = ap.parse_args()
+
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("matplotlib is required: pip install matplotlib")
+
+    fig, ax = plt.subplots(figsize=(9, 4.5))
+    for path in args.profiles:
+        t, speed, power = read_profile(path)
+        ax.plot(t, power if args.power else speed, label=path, linewidth=1.2)
+    ax.set_xlabel("time")
+    ax.set_ylabel("power P(s(t))" if args.power else "speed s(t)")
+    ax.legend()
+    ax.grid(alpha=0.3)
+    fig.tight_layout()
+    fig.savefig(args.out, dpi=150)
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+#include "src/algo/algorithm_c.h"
+
+#include "src/core/power.h"
+
+namespace speedscale {
+
+RunResult run_c(const Instance& instance, double alpha) {
+  Schedule sched = run_algorithm_c(instance, alpha);
+  const PowerLaw power(alpha);
+  Metrics m = compute_metrics(instance, sched, power);
+  return RunResult(std::move(sched), m);
+}
+
+}  // namespace speedscale

@@ -1,0 +1,18 @@
+// Algorithm C: the 2-competitive clairvoyant algorithm (paper, Section 2).
+//
+// Job selection: highest density first (HDF), FIFO within a density level.
+// Speed: P(s(t)) = W(t), the total remaining weight of active jobs.
+// For Algorithm C total energy always equals total fractional flow-time
+// (both equal int W dt), a fact the tests verify and the analysis uses.
+#pragma once
+
+#include "src/algo/run_result.h"
+#include "src/core/instance.h"
+#include "src/sim/c_machine.h"
+
+namespace speedscale {
+
+/// Runs Algorithm C on `instance` with P(s) = s^alpha; exact.
+[[nodiscard]] RunResult run_c(const Instance& instance, double alpha);
+
+}  // namespace speedscale

@@ -1,0 +1,279 @@
+#include "src/algo/algorithm_nc_nonuniform.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/core/kinematics.h"
+#include "src/core/power.h"
+#include "src/sim/c_machine.h"
+
+namespace speedscale {
+
+Instance make_current_instance(const Instance& rounded, const std::vector<double>& processed,
+                               double t, std::vector<JobId>* kept) {
+  std::vector<Job> jobs;
+  if (kept) kept->clear();
+  for (const Job& j : rounded.jobs()) {
+    const double p = processed[static_cast<std::size_t>(j.id)];
+    if (j.release <= t && p > 0.0) {
+      Job cur = j;
+      cur.volume = p;  // the weight NC has processed so far, at rounded density
+      jobs.push_back(cur);
+      if (kept) kept->push_back(j.id);
+    }
+  }
+  return Instance(std::move(jobs));
+}
+
+double c_speed_on_current_instance(const Instance& rounded, const std::vector<double>& processed,
+                                   double t, double alpha) {
+  const Instance current = make_current_instance(rounded, processed, t);
+  if (current.empty()) return 0.0;
+  CMachine m(alpha);
+  for (const Job& j : current.jobs()) m.add_job(j);
+  m.advance_to(t);
+  const PowerLawKinematics kin(alpha);
+  return kin.speed_at_weight(m.remaining_weight());
+}
+
+CurrentInstanceOracle::CurrentInstanceOracle(const Instance& rounded, double alpha)
+    : rounded_(rounded), kin_(alpha) {
+  const std::size_t n = rounded.size();
+  by_release_ = rounded.fifo_order();
+  std::vector<JobId> pri(n);
+  for (std::size_t i = 0; i < n; ++i) pri[i] = static_cast<JobId>(i);
+  std::sort(pri.begin(), pri.end(), [&](JobId a, JobId b) {
+    const Job& ja = rounded.job(a);
+    const Job& jb = rounded.job(b);
+    if (ja.density != jb.density) return ja.density > jb.density;
+    if (ja.release != jb.release) return ja.release < jb.release;
+    return a < b;
+  });
+  priority_rank_.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) priority_rank_[static_cast<std::size_t>(pri[i])] = static_cast<int>(i);
+  rem_.assign(n, 0.0);
+  released_.assign(n, false);
+}
+
+double CurrentInstanceOracle::c_speed(const std::vector<double>& processed, double t) {
+  // Replay Algorithm C on I(t): jobs released at or before t whose processed
+  // weight is positive, with volume = processed weight / rounded density...
+  // (volumes in I(t) are the processed volumes; weights are rho * volume).
+  const std::size_t n = rounded_.size();
+  std::fill(released_.begin(), released_.end(), false);
+  double W = 0.0;
+  double tcur = 0.0;
+
+  // Pointer over releases, filtered to jobs that exist in I(t).
+  std::size_t ptr = 0;
+  const auto next_relevant = [&]() -> std::size_t {
+    while (ptr < n) {
+      const Job& j = rounded_.job(by_release_[ptr]);
+      if (j.release > t) return n;  // later jobs are not part of I(t)
+      if (processed[static_cast<std::size_t>(j.id)] > 0.0) return ptr;
+      ++ptr;
+    }
+    return n;
+  };
+  const auto release_due = [&]() {
+    for (std::size_t p = next_relevant(); p < n; p = next_relevant()) {
+      const Job& j = rounded_.job(by_release_[p]);
+      if (j.release > tcur) break;
+      const auto idx = static_cast<std::size_t>(j.id);
+      released_[idx] = true;
+      rem_[idx] = processed[idx];
+      W += j.density * rem_[idx];
+      ++ptr;
+    }
+  };
+  const auto pick_current = [&]() -> JobId {
+    JobId best = kNoJob;
+    int best_rank = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!released_[i] || rem_[i] <= 0.0) continue;
+      const int r = priority_rank_[i];
+      if (best == kNoJob || r < best_rank) {
+        best = static_cast<JobId>(i);
+        best_rank = r;
+      }
+    }
+    return best;
+  };
+
+  release_due();
+  while (tcur < t) {
+    const std::size_t p = next_relevant();
+    const double next_release = (p < n) ? rounded_.job(by_release_[p]).release : kInf;
+    const JobId cur = pick_current();
+    if (cur == kNoJob) {
+      if (next_release > t) return 0.0;  // drained before t
+      tcur = next_release;
+      release_due();
+      continue;
+    }
+    const auto idx = static_cast<std::size_t>(cur);
+    const double rho = rounded_.job(cur).density;
+    const double w_done = W - rho * rem_[idx];
+    const double t_complete = tcur + kin_.decay_time_to_weight(W, std::max(w_done, 0.0), rho);
+    if (t_complete <= t && t_complete <= next_release) {
+      W = std::max(0.0, w_done);
+      rem_[idx] = 0.0;
+      tcur = t_complete;
+    } else if (next_release <= t) {
+      const double w1 = kin_.decay_weight_after(W, rho, next_release - tcur);
+      rem_[idx] = std::max(0.0, rem_[idx] - (W - w1) / rho);
+      W = w1;
+      tcur = next_release;
+    } else {
+      W = kin_.decay_weight_after(W, rho, t - tcur);
+      tcur = t;
+    }
+    release_due();
+  }
+  return kin_.speed_at_weight(W);
+}
+
+double nc_eta_min(double alpha) {
+  if (!(alpha > 1.0)) throw ModelError("nc_eta_min: alpha must exceed 1");
+  return alpha / (alpha - 1.0) * std::pow(alpha, 1.0 / (alpha - 1.0));
+}
+
+NCNonUniformRun run_nc_nonuniform(const Instance& instance, double alpha,
+                                  const NCNonUniformParams& params, const NCObserver& observer) {
+  NCNonUniformRun out(alpha);
+  out.rounded =
+      params.round_densities ? instance.rounded_densities(params.beta) : instance;
+  if (instance.empty()) {
+    out.result.metrics = Metrics{};
+    return out;
+  }
+
+  const Instance& rounded = out.rounded;
+  const PowerLawKinematics kin(alpha);
+  const std::size_t n = instance.size();
+
+  // Reference scales (used for numerics only, never for decisions):
+  // T_ref is the time a single-density clairvoyant run over the whole
+  // rounded weight would take; s_ref anchors the epsilon excess speed.
+  const double w_total = std::max(rounded.total_weight(), 1e-300);
+  const double rho_min = rounded.min_density();
+  const double t_ref = kin.decay_time_to_zero(w_total, rho_min) + rounded.max_release();
+  const double s_ref = kin.speed_at_weight(w_total);
+  const double eps_speed = params.epsilon_speed * s_ref;
+  // The epsilon bootstrap has a boundary layer: starting a job from zero
+  // processed weight at crawl speed eps, the current-instance clairvoyant
+  // run stays busy at time t after the start only while
+  //   (rho * eps * t)^b > b * rho * t,  b = 1 - 1/alpha,
+  // i.e. t < t_layer = ((rho*eps)^b / (b*rho))^{1/(1-b)}.  The integrator
+  // must take steps well inside that window or it never observes the
+  // positive feedback and the run crawls forever (the continuous dynamics
+  // escape the layer immediately; see nc_eta_min).
+  const double b = kin.b();
+  const double t_layer =
+      std::pow(std::pow(rho_min * eps_speed, b) / (b * rho_min), 1.0 / (1.0 - b));
+  const double min_dt =
+      std::min(params.min_step * std::max(t_ref, 1e-12), std::max(0.05 * t_layer, 1e-15));
+
+  std::vector<double> processed(n, 0.0);
+  std::vector<bool> done(n, false);
+
+  std::vector<double> releases;
+  for (const Job& j : rounded.jobs()) releases.push_back(j.release);
+  std::sort(releases.begin(), releases.end());
+
+  // Highest rounded density first, FIFO within a density level.
+  const auto pick_current = [&](double t) -> JobId {
+    JobId best = kNoJob;
+    for (const Job& j : rounded.jobs()) {
+      const auto idx = static_cast<std::size_t>(j.id);
+      if (done[idx] || j.release > t) continue;
+      if (best == kNoJob) {
+        best = j.id;
+        continue;
+      }
+      const Job& bj = rounded.job(best);
+      if (j.density > bj.density ||
+          (j.density == bj.density &&
+           (j.release < bj.release || (j.release == bj.release && j.id < bj.id)))) {
+        best = j.id;
+      }
+    }
+    return best;
+  };
+
+  const double eta = params.eta > 0.0 ? params.eta : 1.5 * nc_eta_min(alpha);
+  CurrentInstanceOracle oracle(rounded, alpha);
+  const auto speed_at = [&](double t, const std::vector<double>& p) {
+    ++out.c_evaluations;
+    return eta * oracle.c_speed(p, t) + eps_speed;
+  };
+
+  Schedule& sched = out.result.schedule;
+  double t = 0.0;
+  double t_last_event = 0.0;
+  std::size_t remaining_jobs = n;
+  std::vector<double> p_mid(n, 0.0);
+
+  while (remaining_jobs > 0) {
+    if (out.steps > params.max_steps) {
+      throw ModelError("run_nc_nonuniform: integrator step cap exceeded; "
+                       "loosen step_growth/min_step");
+    }
+    const JobId cur = pick_current(t);
+    auto next_rel_it = std::upper_bound(releases.begin(), releases.end(), t);
+    const double next_rel = next_rel_it == releases.end() ? kInf : *next_rel_it;
+
+    if (cur == kNoJob) {
+      if (next_rel == kInf) {
+        throw ModelError("run_nc_nonuniform: no active job and no pending release");
+      }
+      t = next_rel;
+      t_last_event = t;
+      if (observer) observer(t, processed);
+      continue;
+    }
+
+    const Job& true_job = instance.job(cur);
+    const auto idx = static_cast<std::size_t>(cur);
+
+    double dt = std::max(min_dt, params.step_growth * (t - t_last_event));
+    if (next_rel < kInf) dt = std::min(dt, next_rel - t);
+
+    // Midpoint (RK2): probe the speed halfway through the tentative step.
+    const double s1 = speed_at(t, processed);
+    p_mid = processed;
+    p_mid[idx] = std::min(true_job.volume, p_mid[idx] + 0.5 * s1 * dt);
+    const double s2 = speed_at(t + 0.5 * dt, p_mid);
+
+    // Completion inside the step?  (The engine — not the algorithm — knows
+    // the true volume; this is exactly the non-clairvoyant oracle.)
+    const double vrem = true_job.volume - processed[idx];
+    bool completes = false;
+    if (s2 * dt >= vrem) {
+      dt = vrem / s2;
+      completes = true;
+    }
+
+    sched.append({t, t + dt, cur, SpeedLaw::kConstant, s2, rounded.job(cur).density});
+    processed[idx] = completes ? true_job.volume : processed[idx] + s2 * dt;
+    t += dt;
+    ++out.steps;
+
+    if (completes) {
+      done[idx] = true;
+      --remaining_jobs;
+      sched.set_completion(cur, t);
+      t_last_event = t;
+      if (observer) observer(t, processed);
+    } else if (next_rel < kInf && t >= next_rel - 1e-15 * std::max(1.0, next_rel)) {
+      t_last_event = t;
+      if (observer) observer(t, processed);
+    }
+  }
+
+  const PowerLaw power(alpha);
+  out.result.metrics = compute_metrics(instance, sched, power);
+  return out;
+}
+
+}  // namespace speedscale

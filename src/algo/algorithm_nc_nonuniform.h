@@ -1,0 +1,112 @@
+// Algorithm NC for non-uniform densities (paper, Section 4).
+//
+// The algorithm:
+//   1. Round every density *down* to an integer power of beta (beta > 4 in
+//      the paper's analysis; exposed as a parameter for the E10 ablation).
+//   2. Among active jobs, process the one of highest rounded density,
+//      breaking ties FIFO (jobs inside one density bracket are therefore
+//      processed FIFO — the information-gathering order).
+//   3. Speed: s(t) = eta * s^C_{I(t)}(t) + epsilon, where s^C_{I(t)}(t) is
+//      the speed that Algorithm C would have at time t if run on the
+//      *current instance* I(t): the rounded instance whose job weights are
+//      the weights Algorithm NC itself has processed so far.  The excess
+//      epsilon bootstraps the all-weights-zero start (Section 4 discussion).
+//
+// The current-instance speed has no closed form (adding weight to a job
+// reshapes the whole downstream clairvoyant run, cf. Figure 2b), so the
+// trajectory is integrated with an adaptive midpoint (RK2) scheme whose
+// inner evaluations are *exact* event-driven C-simulations of I(t).  The
+// recorded schedule is piecewise-constant in speed; metrics are evaluated
+// exactly on that recording, so discretization only perturbs the policy, not
+// the accounting.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "src/algo/run_result.h"
+#include "src/core/instance.h"
+
+namespace speedscale {
+
+/// The critical speed multiplier below which the self-referential speed rule
+/// never "takes off": for a single job, seeking a growing solution
+/// p(t) = c * t^{1/b} of  dp/dt = eta * s^C_{I(t)}(t)  (b = 1 - 1/alpha)
+/// requires eta >= eta_min = (alpha/(alpha-1)) * alpha^{1/(alpha-1)}.
+/// Below it, the current-instance clairvoyant run always finishes before t,
+/// the speed collapses to the epsilon floor, and the algorithm crawls
+/// (cost ratio -> 1/epsilon).  The paper defers the concrete eta to its full
+/// version; this threshold reproduces the phenomenon quantitatively and the
+/// E10 bench maps the ratio as a function of eta around it.
+/// (eta_min(2) = 4, eta_min(3) ~ 2.598, eta_min(1.5) = 6.75.)
+[[nodiscard]] double nc_eta_min(double alpha);
+
+/// Tuning of the non-uniform algorithm and its integrator.
+struct NCNonUniformParams {
+  double beta = 4.5;           ///< density rounding base (paper wants > 4)
+  double eta = 0.0;            ///< speed multiplier; 0 = auto (1.5 * nc_eta_min)
+  double epsilon_speed = 1e-4; ///< excess speed, relative to a reference speed
+  double step_growth = 0.05;   ///< dt grows by this fraction of time-since-event
+  double min_step = 1e-6;      ///< smallest relative step after an event
+  long max_steps = 20'000'000; ///< hard safety cap on integrator steps
+  bool round_densities = true; ///< E10 ablation: disable rounding entirely
+};
+
+/// Observer invoked at every *event* (release or completion): receives the
+/// current time and the per-job processed volumes.  Used by the Figure 3
+/// bench to snapshot the evolving instance I(t).
+using NCObserver = std::function<void(double t, const std::vector<double>& processed)>;
+
+/// Run summary with instrumentation counters.
+struct NCNonUniformRun {
+  RunResult result;
+  Instance rounded;        ///< the instance the algorithm actually ordered by
+  long steps = 0;          ///< integrator steps taken
+  long c_evaluations = 0;  ///< inner Algorithm C simulations performed
+
+  explicit NCNonUniformRun(double alpha) : result(alpha) {}
+};
+
+/// Runs non-uniform Algorithm NC with P(s) = s^alpha.
+[[nodiscard]] NCNonUniformRun run_nc_nonuniform(const Instance& instance, double alpha,
+                                                const NCNonUniformParams& params = {},
+                                                const NCObserver& observer = {});
+
+/// Builds the current instance I(t): jobs of `rounded` released at or before
+/// t, with volume equal to the volume NC has processed so far (zero-volume
+/// jobs are dropped; they carry no weight).  `kept` (optional) receives the
+/// original JobIds of the kept jobs, in order.
+[[nodiscard]] Instance make_current_instance(const Instance& rounded,
+                                             const std::vector<double>& processed, double t,
+                                             std::vector<JobId>* kept = nullptr);
+
+/// The clairvoyant speed on the current instance: the speed of Algorithm C
+/// at time t when run on I(t).  (Without the eta multiplier or epsilon.)
+/// Reference implementation (builds an Instance + CMachine per call).
+[[nodiscard]] double c_speed_on_current_instance(const Instance& rounded,
+                                                 const std::vector<double>& processed, double t,
+                                                 double alpha);
+
+/// Allocation-free evaluator for the same quantity.  The integrator calls
+/// this twice per step, so the reference path's per-call Instance/CMachine
+/// construction dominates the whole algorithm; this oracle pre-sorts the
+/// rounded jobs once and replays Algorithm C over reused scratch buffers.
+/// Tests assert exact agreement with c_speed_on_current_instance.
+class CurrentInstanceOracle {
+ public:
+  CurrentInstanceOracle(const Instance& rounded, double alpha);
+
+  /// Speed of Algorithm C on I(t) at time t, weights from `processed`
+  /// (indexed by the rounded instance's JobIds).
+  [[nodiscard]] double c_speed(const std::vector<double>& processed, double t);
+
+ private:
+  const Instance& rounded_;
+  PowerLawKinematics kin_;
+  std::vector<JobId> by_release_;   ///< release asc, id asc
+  std::vector<int> priority_rank_;  ///< per job: rank in (density desc, release asc, id) order
+  std::vector<double> rem_;         ///< scratch: remaining volume in the replay
+  std::vector<bool> released_;      ///< scratch
+};
+
+}  // namespace speedscale

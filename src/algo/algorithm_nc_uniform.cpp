@@ -1,0 +1,68 @@
+#include "src/algo/algorithm_nc_uniform.h"
+
+#include <algorithm>
+
+#include "src/core/kinematics.h"
+#include "src/core/power.h"
+#include "src/sim/c_machine.h"
+
+namespace speedscale {
+
+NCUniformRun run_nc_uniform_detailed(const Instance& instance, double alpha) {
+  if (!instance.uniform_density(1e-9)) {
+    throw ModelError("run_nc_uniform: instance must have uniform density");
+  }
+  NCUniformRun out(alpha);
+  out.offsets.assign(instance.size(), 0.0);
+  out.starts.assign(instance.size(), 0.0);
+  if (instance.empty()) return out;
+
+  // Virtual clairvoyant run.  W^C(r[j]^-) only depends on jobs released
+  // strictly before r[j], so running C on the full instance and taking left
+  // limits is equivalent to the prefix simulation the paper describes — and
+  // is causally available to NC, because FIFO order means every job released
+  // before r[j] has been completed (volume revealed) before NC starts j.
+  out.c_schedule = run_algorithm_c(instance, alpha);
+
+  const PowerLawKinematics kin(alpha);
+  Schedule& sched = out.result.schedule;
+  double t = 0.0;
+  const std::vector<JobId> fifo = instance.fifo_order();
+  for (std::size_t pos = 0; pos < fifo.size(); ++pos) {
+    const JobId jid = fifo[pos];
+    const Job& job = instance.job(jid);
+    // The paper assumes distinct release times.  Ties are handled as the
+    // limit of infinitesimally-separated releases: the left limit excludes
+    // the whole cohort released at r[j], so the weights of tied jobs that
+    // precede j in FIFO order are added back (C would have processed none of
+    // them in zero time).
+    double offset = c_remaining_weight_left(out.c_schedule, job.release);
+    for (std::size_t q = pos; q-- > 0;) {
+      const Job& prev = instance.job(fifo[q]);
+      if (prev.release != job.release) break;
+      offset += prev.weight();
+    }
+    out.offsets[static_cast<std::size_t>(jid)] = offset;
+    const double t_start = std::max(t, job.release);
+    out.starts[static_cast<std::size_t>(jid)] = t_start;
+    // One contiguous growth segment: U goes from the offset to offset + W[j].
+    // (FIFO + work conservation: nothing preempts a started job.)
+    const double u0 = offset;
+    const double u1 = offset + job.weight();
+    const double dt = kin.grow_time_to_weight(u0, u1, job.density);
+    sched.append({t_start, t_start + dt, jid, SpeedLaw::kPowerGrow, u0, job.density});
+    t = t_start + dt;
+    sched.set_completion(jid, t);
+  }
+
+  const PowerLaw power(alpha);
+  out.result.metrics = compute_metrics(instance, sched, power);
+  return out;
+}
+
+RunResult run_nc_uniform(const Instance& instance, double alpha) {
+  NCUniformRun run = run_nc_uniform_detailed(instance, alpha);
+  return std::move(run.result);
+}
+
+}  // namespace speedscale

@@ -1,0 +1,321 @@
+#include "src/algo/baselines.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "src/core/kinematics.h"
+#include "src/core/power.h"
+
+namespace speedscale {
+
+RunResult run_fixed_speed(const Instance& instance, double alpha, double speed) {
+  if (!(speed > 0.0)) throw ModelError("run_fixed_speed: speed must be positive");
+  RunResult out(alpha);
+  Schedule& sched = out.schedule;
+  double t = 0.0;
+  for (JobId jid : instance.fifo_order()) {
+    const Job& job = instance.job(jid);
+    const double t_start = std::max(t, job.release);
+    const double dt = job.volume / speed;
+    sched.append({t_start, t_start + dt, jid, SpeedLaw::kConstant, speed, job.density});
+    t = t_start + dt;
+    sched.set_completion(jid, t);
+  }
+  const PowerLaw power(alpha);
+  out.metrics = compute_metrics(instance, sched, power);
+  return out;
+}
+
+SharedRun run_active_count(const Instance& instance, double alpha) {
+  SharedRun out;
+  const PowerLaw power(alpha);
+
+  struct St {
+    double remaining;
+    bool released = false;
+    bool done = false;
+  };
+  std::vector<St> st(instance.size());
+  for (const Job& j : instance.jobs()) st[static_cast<std::size_t>(j.id)].remaining = j.volume;
+
+  std::set<std::pair<double, JobId>> pending;
+  for (const Job& j : instance.jobs()) pending.insert({j.release, j.id});
+  std::set<JobId> active;
+
+  double t = 0.0;
+  const auto release_due = [&]() {
+    while (!pending.empty() && pending.begin()->first <= t) {
+      const JobId id = pending.begin()->second;
+      pending.erase(pending.begin());
+      st[static_cast<std::size_t>(id)].released = true;
+      active.insert(id);
+    }
+  };
+  release_due();
+
+  while (!active.empty() || !pending.empty()) {
+    const double next_release = pending.empty() ? kInf : pending.begin()->first;
+    if (active.empty()) {
+      t = next_release;
+      release_due();
+      continue;
+    }
+    const double n = static_cast<double>(active.size());
+    const double s = power.speed_for_power(n);  // P(s) = n_active
+    const double rate = s / n;                  // per-job processing rate
+    // Next event: first completion (smallest remaining volume) or a release.
+    double min_rem = kInf;
+    JobId min_id = kNoJob;
+    for (JobId id : active) {
+      const double r = st[static_cast<std::size_t>(id)].remaining;
+      if (r < min_rem) {
+        min_rem = r;
+        min_id = id;
+      }
+    }
+    const double t_complete = t + min_rem / rate;
+    const double t_event = std::min(t_complete, next_release);
+    const double dt = t_event - t;
+
+    out.metrics.energy += n * dt;  // P = n while n jobs are active
+    for (JobId id : active) {
+      const double v = st[static_cast<std::size_t>(id)].remaining;
+      const double drop = rate * dt;
+      // int rho V dt with V decreasing linearly at `rate`.
+      out.metrics.fractional_flow +=
+          instance.job(id).density * (v * dt - 0.5 * rate * dt * dt);
+      st[static_cast<std::size_t>(id)].remaining = std::max(0.0, v - drop);
+    }
+    t = t_event;
+    if (t_complete <= next_release) {
+      st[static_cast<std::size_t>(min_id)].remaining = 0.0;
+      st[static_cast<std::size_t>(min_id)].done = true;
+      active.erase(min_id);
+      out.completions[min_id] = t;
+      const Job& j = instance.job(min_id);
+      out.metrics.integral_flow += j.weight() * (t - j.release);
+    }
+    release_due();
+  }
+  out.makespan = t;
+  return out;
+}
+
+RunResult run_naive_nc(const Instance& instance, double alpha) {
+  RunResult out(alpha);
+  Schedule& sched = out.schedule;
+  const PowerLawKinematics kin(alpha);
+  double t = 0.0;
+  double processed_weight = 0.0;  // total weight completed so far
+  for (JobId jid : instance.fifo_order()) {
+    const Job& job = instance.job(jid);
+    const double t_start = std::max(t, job.release);
+    const double u0 = processed_weight;
+    const double u1 = processed_weight + job.weight();
+    const double dt = kin.grow_time_to_weight(u0, u1, job.density);
+    sched.append({t_start, t_start + dt, jid, SpeedLaw::kPowerGrow, u0, job.density});
+    t = t_start + dt;
+    sched.set_completion(jid, t);
+    processed_weight = u1;
+  }
+  const PowerLaw power(alpha);
+  out.metrics = compute_metrics(instance, sched, power);
+  return out;
+}
+
+SharedRun run_wrr_known_weight(const Instance& instance, double alpha) {
+  SharedRun out;
+  const PowerLaw power(alpha);
+
+  struct St {
+    double remaining;
+    bool released = false;
+  };
+  std::vector<St> st(instance.size());
+  for (const Job& j : instance.jobs()) st[static_cast<std::size_t>(j.id)].remaining = j.volume;
+
+  std::set<std::pair<double, JobId>> pending;
+  for (const Job& j : instance.jobs()) pending.insert({j.release, j.id});
+  std::set<JobId> active;
+
+  double t = 0.0;
+  double active_weight = 0.0;  // sum of FULL weights of active jobs (known!)
+  const auto release_due = [&]() {
+    while (!pending.empty() && pending.begin()->first <= t) {
+      const JobId id = pending.begin()->second;
+      pending.erase(pending.begin());
+      st[static_cast<std::size_t>(id)].released = true;
+      active.insert(id);
+      active_weight += instance.job(id).weight();
+    }
+  };
+  release_due();
+
+  while (!active.empty() || !pending.empty()) {
+    const double next_release = pending.empty() ? kInf : pending.begin()->first;
+    if (active.empty()) {
+      t = next_release;
+      release_due();
+      continue;
+    }
+    // Speed: P(s) = total (full) weight of active jobs; share prop. weight.
+    const double s = power.speed_for_power(active_weight);
+    double t_complete = kInf;
+    JobId done_id = kNoJob;
+    for (JobId id : active) {
+      const double share = instance.job(id).weight() / active_weight;
+      const double tc = t + st[static_cast<std::size_t>(id)].remaining / (s * share);
+      if (tc < t_complete) {
+        t_complete = tc;
+        done_id = id;
+      }
+    }
+    const double t_event = std::min(t_complete, next_release);
+    const double dt = t_event - t;
+    out.metrics.energy += active_weight * dt;  // P = active weight
+    for (JobId id : active) {
+      const Job& j = instance.job(id);
+      const double rate = s * j.weight() / active_weight;
+      St& js = st[static_cast<std::size_t>(id)];
+      out.metrics.fractional_flow += j.density * (js.remaining * dt - 0.5 * rate * dt * dt);
+      js.remaining = std::max(0.0, js.remaining - rate * dt);
+    }
+    t = t_event;
+    if (t_complete <= next_release && done_id != kNoJob) {
+      st[static_cast<std::size_t>(done_id)].remaining = 0.0;
+      active.erase(done_id);
+      const Job& j = instance.job(done_id);
+      active_weight = std::max(0.0, active_weight - j.weight());
+      out.completions[done_id] = t;
+      out.metrics.integral_flow += j.weight() * (t - j.release);
+    }
+    release_due();
+  }
+  out.makespan = t;
+  return out;
+}
+
+SharedRun run_laps(const Instance& instance, double alpha, double beta_frac) {
+  if (!(beta_frac > 0.0) || beta_frac > 1.0) {
+    throw ModelError("run_laps: beta_frac must lie in (0, 1]");
+  }
+  SharedRun out;
+  const PowerLaw power(alpha);
+
+  struct St {
+    double remaining;
+    bool released = false;
+  };
+  std::vector<St> st(instance.size());
+  for (const Job& j : instance.jobs()) st[static_cast<std::size_t>(j.id)].remaining = j.volume;
+
+  std::set<std::pair<double, JobId>> pending;
+  for (const Job& j : instance.jobs()) pending.insert({j.release, j.id});
+  // Active set ordered by (release desc, id desc): the front holds the
+  // latest arrivals, which is exactly LAPS's served prefix.
+  struct LatestFirst {
+    const Instance* inst;
+    bool operator()(JobId a, JobId b) const {
+      const Job& ja = inst->job(a);
+      const Job& jb = inst->job(b);
+      if (ja.release != jb.release) return ja.release > jb.release;
+      return a > b;
+    }
+  };
+  std::set<JobId, LatestFirst> active(LatestFirst{&instance});
+
+  double t = 0.0;
+  const auto release_due = [&]() {
+    while (!pending.empty() && pending.begin()->first <= t) {
+      const JobId id = pending.begin()->second;
+      pending.erase(pending.begin());
+      st[static_cast<std::size_t>(id)].released = true;
+      active.insert(id);
+    }
+  };
+  release_due();
+
+  while (!active.empty() || !pending.empty()) {
+    const double next_release = pending.empty() ? kInf : pending.begin()->first;
+    if (active.empty()) {
+      t = next_release;
+      release_due();
+      continue;
+    }
+    const double n = static_cast<double>(active.size());
+    const auto served_count =
+        static_cast<std::size_t>(std::ceil(beta_frac * n - 1e-12));
+    const double s = power.speed_for_power(n);  // P(s) = n_active
+    const double rate = s / static_cast<double>(served_count);
+
+    // Served set: the first `served_count` (latest-arrival) active jobs.
+    double min_rem = kInf;
+    JobId min_id = kNoJob;
+    std::size_t i = 0;
+    for (auto it = active.begin(); it != active.end() && i < served_count; ++it, ++i) {
+      const double r = st[static_cast<std::size_t>(*it)].remaining;
+      if (r < min_rem) {
+        min_rem = r;
+        min_id = *it;
+      }
+    }
+    const double t_complete = t + min_rem / rate;
+    const double t_event = std::min(t_complete, next_release);
+    const double dt = t_event - t;
+
+    out.metrics.energy += n * dt;
+    // All active jobs accrue flow; only the served prefix shrinks.
+    i = 0;
+    for (auto it = active.begin(); it != active.end(); ++it, ++i) {
+      St& js = st[static_cast<std::size_t>(*it)];
+      const Job& j = instance.job(*it);
+      if (i < served_count) {
+        out.metrics.fractional_flow += j.density * (js.remaining * dt - 0.5 * rate * dt * dt);
+        js.remaining = std::max(0.0, js.remaining - rate * dt);
+      } else {
+        out.metrics.fractional_flow += j.density * js.remaining * dt;
+      }
+    }
+    t = t_event;
+    if (t_complete <= next_release && min_id != kNoJob) {
+      st[static_cast<std::size_t>(min_id)].remaining = 0.0;
+      active.erase(min_id);
+      out.completions[min_id] = t;
+      const Job& j = instance.job(min_id);
+      out.metrics.integral_flow += j.weight() * (t - j.release);
+    }
+    release_due();
+  }
+  out.makespan = t;
+  return out;
+}
+
+RunResult run_doubling_nc(const Instance& instance, double alpha, double initial_guess) {
+  if (!(initial_guess > 0.0)) throw ModelError("run_doubling_nc: guess must be positive");
+  RunResult out(alpha);
+  Schedule& sched = out.schedule;
+  double t = 0.0;
+  for (JobId jid : instance.fifo_order()) {
+    const Job& job = instance.job(jid);
+    t = std::max(t, job.release);
+    double remaining = job.volume;
+    double guess = initial_guess;
+    while (remaining > 0.0) {
+      const double speed = std::pow(job.density * guess / (alpha - 1.0), 1.0 / alpha);
+      const double chunk = std::min(guess, remaining);
+      const double dt = chunk / speed;
+      sched.append({t, t + dt, jid, SpeedLaw::kConstant, speed, job.density});
+      t += dt;
+      remaining -= chunk;
+      guess *= 2.0;
+    }
+    sched.set_completion(jid, t);
+  }
+  const PowerLaw power(alpha);
+  out.metrics = compute_metrics(instance, sched, power);
+  return out;
+}
+
+}  // namespace speedscale

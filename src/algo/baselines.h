@@ -1,0 +1,66 @@
+// Baseline schedulers for comparison and ablation.
+//
+//  * FixedSpeed: FIFO at a constant speed — the "no speed scaling" strawman.
+//  * ActiveCount: processor sharing with P = (number of active jobs) — the
+//    known-weight non-clairvoyant strategy family of Lam et al. [7] / Chan
+//    et al. [11] (their speed rule needs weights, which for unit jobs is the
+//    active count).  Included to populate the Table 1 context rows.
+//  * NaiveNC: FIFO with P = (total processed weight of ALL jobs) — what one
+//    gets by dropping the per-job clairvoyant offset from Algorithm NC's
+//    speed rule.  The E9 ablation shows this breaks the exact energy /
+//    flow-time identities and the competitive ratio degrades.
+#pragma once
+
+#include <map>
+
+#include "src/algo/run_result.h"
+#include "src/core/instance.h"
+
+namespace speedscale {
+
+/// FIFO at constant speed `speed`; idles when no job is active.
+[[nodiscard]] RunResult run_fixed_speed(const Instance& instance, double alpha, double speed);
+
+/// Result of the processor-sharing baseline (its schedule processes several
+/// jobs simultaneously, which Segment cannot represent, so only the evaluated
+/// objective and completions are returned; all quantities are exact).
+struct SharedRun {
+  Metrics metrics;
+  std::map<JobId, double> completions;
+  double makespan = 0.0;
+};
+
+/// Processor sharing at speed P^{-1}(n_active): each of the n active jobs is
+/// processed at rate s/n.  Exact (speed is constant between events).
+[[nodiscard]] SharedRun run_active_count(const Instance& instance, double alpha);
+
+/// LAPS (Latest Arrival Processor Sharing) with the active-count speed rule:
+/// speed P^{-1}(n_active), shared equally among the ceil(beta_frac * n)
+/// most recently released active jobs.  The scalable known-weight
+/// non-clairvoyant strategy family (Edmonds-Pruhs; used in the speed-scaling
+/// setting by Chan et al. [11]-adjacent work).  beta_frac = 1 degenerates to
+/// run_active_count.  Exact (constant speed between events).
+[[nodiscard]] SharedRun run_laps(const Instance& instance, double alpha,
+                                 double beta_frac = 0.5);
+
+/// FIFO with P(s) = total processed weight (no per-job clairvoyant offset).
+[[nodiscard]] RunResult run_naive_nc(const Instance& instance, double alpha);
+
+/// Weighted round robin for the *known-weight* non-clairvoyant model (the
+/// other non-clairvoyant column of Table 1; Lam et al. [7]): every active
+/// job is processed simultaneously with speed share proportional to its
+/// (known, full) weight, and the machine's power equals the total weight of
+/// active jobs.  For jobs all released at time 0, [7] proves
+/// (2 - 1/alpha)^2-competitiveness.  Exact (constant speed between events).
+[[nodiscard]] SharedRun run_wrr_known_weight(const Instance& instance, double alpha);
+
+/// The classic non-clairvoyant guess-and-double strawman: process each job
+/// (FIFO) in phases; phase i guesses the remaining volume is g0 * 2^i and
+/// runs at the constant speed that is integral-optimal for a job of that
+/// size, s_i = (rho * g_i / (alpha-1))^{1/alpha}, until the phase's volume
+/// is processed or the job completes.  Exact (constant-speed segments).
+/// Included to contrast with Algorithm NC, which needs no guessing.
+[[nodiscard]] RunResult run_doubling_nc(const Instance& instance, double alpha,
+                                        double initial_guess = 0.125);
+
+}  // namespace speedscale

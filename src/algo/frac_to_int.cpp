@@ -1,0 +1,118 @@
+#include "src/algo/frac_to_int.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/core/kinematics.h"
+
+namespace speedscale {
+
+namespace {
+
+/// Energy (under the fractional speeds) of the part of `seg` in [seg.t0, t],
+/// and the absolute time at which the segment has processed `v` volume.
+struct SegmentOps {
+  const PowerLawKinematics& kin;
+  double alpha;
+
+  [[nodiscard]] double volume_full(const Segment& seg) const {
+    switch (seg.law) {
+      case SpeedLaw::kIdle:
+        return 0.0;
+      case SpeedLaw::kConstant:
+        return seg.param * seg.duration();
+      case SpeedLaw::kPowerDecay: {
+        const double w1 = kin.decay_weight_after(seg.param, seg.rho, seg.duration());
+        return (seg.param - w1) / seg.rho;
+      }
+      case SpeedLaw::kPowerGrow: {
+        const double u1 = kin.grow_weight_after(seg.param, seg.rho, seg.duration());
+        return (u1 - seg.param) / seg.rho;
+      }
+    }
+    return 0.0;
+  }
+
+  /// Time within the segment at which cumulative processed volume reaches v.
+  [[nodiscard]] double time_at_volume(const Segment& seg, double v) const {
+    switch (seg.law) {
+      case SpeedLaw::kIdle:
+        throw ModelError("reduce_frac_to_int: volume requested from idle segment");
+      case SpeedLaw::kConstant:
+        return seg.t0 + v / seg.param;
+      case SpeedLaw::kPowerDecay:
+        return seg.t0 + kin.decay_time_to_weight(seg.param, seg.param - seg.rho * v, seg.rho);
+      case SpeedLaw::kPowerGrow:
+        return seg.t0 + kin.grow_time_to_weight(seg.param, seg.param + seg.rho * v, seg.rho);
+    }
+    return seg.t0;
+  }
+
+  /// int P(s_frac) dt over [seg.t0, t_cut].
+  [[nodiscard]] double energy_until(const Segment& seg, double t_cut) const {
+    const double dt = t_cut - seg.t0;
+    switch (seg.law) {
+      case SpeedLaw::kIdle:
+        return 0.0;
+      case SpeedLaw::kConstant:
+        return std::pow(seg.param, alpha) * dt;
+      case SpeedLaw::kPowerDecay: {
+        const double w1 = kin.decay_weight_after(seg.param, seg.rho, dt);
+        return kin.decay_integral(seg.param, w1, seg.rho);
+      }
+      case SpeedLaw::kPowerGrow: {
+        const double u1 = kin.grow_weight_after(seg.param, seg.rho, dt);
+        return kin.grow_integral(seg.param, u1, seg.rho);
+      }
+    }
+    return 0.0;
+  }
+};
+
+}  // namespace
+
+IntReductionRun reduce_frac_to_int(const Instance& instance, const Schedule& frac, double eps) {
+  if (!(eps > 0.0)) throw ModelError("reduce_frac_to_int: eps must be positive");
+  const PowerLawKinematics kin(frac.alpha());
+  const SegmentOps ops{kin, frac.alpha()};
+  const double speedup_energy = std::pow(1.0 + eps, frac.alpha());
+
+  IntReductionRun out;
+  // Cumulative processed volume per job, walked once over the schedule.
+  std::vector<double> processed(instance.size(), 0.0);
+  std::vector<double> tau(instance.size(), -1.0);
+
+  for (const Segment& seg : frac.segments()) {
+    if (seg.job == kNoJob || seg.law == SpeedLaw::kIdle) continue;
+    const auto idx = static_cast<std::size_t>(seg.job);
+    const Job& job = instance.job(seg.job);
+    const double target = job.volume / (1.0 + eps);
+    const double seg_vol = ops.volume_full(seg);
+
+    if (tau[idx] >= 0.0) continue;  // A_int already finished this job
+
+    if (processed[idx] + seg_vol >= target - 1e-15 * std::max(1.0, target)) {
+      // A_int completes within (or exactly at the end of) this segment.
+      const double v_needed = std::max(0.0, target - processed[idx]);
+      const double t_cut = std::min(ops.time_at_volume(seg, v_needed), seg.t1);
+      out.energy += speedup_energy * ops.energy_until(seg, t_cut);
+      tau[idx] = t_cut;
+      out.completions[seg.job] = t_cut;
+      out.integral_flow += job.weight() * (t_cut - job.release);
+    } else {
+      out.energy += speedup_energy * ops.energy_until(seg, seg.t1);
+    }
+    processed[idx] += seg_vol;
+  }
+
+  for (const Job& j : instance.jobs()) {
+    if (tau[static_cast<std::size_t>(j.id)] < 0.0) {
+      throw ModelError("reduce_frac_to_int: fractional schedule never processes enough of job " +
+                       std::to_string(j.id));
+    }
+  }
+  return out;
+}
+
+}  // namespace speedscale

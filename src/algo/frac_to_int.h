@@ -1,0 +1,41 @@
+// The black-box fractional -> integral reduction (paper, Section 5, Lemma 15).
+//
+// Given any (non-clairvoyant) algorithm A_frac, define A_int: at each time t,
+// if the job j(t) that A_frac processes is still unfinished in A_int, process
+// it at speed (1+eps) * s(t); otherwise idle.  Then A_int has processed
+// exactly (1+eps) times A_frac's weight of every job at every time, so A_int
+// finishes job j when A_frac has processed a 1/(1+eps) fraction of it, and
+//   integral flow(A_int) <= (1 + 1/eps) * fractional flow(A_frac)
+//   energy(A_int)        <= (1+eps)^alpha * energy(A_frac)
+// giving Gamma_int = max((1+eps)^alpha, 1 + 1/eps) * Gamma_frac (Theorem 16).
+//
+// The reduction is evaluated by post-processing the fractional schedule:
+// for each job, find the time tau_j at which A_frac has processed
+// V[j]/(1+eps); A_int's completion is tau_j, its energy is (1+eps)^alpha
+// times the energy of the schedule parts lying before each tau.
+#pragma once
+
+#include <map>
+
+#include "src/core/instance.h"
+#include "src/core/metrics.h"
+#include "src/core/schedule.h"
+
+namespace speedscale {
+
+/// The integral-objective run derived from a fractional schedule.
+struct IntReductionRun {
+  double energy = 0.0;
+  double integral_flow = 0.0;
+  std::map<JobId, double> completions;  ///< A_int completion times (tau_j)
+
+  [[nodiscard]] double integral_objective() const { return energy + integral_flow; }
+};
+
+/// Applies the Lemma 15 reduction with speed-up factor (1 + eps) to a
+/// fractional schedule.  `frac` must complete every job of `instance` and be
+/// an exact-law schedule (the closed forms are inverted per segment).
+[[nodiscard]] IntReductionRun reduce_frac_to_int(const Instance& instance, const Schedule& frac,
+                                                 double eps);
+
+}  // namespace speedscale

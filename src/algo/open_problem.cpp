@@ -1,0 +1,173 @@
+#include "src/algo/open_problem.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "src/algo/parallel.h"
+#include "src/core/kinematics.h"
+#include "src/sim/c_machine.h"
+#include "src/workload/generators.h"
+
+namespace speedscale {
+
+OpenProblemRun run_cpar_density_restricted(const Instance& instance, double alpha, int k,
+                                           double beta) {
+  if (k < 1) throw ModelError("run_cpar_density_restricted: need at least one machine");
+  const Instance rounded = beta > 1.0 ? instance.rounded_densities(beta) : instance;
+
+  std::vector<CMachine> machines;
+  machines.reserve(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) machines.emplace_back(alpha);
+  std::vector<std::vector<JobId>> assigned(static_cast<std::size_t>(k));
+
+  OpenProblemRun out;
+  out.assignment.assign(instance.size(), kNoMachine);
+
+  for (JobId jid : rounded.fifo_order()) {
+    const Job& job = rounded.job(jid);
+    int best = 0;
+    double best_w = 0.0;
+    for (int i = 0; i < k; ++i) {
+      CMachine& m = machines[static_cast<std::size_t>(i)];
+      m.advance_to(job.release);
+      // Remaining weight restricted to jobs of equal-or-higher rounded
+      // density — the paper's proposed comparator.
+      double w = 0.0;
+      for (JobId a : assigned[static_cast<std::size_t>(i)]) {
+        if (rounded.job(a).density >= job.density * (1.0 - 1e-12)) {
+          w += m.remaining_weight_of(a);
+        }
+      }
+      if (i == 0 || w < best_w - 1e-15 * std::max(1.0, best_w)) {
+        best_w = w;
+        best = i;
+      }
+    }
+    machines[static_cast<std::size_t>(best)].add_job(job);
+    assigned[static_cast<std::size_t>(best)].push_back(jid);
+    out.assignment[static_cast<std::size_t>(jid)] = best;
+  }
+  std::vector<Schedule> schedules;
+  for (auto& m : machines) {
+    m.run_to_completion();
+    schedules.push_back(m.schedule());
+  }
+  out.metrics = parallel_metrics(instance, schedules, out.assignment, alpha);
+  return out;
+}
+
+OpenProblemRun run_ncpar_hdf_queue(const Instance& instance, double alpha, int k, double beta) {
+  if (k < 1) throw ModelError("run_ncpar_hdf_queue: need at least one machine");
+  const Instance rounded = beta > 1.0 ? instance.rounded_densities(beta) : instance;
+  const PowerLawKinematics kin(alpha);
+
+  // Global priority queue: highest rounded density first, then FIFO.
+  struct Pri {
+    const Instance* inst;
+    bool operator()(JobId a, JobId b) const {
+      const Job& ja = inst->job(a);
+      const Job& jb = inst->job(b);
+      if (ja.density != jb.density) return ja.density > jb.density;
+      if (ja.release != jb.release) return ja.release < jb.release;
+      return a < b;
+    }
+  };
+  std::set<JobId, Pri> queue(Pri{&rounded});
+
+  struct MachineState {
+    Schedule schedule;
+    double busy_until = -1.0;  ///< < 0: idle
+    explicit MachineState(double a) : schedule(a) {}
+  };
+  std::vector<MachineState> ms;
+  ms.reserve(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) ms.emplace_back(alpha);
+
+  OpenProblemRun out;
+  out.assignment.assign(instance.size(), kNoMachine);
+
+  const std::vector<JobId> order = rounded.fifo_order();
+  std::size_t next_release_idx = 0;
+
+  const auto try_assign = [&](double t) {
+    while (!queue.empty()) {
+      int idle = -1;
+      for (int i = 0; i < k; ++i) {
+        if (ms[static_cast<std::size_t>(i)].busy_until < 0.0) {
+          idle = i;
+          break;
+        }
+      }
+      if (idle < 0) return;
+      const JobId jid = *queue.begin();
+      queue.erase(queue.begin());
+      const Job& job = rounded.job(jid);
+      MachineState& m = ms[static_cast<std::size_t>(idle)];
+      // One job at a time ("dispatch only as needed"): a single-job
+      // clairvoyant decay run from the job's weight.
+      const double dt = kin.decay_time_to_zero(job.weight(), job.density);
+      m.schedule.append({t, t + dt, jid, SpeedLaw::kPowerDecay, job.weight(), job.density});
+      m.schedule.set_completion(jid, t + dt);
+      m.busy_until = t + dt;
+      out.assignment[static_cast<std::size_t>(jid)] = idle;
+    }
+  };
+
+  while (true) {
+    double next_event = kInf;
+    if (next_release_idx < order.size()) {
+      next_event = rounded.job(order[next_release_idx]).release;
+    }
+    for (int i = 0; i < k; ++i) {
+      const double bu = ms[static_cast<std::size_t>(i)].busy_until;
+      if (bu >= 0.0) next_event = std::min(next_event, bu);
+    }
+    if (next_event == kInf) break;
+    const double t = next_event;
+    for (int i = 0; i < k; ++i) {
+      MachineState& m = ms[static_cast<std::size_t>(i)];
+      if (m.busy_until >= 0.0 && m.busy_until <= t) m.busy_until = -1.0;
+    }
+    while (next_release_idx < order.size() &&
+           rounded.job(order[next_release_idx]).release <= t) {
+      queue.insert(order[next_release_idx]);
+      ++next_release_idx;
+    }
+    try_assign(t);
+  }
+
+  std::vector<Schedule> schedules;
+  for (auto& m : ms) schedules.push_back(std::move(m.schedule));
+  out.metrics = parallel_metrics(instance, schedules, out.assignment, alpha);
+  return out;
+}
+
+DivergenceReport search_divergence(double alpha, int k, int n_jobs, int seeds, double beta) {
+  DivergenceReport rep;
+  for (int s = 1; s <= seeds; ++s) {
+    const Instance inst = workload::generate({.n_jobs = n_jobs,
+                                              .arrival_rate = 1.5,
+                                              .density_mode = workload::DensityMode::kClasses,
+                                              .density_classes = 3,
+                                              .density_spread = 30.0,
+                                              .seed = static_cast<std::uint64_t>(s)});
+    ++rep.instances_tried;
+    const OpenProblemRun a = run_cpar_density_restricted(inst, alpha, k, beta);
+    const OpenProblemRun b = run_ncpar_hdf_queue(inst, alpha, k, beta);
+    bool same = true;
+    for (std::size_t i = 0; i < inst.size(); ++i) {
+      if (a.assignment[i] != b.assignment[i]) same = false;
+    }
+    if (!same) {
+      ++rep.diverged;
+      if (rep.first_divergent_seed == 0) rep.first_divergent_seed = static_cast<std::uint64_t>(s);
+      rep.worst_cost_ratio = std::max(
+          rep.worst_cost_ratio,
+          b.metrics.fractional_objective() / a.metrics.fractional_objective());
+    }
+  }
+  return rep;
+}
+
+}  // namespace speedscale

@@ -1,0 +1,65 @@
+// Exploration of the paper's open problem (Section 7): non-uniform
+// densities on identical parallel machines.
+//
+// The paper sketches the natural candidates and why the Lemma 20-style
+// equivalence breaks:
+//   * candidate non-clairvoyant policy: follow rounded-density HDF globally
+//     and "dispatch only as needed" — a global priority queue ordered by
+//     (rounded density desc, release asc); a machine that finishes its
+//     backlog takes the queue's head;
+//   * candidate clairvoyant comparator: greedy immediate dispatch where the
+//     cost increase is computed over jobs of EQUAL OR HIGHER density only —
+//     i.e. assign job j to the machine minimizing the remaining weight of
+//     its >=rho_j jobs at r_j (the restriction the paper proposes, since
+//     lower-density jobs are invisible to an arriving high-density job's
+//     completion time under HDF);
+// and observes that "jobs released later could affect the machine a job is
+// assigned to in the non-clairvoyant algorithm whereas they do not in the
+// clairvoyant algorithm" — so the assignments may diverge.
+//
+// This module implements both candidates on an exact clairvoyant substrate
+// (per-machine Algorithm C — the point of the exploration is the DISPATCH
+// rules, not the speed rule) and provides a divergence search used by
+// bench_open_problem to exhibit concrete diverging instances and measure
+// how much the divergence costs.
+#pragma once
+
+#include <vector>
+
+#include "src/core/instance.h"
+#include "src/core/metrics.h"
+
+namespace speedscale {
+
+struct OpenProblemRun {
+  std::vector<MachineId> assignment;
+  Metrics metrics;
+};
+
+/// Candidate clairvoyant comparator: immediate dispatch of job j to the
+/// machine with least remaining weight among jobs of density >= rho_j
+/// (rounded densities if beta > 1), then per-machine Algorithm C.
+[[nodiscard]] OpenProblemRun run_cpar_density_restricted(const Instance& instance, double alpha,
+                                                         int k, double beta = 4.5);
+
+/// Candidate non-clairvoyant dispatch: global (rounded density desc,
+/// release asc) priority queue; a machine takes the queue head whenever its
+/// backlog is empty.  Machine busy periods are produced by per-machine
+/// Algorithm C runs on the assigned jobs (the exact substrate; the open
+/// problem concerns the dispatch rule).
+[[nodiscard]] OpenProblemRun run_ncpar_hdf_queue(const Instance& instance, double alpha, int k,
+                                                 double beta = 4.5);
+
+/// Result of a divergence search over seeded random instances.
+struct DivergenceReport {
+  int instances_tried = 0;
+  int diverged = 0;
+  std::uint64_t first_divergent_seed = 0;  ///< 0 if none found
+  double worst_cost_ratio = 1.0;           ///< HDF-queue / density-restricted
+};
+
+/// Searches seeds for instances where the two candidates assign differently.
+[[nodiscard]] DivergenceReport search_divergence(double alpha, int k, int n_jobs, int seeds,
+                                                 double beta = 4.5);
+
+}  // namespace speedscale

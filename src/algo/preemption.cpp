@@ -1,0 +1,44 @@
+#include "src/algo/preemption.h"
+
+#include "src/sim/c_machine.h"
+
+namespace speedscale {
+
+PreemptionStructure preemption_structure(const Schedule& c_schedule, const Instance& instance,
+                                         JobId jstar) {
+  PreemptionStructure out;
+  out.job = jstar;
+  out.release = instance.job(jstar).release;
+  out.completion = c_schedule.completion(jstar);
+
+  const double lo = out.release;
+  const double hi = out.completion;
+  bool in_preemption = false;
+  for (const Segment& seg : c_schedule.segments()) {
+    if (seg.t1 <= lo || seg.t0 >= hi) continue;
+    const double a = std::max(seg.t0, lo);
+    const double b = std::min(seg.t1, hi);
+    if (b <= a) continue;
+    if (seg.job == jstar) {
+      in_preemption = false;
+      continue;
+    }
+    // While j* is active, Algorithm C only runs other jobs if they preempt
+    // (higher priority); stitch consecutive such stretches into intervals.
+    if (!in_preemption) {
+      PreemptionInterval pi;
+      pi.start = a;
+      pi.end = b;
+      pi.weight_at_start = c_remaining_weight_left(c_schedule, a);
+      pi.preempting_volume = c_schedule.segment_volume(seg, a, b);
+      out.intervals.push_back(pi);
+      in_preemption = true;
+    } else {
+      out.intervals.back().end = b;
+      out.intervals.back().preempting_volume += c_schedule.segment_volume(seg, a, b);
+    }
+  }
+  return out;
+}
+
+}  // namespace speedscale

@@ -1,0 +1,44 @@
+// Preemption-interval structure of an Algorithm C run (paper, Figure 3).
+//
+// For a job j* in a clairvoyant run, the window [r[j*], c[j*]] alternates
+// between stretches where C processes j* and "preemption intervals" where
+// higher-density jobs run.  Section 4's analysis names, for the i-th
+// preemption interval, its start R_i, the preempting volume V_i, and the
+// remaining weight W_i at its start; Lemma 14 bounds the weight increment at
+// the start of the *last* interval i*.  This module extracts that structure
+// from a recorded Algorithm C schedule so experiment E4 can regenerate
+// Figure 3 and measure Properties (A)/(B) and Lemma 13 empirically.
+#pragma once
+
+#include <vector>
+
+#include "src/core/instance.h"
+#include "src/core/schedule.h"
+
+namespace speedscale {
+
+/// One preemption interval of job j*.
+struct PreemptionInterval {
+  double start = 0.0;              ///< R_i
+  double end = 0.0;
+  double preempting_volume = 0.0;  ///< V_i: total volume of preempting jobs
+  double weight_at_start = 0.0;    ///< W_i = W^C(R_i^-)
+};
+
+/// The full Figure 3 decomposition for one job.
+struct PreemptionStructure {
+  JobId job = kNoJob;
+  double release = 0.0;
+  double completion = 0.0;
+  std::vector<PreemptionInterval> intervals;
+
+  /// Index i* of the last preemption interval (-1 if none).
+  [[nodiscard]] int last_index() const { return static_cast<int>(intervals.size()) - 1; }
+};
+
+/// Extracts the preemption structure of `jstar` from a completed Algorithm C
+/// schedule.  Throws if the job never completes in the schedule.
+[[nodiscard]] PreemptionStructure preemption_structure(const Schedule& c_schedule,
+                                                       const Instance& instance, JobId jstar);
+
+}  // namespace speedscale

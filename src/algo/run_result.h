@@ -1,0 +1,18 @@
+// Common result bundle returned by single-machine algorithm runs.
+#pragma once
+
+#include "src/core/metrics.h"
+#include "src/core/schedule.h"
+
+namespace speedscale {
+
+/// A completed run: the exact recorded schedule plus its evaluated objective.
+struct RunResult {
+  Schedule schedule;
+  Metrics metrics;
+
+  explicit RunResult(double alpha) : schedule(alpha) {}
+  RunResult(Schedule s, Metrics m) : schedule(std::move(s)), metrics(m) {}
+};
+
+}  // namespace speedscale

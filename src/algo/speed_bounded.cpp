@@ -1,0 +1,198 @@
+#include "src/algo/speed_bounded.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "src/core/kinematics.h"
+#include "src/core/power.h"
+
+namespace speedscale {
+
+namespace {
+
+struct JobState {
+  double remaining = 0.0;
+  bool released = false;
+};
+
+}  // namespace
+
+BoundedRun run_c_bounded(const Instance& instance, double alpha, double s_max) {
+  if (!(s_max > 0.0)) throw ModelError("run_c_bounded: s_max must be positive");
+  BoundedRun out(alpha);
+  Schedule& sched = out.result.schedule;
+  const PowerLawKinematics kin(alpha);
+  const double cap_power = std::pow(s_max, alpha);
+
+  std::vector<JobState> st(instance.size());
+  for (const Job& j : instance.jobs()) st[static_cast<std::size_t>(j.id)].remaining = j.volume;
+  std::set<std::pair<double, JobId>> pending;
+  for (const Job& j : instance.jobs()) pending.insert({j.release, j.id});
+  struct Hdf {
+    const Instance* inst;
+    bool operator()(JobId a, JobId b) const {
+      const Job& ja = inst->job(a);
+      const Job& jb = inst->job(b);
+      if (ja.density != jb.density) return ja.density > jb.density;
+      if (ja.release != jb.release) return ja.release < jb.release;
+      return a < b;
+    }
+  };
+  std::set<JobId, Hdf> active(Hdf{&instance});
+
+  double t = 0.0;
+  double W = 0.0;
+  const auto release_due = [&]() {
+    while (!pending.empty() && pending.begin()->first <= t) {
+      const JobId id = pending.begin()->second;
+      pending.erase(pending.begin());
+      st[static_cast<std::size_t>(id)].released = true;
+      W += instance.job(id).weight();
+      active.insert(id);
+    }
+  };
+  release_due();
+
+  while (!active.empty() || !pending.empty()) {
+    const double next_release = pending.empty() ? kInf : pending.begin()->first;
+    if (active.empty()) {
+      t = next_release;
+      release_due();
+      continue;
+    }
+    const JobId cur = *active.begin();
+    const Job& job = instance.job(cur);
+    JobState& cs = st[static_cast<std::size_t>(cur)];
+
+    // Strictly-above-cap test with a relative tolerance: after a capped
+    // stretch ends at the cap boundary, float residue can leave W a few ulp
+    // above cap_power, which would otherwise produce a zero-length step and
+    // an infinite loop.
+    if (W > cap_power * (1.0 + 1e-12)) {
+      // Capped phase: constant speed s_max; W falls linearly.
+      const double t_uncap = t + (W - cap_power) / (job.density * s_max);
+      const double t_complete = t + cs.remaining / s_max;
+      const double t_event = std::min({t_uncap, t_complete, next_release});
+      if (t_event > t) {
+        out.seg_w0.push_back(W);
+        sched.append({t, t_event, cur, SpeedLaw::kConstant, s_max, job.density});
+      }
+      const double dt = t_event - t;
+      if (t_event == t_uncap) {
+        W = cap_power;  // snap exactly onto the boundary
+      } else {
+        W = std::max(0.0, W - job.density * s_max * dt);
+      }
+      cs.remaining -= s_max * dt;
+      t = t_event;
+      if (t == t_complete && t <= t_uncap && t <= next_release) {
+        cs.remaining = 0.0;
+        active.erase(active.begin());
+        sched.set_completion(cur, t);
+      }
+    } else {
+      // Uncapped: the usual power-law decay.
+      const double w_done = W - job.density * cs.remaining;
+      const double t_complete = t + kin.decay_time_to_weight(W, std::max(w_done, 0.0), job.density);
+      const double t_event = std::min(t_complete, next_release);
+      if (t_event > t) {
+        out.seg_w0.push_back(W);
+        sched.append({t, t_event, cur, SpeedLaw::kPowerDecay, W, job.density});
+      }
+      if (t_complete <= next_release) {
+        W = std::max(0.0, w_done);
+        cs.remaining = 0.0;
+        active.erase(active.begin());
+        sched.set_completion(cur, t_complete);
+        t = t_complete;
+      } else {
+        const double w1 = kin.decay_weight_after(W, job.density, t_event - t);
+        cs.remaining = std::max(0.0, cs.remaining - (W - w1) / job.density);
+        W = w1;
+        t = t_event;
+      }
+    }
+    release_due();
+  }
+
+  const PowerLaw power(alpha);
+  out.result.metrics = compute_metrics(instance, sched, power);
+  return out;
+}
+
+double bounded_remaining_weight_left(const BoundedRun& run, double t) {
+  const Schedule& sched = run.result.schedule;
+  const auto& segs = sched.segments();
+  auto it = std::lower_bound(segs.begin(), segs.end(), t,
+                             [](const Segment& s, double v) { return s.t0 < v; });
+  if (it == segs.begin()) return 0.0;
+  const std::size_t idx = static_cast<std::size_t>(it - segs.begin()) - 1;
+  const Segment& seg = segs[idx];
+  if (t > seg.t1) return 0.0;  // idle gap
+  const double w0 = run.seg_w0.at(idx);
+  const PowerLawKinematics kin(sched.alpha());
+  switch (seg.law) {
+    case SpeedLaw::kPowerDecay:
+      return kin.decay_weight_after(w0, seg.rho, t - seg.t0);
+    case SpeedLaw::kConstant:  // capped: W falls linearly at rho * s_max
+      return std::max(0.0, w0 - seg.rho * seg.param * (t - seg.t0));
+    default:
+      throw ModelError("bounded_remaining_weight_left: not a clairvoyant bounded run");
+  }
+}
+
+BoundedRun run_nc_bounded(const Instance& instance, double alpha, double s_max) {
+  if (!(s_max > 0.0)) throw ModelError("run_nc_bounded: s_max must be positive");
+  if (!instance.uniform_density(1e-9)) {
+    throw ModelError("run_nc_bounded: instance must have uniform density");
+  }
+  const BoundedRun c_run = run_c_bounded(instance, alpha, s_max);
+
+  BoundedRun out(alpha);
+  Schedule& sched = out.result.schedule;
+  const PowerLawKinematics kin(alpha);
+  const double cap_power = std::pow(s_max, alpha);
+
+  double t = 0.0;
+  const std::vector<JobId> fifo = instance.fifo_order();
+  for (std::size_t pos = 0; pos < fifo.size(); ++pos) {
+    const JobId jid = fifo[pos];
+    const Job& job = instance.job(jid);
+    double offset = bounded_remaining_weight_left(c_run, job.release);
+    for (std::size_t q = pos; q-- > 0;) {  // release-time ties, cf. NC uniform
+      const Job& prev = instance.job(fifo[q]);
+      if (prev.release != job.release) break;
+      offset += prev.weight();
+    }
+    t = std::max(t, job.release);
+    double u = offset;
+    const double u_end = offset + job.weight();
+    // Phase A: growing power-law speed while U < cap_power.
+    if (u < cap_power) {
+      const double u_stop = std::min(u_end, cap_power);
+      const double dt = kin.grow_time_to_weight(u, u_stop, job.density);
+      if (dt > 0.0) {
+        out.seg_w0.push_back(u);
+        sched.append({t, t + dt, jid, SpeedLaw::kPowerGrow, u, job.density});
+        t += dt;
+      }
+      u = u_stop;
+    }
+    // Phase B: capped at s_max for the remaining volume.
+    if (u < u_end) {
+      const double vol_left = (u_end - u) / job.density;
+      const double dt = vol_left / s_max;
+      out.seg_w0.push_back(u);
+      sched.append({t, t + dt, jid, SpeedLaw::kConstant, s_max, job.density});
+      t += dt;
+    }
+    sched.set_completion(jid, t);
+  }
+
+  const PowerLaw power(alpha);
+  out.result.metrics = compute_metrics(instance, sched, power);
+  return out;
+}
+
+}  // namespace speedscale

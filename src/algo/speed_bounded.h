@@ -1,0 +1,47 @@
+// Extension: speed scaling with a bounded maximum speed.
+//
+// The paper cites the bounded-speed model of Bansal-Chan-Lam-Lee [6] among
+// the variants its techniques relate to.  A hard cap s <= s_max is the
+// monotone convex *extended* power function
+//     P(s) = s^alpha for s <= s_max,  +infinity beyond,
+// so the paper's general-power-function lemmas transfer:
+//   * the clairvoyant rule "P(s) = W" becomes s = min(W^{1/alpha}, s_max);
+//   * the non-clairvoyant rule "P(s) = offset + processed" caps the same way;
+//   * Lemma 6 (measure-preserving speed profiles) and hence Lemma 3 (equal
+//     energy) continue to hold — verified exactly by the tests;
+//   * Lemma 4's flow ratio 1/(1-1/alpha) does NOT survive (it needs pure
+//     s^alpha); bench_ext_bounded_speed maps the drift.
+//
+// Trajectories are piecewise {constant s_max} / {power-law decay or growth},
+// so the simulation stays exact and closed-form.
+#pragma once
+
+#include <vector>
+
+#include "src/algo/run_result.h"
+#include "src/core/instance.h"
+
+namespace speedscale {
+
+/// A bounded-speed run; the weight trajectory needs its own bookkeeping
+/// because capped (constant-speed) segments do not carry W in their params.
+struct BoundedRun {
+  RunResult result;
+  std::vector<double> seg_w0;  ///< remaining/driving weight at each segment start
+
+  explicit BoundedRun(double alpha) : result(alpha) {}
+};
+
+/// Clairvoyant Algorithm C with speed cap: HDF order, s = min(W^{1/a}, s_max).
+[[nodiscard]] BoundedRun run_c_bounded(const Instance& instance, double alpha, double s_max);
+
+/// Non-clairvoyant Algorithm NC (uniform density) with speed cap:
+/// FIFO order, s = min((W^Cb(r_j^-) + processed_j)^{1/a}, s_max), with the
+/// offset read from the *bounded* clairvoyant run (the capped analogue of
+/// the virtual run in Section 3).
+[[nodiscard]] BoundedRun run_nc_bounded(const Instance& instance, double alpha, double s_max);
+
+/// Left limit of the remaining weight W(t^-) of a bounded clairvoyant run.
+[[nodiscard]] double bounded_remaining_weight_left(const BoundedRun& run, double t);
+
+}  // namespace speedscale

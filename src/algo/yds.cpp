@@ -1,0 +1,315 @@
+#include "src/algo/yds.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "src/core/power.h"
+
+namespace speedscale {
+
+DeadlineInstance::DeadlineInstance(std::vector<DeadlineJob> jobs) : jobs_(std::move(jobs)) {
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    DeadlineJob& j = jobs_[i];
+    j.id = static_cast<JobId>(i);
+    if (!(j.release >= 0.0) || !(j.deadline > j.release)) {
+      throw ModelError("DeadlineInstance: job " + std::to_string(i) + " has an empty window");
+    }
+    if (!(j.volume > 0.0)) {
+      throw ModelError("DeadlineInstance: job " + std::to_string(i) + " has no volume");
+    }
+  }
+}
+
+namespace {
+
+/// A claimed piece of timeline: [t0, t1) runs at `speed` serving `round`.
+struct Piece {
+  double t0, t1;
+  double speed;
+  int round;
+};
+
+/// Total measure of claimed time inside [a, b].
+double claimed_measure(const std::vector<Piece>& pieces, double a, double b) {
+  double m = 0.0;
+  for (const Piece& p : pieces) {
+    m += std::max(0.0, std::min(p.t1, b) - std::max(p.t0, a));
+  }
+  return m;
+}
+
+/// The unclaimed sub-intervals of [a, b].
+std::vector<std::pair<double, double>> free_intervals(std::vector<Piece> pieces, double a,
+                                                      double b) {
+  std::sort(pieces.begin(), pieces.end(),
+            [](const Piece& x, const Piece& y) { return x.t0 < y.t0; });
+  std::vector<std::pair<double, double>> out;
+  double cur = a;
+  for (const Piece& p : pieces) {
+    if (p.t1 <= a || p.t0 >= b) continue;
+    const double lo = std::max(p.t0, a);
+    if (lo > cur) out.push_back({cur, lo});
+    cur = std::max(cur, std::min(p.t1, b));
+  }
+  if (cur < b) out.push_back({cur, b});
+  return out;
+}
+
+/// Preemptive EDF of `jobs` (indices into `inst`) over the given pieces at
+/// speed `g`; appends kConstant segments and completion times.
+void edf_fill(const DeadlineInstance& inst, const std::vector<JobId>& jobs, double g,
+              const std::vector<std::pair<double, double>>& pieces,
+              std::vector<Segment>* segments, std::map<JobId, double>* completions) {
+  std::map<JobId, double> remaining;  // processing TIME left (volume / g)
+  for (JobId j : jobs) remaining[j] = inst.jobs()[static_cast<std::size_t>(j)].volume / g;
+
+  for (const auto& [p0, p1] : pieces) {
+    double t = p0;
+    while (t < p1 - 1e-15) {
+      // EDF among released unfinished jobs of this round.
+      JobId cur = kNoJob;
+      double best_deadline = kInf;
+      double next_release = kInf;
+      for (const auto& [j, rem] : remaining) {
+        if (rem <= 1e-15) continue;
+        const DeadlineJob& dj = inst.jobs()[static_cast<std::size_t>(j)];
+        if (dj.release > t + 1e-15) {
+          next_release = std::min(next_release, dj.release);
+          continue;
+        }
+        if (dj.deadline < best_deadline) {
+          best_deadline = dj.deadline;
+          cur = j;
+        }
+      }
+      if (cur == kNoJob) {
+        if (next_release >= p1) break;  // nothing to do in this piece anymore
+        t = next_release;
+        continue;
+      }
+      double t_end = std::min(p1, t + remaining[cur]);
+      if (next_release < t_end) t_end = next_release;
+      segments->push_back({t, t_end, cur, SpeedLaw::kConstant, g, 1.0});
+      remaining[cur] -= (t_end - t);
+      if (remaining[cur] <= 1e-15) {
+        remaining[cur] = 0.0;
+        (*completions)[cur] = t_end;
+      }
+      t = t_end;
+    }
+  }
+}
+
+}  // namespace
+
+DeadlineRun run_yds(const DeadlineInstance& instance, double alpha) {
+  DeadlineRun out(alpha);
+  if (instance.empty()) return out;
+  const std::size_t n = instance.size();
+  std::vector<bool> assigned(n, false);
+  std::vector<Piece> claimed;
+  std::vector<Segment> segments;
+  std::map<JobId, double> completions;
+  int round = 0;
+
+  std::size_t left = n;
+  while (left > 0) {
+    // Find the critical interval among (release, deadline) candidate pairs.
+    double best_g = -1.0, best_a = 0.0, best_b = 0.0;
+    for (const DeadlineJob& ja : instance.jobs()) {
+      for (const DeadlineJob& jb : instance.jobs()) {
+        const double a = ja.release, b = jb.deadline;
+        if (b <= a) continue;
+        double vol = 0.0;
+        for (const DeadlineJob& j : instance.jobs()) {
+          if (!assigned[static_cast<std::size_t>(j.id)] && j.release >= a && j.deadline <= b) {
+            vol += j.volume;
+          }
+        }
+        if (vol <= 0.0) continue;
+        const double avail = (b - a) - claimed_measure(claimed, a, b);
+        if (avail <= 1e-12 * (b - a)) {
+          throw ModelError("run_yds: no available time in a loaded interval");
+        }
+        const double g = vol / avail;
+        if (g > best_g) {
+          best_g = g;
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    if (best_g <= 0.0) throw ModelError("run_yds: internal error, no critical interval");
+
+    // Claim the interval's free time at speed g and EDF the critical set.
+    std::vector<JobId> members;
+    for (const DeadlineJob& j : instance.jobs()) {
+      if (!assigned[static_cast<std::size_t>(j.id)] && j.release >= best_a &&
+          j.deadline <= best_b) {
+        members.push_back(j.id);
+        assigned[static_cast<std::size_t>(j.id)] = true;
+        --left;
+      }
+    }
+    const auto pieces = free_intervals(claimed, best_a, best_b);
+    for (const auto& [p0, p1] : pieces) claimed.push_back({p0, p1, best_g, round});
+    edf_fill(instance, members, best_g, pieces, &segments, &completions);
+    ++round;
+  }
+
+  std::sort(segments.begin(), segments.end(),
+            [](const Segment& x, const Segment& y) { return x.t0 < y.t0; });
+  for (const Segment& s : segments) out.schedule.append(s);
+  for (const auto& [j, t] : completions) out.schedule.set_completion(j, t);
+  const PowerLaw power(alpha);
+  for (const Segment& s : out.schedule.segments()) {
+    out.energy += power.power(s.param) * s.duration();
+  }
+  return out;
+}
+
+DeadlineRun run_avr(const DeadlineInstance& instance, double alpha) {
+  DeadlineRun out(alpha);
+  if (instance.empty()) return out;
+  // Breakpoints of the AVR profile.
+  std::vector<double> cuts;
+  for (const DeadlineJob& j : instance.jobs()) {
+    cuts.push_back(j.release);
+    cuts.push_back(j.deadline);
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+  std::vector<Segment> segments;
+  std::map<JobId, double> completions;
+  std::vector<double> remaining(instance.size());
+  for (const DeadlineJob& j : instance.jobs()) {
+    remaining[static_cast<std::size_t>(j.id)] = j.volume;
+  }
+
+  for (std::size_t c = 0; c + 1 < cuts.size(); ++c) {
+    const double a = cuts[c], b = cuts[c + 1];
+    // Profile speed: sum of average rates of jobs whose window covers [a,b].
+    double s = 0.0;
+    for (const DeadlineJob& j : instance.jobs()) {
+      if (j.release <= a + 1e-15 && j.deadline >= b - 1e-15) {
+        s += j.volume / (j.deadline - j.release);
+      }
+    }
+    if (s <= 0.0) continue;
+    // EDF at speed s within [a, b].
+    double t = a;
+    while (t < b - 1e-15) {
+      JobId cur = kNoJob;
+      double best_deadline = kInf;
+      for (const DeadlineJob& j : instance.jobs()) {
+        if (remaining[static_cast<std::size_t>(j.id)] <= 1e-15) continue;
+        if (j.release > t + 1e-15) continue;
+        if (j.deadline < best_deadline) {
+          best_deadline = j.deadline;
+          cur = j.id;
+        }
+      }
+      if (cur == kNoJob) break;  // worked ahead; idle until next breakpoint
+      const double need = remaining[static_cast<std::size_t>(cur)] / s;
+      const double t_end = std::min(b, t + need);
+      segments.push_back({t, t_end, cur, SpeedLaw::kConstant, s, 1.0});
+      remaining[static_cast<std::size_t>(cur)] -= s * (t_end - t);
+      if (remaining[static_cast<std::size_t>(cur)] <= 1e-12) {
+        remaining[static_cast<std::size_t>(cur)] = 0.0;
+        completions[cur] = t_end;
+      }
+      t = t_end;
+    }
+  }
+
+  for (const Segment& s : segments) out.schedule.append(s);
+  for (const auto& [j, t] : completions) out.schedule.set_completion(j, t);
+  const PowerLaw power(alpha);
+  for (const Segment& s : out.schedule.segments()) {
+    out.energy += power.power(s.param) * s.duration();
+  }
+  return out;
+}
+
+DeadlineRun run_oa(const DeadlineInstance& instance, double alpha) {
+  DeadlineRun out(alpha);
+  if (instance.empty()) return out;
+
+  // Distinct release epochs, in order.
+  std::vector<double> releases;
+  for (const DeadlineJob& j : instance.jobs()) releases.push_back(j.release);
+  std::sort(releases.begin(), releases.end());
+  releases.erase(std::unique(releases.begin(), releases.end()), releases.end());
+
+  std::vector<double> remaining(instance.size(), 0.0);
+  std::vector<Segment> segments;
+  std::map<JobId, double> completions;
+
+  for (std::size_t e = 0; e < releases.size(); ++e) {
+    const double t0 = releases[e];
+    const double t1 = (e + 1 < releases.size()) ? releases[e + 1] : kInf;
+    for (const DeadlineJob& j : instance.jobs()) {
+      if (j.release == t0) remaining[static_cast<std::size_t>(j.id)] = j.volume;
+    }
+    // Residual instance: released jobs with work left, windows [t0, d].
+    std::vector<DeadlineJob> residual;
+    std::vector<JobId> orig;
+    for (const DeadlineJob& j : instance.jobs()) {
+      const double rem = remaining[static_cast<std::size_t>(j.id)];
+      if (j.release <= t0 && rem > 1e-12) {
+        residual.push_back(DeadlineJob{kNoJob, t0, j.deadline, rem});
+        orig.push_back(j.id);
+      }
+    }
+    if (residual.empty()) continue;
+    const DeadlineRun plan = run_yds(DeadlineInstance(std::move(residual)), alpha);
+    // Follow the plan until the next release.
+    for (const Segment& seg : plan.schedule.segments()) {
+      if (seg.t0 >= t1) break;
+      Segment cut = seg;
+      cut.t1 = std::min(seg.t1, t1);
+      cut.job = orig[static_cast<std::size_t>(seg.job)];
+      segments.push_back(cut);
+      const double done = cut.param * cut.duration();
+      double& rem = remaining[static_cast<std::size_t>(cut.job)];
+      rem = std::max(0.0, rem - done);
+      if (rem <= 1e-12) {
+        rem = 0.0;
+        completions[cut.job] = cut.t1;
+      }
+    }
+  }
+
+  std::sort(segments.begin(), segments.end(),
+            [](const Segment& x, const Segment& y) { return x.t0 < y.t0; });
+  for (const Segment& s : segments) out.schedule.append(s);
+  for (const auto& [j, t] : completions) out.schedule.set_completion(j, t);
+  const PowerLaw power(alpha);
+  for (const Segment& s : out.schedule.segments()) {
+    out.energy += power.power(s.param) * s.duration();
+  }
+  return out;
+}
+
+void validate_deadline_run(const DeadlineInstance& instance, const DeadlineRun& run,
+                           double tol) {
+  std::vector<double> processed(instance.size(), 0.0);
+  for (const Segment& s : run.schedule.segments()) {
+    if (s.job == kNoJob) continue;
+    const DeadlineJob& j = instance.jobs().at(static_cast<std::size_t>(s.job));
+    if (s.t0 < j.release - tol || s.t1 > j.deadline + tol) {
+      throw ModelError("validate_deadline_run: job processed outside its window");
+    }
+    processed[static_cast<std::size_t>(s.job)] += s.param * s.duration();
+  }
+  for (const DeadlineJob& j : instance.jobs()) {
+    if (std::abs(processed[static_cast<std::size_t>(j.id)] - j.volume) >
+        tol * std::max(1.0, j.volume)) {
+      throw ModelError("validate_deadline_run: job volume not fully processed");
+    }
+  }
+}
+
+}  // namespace speedscale

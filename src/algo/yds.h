@@ -1,0 +1,79 @@
+// Deadline-based speed scaling: YDS and AVR (paper reference [3],
+// Yao-Demers-Shenker, FOCS 1995).
+//
+// The paper situates its flow+energy objective against the older deadline
+// model: jobs have hard windows [release, deadline] and the goal is minimum
+// energy subject to feasibility.  This module implements:
+//
+//  * YDS (offline optimal): repeatedly find the *critical interval* — the
+//    window [a, b] maximizing intensity
+//        g(a,b) = (sum of volumes of jobs with [r,d] inside [a,b]) / avail,
+//    where `avail` excludes time already claimed by earlier (denser)
+//    critical intervals — run exactly those jobs there at speed g (EDF
+//    inside the interval), then recurse on the rest.  Convexity of P makes
+//    the resulting speed profile optimal for every convex power function.
+//
+//  * AVR (online): each job contributes its average rate V/(d-r) throughout
+//    its window; the machine runs at the sum of contributions.  Feasible,
+//    and O(2^alpha alpha^alpha)-competitive in energy.
+//
+// Both produce exact piecewise-constant schedules on our Schedule type.
+#pragma once
+
+#include <vector>
+
+#include "src/core/schedule.h"
+#include "src/core/types.h"
+
+namespace speedscale {
+
+/// A job with a hard completion window.
+struct DeadlineJob {
+  JobId id = kNoJob;
+  double release = 0.0;
+  double deadline = 0.0;
+  double volume = 0.0;
+};
+
+/// Validated deadline instance (ids assigned 0..n-1 in order).
+class DeadlineInstance {
+ public:
+  DeadlineInstance() = default;
+  explicit DeadlineInstance(std::vector<DeadlineJob> jobs);
+
+  [[nodiscard]] const std::vector<DeadlineJob>& jobs() const { return jobs_; }
+  [[nodiscard]] std::size_t size() const { return jobs_.size(); }
+  [[nodiscard]] bool empty() const { return jobs_.empty(); }
+
+ private:
+  std::vector<DeadlineJob> jobs_;
+};
+
+/// A deadline-scheduling run: piecewise-constant speeds + energy.
+struct DeadlineRun {
+  Schedule schedule;  ///< kConstant segments; completions recorded
+  double energy = 0.0;
+
+  explicit DeadlineRun(double alpha) : schedule(alpha) {}
+};
+
+/// Offline optimal (YDS).  Throws if any window is empty; the produced
+/// schedule is feasibility-checked (each job inside its window).
+[[nodiscard]] DeadlineRun run_yds(const DeadlineInstance& instance, double alpha);
+
+/// Online AVR.  Runs jobs EDF at the summed average rate.
+[[nodiscard]] DeadlineRun run_avr(const DeadlineInstance& instance, double alpha);
+
+/// Online OA (Optimal Available): at every release, recompute the YDS
+/// optimum for the *remaining* work (residual volumes, original deadlines)
+/// as if no further jobs arrive, and follow it until the next release.
+/// alpha^alpha-competitive in energy (Bansal-Kimbrel-Pruhs); always between
+/// AVR and the offline YDS in practice.
+[[nodiscard]] DeadlineRun run_oa(const DeadlineInstance& instance, double alpha);
+
+/// Verifies a deadline run: every job fully processed inside [r, d].
+/// Throws ModelError on violation.
+void validate_deadline_run(const DeadlineInstance& instance, const DeadlineRun& run,
+                           double tol = 1e-6);
+
+}  // namespace speedscale

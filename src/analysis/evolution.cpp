@@ -1,0 +1,133 @@
+#include "src/analysis/evolution.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/algo/algorithm_nc_uniform.h"
+#include "src/core/kinematics.h"
+#include "src/core/metrics.h"
+#include "src/core/power.h"
+#include "src/sim/c_machine.h"
+
+namespace speedscale::analysis {
+
+namespace {
+
+/// Exact evaluation of the I(T) quantities: builds the current instance and
+/// the truncated NC prefix schedule, and evaluates both NC's objective
+/// components on I(T) and the clairvoyant energy E^C(I(T)).
+struct Snapshot {
+  double f_nc = 0.0;     ///< fractional flow of NC's prefix run on I(T)
+  double f_int = 0.0;    ///< integral flow of the prefix run
+  double e_nc = 0.0;     ///< energy of the prefix run
+  double e_c = 0.0;      ///< energy (= flow) of Algorithm C on I(T)
+};
+
+Snapshot snapshot_at(const Instance& instance, const Schedule& nc, double alpha, double T) {
+  // Truncate the NC schedule at T.
+  Schedule prefix(alpha);
+  std::vector<double> last_touch(instance.size(), -1.0);
+  for (const Segment& seg : nc.segments()) {
+    if (seg.t0 >= T) break;
+    Segment cut = seg;
+    cut.t1 = std::min(seg.t1, T);
+    prefix.append(cut);
+    if (seg.job != kNoJob) last_touch[static_cast<std::size_t>(seg.job)] = cut.t1;
+  }
+  const std::vector<double> processed = prefix.processed_volumes(instance.size());
+
+  // I(T): original releases, volumes = processed amounts (paper, Section 3).
+  std::vector<Job> jobs;
+  std::vector<JobId> kept;
+  for (const Job& j : instance.jobs()) {
+    const double p = processed[static_cast<std::size_t>(j.id)];
+    if (j.release <= T && p > 0.0) {
+      jobs.push_back(Job{kNoJob, j.release, p, j.density});
+      kept.push_back(j.id);
+    }
+  }
+  Snapshot out;
+  if (jobs.empty()) return out;
+  const Instance current{std::move(jobs)};
+
+  // The prefix run, relabelled to I(T)'s ids, completes each job at its
+  // last processing instant.
+  Schedule relabelled(alpha);
+  std::vector<JobId> to_local(instance.size(), kNoJob);
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    to_local[static_cast<std::size_t>(kept[i])] = static_cast<JobId>(i);
+  }
+  for (Segment seg : prefix.segments()) {
+    if (seg.job != kNoJob) seg.job = to_local[static_cast<std::size_t>(seg.job)];
+    relabelled.append(seg);
+  }
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    relabelled.set_completion(static_cast<JobId>(i),
+                              last_touch[static_cast<std::size_t>(kept[i])]);
+  }
+  const PowerLaw power(alpha);
+  const Metrics m = compute_metrics(current, relabelled, power);
+  out.f_nc = m.fractional_flow;
+  out.f_int = m.integral_flow;
+  out.e_nc = m.energy;
+
+  const Schedule c = run_algorithm_c(current, alpha);
+  out.e_c = compute_metrics(current, c, power).energy;
+  return out;
+}
+
+}  // namespace
+
+EvolutionReport analyze_evolution(const Instance& instance, double alpha, int n_probes,
+                                  double h) {
+  if (!instance.uniform_density(1e-9)) {
+    throw ModelError("analyze_evolution: instance must have uniform density");
+  }
+  const NCUniformRun run = run_nc_uniform_detailed(instance, alpha);
+  const Schedule& nc = run.result.schedule;
+  const PowerLawKinematics kin(alpha);
+  const double hh = h * std::max(nc.makespan(), 1e-12);
+
+  EvolutionReport rep;
+  // Probe inside processing segments, away from their ends.
+  std::vector<std::pair<double, const Segment*>> spots;
+  for (const Segment& seg : nc.segments()) {
+    if (seg.job == kNoJob || seg.duration() < 8.0 * hh) continue;
+    spots.push_back({0.5 * (seg.t0 + seg.t1), &seg});
+    spots.push_back({seg.t0 + 0.2 * seg.duration(), &seg});
+    spots.push_back({seg.t0 + 0.8 * seg.duration(), &seg});
+  }
+  std::sort(spots.begin(), spots.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  const std::size_t stride = std::max<std::size_t>(1, spots.size() / std::max(1, n_probes));
+
+  for (std::size_t i = 0; i < spots.size(); i += stride) {
+    const double T = spots[i].first;
+    const Segment& seg = *spots[i].second;
+    EvolutionProbe p;
+    p.T = T;
+    p.job = seg.job;
+    // NC's power level at T: U(T) of the growth law.
+    p.nc_power = kin.grow_weight_after(seg.param, seg.rho, T - seg.t0);
+
+    const Snapshot lo = snapshot_at(instance, nc, alpha, T - hh);
+    const Snapshot hi = snapshot_at(instance, nc, alpha, T + hh);
+    p.dEc_dT = (hi.e_c - lo.e_c) / (2.0 * hh);
+    p.dFnc_dT = (hi.f_nc - lo.f_nc) / (2.0 * hh);
+    p.dFint_dT = (hi.f_int - lo.f_int) / (2.0 * hh);
+    rep.probes.push_back(p);
+
+    const double scale = std::max(1.0, p.nc_power);
+    rep.worst_eqn4_error =
+        std::max(rep.worst_eqn4_error, std::abs(p.dEc_dT - p.nc_power) / scale);
+    rep.worst_lemma4_error = std::max(
+        rep.worst_lemma4_error,
+        std::abs(p.dEc_dT - (1.0 - 1.0 / alpha) * p.dFnc_dT) / scale);
+    rep.worst_lemma8_excess =
+        std::max(rep.worst_lemma8_excess,
+                 (p.dFint_dT - (2.0 - 1.0 / alpha) * p.dFnc_dT) / scale);
+  }
+  return rep;
+}
+
+}  // namespace speedscale::analysis

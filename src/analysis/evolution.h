@@ -1,0 +1,49 @@
+// Evolving-instance analysis: machine-checking the differential steps of
+// the paper's Section 3 proofs, not just their end results.
+//
+// The paper's inductive framework studies the family of instances I(T),
+// where job weights are what Algorithm NC has processed by time T.  Its
+// key differential identities (uniform density):
+//
+//   Eqn (4):  d E^C(I(T)) / dT   = W^C(r_j^-) + Wbreve_j(T)
+//             (the clairvoyant energy grows at the power level NC runs at)
+//   Eqn (5):  d F^NC / dT        = (T - r_j) * dWbreve_j/dT
+//   Lemma 4:  d E^C / dT         = (1 - 1/alpha) * d F^NC / dT
+//   Lemma 8:  d F^NC_int / dT   <= (2 - 1/alpha) * d F^NC / dT
+//
+// This module builds I(T) snapshots along an NC run, evaluates both sides
+// of each identity by finite differences of *exact* runs, and reports the
+// worst deviation.  Tests drive it with tight tolerances; the E3 bench
+// prints the curves.
+#pragma once
+
+#include <vector>
+
+#include "src/core/instance.h"
+
+namespace speedscale::analysis {
+
+/// One finite-difference probe of the evolution identities at time T.
+struct EvolutionProbe {
+  double T = 0.0;            ///< snapshot time (mid-processing of some job)
+  JobId job = kNoJob;        ///< the job NC is processing at T
+  double nc_power = 0.0;     ///< W^C(r_j^-) + Wbreve_j(T): NC's power level
+  double dEc_dT = 0.0;       ///< finite-difference d E^C(I(T)) / dT
+  double dFnc_dT = 0.0;      ///< finite-difference d F^NC / dT
+  double dFint_dT = 0.0;     ///< finite-difference d F^NC_int / dT
+};
+
+struct EvolutionReport {
+  std::vector<EvolutionProbe> probes;
+  double worst_eqn4_error = 0.0;    ///< max |dEc_dT - nc_power| / scale
+  double worst_lemma4_error = 0.0;  ///< max |dEc_dT - (1-1/a) dFnc_dT| / scale
+  double worst_lemma8_excess = 0.0; ///< max (dFint - (2-1/a) dFnc) / scale, <= 0 if Lemma 8 holds
+};
+
+/// Probes the identities at `n_probes` times spread across the NC run of a
+/// uniform-density instance.  `h` is the finite-difference step in T,
+/// relative to the run's makespan.
+[[nodiscard]] EvolutionReport analyze_evolution(const Instance& instance, double alpha,
+                                                int n_probes = 24, double h = 1e-5);
+
+}  // namespace speedscale::analysis

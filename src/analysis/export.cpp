@@ -1,0 +1,37 @@
+#include "src/analysis/export.h"
+
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+
+namespace speedscale::analysis {
+
+void export_speed_profile(std::ostream& os, const Schedule& schedule, int samples) {
+  os << "t,speed,power\n";
+  os << std::setprecision(12);
+  const double T = schedule.makespan();
+  for (int i = 0; i <= samples; ++i) {
+    const double t = T * static_cast<double>(i) / static_cast<double>(samples);
+    const double s = schedule.speed_at(t);
+    os << t << ',' << s << ',' << std::pow(s, schedule.alpha()) << '\n';
+  }
+}
+
+void export_speed_profile_file(const std::string& path, const Schedule& schedule, int samples) {
+  std::ofstream f(path);
+  if (!f) throw ModelError("export_speed_profile_file: cannot open " + path);
+  export_speed_profile(f, schedule, samples);
+}
+
+void export_job_summary(std::ostream& os, const Instance& instance, const Schedule& schedule) {
+  os << "job,release,volume,density,completion,flow_time\n";
+  os << std::setprecision(12);
+  for (const Job& j : instance.jobs()) {
+    const double c = schedule.completion(j.id);
+    os << j.id << ',' << j.release << ',' << j.volume << ',' << j.density << ',' << c << ','
+       << (c - j.release) << '\n';
+  }
+}
+
+}  // namespace speedscale::analysis

@@ -1,0 +1,21 @@
+// CSV exporters for plotting schedules and runs with external tools.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/core/instance.h"
+#include "src/core/schedule.h"
+
+namespace speedscale::analysis {
+
+/// Samples speed(t) (and power = speed^alpha) at `samples` uniform points
+/// over [0, makespan] and writes "t,speed,power" rows.
+void export_speed_profile(std::ostream& os, const Schedule& schedule, int samples = 512);
+void export_speed_profile_file(const std::string& path, const Schedule& schedule,
+                               int samples = 512);
+
+/// Per-job summary: "job,release,volume,density,completion,flow_time".
+void export_job_summary(std::ostream& os, const Instance& instance, const Schedule& schedule);
+
+}  // namespace speedscale::analysis

@@ -1,0 +1,62 @@
+#include "src/analysis/ratio_harness.h"
+
+#include "src/algo/algorithm_c.h"
+#include "src/algo/algorithm_nc_nonuniform.h"
+#include "src/algo/algorithm_nc_uniform.h"
+#include "src/algo/baselines.h"
+#include "src/algo/frac_to_int.h"
+#include "src/opt/convex_opt.h"
+
+namespace speedscale::analysis {
+
+double SuiteResult::frac_ratio(const AlgoOutcome& o) const {
+  if (!opt_fractional || *opt_fractional <= 0.0 || o.integral_only) return 0.0;
+  return o.metrics.fractional_objective() / *opt_fractional;
+}
+
+double SuiteResult::int_ratio(const AlgoOutcome& o) const {
+  // fractional OPT <= integral OPT, so this over-states the true integral
+  // competitive ratio — a safe upper bound for checking theorem bounds.
+  if (!opt_fractional || *opt_fractional <= 0.0) return 0.0;
+  return o.metrics.integral_objective() / *opt_fractional;
+}
+
+SuiteResult run_suite(const Instance& instance, double alpha, const SuiteOptions& options) {
+  SuiteResult out;
+
+  const RunResult c = run_c(instance, alpha);
+  out.outcomes.push_back({"C (clairvoyant)", c.metrics, false});
+
+  const bool uniform = instance.uniform_density();
+  if (uniform) {
+    const RunResult nc = run_nc_uniform(instance, alpha);
+    out.outcomes.push_back({"NC (uniform)", nc.metrics, false});
+
+    const IntReductionRun red = reduce_frac_to_int(instance, nc.schedule, options.reduction_eps);
+    Metrics red_m;
+    red_m.energy = red.energy;
+    red_m.integral_flow = red.integral_flow;
+    out.outcomes.push_back({"NC + reduction (int)", red_m, true});
+
+    const RunResult naive = run_naive_nc(instance, alpha);
+    out.outcomes.push_back({"NaiveNC (ablation)", naive.metrics, false});
+  }
+
+  if (options.include_nonuniform) {
+    const NCNonUniformRun ncn = run_nc_nonuniform(instance, alpha);
+    out.outcomes.push_back({"NC (non-uniform)", ncn.result.metrics, false});
+  }
+
+  const SharedRun ps = run_active_count(instance, alpha);
+  out.outcomes.push_back({"ActiveCount PS", ps.metrics, false});
+
+  if (options.include_opt) {
+    ConvexOptParams p;
+    p.slots = options.opt_slots;
+    const ConvexOptResult opt = solve_fractional_opt(instance, alpha, p);
+    out.opt_fractional = opt.objective;
+  }
+  return out;
+}
+
+}  // namespace speedscale::analysis

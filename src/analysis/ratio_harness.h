@@ -1,0 +1,42 @@
+// Competitive-ratio harness: runs the algorithm suite on an instance and
+// reports each algorithm's objectives against a reference (numerical OPT or
+// the clairvoyant Algorithm C).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/instance.h"
+#include "src/core/metrics.h"
+
+namespace speedscale::analysis {
+
+struct AlgoOutcome {
+  std::string name;
+  Metrics metrics;
+  bool integral_only = false;  ///< reduction outputs have no fractional flow
+};
+
+struct SuiteOptions {
+  bool include_opt = true;        ///< run the convex OPT solver
+  bool include_nonuniform = true; ///< run NC-nonuniform even on uniform inputs
+  double reduction_eps = 0.5;     ///< eps of the Lemma 15 reduction rows
+  int opt_slots = 500;
+};
+
+struct SuiteResult {
+  std::vector<AlgoOutcome> outcomes;
+  std::optional<double> opt_fractional;  ///< numerical lower-bound reference
+
+  /// Ratio of an outcome's objective to opt (fractional); 0 if opt missing.
+  [[nodiscard]] double frac_ratio(const AlgoOutcome& o) const;
+  [[nodiscard]] double int_ratio(const AlgoOutcome& o) const;
+};
+
+/// Runs every applicable algorithm on the instance.  Uniform-density inputs
+/// additionally get Algorithm NC (uniform) and the naive ablation.
+[[nodiscard]] SuiteResult run_suite(const Instance& instance, double alpha,
+                                    const SuiteOptions& options = {});
+
+}  // namespace speedscale::analysis

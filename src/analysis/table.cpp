@@ -1,0 +1,44 @@
+#include "src/analysis/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace speedscale::analysis {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << "  " << std::setw(static_cast<int>(width[c])) << std::left << row[c];
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  std::size_t total = 0;
+  for (std::size_t w : width) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Table::cell(double value, int digits) {
+  std::ostringstream ss;
+  ss << std::setprecision(digits) << value;
+  return ss.str();
+}
+
+std::string Table::cell(long value) { return std::to_string(value); }
+
+}  // namespace speedscale::analysis

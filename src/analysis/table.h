@@ -1,0 +1,28 @@
+// Fixed-width ASCII table printer shared by the benches.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace speedscale::analysis {
+
+/// Builds a table row by row; prints with aligned columns and a rule under
+/// the header.  Cells are strings; use cell(double) for consistent numbers.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  void print(std::ostream& os) const;
+
+  /// Formats a double with `digits` significant digits.
+  [[nodiscard]] static std::string cell(double value, int digits = 5);
+  [[nodiscard]] static std::string cell(long value);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace speedscale::analysis

@@ -1,0 +1,51 @@
+// A small fixed-size thread pool with a parallel_for helper.
+//
+// Benches sweep (alpha x seed x size) grids of independent simulations; the
+// pool gives near-linear speedup on those embarrassingly-parallel sweeps
+// while keeping per-task code single-threaded and deterministic.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace speedscale::analysis {
+
+class ThreadPool {
+ public:
+  /// n_threads = 0 picks the hardware concurrency (at least 1).
+  explicit ThreadPool(std::size_t n_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task.  Tasks must not throw (wrap and capture if needed).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Runs body(i) for i in [0, n) across the pool; blocks until all complete.
+/// `body` must be thread-safe across distinct indices and must not throw.
+void parallel_for(ThreadPool& pool, std::size_t n, const std::function<void(std::size_t)>& body);
+
+}  // namespace speedscale::analysis

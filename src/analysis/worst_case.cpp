@@ -1,0 +1,95 @@
+#include "src/analysis/worst_case.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "src/algo/algorithm_nc_uniform.h"
+#include "src/opt/convex_opt.h"
+#include "src/opt/single_job_opt.h"
+
+namespace speedscale::analysis {
+
+SingleJobGameResult single_job_game(const SingleJobCost& cost, double alpha, double v_lo,
+                                    double v_hi, int grid) {
+  SingleJobGameResult out;
+  for (int i = 0; i < grid; ++i) {
+    const double f = static_cast<double>(i) / static_cast<double>(grid - 1);
+    const double v = v_lo * std::pow(v_hi / v_lo, f);
+    const double opt = single_job_frac_opt(v, 1.0, alpha).objective;
+    const double ratio = cost(v) / opt;
+    if (ratio > out.worst_ratio) {
+      out.worst_ratio = ratio;
+      out.worst_volume = v;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Parameter vector: [gap_1..gap_{n-1}, vol_1..vol_n], all positive; job i's
+/// release is the prefix sum of gaps (job 0 at time 0).
+Instance decode(const std::vector<double>& x, int n) {
+  std::vector<Job> jobs;
+  jobs.reserve(static_cast<std::size_t>(n));
+  double t = 0.0;
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) t += x[static_cast<std::size_t>(i - 1)];
+    jobs.push_back(Job{kNoJob, t, x[static_cast<std::size_t>(n - 1 + i)], 1.0});
+  }
+  return Instance(std::move(jobs));
+}
+
+}  // namespace
+
+WorstCaseResult find_worst_nc_instance(double alpha, const WorstCaseOptions& options) {
+  const int n = options.n_jobs;
+  ConvexOptParams opt_params;
+  opt_params.slots = options.opt_slots;
+  opt_params.max_iters = 2500;
+
+  WorstCaseResult best;
+  int evals = 0;
+  const auto evaluate = [&](const std::vector<double>& x) {
+    ++evals;
+    const Instance inst = decode(x, n);
+    const double nc = run_nc_uniform(inst, alpha).metrics.fractional_objective();
+    const double opt = solve_fractional_opt(inst, alpha, opt_params).objective;
+    return opt > 0.0 ? nc / opt : 0.0;
+  };
+
+  std::mt19937_64 rng(options.seed);
+  std::uniform_real_distribution<double> u(0.2, 2.0);
+  std::vector<double> x(static_cast<std::size_t>(2 * n - 1));
+  for (double& v : x) v = u(rng);
+
+  double cur = evaluate(x);
+  Instance cur_inst = decode(x, n);
+
+  // Coordinate ascent with a shrinking multiplicative step.
+  double step = 2.0;
+  for (int round = 0; round < options.rounds; ++round) {
+    bool improved = false;
+    for (std::size_t d = 0; d < x.size(); ++d) {
+      for (const double mult : {step, 1.0 / step}) {
+        std::vector<double> y = x;
+        y[d] = std::clamp(y[d] * mult, 1e-4, 1e4);
+        const double r = evaluate(y);
+        if (r > cur * (1.0 + 1e-9)) {
+          cur = r;
+          x = y;
+          improved = true;
+        }
+      }
+    }
+    if (!improved) step = std::max(std::sqrt(step), 1.05);
+  }
+
+  best.instance = decode(x, n);
+  best.ratio = cur;
+  best.evaluations = evals;
+  return best;
+}
+
+}  // namespace speedscale::analysis

@@ -1,0 +1,59 @@
+// Empirical worst-case search: how tight are the paper's bounds?
+//
+// The online problem is a game (paper, Section 1.2): the adversary commits
+// to volumes/releases and the algorithm must be competitive at every
+// stopping point.  This module searches instance space for the adversary:
+//
+//  * single-job stopping game: the adversary stops the job at the volume V
+//    maximizing algo(V) / opt(V).  For Algorithm NC the ratio is constant in
+//    V (scale invariance), so this is exact; for guess-based policies the
+//    stopping point matters and the search exposes it.
+//
+//  * multi-job coordinate ascent: within the family "n uniform-density jobs
+//    with free release gaps and volumes", hill-climb the ratio
+//    NC / numerical-OPT by multiplicative perturbations.  The result is a
+//    certified *lower bound* on the competitive ratio (any instance is),
+//    printed by bench_adversarial_ratio next to the Theorem 5 upper bound.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "src/core/instance.h"
+
+namespace speedscale::analysis {
+
+/// A policy evaluated by the single-job game: returns the fractional
+/// objective the policy pays on a single job of volume v (unit density).
+using SingleJobCost = std::function<double(double v)>;
+
+struct SingleJobGameResult {
+  double worst_ratio = 0.0;
+  double worst_volume = 0.0;
+};
+
+/// Sweeps stopping volumes over a log grid and returns the worst
+/// cost(V) / opt(V).  `v_lo`/`v_hi` bound the adversary's choices.
+[[nodiscard]] SingleJobGameResult single_job_game(const SingleJobCost& cost, double alpha,
+                                                  double v_lo = 1e-3, double v_hi = 1e3,
+                                                  int grid = 241);
+
+struct WorstCaseResult {
+  Instance instance;       ///< the worst instance found
+  double ratio = 0.0;      ///< NC fractional objective / numerical OPT
+  int evaluations = 0;
+};
+
+struct WorstCaseOptions {
+  int n_jobs = 3;
+  int rounds = 12;          ///< coordinate-ascent sweeps
+  int opt_slots = 400;      ///< discretization of the OPT reference
+  std::uint64_t seed = 1;   ///< seed of the random restart
+};
+
+/// Coordinate-ascent search for instances maximizing the ratio of Algorithm
+/// NC (uniform density, fractional objective) to the numerical OPT.
+[[nodiscard]] WorstCaseResult find_worst_nc_instance(double alpha,
+                                                     const WorstCaseOptions& options = {});
+
+}  // namespace speedscale::analysis

@@ -1,0 +1,57 @@
+// A scheduling instance: an immutable, validated set of jobs.
+#pragma once
+
+#include <vector>
+
+#include "src/core/types.h"
+
+namespace speedscale {
+
+/// An immutable scheduling instance.
+///
+/// Construction validates the jobs (positive volumes and densities,
+/// non-negative releases) and assigns contiguous JobIds 0..n-1 in the order
+/// given.  Helper queries cover the aggregates that the algorithms and the
+/// analysis harness need.
+class Instance {
+ public:
+  Instance() = default;
+
+  /// Builds an instance from jobs.  Ids are (re)assigned 0..n-1 in order.
+  /// Throws ModelError on invalid data.
+  explicit Instance(std::vector<Job> jobs);
+
+  [[nodiscard]] const std::vector<Job>& jobs() const { return jobs_; }
+  [[nodiscard]] const Job& job(JobId id) const { return jobs_.at(static_cast<size_t>(id)); }
+  [[nodiscard]] std::size_t size() const { return jobs_.size(); }
+  [[nodiscard]] bool empty() const { return jobs_.empty(); }
+
+  [[nodiscard]] double total_volume() const;
+  [[nodiscard]] double total_weight() const;
+  [[nodiscard]] double max_release() const;
+  [[nodiscard]] double min_density() const;
+  [[nodiscard]] double max_density() const;
+
+  /// True iff all jobs share one density (within relative tolerance).
+  /// The uniform-density algorithms (paper Section 3) require this.
+  [[nodiscard]] bool uniform_density(double rel_tol = 1e-12) const;
+
+  /// Job ids sorted by (release, id): the FIFO order used by Algorithm NC.
+  [[nodiscard]] std::vector<JobId> fifo_order() const;
+
+  /// Returns a copy whose densities are rounded *down* to integer powers of
+  /// `beta` (paper Section 4: Algorithm NC for non-uniform densities rounds
+  /// densities to powers of a constant beta > 4).  Volumes are unchanged, so
+  /// rounded weights shrink by a factor < beta.
+  [[nodiscard]] Instance rounded_densities(double beta) const;
+
+  /// Returns the sub-instance of jobs with release < t (ids preserved from
+  /// this instance via the returned mapping when needed; here ids are
+  /// reassigned and `original_ids` reports the correspondence).
+  [[nodiscard]] Instance released_before(double t, std::vector<JobId>* original_ids = nullptr) const;
+
+ private:
+  std::vector<Job> jobs_;
+};
+
+}  // namespace speedscale

@@ -1,0 +1,208 @@
+#include "src/core/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace speedscale {
+
+namespace {
+
+/// Energy and current-job flow contribution of one replay piece [a, b] that
+/// lies inside segment `seg`.
+struct PieceIntegrals {
+  double energy = 0.0;         ///< int_a^b P(s(t)) dt
+  double delta_volume = 0.0;   ///< volume of seg.job processed in [a, b]
+  double processed_time = 0.0; ///< int_a^b DeltaV(t) dt with DeltaV(a) = 0
+};
+
+PieceIntegrals integrate_piece(const Schedule& sched, const PowerLawKinematics& kin,
+                               const PowerFunction& power, const Segment& seg, double a,
+                               double b) {
+  PieceIntegrals out;
+  const double len = b - a;
+  switch (seg.law) {
+    case SpeedLaw::kIdle:
+      break;
+    case SpeedLaw::kConstant: {
+      const double s = seg.param;
+      out.energy = power.power(s) * len;
+      out.delta_volume = s * len;
+      out.processed_time = 0.5 * s * len * len;
+      break;
+    }
+    case SpeedLaw::kPowerDecay: {
+      const double wa = kin.decay_weight_after(seg.param, seg.rho, a - seg.t0);
+      const double wb = kin.decay_weight_after(seg.param, seg.rho, b - seg.t0);
+      const double int_w = kin.decay_integral(wa, wb, seg.rho);
+      out.energy = int_w;  // P(s) = W under the P = W rule
+      out.delta_volume = PowerLawKinematics::decay_volume(wa, wb, seg.rho);
+      out.processed_time = (wa * len - int_w) / seg.rho;
+      break;
+    }
+    case SpeedLaw::kPowerGrow: {
+      const double ua = kin.grow_weight_after(seg.param, seg.rho, a - seg.t0);
+      const double ub = kin.grow_weight_after(seg.param, seg.rho, b - seg.t0);
+      const double int_u = kin.grow_integral(ua, ub, seg.rho);
+      out.energy = int_u;  // P(s) = U under the P = U rule
+      out.delta_volume = PowerLawKinematics::grow_volume(ua, ub, seg.rho);
+      out.processed_time = (int_u - ua * len) / seg.rho;
+      break;
+    }
+  }
+  (void)sched;
+  return out;
+}
+
+/// Kahan-compensated accumulator for the running active weighted volume.
+struct Compensated {
+  double sum = 0.0;
+  double c = 0.0;
+  void add(double x) {
+    const double y = x - c;
+    const double t = sum + y;
+    c = (t - sum) - y;
+    sum = t;
+  }
+};
+
+}  // namespace
+
+namespace {
+Metrics compute_metrics_impl(const Instance& instance, const Schedule& schedule,
+                             const PowerFunction& power, bool incremental);
+}  // namespace
+
+Metrics compute_metrics(const Instance& instance, const Schedule& schedule,
+                        const PowerFunction& power) {
+  return compute_metrics_impl(instance, schedule, power, /*incremental=*/true);
+}
+
+Metrics compute_metrics_reference(const Instance& instance, const Schedule& schedule,
+                                  const PowerFunction& power) {
+  return compute_metrics_impl(instance, schedule, power, /*incremental=*/false);
+}
+
+namespace {
+Metrics compute_metrics_impl(const Instance& instance, const Schedule& schedule,
+                             const PowerFunction& power, bool incremental) {
+  // Power-law segments hard-code P = s^alpha; refuse silent mis-evaluation.
+  const bool has_power_law_segments =
+      std::any_of(schedule.segments().begin(), schedule.segments().end(), [](const Segment& s) {
+        return s.law == SpeedLaw::kPowerDecay || s.law == SpeedLaw::kPowerGrow;
+      });
+  if (has_power_law_segments) {
+    const auto* pl = dynamic_cast<const PowerLaw*>(&power);
+    if (pl == nullptr || std::abs(pl->alpha() - schedule.alpha()) > 1e-12) {
+      throw ModelError(
+          "compute_metrics: schedule contains power-law segments but the power "
+          "function is not PowerLaw(schedule.alpha())");
+    }
+  }
+
+  for (const Job& j : instance.jobs()) {
+    if (!schedule.completed(j.id)) {
+      throw ModelError("compute_metrics: job " + std::to_string(j.id) +
+                       " never completes; flow-time is infinite");
+    }
+  }
+
+  const PowerLawKinematics kin(schedule.alpha());
+
+  // Cut the timeline at all segment boundaries and all release epochs so that
+  // within each piece the active set is fixed and only the piece's job moves.
+  std::vector<double> cuts;
+  cuts.push_back(0.0);
+  for (const Segment& s : schedule.segments()) {
+    cuts.push_back(s.t0);
+    cuts.push_back(s.t1);
+  }
+  for (const Job& j : instance.jobs()) cuts.push_back(j.release);
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end(),
+                         [](double x, double y) { return std::abs(x - y) <= 1e-15; }),
+             cuts.end());
+
+  std::vector<double> remaining(instance.size());
+  for (const Job& j : instance.jobs()) remaining[static_cast<std::size_t>(j.id)] = j.volume;
+
+  // Incremental path: release order pointer + compensated running sum of
+  // rho_j * V_j over released, unfinished jobs.  Cuts include every release
+  // epoch, so releases only happen at piece starts.
+  std::vector<JobId> by_release = instance.fifo_order();
+  std::size_t next_release = 0;
+  Compensated active_sum;
+
+  Metrics m;
+  const auto& segs = schedule.segments();
+  std::size_t seg_idx = 0;
+
+  for (std::size_t c = 0; c + 1 < cuts.size(); ++c) {
+    const double a = cuts[c];
+    const double b = cuts[c + 1];
+    if (b <= a) continue;
+
+    // Find the segment covering [a, b] (pieces never straddle boundaries).
+    while (seg_idx < segs.size() && segs[seg_idx].t1 <= a) ++seg_idx;
+    const Segment* seg = nullptr;
+    if (seg_idx < segs.size() && segs[seg_idx].t0 <= a && b <= segs[seg_idx].t1) {
+      seg = &segs[seg_idx];
+    }
+
+    PieceIntegrals pi;
+    JobId cur = kNoJob;
+    if (seg != nullptr && seg->law != SpeedLaw::kIdle) {
+      pi = integrate_piece(schedule, kin, power, *seg, a, b);
+      cur = seg->job;
+    }
+    m.energy += pi.energy;
+
+    if (incremental) {
+      while (next_release < by_release.size() &&
+             instance.job(by_release[next_release]).release <= a + 1e-15) {
+        const Job& j = instance.job(by_release[next_release]);
+        active_sum.add(j.density * j.volume);
+        ++next_release;
+      }
+      m.fractional_flow += active_sum.sum * (b - a);
+      if (cur != kNoJob) {
+        m.fractional_flow -= instance.job(cur).density * pi.processed_time;
+      }
+    } else {
+      // Reference: re-sum the active set per piece.
+      for (const Job& j : instance.jobs()) {
+        if (j.release > a + 1e-15) continue;
+        const double v = remaining[static_cast<std::size_t>(j.id)];
+        if (v <= 0.0) continue;
+        if (j.id == cur) {
+          m.fractional_flow += j.density * (v * (b - a) - pi.processed_time);
+        } else {
+          m.fractional_flow += j.density * v * (b - a);
+        }
+      }
+    }
+
+    if (cur != kNoJob) {
+      double& v = remaining[static_cast<std::size_t>(cur)];
+      const double dv = std::min(v, pi.delta_volume);
+      v -= dv;
+      if (incremental) active_sum.add(-instance.job(cur).density * dv);
+    }
+  }
+
+  for (const Job& j : instance.jobs()) {
+    m.integral_flow += j.weight() * (schedule.completion(j.id) - j.release);
+  }
+  return m;
+}
+}  // namespace
+
+Metrics combine(const Metrics& a, const Metrics& b) {
+  Metrics m;
+  m.energy = a.energy + b.energy;
+  m.fractional_flow = a.fractional_flow + b.fractional_flow;
+  m.integral_flow = a.integral_flow + b.integral_flow;
+  return m;
+}
+
+}  // namespace speedscale

@@ -1,0 +1,60 @@
+// Core value types for the speed-scaling model of
+// Azar, Devanur, Huang, Panigrahi, "Speed Scaling in the Non-clairvoyant
+// Model" (SPAA 2015).
+//
+// The model (paper, Section 2): a single machine (or k identical machines)
+// runs at a controllable speed s(t) >= 0 consuming power P(s(t)).  Each job j
+// has a release time r[j], a volume V[j] and a density rho[j]; its weight is
+// W[j] = rho[j] * V[j].  The objective is energy plus (fractional or
+// integral) weighted flow-time.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace speedscale {
+
+/// Index of a job within an Instance.  Stable across the whole pipeline:
+/// schedules, metrics, and traces all refer to jobs by JobId.
+using JobId = std::int32_t;
+
+/// Sentinel meaning "no job" (an idle segment, an unassigned slot, ...).
+inline constexpr JobId kNoJob = -1;
+
+/// Sentinel for machine indices.
+using MachineId = std::int32_t;
+inline constexpr MachineId kNoMachine = -1;
+
+/// A single job of the scheduling instance.
+///
+/// In the *clairvoyant* online model, (release, volume, density) are revealed
+/// at time `release`.  In the *non-clairvoyant known-density* model of the
+/// paper only (release, density) are revealed at `release`; `volume` is
+/// learned when the job completes.  The simulators enforce this split: the
+/// non-clairvoyant algorithms only ever read `volume` through the engine's
+/// completion test.
+struct Job {
+  JobId id = kNoJob;
+  double release = 0.0;  ///< r[j] >= 0
+  double volume = 0.0;   ///< V[j] > 0
+  double density = 1.0;  ///< rho[j] > 0 (weight per unit volume)
+
+  /// W[j] = rho[j] * V[j].
+  [[nodiscard]] double weight() const { return density * volume; }
+};
+
+/// Validation failure for malformed instances or parameters.
+class ModelError : public std::runtime_error {
+ public:
+  explicit ModelError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Tolerance used when asserting exact paper identities in tests/benches.
+inline constexpr double kTightTol = 1e-9;
+
+/// Infinity shorthand.
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace speedscale

@@ -1,0 +1,102 @@
+#include "src/numerics/ode.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace speedscale::numerics {
+
+double rk4_step(const OdeRhs& f, double t, double y, double h) {
+  const double k1 = f(t, y);
+  const double k2 = f(t + 0.5 * h, y + 0.5 * h * k1);
+  const double k3 = f(t + 0.5 * h, y + 0.5 * h * k2);
+  const double k4 = f(t + h, y + h * k3);
+  return y + (h / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4);
+}
+
+namespace {
+
+struct StepOutcome {
+  double y = 0.0;       ///< state after advancing by h_taken
+  double h_taken = 0.0; ///< step actually performed
+  double h_next = 0.0;  ///< suggested size for the next step
+};
+
+/// One accepted adaptive step from (t, y) with initial trial size h_try.
+/// Step doubling: accept when |y_halves - y_full| passes the tolerance test,
+/// keep the more accurate two-half-steps estimate.
+StepOutcome adaptive_step(const OdeRhs& f, double t, double y, double h_try, double rel_tol) {
+  double h = h_try;
+  for (int tries = 0; tries < 60; ++tries) {
+    const double y_full = rk4_step(f, t, y, h);
+    const double y_half = rk4_step(f, t + 0.5 * h, rk4_step(f, t, y, 0.5 * h), 0.5 * h);
+    const double err = std::abs(y_half - y_full);
+    const double scale = rel_tol * std::max({1.0, std::abs(y), std::abs(y_half)});
+    if (err <= scale || h <= 1e-14 * std::max(1.0, std::abs(t))) {
+      const double h_next = (err < 0.03125 * scale) ? 2.0 * h : h;
+      return {y_half, h, h_next};
+    }
+    h *= 0.5;
+  }
+  throw std::runtime_error("ode: step size underflow");
+}
+
+}  // namespace
+
+double integrate(const OdeRhs& f, double t0, double y0, double t1, double rel_tol,
+                 double h_init) {
+  if (t1 <= t0) return y0;
+  double t = t0, y = y0;
+  double h = h_init > 0.0 ? h_init : (t1 - t0) / 64.0;
+  while (t < t1) {
+    const StepOutcome so = adaptive_step(f, t, y, std::min(h, t1 - t), rel_tol);
+    t += so.h_taken;
+    y = so.y;
+    h = so.h_next;
+  }
+  return y;
+}
+
+EventResult integrate_until(const OdeRhs& f, double t0, double y0, double t_max,
+                            const std::function<double(double, double)>& event,
+                            double rel_tol) {
+  EventResult out;
+  double t = t0, y = y0;
+  if (event(t, y) <= 0.0) return {t, y, true};
+  double h = (t_max > t0) ? (t_max - t0) / 64.0 : 1.0;
+  h = std::max(h, 1e-12);
+  while (t < t_max) {
+    const StepOutcome so = adaptive_step(f, t, y, std::min(h, t_max - t), rel_tol);
+    const double t_next = t + so.h_taken;
+    if (event(t_next, so.y) <= 0.0) {
+      // Localize the crossing in [t, t_next] by bisection; each probe
+      // re-integrates the (one-step-wide) sub-interval.
+      double lo = t, hi = t_next;
+      double y_lo = y, y_hi = so.y;
+      for (int i = 0; i < 80 && hi - lo > rel_tol * std::max(1.0, hi); ++i) {
+        const double mid = 0.5 * (lo + hi);
+        const double y_mid = integrate(f, lo, y_lo, mid, rel_tol);
+        if (event(mid, y_mid) <= 0.0) {
+          hi = mid;
+          y_hi = y_mid;
+        } else {
+          lo = mid;
+          y_lo = y_mid;
+        }
+      }
+      out.t = hi;
+      out.y = y_hi;
+      out.event_hit = true;
+      return out;
+    }
+    t = t_next;
+    y = so.y;
+    h = so.h_next;
+  }
+  out.t = t_max;
+  out.y = y;
+  out.event_hit = false;
+  return out;
+}
+
+}  // namespace speedscale::numerics

@@ -1,0 +1,41 @@
+// Scalar ODE integration with event localization.
+//
+// The generic engine (src/sim/numeric_engine.h) evolves the weight state
+// dW/dt = -rho * P^{-1}(W) for arbitrary convex power functions, where no
+// closed form exists.  This module provides:
+//   * classic RK4 steps,
+//   * an adaptive driver (step doubling with Richardson error control),
+//   * event localization: advance until a monotone event function crosses 0.
+#pragma once
+
+#include <functional>
+
+namespace speedscale::numerics {
+
+/// dy/dt = f(t, y).
+using OdeRhs = std::function<double(double t, double y)>;
+
+/// One classic RK4 step of size h from (t, y).
+double rk4_step(const OdeRhs& f, double t, double y, double h);
+
+/// Adaptive integration of y' = f from (t0, y0) to t1 using step doubling:
+/// each step is accepted when |y_two_halves - y_full| <= tol * scale.
+/// Returns y(t1).
+double integrate(const OdeRhs& f, double t0, double y0, double t1, double rel_tol = 1e-10,
+                 double h_init = 0.0);
+
+/// Result of an event-terminated integration.
+struct EventResult {
+  double t = 0.0;        ///< time reached (event time or t_max)
+  double y = 0.0;        ///< state at `t`
+  bool event_hit = false;
+};
+
+/// Integrates y' = f from (t0, y0) forward until either `event(t, y)` crosses
+/// from positive to <= 0, or t reaches t_max.  `event` must be continuous and
+/// is localized by bisection within the crossing step to `rel_tol`.
+EventResult integrate_until(const OdeRhs& f, double t0, double y0, double t_max,
+                            const std::function<double(double, double)>& event,
+                            double rel_tol = 1e-10);
+
+}  // namespace speedscale::numerics

@@ -1,0 +1,38 @@
+#include "src/numerics/projection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace speedscale::numerics {
+
+void project_simplex(std::span<double> x, double total) {
+  if (total < 0.0) throw std::invalid_argument("project_simplex: negative total");
+  if (x.empty()) {
+    if (total > 0.0) throw std::invalid_argument("project_simplex: empty span, positive total");
+    return;
+  }
+  if (total == 0.0) {
+    for (double& xi : x) xi = 0.0;
+    return;
+  }
+  // Find tau such that sum_i max(x_i - tau, 0) = total.
+  std::vector<double> u(x.begin(), x.end());
+  std::sort(u.begin(), u.end(), std::greater<>());
+  double cssv = 0.0;
+  double tau = 0.0;
+  std::size_t rho_idx = 0;
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    cssv += u[i];
+    const double t = (cssv - total) / static_cast<double>(i + 1);
+    if (u[i] - t > 0.0) {
+      tau = t;
+      rho_idx = i;
+    }
+  }
+  (void)rho_idx;
+  for (double& xi : x) xi = std::max(xi - tau, 0.0);
+}
+
+}  // namespace speedscale::numerics

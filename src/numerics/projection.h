@@ -1,0 +1,18 @@
+// Euclidean projection onto the scaled simplex {x >= 0, sum x = v}.
+//
+// The discretized offline-optimum solver (src/opt/convex_opt.h) constrains
+// each job's per-slot volumes to a scaled simplex; projected/accelerated
+// gradient descent needs this projection at every iterate.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace speedscale::numerics {
+
+/// Projects x (in place) onto {x >= 0, sum_i x_i = total}.
+/// O(n log n) sort-based algorithm (Held-Wolfe-Crowder / Duchi et al.).
+/// `total` must be >= 0; an empty span with total > 0 is an error.
+void project_simplex(std::span<double> x, double total);
+
+}  // namespace speedscale::numerics

@@ -1,0 +1,100 @@
+#include "src/numerics/roots.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace speedscale::numerics {
+
+double bisect(const std::function<double(double)>& f, double lo, double hi, double tol) {
+  double flo = f(lo);
+  double fhi = f(hi);
+  if (flo == 0.0) return lo;
+  if (fhi == 0.0) return hi;
+  if ((flo > 0.0) == (fhi > 0.0)) {
+    throw std::invalid_argument("bisect: root not bracketed");
+  }
+  while (hi - lo > tol * std::max(1.0, std::abs(lo) + std::abs(hi))) {
+    const double mid = 0.5 * (lo + hi);
+    if (mid == lo || mid == hi) break;  // float exhaustion
+    const double fm = f(mid);
+    if (fm == 0.0) return mid;
+    if ((fm > 0.0) == (fhi > 0.0)) {
+      hi = mid;
+      fhi = fm;
+    } else {
+      lo = mid;
+      flo = fm;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double brent(const std::function<double(double)>& f, double lo, double hi, double tol,
+             int max_iter) {
+  double a = lo, b = hi;
+  double fa = f(a), fb = f(b);
+  if (fa == 0.0) return a;
+  if (fb == 0.0) return b;
+  if ((fa > 0.0) == (fb > 0.0)) throw std::invalid_argument("brent: root not bracketed");
+  if (std::abs(fa) < std::abs(fb)) {
+    std::swap(a, b);
+    std::swap(fa, fb);
+  }
+  double c = a, fc = fa;
+  bool mflag = true;
+  double d = 0.0;
+  for (int i = 0; i < max_iter; ++i) {
+    if (fb == 0.0 || std::abs(b - a) < tol * std::max(1.0, std::abs(b))) return b;
+    double s;
+    if (fa != fc && fb != fc) {
+      // inverse quadratic interpolation
+      s = a * fb * fc / ((fa - fb) * (fa - fc)) + b * fa * fc / ((fb - fa) * (fb - fc)) +
+          c * fa * fb / ((fc - fa) * (fc - fb));
+    } else {
+      s = b - fb * (b - a) / (fb - fa);  // secant
+    }
+    const double lo_b = (3.0 * a + b) / 4.0;
+    const bool cond1 = !((s > std::min(lo_b, b) && s < std::max(lo_b, b)));
+    const bool cond2 = mflag && std::abs(s - b) >= std::abs(b - c) / 2.0;
+    const bool cond3 = !mflag && std::abs(s - b) >= std::abs(c - d) / 2.0;
+    const bool cond4 = mflag && std::abs(b - c) < tol;
+    const bool cond5 = !mflag && std::abs(c - d) < tol;
+    if (cond1 || cond2 || cond3 || cond4 || cond5) {
+      s = 0.5 * (a + b);
+      mflag = true;
+    } else {
+      mflag = false;
+    }
+    const double fs = f(s);
+    d = c;
+    c = b;
+    fc = fb;
+    if ((fa > 0.0) != (fs > 0.0)) {
+      b = s;
+      fb = fs;
+    } else {
+      a = s;
+      fa = fs;
+    }
+    if (std::abs(fa) < std::abs(fb)) {
+      std::swap(a, b);
+      std::swap(fa, fb);
+    }
+  }
+  return b;
+}
+
+double find_root_increasing(const std::function<double(double)>& f, double lo, double hi0,
+                            double tol) {
+  double hi = hi0;
+  double flo = f(lo);
+  if (flo > 0.0) throw std::invalid_argument("find_root_increasing: f(lo) > 0");
+  int guard = 0;
+  while (f(hi) < 0.0) {
+    hi *= 2.0;
+    if (++guard > 200) throw std::runtime_error("find_root_increasing: no sign change found");
+  }
+  return brent(f, lo, hi, tol);
+}
+
+}  // namespace speedscale::numerics

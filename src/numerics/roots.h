@@ -1,0 +1,27 @@
+// Scalar root finding: bisection and Brent's method.
+//
+// Used for inverting general power functions (P^{-1}), localizing events in
+// the numeric ODE engine, and solving the transcendental horizon equation of
+// the single-job offline optimum.
+#pragma once
+
+#include <functional>
+
+namespace speedscale::numerics {
+
+/// Plain bisection on [lo, hi].  Requires f(lo) and f(hi) of opposite sign
+/// (or one of them zero).  Returns a point x with |interval| <= tol or
+/// f(x) == 0.  Throws std::invalid_argument if the root is not bracketed.
+double bisect(const std::function<double(double)>& f, double lo, double hi, double tol);
+
+/// Brent's method: inverse-quadratic interpolation with bisection fallback.
+/// Same contract as bisect(), typically ~10x fewer evaluations.
+double brent(const std::function<double(double)>& f, double lo, double hi, double tol,
+             int max_iter = 200);
+
+/// Expands [lo, hi] geometrically upward until f changes sign, then calls
+/// brent.  Requires f(lo) <= 0 and f eventually positive.
+double find_root_increasing(const std::function<double(double)>& f, double lo, double hi0,
+                            double tol);
+
+}  // namespace speedscale::numerics

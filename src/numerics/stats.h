@@ -1,0 +1,37 @@
+// Small statistics helpers used by the analysis harness and benches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace speedscale::numerics {
+
+/// Welford-style running summary: count/mean/min/max/stddev.
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Least-squares fit of log(y) = c + e * log(x); returns the exponent e.
+/// Used to recover the Omega(k^{1-1/alpha}) growth rate of the Section 6
+/// lower bound from measured ratios.
+double fit_log_log_slope(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Simple quantile of a copy of the data (q in [0, 1], linear interpolation).
+double quantile(std::vector<double> data, double q);
+
+}  // namespace speedscale::numerics

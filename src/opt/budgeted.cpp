@@ -1,0 +1,71 @@
+#include "src/opt/budgeted.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace speedscale {
+
+BudgetedResult solve_flow_under_energy_budget(const Instance& instance, double alpha,
+                                              double budget, const ConvexOptParams& base,
+                                              double rel_tol) {
+  if (!(budget > 0.0)) throw ModelError("solve_flow_under_energy_budget: budget must be > 0");
+  BudgetedResult out;
+  if (instance.empty()) return out;
+
+  const auto solve_mu = [&](double mu) {
+    ConvexOptParams p = base;
+    p.energy_weight = mu;
+    // A slow (high-mu) solution stretches far beyond the unconstrained
+    // horizon; widen it with the multiplier.
+    if (p.horizon <= 0.0 && mu > 1.0) {
+      const ConvexOptResult probe = solve_fractional_opt(instance, alpha, base);
+      p.horizon = 0.0;  // keep auto, but scale slots' reach via horizon:
+      p.horizon = 3.0 * std::pow(mu, 1.0 / alpha) *
+                  (probe.horizon > 0.0 ? probe.horizon / 3.0 : 1.0);
+    }
+    ++out.solves;
+    return solve_fractional_opt(instance, alpha, p);
+  };
+
+  // Bracket mu: energy is non-increasing in mu.
+  double mu_lo = 1e-4, mu_hi = 1e-4;
+  ConvexOptResult r = solve_mu(mu_lo);
+  if (r.energy <= budget) {
+    // Budget is slack even at (almost) free energy: done.
+    out.flow = r.fractional_flow;
+    out.energy = r.energy;
+    out.multiplier = mu_lo;
+    return out;
+  }
+  for (int i = 0; i < 60; ++i) {
+    mu_hi *= 4.0;
+    r = solve_mu(mu_hi);
+    if (r.energy <= budget) break;
+    mu_lo = mu_hi;
+  }
+  if (r.energy > budget * (1.0 + rel_tol)) {
+    throw ModelError("solve_flow_under_energy_budget: budget unattainable on this horizon");
+  }
+
+  // Bisect on log(mu) until the achieved energy matches the budget.
+  ConvexOptResult best = r;
+  double best_mu = mu_hi;
+  for (int i = 0; i < 40; ++i) {
+    const double mu = std::sqrt(mu_lo * mu_hi);
+    const ConvexOptResult m = solve_mu(mu);
+    if (m.energy <= budget) {
+      mu_hi = mu;
+      best = m;
+      best_mu = mu;
+    } else {
+      mu_lo = mu;
+    }
+    if (std::abs(best.energy - budget) <= rel_tol * budget) break;
+  }
+  out.flow = best.fractional_flow;
+  out.energy = best.energy;
+  out.multiplier = best_mu;
+  return out;
+}
+
+}  // namespace speedscale

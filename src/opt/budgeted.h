@@ -1,0 +1,37 @@
+// Flow-time minimization under a hard energy budget (paper reference [4],
+// Pruhs-Uthaisombut-Woeginger, "Getting the best response for your erg").
+//
+// minimize F(x)  subject to  E(x) <= B.
+//
+// Both F and E are convex in the per-slot volumes, so strong duality holds:
+// sweep the Lagrange multiplier mu in  min mu*E + F  (one convex solve per
+// mu, via solve_fractional_opt's energy_weight) and bisect on the achieved
+// energy, which is non-increasing in mu.  The budget must be attainable:
+// B must be at least the energy of the infinite-horizon "run arbitrarily
+// slowly" limit is 0 for fractional flow?  No — slower processing raises
+// flow but lowers energy, and any positive energy can finish the volume, so
+// every B > 0 is feasible on a long enough horizon; practical horizons cap
+// how slow the solver can go, and the result reports the achieved energy.
+#pragma once
+
+#include "src/core/instance.h"
+#include "src/opt/convex_opt.h"
+
+namespace speedscale {
+
+struct BudgetedResult {
+  double flow = 0.0;       ///< achieved fractional flow-time
+  double energy = 0.0;     ///< achieved energy (<= budget + tolerance)
+  double multiplier = 0.0; ///< Lagrange multiplier mu at the solution
+  int solves = 0;          ///< convex solves performed
+};
+
+/// Minimizes fractional flow subject to energy <= budget, by bisection on
+/// the Lagrange multiplier.  `rel_tol` is the acceptable relative budget
+/// mismatch.  Throws ModelError for non-positive budgets.
+[[nodiscard]] BudgetedResult solve_flow_under_energy_budget(const Instance& instance,
+                                                            double alpha, double budget,
+                                                            const ConvexOptParams& base = {},
+                                                            double rel_tol = 0.02);
+
+}  // namespace speedscale

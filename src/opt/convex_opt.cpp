@@ -1,0 +1,181 @@
+#include "src/opt/convex_opt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+
+#include "src/numerics/projection.h"
+#include "src/sim/c_machine.h"
+
+namespace speedscale {
+
+namespace {
+
+struct Problem {
+  const Instance& instance;
+  double alpha;
+  int n_slots;
+  double h;                       ///< slot width
+  double energy_weight = 1.0;
+  std::vector<int> first_slot;    ///< per job: first allowed slot
+  std::vector<double> mid;        ///< slot midpoints
+
+  [[nodiscard]] std::size_t idx(JobId j, int i) const {
+    return static_cast<std::size_t>(j) * static_cast<std::size_t>(n_slots) +
+           static_cast<std::size_t>(i);
+  }
+
+  [[nodiscard]] double objective(const std::vector<double>& x, double* energy_out = nullptr,
+                                 double* flow_out = nullptr) const {
+    double energy = 0.0;
+    for (int i = 0; i < n_slots; ++i) {
+      double sigma = 0.0;
+      for (std::size_t j = 0; j < instance.size(); ++j) {
+        sigma += x[idx(static_cast<JobId>(j), i)];
+      }
+      // Momentum iterates (FISTA's y) may be infeasible; extend the energy
+      // by 0 below zero speed, which keeps the objective convex and finite.
+      energy += h * std::pow(std::max(sigma, 0.0) / h, alpha);
+    }
+    double flow = 0.0;
+    for (const Job& j : instance.jobs()) {
+      for (int i = first_slot[static_cast<std::size_t>(j.id)]; i < n_slots; ++i) {
+        flow += j.density * (mid[static_cast<std::size_t>(i)] - j.release) * x[idx(j.id, i)];
+      }
+    }
+    if (energy_out) *energy_out = energy;
+    if (flow_out) *flow_out = flow;
+    return energy_weight * energy + flow;
+  }
+
+  void gradient(const std::vector<double>& x, std::vector<double>& g) const {
+    std::vector<double> marginal(static_cast<std::size_t>(n_slots));
+    for (int i = 0; i < n_slots; ++i) {
+      double sigma = 0.0;
+      for (std::size_t j = 0; j < instance.size(); ++j) {
+        sigma += x[idx(static_cast<JobId>(j), i)];
+      }
+      marginal[static_cast<std::size_t>(i)] =
+          energy_weight * alpha * std::pow(std::max(sigma, 0.0) / h, alpha - 1.0);
+    }
+    std::fill(g.begin(), g.end(), 0.0);
+    for (const Job& j : instance.jobs()) {
+      for (int i = first_slot[static_cast<std::size_t>(j.id)]; i < n_slots; ++i) {
+        g[idx(j.id, i)] = marginal[static_cast<std::size_t>(i)] +
+                          j.density * (mid[static_cast<std::size_t>(i)] - j.release);
+      }
+    }
+  }
+
+  /// Projects each job's allocation onto its scaled simplex (allowed slots).
+  void project(std::vector<double>& x) const {
+    for (const Job& j : instance.jobs()) {
+      const int f = first_slot[static_cast<std::size_t>(j.id)];
+      std::span<double> row(x.data() + idx(j.id, f), static_cast<std::size_t>(n_slots - f));
+      numerics::project_simplex(row, j.volume);
+      // Slots before the release stay exactly zero.
+      for (int i = 0; i < f; ++i) x[idx(j.id, i)] = 0.0;
+    }
+  }
+};
+
+}  // namespace
+
+ConvexOptResult solve_fractional_opt(const Instance& instance, double alpha,
+                                     const ConvexOptParams& params) {
+  if (instance.empty()) return {};
+  double horizon = params.horizon;
+  if (horizon <= 0.0) {
+    const Schedule c = run_algorithm_c(instance, alpha);
+    horizon = 3.0 * std::max(c.makespan(), 1e-12);
+  }
+  const int N = params.slots;
+  Problem prob{instance, alpha, N, horizon / N, params.energy_weight, {}, {}};
+  prob.first_slot.resize(instance.size());
+  prob.mid.resize(static_cast<std::size_t>(N));
+  for (int i = 0; i < N; ++i) {
+    prob.mid[static_cast<std::size_t>(i)] = (static_cast<double>(i) + 0.5) * prob.h;
+  }
+  for (const Job& j : instance.jobs()) {
+    int f = static_cast<int>(std::ceil(j.release / prob.h - 1e-12));
+    f = std::min(f, N - 1);
+    prob.first_slot[static_cast<std::size_t>(j.id)] = f;
+  }
+
+  const std::size_t dim = instance.size() * static_cast<std::size_t>(N);
+  std::vector<double> x(dim, 0.0);
+  // Feasible start: each job uniform over its allowed slots.
+  for (const Job& j : instance.jobs()) {
+    const int f = prob.first_slot[static_cast<std::size_t>(j.id)];
+    const double per = j.volume / static_cast<double>(N - f);
+    for (int i = f; i < N; ++i) x[prob.idx(j.id, i)] = per;
+  }
+
+  std::vector<double> x_prev = x;
+  std::vector<double> y = x;
+  std::vector<double> g(dim), cand(dim);
+  double tk = 1.0;
+  double lipschitz = 1.0;
+  double best_obj = prob.objective(x);
+  int stall = 0;
+  int iter = 0;
+
+  for (; iter < params.max_iters; ++iter) {
+    prob.gradient(y, g);
+    const double fy = prob.objective(y);
+    // Backtracking line search on the FISTA majorization.
+    double fx_new = 0.0;
+    for (int bt = 0; bt < 60; ++bt) {
+      for (std::size_t d = 0; d < dim; ++d) cand[d] = y[d] - g[d] / lipschitz;
+      prob.project(cand);
+      fx_new = prob.objective(cand);
+      double lin = 0.0, quad = 0.0;
+      for (std::size_t d = 0; d < dim; ++d) {
+        const double diff = cand[d] - y[d];
+        lin += g[d] * diff;
+        quad += diff * diff;
+      }
+      if (fx_new <= fy + lin + 0.5 * lipschitz * quad + 1e-14 * std::abs(fy)) break;
+      lipschitz *= 2.0;
+    }
+    // Momentum with restart on non-descent.
+    const double tk1 = 0.5 * (1.0 + std::sqrt(1.0 + 4.0 * tk * tk));
+    const double mom = (tk - 1.0) / tk1;
+    if (fx_new > best_obj) {
+      // Restart: drop momentum, continue from the best point.
+      tk = 1.0;
+      y = cand;
+      x_prev = cand;
+      x = cand;
+    } else {
+      for (std::size_t d = 0; d < dim; ++d) y[d] = cand[d] + mom * (cand[d] - x_prev[d]);
+      x_prev = x;
+      x = cand;
+      tk = tk1;
+    }
+    const double improvement = (best_obj - fx_new) / std::max(1.0, std::abs(best_obj));
+    if (fx_new < best_obj) best_obj = fx_new;
+    if (improvement < params.rel_tol) {
+      if (++stall > 50) break;
+    } else {
+      stall = 0;
+    }
+    lipschitz *= 0.9;  // allow the step to grow back
+  }
+
+  ConvexOptResult out;
+  out.iterations = iter;
+  out.horizon = horizon;
+  out.objective = prob.objective(x, &out.energy, &out.fractional_flow);
+  out.slot_speed.resize(static_cast<std::size_t>(N));
+  for (int i = 0; i < N; ++i) {
+    double sigma = 0.0;
+    for (std::size_t j = 0; j < instance.size(); ++j) {
+      sigma += x[prob.idx(static_cast<JobId>(j), i)];
+    }
+    out.slot_speed[static_cast<std::size_t>(i)] = sigma / prob.h;
+  }
+  return out;
+}
+
+}  // namespace speedscale

@@ -1,0 +1,46 @@
+#include "src/opt/single_job_opt.h"
+
+#include <cmath>
+
+#include "src/core/types.h"
+
+namespace speedscale {
+
+double SingleJobFracOpt::speed_at(double t, double rho, double alpha) const {
+  if (t < 0.0 || t > horizon) return 0.0;
+  return std::pow(rho * (horizon - t) / alpha, 1.0 / (alpha - 1.0));
+}
+
+SingleJobFracOpt single_job_frac_opt(double volume, double rho, double alpha) {
+  if (!(volume > 0.0) || !(rho > 0.0) || !(alpha > 1.0)) {
+    throw ModelError("single_job_frac_opt: invalid parameters");
+  }
+  const double gamma = alpha / (alpha - 1.0);
+  const double c = std::pow(rho / alpha, 1.0 / (alpha - 1.0));
+  // V = c * T^gamma / gamma  =>  T = (gamma V / c)^{1/gamma}
+  SingleJobFracOpt out;
+  out.horizon = std::pow(gamma * volume / c, 1.0 / gamma);
+  const double T = out.horizon;
+  // energy = int (rho (T-t)/alpha)^{gamma} dt = (rho/alpha)^gamma T^{gamma+1}/(gamma+1)
+  out.energy = std::pow(rho / alpha, gamma) * std::pow(T, gamma + 1.0) / (gamma + 1.0);
+  // V(t) = c (T-t)^gamma / gamma; flow = rho int V = rho c T^{gamma+1}/(gamma (gamma+1))
+  out.fractional_flow = rho * c * std::pow(T, gamma + 1.0) / (gamma * (gamma + 1.0));
+  out.objective = out.energy + out.fractional_flow;
+  return out;
+}
+
+SingleJobIntOpt single_job_int_opt(double volume, double rho, double alpha) {
+  if (!(volume > 0.0) || !(rho > 0.0) || !(alpha > 1.0)) {
+    throw ModelError("single_job_int_opt: invalid parameters");
+  }
+  const double weight = rho * volume;
+  SingleJobIntOpt out;
+  out.speed = std::pow(weight / (alpha - 1.0), 1.0 / alpha);
+  out.horizon = volume / out.speed;
+  out.energy = std::pow(out.speed, alpha) * out.horizon;
+  out.integral_flow = weight * out.horizon;
+  out.objective = out.energy + out.integral_flow;
+  return out;
+}
+
+}  // namespace speedscale

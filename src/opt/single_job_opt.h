@@ -1,0 +1,46 @@
+// Closed-form offline optimum for a single job (P(s) = s^alpha).
+//
+// Fractional objective.  Minimize  int_0^T s(t)^alpha dt + rho int_0^T V(t) dt
+// with V' = -s, V(0) = V, V(T) = 0, T free.  Pontryagin/Euler-Lagrange gives
+// costate p(t) = rho (T - t) (p(T) = 0 from the free horizon) and
+// alpha s^{alpha-1} = p, so
+//     s(t) = (rho (T - t) / alpha)^{1/(alpha-1)},
+// with the horizon fixed by the volume constraint
+//     V = (rho/alpha)^{1/(alpha-1)} T^{gamma} / gamma,   gamma = alpha/(alpha-1).
+// Energy and flow then integrate in closed form.
+//
+// Integral objective.  Minimize s^{alpha-1} V + W V / s over constant speeds
+// (constant is optimal for a single job with a terminal-time penalty):
+// s* = (W/(alpha-1))^{1/alpha}.
+//
+// These optima anchor the Table 1 / Figure 1 experiments: the single-job
+// case is where the paper develops its whole analytical story (Section 1.2).
+#pragma once
+
+namespace speedscale {
+
+/// Closed-form single-job fractional optimum.
+struct SingleJobFracOpt {
+  double horizon = 0.0;          ///< optimal completion time T
+  double energy = 0.0;
+  double fractional_flow = 0.0;
+  double objective = 0.0;        ///< energy + fractional flow
+
+  /// Optimal speed at time t in [0, horizon].
+  double speed_at(double t, double rho, double alpha) const;
+};
+
+[[nodiscard]] SingleJobFracOpt single_job_frac_opt(double volume, double rho, double alpha);
+
+/// Closed-form single-job integral optimum (constant speed).
+struct SingleJobIntOpt {
+  double speed = 0.0;
+  double horizon = 0.0;
+  double energy = 0.0;
+  double integral_flow = 0.0;
+  double objective = 0.0;
+};
+
+[[nodiscard]] SingleJobIntOpt single_job_int_opt(double volume, double rho, double alpha);
+
+}  // namespace speedscale

@@ -1,0 +1,120 @@
+// CMachine: an exact, incremental simulator of Algorithm C on one machine.
+//
+// Algorithm C (paper, Section 2) is the 2-competitive clairvoyant algorithm
+// of Bansal, Chan, and Pruhs: process the active job of highest density
+// (ties broken FIFO, as the paper's analysis assumes), at the speed s with
+// P(s) = W(t), the total remaining weight.  For P(s) = s^alpha every
+// inter-event stretch follows the closed-form decay of
+// core/kinematics.h, so the simulation is event-driven and exact.
+//
+// CMachine is *incremental*: jobs may be appended while the simulation
+// frontier advances, as long as each job's release time is at or after the
+// frontier.  This is exactly what the higher layers need:
+//   * Algorithm NC (Section 3) queries W^C(r[j]^-) of a virtual C run;
+//   * C-PAR (Section 6) dispatches arriving jobs to the machine with least
+//     remaining weight, then resumes each machine;
+//   * NC-PAR maintains one virtual CMachine per real machine;
+//   * the non-uniform Algorithm NC re-solves C on the evolving instance I(t).
+#pragma once
+
+#include <deque>
+#include <set>
+#include <vector>
+
+#include "src/core/instance.h"
+#include "src/core/kinematics.h"
+#include "src/core/schedule.h"
+
+namespace speedscale {
+
+class CMachine {
+ public:
+  explicit CMachine(double alpha);
+
+  /// Adds a job. `job.release` must be >= the current frontier time.
+  /// Jobs may be added in any release order as long as this holds.
+  void add_job(const Job& job);
+
+  /// Advances the simulation frontier to time t (>= current frontier),
+  /// processing all releases/completions in between.
+  void advance_to(double t);
+
+  /// Advances until every added job has completed.
+  void run_to_completion();
+
+  /// Current simulation frontier.
+  [[nodiscard]] double now() const { return now_; }
+
+  /// Total remaining weight W(frontier) — the value driving the speed.
+  [[nodiscard]] double remaining_weight() const { return total_weight_; }
+
+  /// Left limit W(t^-) for any t <= frontier: the remaining weight just
+  /// before time t, excluding jobs released exactly at t.  This is the
+  /// quantity W^C(r[j]^-) in the definition of Algorithm NC.
+  [[nodiscard]] double remaining_weight_left(double t) const;
+
+  /// Remaining volume of a job (by the id it carried in add_job).
+  [[nodiscard]] double remaining_volume(JobId id) const;
+
+  /// Remaining *weight* (density * remaining volume) of a single job.
+  [[nodiscard]] double remaining_weight_of(JobId id) const;
+
+  /// True when no active or pending work remains.
+  [[nodiscard]] bool drained() const;
+
+  /// Time when all currently-known jobs will complete if nothing else
+  /// arrives.  (Computed analytically without advancing the frontier.)
+  [[nodiscard]] double completion_time_of_all() const;
+
+  /// The recorded schedule (valid up to the frontier).
+  [[nodiscard]] const Schedule& schedule() const { return schedule_; }
+
+  /// Number of active (released, unfinished) jobs at the frontier.
+  [[nodiscard]] std::size_t active_count() const { return active_.size(); }
+
+  [[nodiscard]] double alpha() const { return kin_.alpha(); }
+
+ private:
+  struct ActiveKey {
+    double density;
+    double release;
+    JobId id;
+    /// HDF first; FIFO within a density level; ids break exact ties.
+    bool operator<(const ActiveKey& o) const {
+      if (density != o.density) return density > o.density;
+      if (release != o.release) return release < o.release;
+      return id < o.id;
+    }
+  };
+
+  struct JobState {
+    Job job;
+    double remaining = 0.0;
+    bool released = false;
+    bool done = false;
+  };
+
+  [[nodiscard]] const JobState& state(JobId id) const;
+  [[nodiscard]] JobState& state(JobId id);
+  void release_due_jobs();
+
+  PowerLawKinematics kin_;
+  double now_ = 0.0;
+  double total_weight_ = 0.0;
+  Schedule schedule_;
+  std::vector<JobState> jobs_;              // indexed by insertion order
+  std::vector<std::size_t> index_of_id_;    // JobId -> index in jobs_
+  std::vector<JobId> ids_;                  // insertion order -> JobId
+  std::set<ActiveKey> active_;
+  // Pending (not yet released) jobs ordered by (release, id).
+  std::set<std::pair<double, JobId>> pending_;
+};
+
+/// Runs Algorithm C start-to-finish on an instance and returns its schedule.
+[[nodiscard]] Schedule run_algorithm_c(const Instance& instance, double alpha);
+
+/// Remaining-weight left limit W^C(t^-) recovered from a completed Algorithm
+/// C schedule (the decay-law parameters *are* the weight trajectory).
+[[nodiscard]] double c_remaining_weight_left(const Schedule& schedule, double t);
+
+}  // namespace speedscale

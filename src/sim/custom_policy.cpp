@@ -1,0 +1,114 @@
+#include "src/sim/custom_policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/core/kinematics.h"
+#include "src/core/power.h"
+
+namespace speedscale {
+
+RunResult run_custom_policy(const Instance& instance, double alpha, const SpeedPolicy& policy,
+                            const CustomPolicyParams& params) {
+  RunResult out(alpha);
+  if (instance.empty()) return out;
+  Schedule& sched = out.schedule;
+  const PowerLawKinematics kin(alpha);
+
+  // Natural scales for the integrator (simulator-side knowledge only).
+  const double t_ref =
+      kin.decay_time_to_zero(std::max(instance.total_weight(), 1e-300), instance.min_density()) +
+      instance.max_release();
+  const double min_dt = params.min_step * std::max(t_ref, 1e-12);
+
+  ObservableState st;
+  st.jobs.reserve(instance.size());
+  std::vector<std::size_t> visible_index(instance.size(), SIZE_MAX);
+  const std::vector<JobId> order = instance.fifo_order();
+  std::size_t next_release_idx = 0;
+
+  const auto release_due = [&](double t) {
+    while (next_release_idx < order.size() &&
+           instance.job(order[next_release_idx]).release <= t) {
+      const Job& j = instance.job(order[next_release_idx]);
+      visible_index[static_cast<std::size_t>(j.id)] = st.jobs.size();
+      st.jobs.push_back({j.id, j.release, j.density, 0.0, false});
+      ++next_release_idx;
+    }
+  };
+
+  double t = 0.0;
+  double t_last_event = 0.0;
+  std::size_t remaining = instance.size();
+  long steps = 0;
+
+  release_due(0.0);
+  while (remaining > 0) {
+    if (++steps > params.max_steps) {
+      throw ModelError("run_custom_policy: step cap exceeded");
+    }
+    st.time = t;
+    const double next_rel = next_release_idx < order.size()
+                                ? instance.job(order[next_release_idx]).release
+                                : kInf;
+    const PolicyDecision d = policy(st);
+    if (d.job == kNoJob || d.speed <= 0.0) {
+      if (next_rel == kInf) {
+        throw ModelError("run_custom_policy: policy idles while work remains");
+      }
+      t = next_rel;
+      t_last_event = t;
+      release_due(t);
+      continue;
+    }
+    const auto jid = static_cast<std::size_t>(d.job);
+    if (jid >= instance.size() || visible_index[jid] == SIZE_MAX) {
+      throw ModelError("run_custom_policy: policy chose an unreleased job");
+    }
+    ObservableState::VisibleJob& vj = st.jobs[visible_index[jid]];
+    if (vj.completed) {
+      throw ModelError("run_custom_policy: policy chose a completed job");
+    }
+    const Job& job = instance.job(d.job);
+
+    double dt = std::max(min_dt, params.step_growth * (t - t_last_event));
+    if (next_rel < kInf) dt = std::min(dt, next_rel - t);
+
+    // Midpoint probe: re-query the policy halfway through the tentative
+    // step; keep its speed if it still runs the same job.
+    const double p_before = vj.processed;
+    vj.processed = std::min(job.volume, p_before + 0.5 * d.speed * dt);
+    st.time = t + 0.5 * dt;
+    const PolicyDecision mid = policy(st);
+    vj.processed = p_before;
+    st.time = t;
+    const double speed = (mid.job == d.job && mid.speed > 0.0) ? mid.speed : d.speed;
+
+    // Completion inside the step? (engine-side oracle)
+    const double vrem = job.volume - vj.processed;
+    bool completes = false;
+    if (speed * dt >= vrem) {
+      dt = vrem / speed;
+      completes = true;
+    }
+    sched.append({t, t + dt, d.job, SpeedLaw::kConstant, speed, job.density});
+    vj.processed = completes ? job.volume : vj.processed + speed * dt;
+    t += dt;
+
+    if (completes) {
+      vj.completed = true;
+      --remaining;
+      sched.set_completion(d.job, t);
+      t_last_event = t;
+    } else if (next_rel < kInf && t >= next_rel - 1e-15 * std::max(1.0, next_rel)) {
+      t_last_event = t;
+    }
+    release_due(t);
+  }
+
+  const PowerLaw power(alpha);
+  out.metrics = compute_metrics(instance, sched, power);
+  return out;
+}
+
+}  // namespace speedscale

@@ -1,0 +1,313 @@
+#include "src/sim/numeric_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <set>
+
+#include "src/numerics/ode.h"
+
+namespace speedscale {
+
+namespace {
+
+/// Outcome of integrating the driving weight over one inter-event interval.
+struct IntervalOutcome {
+  double t_end = 0.0;     ///< where integration stopped
+  double y_end = 0.0;     ///< driving weight there
+  double int_y = 0.0;     ///< int Y dt over [t_start, t_end]
+  bool crossed = false;   ///< true if the completion target was hit
+};
+
+/// Integrates dY/dt = sign * rho * P^{-1}(Y) from (t0, y0) to at most t1,
+/// stopping early when Y crosses `target` (from above if sign < 0, from
+/// below if sign > 0).  Fixed-substep RK4 + per-substep bisection for the
+/// crossing; accumulates int Y dt by trapezoid and appends samples.
+IntervalOutcome integrate_interval(const PowerFunction& power, double rho, double sign,
+                                   double t0, double y0, double t1, double target,
+                                   int substeps, SampledRun* run) {
+  IntervalOutcome out;
+  const auto rhs = [&](double /*t*/, double y) {
+    return sign * rho * power.speed_for_power(std::max(y, 0.0));
+  };
+  const auto crossed = [&](double y) {
+    return sign < 0.0 ? y <= target + 1e-300 : y >= target - 1e-300;
+  };
+
+  double t = t0, y = y0;
+  const double h = (t1 - t0) / static_cast<double>(substeps);
+  if (run) {
+    run->t.push_back(t);
+    run->speed.push_back(power.speed_for_power(std::max(y, 0.0)));
+    run->weight.push_back(y);
+  }
+  for (int i = 0; i < substeps; ++i) {
+    const double t_next = (i + 1 == substeps) ? t1 : t0 + h * (i + 1);
+    double y_next = numerics::rk4_step(rhs, t, y, t_next - t);
+    if (crossed(y_next)) {
+      // Localize the crossing within [t, t_next] by bisection on the
+      // sub-step length (RK4 from the sub-step start each probe).
+      double lo = 0.0, hi = t_next - t;
+      for (int it = 0; it < 60; ++it) {
+        const double mid = 0.5 * (lo + hi);
+        if (crossed(numerics::rk4_step(rhs, t, y, mid))) {
+          hi = mid;
+        } else {
+          lo = mid;
+        }
+        if (hi - lo < 1e-15 * std::max(1.0, t)) break;
+      }
+      const double t_hit = t + hi;
+      out.int_y += 0.5 * (y + target) * (t_hit - t);
+      out.t_end = t_hit;
+      out.y_end = target;
+      out.crossed = true;
+      if (run) {
+        run->t.push_back(t_hit);
+        run->speed.push_back(power.speed_for_power(std::max(target, 0.0)));
+        run->weight.push_back(target);
+      }
+      return out;
+    }
+    out.int_y += 0.5 * (y + y_next) * (t_next - t);
+    t = t_next;
+    y = y_next;
+    if (run) {
+      run->t.push_back(t);
+      run->speed.push_back(power.speed_for_power(std::max(y, 0.0)));
+      run->weight.push_back(y);
+    }
+  }
+  out.t_end = t1;
+  out.y_end = y;
+  return out;
+}
+
+struct JobProgress {
+  double remaining = 0.0;
+  bool released = false;
+  bool done = false;
+};
+
+}  // namespace
+
+double SampledRun::weight_left(double x) const {
+  if (t.empty()) return 0.0;
+  auto it = std::lower_bound(t.begin(), t.end(), x);
+  if (it == t.end()) return weight.back();
+  const std::size_t i = static_cast<std::size_t>(it - t.begin());
+  if (t[i] == x || i == 0) return weight[i];
+  const double f = (x - t[i - 1]) / (t[i] - t[i - 1]);
+  return weight[i - 1] + f * (weight[i] - weight[i - 1]);
+}
+
+double SampledRun::time_at_or_above(double x) const {
+  double total = 0.0;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    const double dt = t[i + 1] - t[i];
+    if (dt <= 0.0) continue;
+    const double s0 = speed[i], s1 = speed[i + 1];
+    if (s0 >= x && s1 >= x) {
+      total += dt;
+    } else if (s0 >= x || s1 >= x) {
+      const double hi = std::max(s0, s1), lo = std::min(s0, s1);
+      total += dt * (hi - x) / std::max(hi - lo, 1e-300);
+    }
+  }
+  return total;
+}
+
+SampledRun run_generic_c(const Instance& instance, const PowerFunction& power,
+                         const NumericConfig& cfg) {
+  SampledRun run;
+  std::vector<JobProgress> prog(instance.size());
+  for (const Job& j : instance.jobs()) {
+    prog[static_cast<std::size_t>(j.id)].remaining = j.volume;
+  }
+  // Pending releases sorted by time; active ordered HDF then FIFO.
+  std::set<std::pair<double, JobId>> pending;
+  for (const Job& j : instance.jobs()) pending.insert({j.release, j.id});
+  struct ActiveLess {
+    const Instance* inst;
+    bool operator()(JobId a, JobId b) const {
+      const Job& ja = inst->job(a);
+      const Job& jb = inst->job(b);
+      if (ja.density != jb.density) return ja.density > jb.density;
+      if (ja.release != jb.release) return ja.release < jb.release;
+      return a < b;
+    }
+  };
+  std::set<JobId, ActiveLess> active(ActiveLess{&instance});
+
+  double t = 0.0;
+  double W = 0.0;
+
+  // Sentinel pre-release sample so weight_left(0) is the left limit (0), not
+  // the post-release jump.
+  run.t.push_back(0.0);
+  run.speed.push_back(0.0);
+  run.weight.push_back(0.0);
+
+  const auto release_due = [&]() {
+    while (!pending.empty() && pending.begin()->first <= t) {
+      const JobId id = pending.begin()->second;
+      pending.erase(pending.begin());
+      prog[static_cast<std::size_t>(id)].released = true;
+      W += instance.job(id).weight();
+      active.insert(id);
+    }
+  };
+  release_due();
+
+  while (!active.empty() || !pending.empty()) {
+    const double next_release = pending.empty() ? kInf : pending.begin()->first;
+    if (active.empty()) {
+      // Idle until the next release; flow does not accrue (nothing active).
+      run.t.push_back(t);
+      run.speed.push_back(0.0);
+      run.weight.push_back(0.0);
+      t = next_release;
+      run.t.push_back(t);
+      run.speed.push_back(0.0);
+      run.weight.push_back(0.0);
+      release_due();
+      continue;
+    }
+    const JobId cur = *active.begin();
+    const Job& job = instance.job(cur);
+    JobProgress& pc = prog[static_cast<std::size_t>(cur)];
+    const double eps_vol = cfg.completion_rel_eps * job.volume;
+    const double target = W - job.density * std::max(pc.remaining - eps_vol, 0.0);
+
+    // Horizon: the next release if one exists, else a guess from the current
+    // speed (an underestimate of the true completion time, since the speed
+    // only decreases).  If the guess proves short the outer loop simply
+    // re-enters with the same current job and a fresh, larger estimate —
+    // every pass makes strictly positive progress toward `target`.
+    double horizon = next_release;
+    if (horizon == kInf) {
+      const double s_now = power.speed_for_power(std::max(W, 1e-300));
+      horizon = t + 4.0 * std::max(pc.remaining / std::max(s_now, 1e-300), 1e-12);
+    }
+    const IntervalOutcome oc = integrate_interval(power, job.density, -1.0, t, W, horizon,
+                                                  target, cfg.substeps_per_interval, &run);
+
+    const double dt = oc.t_end - t;
+    const double dV = (W - oc.y_end) / job.density;
+    // Energy: P(s) = W along the run.
+    run.energy += oc.int_y;
+    // Fractional flow: every active job accrues rho * V; the current job's
+    // V decreases inside the interval.
+    for (JobId id : active) {
+      const Job& ja = instance.job(id);
+      const double v = prog[static_cast<std::size_t>(id)].remaining;
+      if (id == cur) {
+        const double int_processed = (W * dt - oc.int_y) / job.density;
+        run.fractional_flow += ja.density * (v * dt - int_processed);
+      } else {
+        run.fractional_flow += ja.density * v * dt;
+      }
+    }
+    t = oc.t_end;
+    W = oc.y_end;
+    pc.remaining = std::max(0.0, pc.remaining - dV);
+
+    if (oc.crossed) {
+      // Residual epsilon-volume is declared complete; drop its weight.
+      W = std::max(0.0, W - job.density * pc.remaining);
+      pc.remaining = 0.0;
+      pc.done = true;
+      active.erase(active.begin());
+      run.completions[cur] = t;
+      run.integral_flow += job.weight() * (t - job.release);
+    }
+    release_due();
+  }
+  return run;
+}
+
+SampledRun run_generic_nc_uniform(const Instance& instance, const PowerFunction& power,
+                                  const NumericConfig& cfg) {
+  if (!instance.uniform_density(1e-9)) {
+    throw ModelError("run_generic_nc_uniform: instance must have uniform density");
+  }
+  // The NC speed rule needs W^C(r_j^-): run the clairvoyant algorithm first.
+  const SampledRun c_run = run_generic_c(instance, power, cfg);
+
+  SampledRun run;
+  std::vector<JobProgress> prog(instance.size());
+  for (const Job& j : instance.jobs()) {
+    prog[static_cast<std::size_t>(j.id)].remaining = j.volume;
+  }
+  const std::vector<JobId> fifo = instance.fifo_order();
+  const double bootstrap = cfg.bootstrap_rel_eps * std::max(instance.total_weight(), 1e-300);
+
+  // Release bookkeeping for fractional-flow accrual of waiting jobs.
+  std::vector<double> releases;
+  for (const Job& j : instance.jobs()) releases.push_back(j.release);
+  std::sort(releases.begin(), releases.end());
+
+  double t = 0.0;
+  for (JobId jid : fifo) {
+    const Job& job = instance.job(jid);
+    JobProgress& pj = prog[static_cast<std::size_t>(jid)];
+
+    if (t < job.release) {
+      run.t.push_back(t);
+      run.speed.push_back(0.0);
+      run.weight.push_back(0.0);
+      t = job.release;
+      run.t.push_back(t);
+      run.speed.push_back(0.0);
+      run.weight.push_back(0.0);
+    }
+
+    const double offset = c_run.weight_left(job.release);
+    double U = std::max(offset, bootstrap);
+    const double U_target = U + job.density * pj.remaining;
+
+    while (pj.remaining > 0.0) {
+      // Cut at release epochs so waiting jobs' flow accrues piecewise.
+      auto next_rel = std::upper_bound(releases.begin(), releases.end(), t);
+      double horizon = (next_rel == releases.end()) ? kInf : *next_rel;
+      if (horizon == kInf) {
+        // Speed only grows, so vrem/s_now over-estimates the completion time
+        // and vrem/s_target under-estimates it.  Starting from a tiny
+        // bootstrap weight the over-estimate explodes; cap the pass length by
+        // a multiple of the under-estimate and let the outer loop re-enter.
+        const double s_now = power.speed_for_power(std::max(U, bootstrap));
+        const double s_target = power.speed_for_power(U_target);
+        const double over = pj.remaining / std::max(s_now, 1e-300);
+        const double under = pj.remaining / std::max(s_target, 1e-300);
+        horizon = t + std::max(std::min(over, 64.0 * under), 1e-12);
+      }
+      const IntervalOutcome oc = integrate_interval(power, job.density, +1.0, t, U, horizon,
+                                                    U_target, cfg.substeps_per_interval, &run);
+      const double dt = oc.t_end - t;
+      const double dV = (oc.y_end - U) / job.density;
+      run.energy += oc.int_y;  // P(s) = U along the run
+      // Current job's fractional flow.
+      const double int_processed = (oc.int_y - U * dt) / job.density;
+      run.fractional_flow += job.density * (pj.remaining * dt - int_processed);
+      // Waiting (released, unfinished, not current) jobs accrue fully.
+      for (const Job& other : instance.jobs()) {
+        if (other.id == jid) continue;
+        const JobProgress& po = prog[static_cast<std::size_t>(other.id)];
+        if (!po.done && other.release <= t + 1e-15) {
+          run.fractional_flow += other.density * po.remaining * dt;
+        }
+      }
+      t = oc.t_end;
+      U = oc.y_end;
+      pj.remaining = std::max(0.0, pj.remaining - dV);
+      if (oc.crossed) pj.remaining = 0.0;
+      if (pj.remaining <= 0.0) break;
+    }
+    pj.done = true;
+    run.completions[jid] = t;
+    run.integral_flow += job.weight() * (t - job.release);
+  }
+  return run;
+}
+
+}  // namespace speedscale

@@ -1,0 +1,71 @@
+// Generic numeric engine: Algorithms C and NC for *arbitrary* monotone convex
+// power functions.
+//
+// The paper proves its structural lemmas at two levels of generality:
+//   * Lemmas 3 and 6 (energy equality; measure-preserving speed profiles)
+//     hold for every power function;
+//   * Lemma 4 and the competitive ratios need P(s) = s^alpha.
+// The exact engine (c_machine.h, algorithm_nc_uniform.h) covers the
+// power-law case in closed form.  This engine integrates the defining ODEs
+//     Algorithm C:   dW/dt = -rho * P^{-1}(W)   (W = remaining weight)
+//     Algorithm NC:  dU/dt = +rho * P^{-1}(U)   (U = offset + processed)
+// numerically (fixed-substep RK4 between events, trapezoid quadrature for
+// the objective integrals), so experiment E11 can check the general-P lemmas
+// and the tests can cross-validate the closed forms.
+//
+// Caveats, by design of the *model*, not the implementation:
+//   * If P'(0) > 0 (e.g. leaky power laws), Algorithm C approaches each
+//     completion only asymptotically (exponentially decaying weight).  Jobs
+//     are therefore declared complete at a relative residual-volume epsilon,
+//     which perturbs the objective by O(epsilon).
+//   * The growing branch from U = 0 is selected by a bootstrap epsilon, the
+//     numeric analogue of the paper's "excess speed epsilon" fix.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "src/core/instance.h"
+#include "src/core/power.h"
+
+namespace speedscale {
+
+/// Knobs for the numeric engine.
+struct NumericConfig {
+  int substeps_per_interval = 4096;  ///< RK4 substeps between two events
+  double completion_rel_eps = 1e-9;  ///< residual volume declared complete
+  double bootstrap_rel_eps = 1e-9;   ///< U(0) floor, relative to total weight
+};
+
+/// A numerically-integrated run: dense samples plus accumulated objectives.
+struct SampledRun {
+  std::vector<double> t;       ///< sample times, non-decreasing
+  std::vector<double> speed;   ///< machine speed at t[i]
+  std::vector<double> weight;  ///< driving weight (W for C, U for NC) at t[i]
+  std::map<JobId, double> completions;
+  double energy = 0.0;
+  double fractional_flow = 0.0;
+  double integral_flow = 0.0;
+
+  [[nodiscard]] double fractional_objective() const { return energy + fractional_flow; }
+  [[nodiscard]] double integral_objective() const { return energy + integral_flow; }
+
+  /// Left limit of the driving weight at time `x` (pre-event value at event
+  /// epochs).  For a C run this is W^C(x^-), the Algorithm NC offset.
+  [[nodiscard]] double weight_left(double x) const;
+
+  /// Measure of {t : speed >= x}, from the samples (piecewise linear speed).
+  [[nodiscard]] double time_at_or_above(double x) const;
+};
+
+/// Algorithm C under an arbitrary power function.
+[[nodiscard]] SampledRun run_generic_c(const Instance& instance, const PowerFunction& power,
+                                       const NumericConfig& cfg = {});
+
+/// Algorithm NC (uniform density, FIFO + P(s) = W^C(r_j^-) + processed(j))
+/// under an arbitrary power function.
+[[nodiscard]] SampledRun run_generic_nc_uniform(const Instance& instance,
+                                                const PowerFunction& power,
+                                                const NumericConfig& cfg = {});
+
+}  // namespace speedscale

@@ -1,0 +1,119 @@
+#include "src/sim/speed_profile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/core/power.h"
+
+namespace speedscale {
+
+namespace {
+
+/// Time within [seg.t0, seg.t1] at speed >= x, in closed form per law.
+double segment_time_at_or_above(const PowerLawKinematics& kin, const Segment& seg, double x) {
+  const double len = seg.duration();
+  switch (seg.law) {
+    case SpeedLaw::kIdle:
+      return 0.0;
+    case SpeedLaw::kConstant:
+      return seg.param >= x ? len : 0.0;
+    case SpeedLaw::kPowerDecay: {
+      // Speed decreases; speed >= x while W >= x^alpha.
+      const double w_thr = std::pow(x, kin.alpha());
+      if (w_thr > seg.param) return 0.0;
+      return std::min(len, kin.decay_time_to_weight(seg.param, w_thr, seg.rho));
+    }
+    case SpeedLaw::kPowerGrow: {
+      // Speed increases; speed >= x once U >= x^alpha.
+      const double u_thr = std::pow(x, kin.alpha());
+      if (u_thr <= seg.param) return len;
+      const double t_hit = kin.grow_time_to_weight(seg.param, u_thr, seg.rho);
+      return std::max(0.0, len - t_hit);
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+double time_at_or_above(const Schedule& schedule, double x) {
+  if (!(x > 0.0)) throw ModelError("time_at_or_above: threshold must be positive");
+  const PowerLawKinematics kin(schedule.alpha());
+  double total = 0.0;
+  for (const Segment& seg : schedule.segments()) {
+    total += segment_time_at_or_above(kin, seg, x);
+  }
+  return total;
+}
+
+std::vector<double> level_set_measures(const Schedule& schedule,
+                                       const std::vector<double>& thresholds) {
+  std::vector<double> out;
+  out.reserve(thresholds.size());
+  for (double x : thresholds) out.push_back(time_at_or_above(schedule, x));
+  return out;
+}
+
+std::vector<double> speed_threshold_grid(const Schedule& schedule, int count) {
+  double s_max = 0.0;
+  const PowerLawKinematics kin(schedule.alpha());
+  for (const Segment& seg : schedule.segments()) {
+    switch (seg.law) {
+      case SpeedLaw::kIdle:
+        break;
+      case SpeedLaw::kConstant:
+        s_max = std::max(s_max, seg.param);
+        break;
+      case SpeedLaw::kPowerDecay:
+        s_max = std::max(s_max, kin.speed_at_weight(seg.param));
+        break;
+      case SpeedLaw::kPowerGrow:
+        s_max = std::max(s_max, kin.speed_at_weight(
+                                    kin.grow_weight_after(seg.param, seg.rho, seg.duration())));
+        break;
+    }
+  }
+  std::vector<double> grid;
+  if (s_max <= 0.0) return grid;
+  grid.reserve(static_cast<std::size_t>(count));
+  const double lo = s_max * 1e-6;
+  for (int i = 0; i < count; ++i) {
+    const double f = static_cast<double>(i) / static_cast<double>(count - 1);
+    grid.push_back(lo * std::pow(s_max / lo, f));
+  }
+  return grid;
+}
+
+double rearrangement_distance(const Schedule& a, const Schedule& b, int grid) {
+  std::vector<double> thresholds = speed_threshold_grid(a, grid);
+  const std::vector<double> tb = speed_threshold_grid(b, grid);
+  thresholds.insert(thresholds.end(), tb.begin(), tb.end());
+  std::sort(thresholds.begin(), thresholds.end());
+  double worst = 0.0;
+  for (double x : thresholds) {
+    if (!(x > 0.0)) continue;
+    worst = std::max(worst, std::abs(time_at_or_above(a, x) - time_at_or_above(b, x)));
+  }
+  return worst;
+}
+
+double energy_via_level_sets(const Schedule& schedule, const PowerFunction& power, int grid) {
+  // E = int P(s(t)) dt = int_0^{P(s_max)} lambda{t : P(s(t)) >= p} dp.
+  const std::vector<double> sgrid = speed_threshold_grid(schedule, 3);
+  if (sgrid.empty()) return 0.0;
+  const double p_max = power.power(sgrid.back()) * (1.0 + 1e-12);
+  double total = 0.0;
+  double prev_p = 0.0;
+  double prev_m = time_at_or_above(schedule, power.speed_for_power(1e-14 * p_max) + 1e-300);
+  for (int i = 1; i <= grid; ++i) {
+    const double p = p_max * static_cast<double>(i) / static_cast<double>(grid);
+    const double s = power.speed_for_power(p);
+    const double m = s > 0.0 ? time_at_or_above(schedule, s) : prev_m;
+    total += 0.5 * (prev_m + m) * (p - prev_p);
+    prev_p = p;
+    prev_m = m;
+  }
+  return total;
+}
+
+}  // namespace speedscale

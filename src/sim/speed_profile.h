@@ -1,0 +1,39 @@
+// Speed-profile measure comparison (paper Lemmas 6 and 7).
+//
+// Lemma 6 states that there is a measure-preserving bijection of time under
+// which Algorithm NC's speed profile equals Algorithm C's.  Two measurable
+// speed functions are rearrangements of each other iff their upper level-set
+// measures agree:  lambda{t : s(t) >= x}  identical for every x >= 0.
+// This module computes those level-set measures *in closed form* per
+// schedule segment, so the lemma can be verified to ~1e-9 on any instance.
+#pragma once
+
+#include <vector>
+
+#include "src/core/power.h"
+#include "src/core/schedule.h"
+
+namespace speedscale {
+
+/// Total time the schedule runs at speed >= x (x > 0).
+[[nodiscard]] double time_at_or_above(const Schedule& schedule, double x);
+
+/// Level-set measures at each threshold in `thresholds`.
+[[nodiscard]] std::vector<double> level_set_measures(const Schedule& schedule,
+                                                     const std::vector<double>& thresholds);
+
+/// A geometric grid of speed thresholds spanning the schedule's speed range,
+/// suitable for rearrangement checks.  Returns `count` thresholds.
+[[nodiscard]] std::vector<double> speed_threshold_grid(const Schedule& schedule, int count);
+
+/// Max over the grid of |measure_a - measure_b|: a rearrangement distance.
+/// Zero (to tolerance) iff the two profiles are equi-measurable on the grid.
+[[nodiscard]] double rearrangement_distance(const Schedule& a, const Schedule& b, int grid = 257);
+
+/// Total energy as seen through level sets, for an arbitrary power function:
+/// E = int_0^inf lambda{t: P(s(t)) >= p} dp, evaluated by trapezoid on a
+/// grid.  Used only as an independent cross-check in tests.
+[[nodiscard]] double energy_via_level_sets(const Schedule& schedule, const PowerFunction& power,
+                                           int grid = 20001);
+
+}  // namespace speedscale

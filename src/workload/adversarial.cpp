@@ -1,0 +1,52 @@
+#include "src/workload/adversarial.h"
+
+#include <cmath>
+#include <vector>
+
+namespace speedscale::workload {
+
+double c_solo_cost(double volume, double density, double alpha) {
+  const double b = 1.0 - 1.0 / alpha;
+  const double w = density * volume;
+  const double energy = std::pow(w, 1.0 + b) / (density * (1.0 + b));
+  return 2.0 * energy;  // flow == energy for Algorithm C
+}
+
+double volume_for_solo_cost(double solo_cost, double density, double alpha) {
+  const double b = 1.0 - 1.0 / alpha;
+  const double w = std::pow(0.5 * solo_cost * density * (1.0 + b), 1.0 / (1.0 + b));
+  return w / density;
+}
+
+Instance geometric_density_instance(int l, double rho, double solo_cost, double alpha) {
+  std::vector<Job> jobs;
+  jobs.reserve(static_cast<std::size_t>(l));
+  double density = 1.0;
+  for (int i = 0; i < l; ++i) {
+    Job j;
+    j.release = 0.0;
+    j.density = density;
+    j.volume = volume_for_solo_cost(solo_cost, density, alpha);
+    jobs.push_back(j);
+    density *= rho;
+  }
+  return Instance(std::move(jobs));
+}
+
+Instance fifo_hdf_conflict_instance(int bursts, int jobs_per_burst, double density_ratio) {
+  std::vector<Job> jobs;
+  // A long, low-density job released first...
+  jobs.push_back(Job{kNoJob, 0.0, 8.0, 1.0});
+  // ...then periodic bursts of short high-density jobs that HDF would jump
+  // to but FIFO (density-blind) would not.
+  double t = 0.25;
+  for (int b = 0; b < bursts; ++b) {
+    for (int i = 0; i < jobs_per_burst; ++i) {
+      jobs.push_back(Job{kNoJob, t + 0.01 * i, 0.2, density_ratio});
+    }
+    t += 1.5;
+  }
+  return Instance(std::move(jobs));
+}
+
+}  // namespace speedscale::workload

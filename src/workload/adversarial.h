@@ -1,0 +1,29 @@
+// Adversarial / structured instances from the paper's constructions.
+#pragma once
+
+#include "src/core/instance.h"
+
+namespace speedscale::workload {
+
+/// Section 7's geometric-density family: l jobs, densities 1, rho, ...,
+/// rho^{l-1}, all released at 0, with volumes chosen so that each job costs
+/// exactly `solo_cost` when processed alone under Algorithm C (whose solo
+/// fractional objective is 2 * W^{2-1/alpha} / (rho_j * (2 - 1/alpha))).
+/// The paper's "somewhat surprising fact": for rho >= 4, all l jobs on ONE
+/// machine cost at most 4 * l * solo_cost.
+[[nodiscard]] Instance geometric_density_instance(int l, double rho, double solo_cost,
+                                                  double alpha);
+
+/// Solo fractional objective of Algorithm C on one job (closed form):
+/// energy = flow = W^{1+b} / (rho (1+b)), b = 1 - 1/alpha.
+[[nodiscard]] double c_solo_cost(double volume, double density, double alpha);
+
+/// Volume giving a prescribed C solo cost at a given density.
+[[nodiscard]] double volume_for_solo_cost(double solo_cost, double density, double alpha);
+
+/// A staircase instance stressing the FIFO/HDF conflict (Section 1.2): a low
+/// density long job released first, then bursts of high-density short jobs.
+[[nodiscard]] Instance fifo_hdf_conflict_instance(int bursts, int jobs_per_burst,
+                                                  double density_ratio);
+
+}  // namespace speedscale::workload

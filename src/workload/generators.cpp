@@ -1,0 +1,150 @@
+#include "src/workload/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace speedscale::workload {
+
+namespace {
+
+double draw_volume(std::mt19937_64& rng, VolumeDist dist, double mean, double param) {
+  switch (dist) {
+    case VolumeDist::kUniform: {
+      std::uniform_real_distribution<double> d(0.5 * mean, 1.5 * mean);
+      return d(rng);
+    }
+    case VolumeDist::kExponential: {
+      std::exponential_distribution<double> d(1.0 / mean);
+      return std::max(d(rng), 1e-9 * mean);
+    }
+    case VolumeDist::kPareto: {
+      // Pareto with shape a > 1 and scale chosen so the mean matches.
+      const double a = std::max(param, 1.05);
+      const double x_m = mean * (a - 1.0) / a;
+      std::uniform_real_distribution<double> u(0.0, 1.0);
+      return x_m / std::pow(1.0 - u(rng), 1.0 / a);
+    }
+    case VolumeDist::kLognormal: {
+      const double sigma = std::max(param, 1e-3);
+      const double mu = std::log(mean) - 0.5 * sigma * sigma;
+      std::lognormal_distribution<double> d(mu, sigma);
+      return std::max(d(rng), 1e-9 * mean);
+    }
+    case VolumeDist::kFixed:
+      return mean;
+  }
+  return mean;
+}
+
+double draw_density(std::mt19937_64& rng, const WorkloadParams& p) {
+  switch (p.density_mode) {
+    case DensityMode::kUnit:
+      return 1.0;
+    case DensityMode::kClasses: {
+      std::uniform_int_distribution<int> d(0, p.density_classes - 1);
+      const double step = std::pow(p.density_spread, 1.0 / std::max(1, p.density_classes - 1));
+      return std::pow(step, d(rng));
+    }
+    case DensityMode::kLogUniform: {
+      std::uniform_real_distribution<double> u(-1.0, 1.0);
+      return std::pow(p.density_spread, u(rng));
+    }
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+Instance generate(const WorkloadParams& params) {
+  std::mt19937_64 rng(params.seed);
+  std::exponential_distribution<double> gap(params.arrival_rate);
+  std::vector<Job> jobs;
+  jobs.reserve(static_cast<std::size_t>(params.n_jobs));
+  double t = 0.0;
+  for (int i = 0; i < params.n_jobs; ++i) {
+    if (i > 0) t += gap(rng);
+    Job j;
+    j.release = t;
+    j.volume = draw_volume(rng, params.volume_dist, params.volume_mean, params.volume_param);
+    j.density = draw_density(rng, params);
+    jobs.push_back(j);
+  }
+  return Instance(std::move(jobs));
+}
+
+Instance batch_at_zero(int n, VolumeDist dist, double mean, double param, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<Job> jobs;
+  jobs.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    Job j;
+    j.release = 0.0;
+    j.volume = draw_volume(rng, dist, mean, param);
+    j.density = 1.0;
+    jobs.push_back(j);
+  }
+  return Instance(std::move(jobs));
+}
+
+Instance cloud_trace(const CloudParams& params) {
+  std::mt19937_64 rng(params.seed);
+  std::exponential_distribution<double> gap(params.arrival_rate);
+  std::exponential_distribution<double> vol_i(1.0 / params.interactive_volume);
+  std::exponential_distribution<double> vol_b(1.0 / params.batch_volume);
+  const int total = params.n_interactive + params.n_batch;
+  std::vector<int> kinds;
+  for (int i = 0; i < params.n_interactive; ++i) kinds.push_back(0);
+  for (int i = 0; i < params.n_batch; ++i) kinds.push_back(1);
+  std::shuffle(kinds.begin(), kinds.end(), rng);
+
+  std::vector<Job> jobs;
+  jobs.reserve(static_cast<std::size_t>(total));
+  double t = 0.0;
+  for (int i = 0; i < total; ++i) {
+    if (i > 0) t += gap(rng);
+    Job j;
+    j.release = t;
+    if (kinds[static_cast<std::size_t>(i)] == 0) {
+      j.volume = std::max(vol_i(rng), 1e-6);
+      j.density = params.interactive_rho;
+    } else {
+      j.volume = std::max(vol_b(rng), 1e-6);
+      j.density = params.batch_rho;
+    }
+    jobs.push_back(j);
+  }
+  return Instance(std::move(jobs));
+}
+
+Instance diurnal_trace(const DiurnalParams& params) {
+  if (!(params.amplitude >= 0.0) || params.amplitude >= 1.0) {
+    throw ModelError("diurnal_trace: amplitude must lie in [0, 1)");
+  }
+  std::mt19937_64 rng(params.seed);
+  const double rate_max = params.base_rate * (1.0 + params.amplitude);
+  std::exponential_distribution<double> gap(rate_max);
+  std::uniform_real_distribution<double> accept(0.0, 1.0);
+
+  WorkloadParams marginals;
+  marginals.density_mode = params.density_mode;
+  marginals.density_classes = params.density_classes;
+  marginals.density_spread = params.density_spread;
+
+  std::vector<Job> jobs;
+  jobs.reserve(static_cast<std::size_t>(params.n_jobs));
+  double t = 0.0;
+  while (static_cast<int>(jobs.size()) < params.n_jobs) {
+    t += gap(rng);
+    const double rate =
+        params.base_rate * (1.0 + params.amplitude * std::sin(2.0 * M_PI * t / params.period));
+    if (accept(rng) * rate_max > rate) continue;  // thinning
+    Job j;
+    j.release = t;
+    j.volume = draw_volume(rng, params.volume_dist, params.volume_mean, params.volume_param);
+    j.density = draw_density(rng, marginals);
+    jobs.push_back(j);
+  }
+  return Instance(std::move(jobs));
+}
+
+}  // namespace speedscale::workload

@@ -1,0 +1,84 @@
+// Seeded workload generators.
+//
+// All generators are deterministic in their seed (std::mt19937_64), so every
+// test and bench run is reproducible.  The cloud synthesizer models the
+// paper's motivating application (Section 1): customers pay
+// (lambda - rho * t_delay) per unit volume, so the scheduler-controllable
+// loss is rho * F[j] * V[j] — weighted flow-time with density rho known at
+// release and weight unknown (the non-clairvoyant known-density model).
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "src/core/instance.h"
+
+namespace speedscale::workload {
+
+enum class VolumeDist {
+  kUniform,    ///< uniform in [mean/2, 3*mean/2]
+  kExponential,///< exponential with the given mean
+  kPareto,     ///< Pareto (heavy-tailed), shape = param, scaled to the mean
+  kLognormal,  ///< lognormal, sigma = param, scaled to the mean
+  kFixed,      ///< all volumes equal to the mean
+};
+
+enum class DensityMode {
+  kUnit,       ///< all densities 1 (the uniform-density setting)
+  kClasses,    ///< `classes` discrete levels, geometrically spaced by `spread`
+  kLogUniform, ///< log-uniform in [1/spread, spread]
+};
+
+struct WorkloadParams {
+  int n_jobs = 32;
+  double arrival_rate = 1.0;       ///< Poisson arrival rate (jobs per unit time)
+  VolumeDist volume_dist = VolumeDist::kExponential;
+  double volume_mean = 1.0;
+  double volume_param = 2.0;       ///< shape (Pareto) / sigma (lognormal)
+  DensityMode density_mode = DensityMode::kUnit;
+  int density_classes = 4;
+  double density_spread = 8.0;
+  std::uint64_t seed = 1;
+};
+
+/// Generates an instance with Poisson arrivals and the configured marginals.
+[[nodiscard]] Instance generate(const WorkloadParams& params);
+
+/// n jobs all released at time 0 (the batch setting of Lam et al. [7]).
+[[nodiscard]] Instance batch_at_zero(int n, VolumeDist dist, double mean, double param,
+                                     std::uint64_t seed);
+
+/// Cloud-billing synthesizer: a mix of short interactive requests (high
+/// penalty rate rho) and long batch jobs (low rho), Poisson arrivals.
+struct CloudParams {
+  int n_interactive = 24;
+  int n_batch = 8;
+  double interactive_rho = 8.0;   ///< penalty rate of latency-sensitive work
+  double batch_rho = 1.0;
+  double interactive_volume = 0.25;
+  double batch_volume = 4.0;
+  double arrival_rate = 2.0;
+  std::uint64_t seed = 7;
+};
+[[nodiscard]] Instance cloud_trace(const CloudParams& params);
+
+/// Diurnal (time-varying) arrivals: a non-homogeneous Poisson process with
+/// rate(t) = base_rate * (1 + amplitude * sin(2 pi t / period)), sampled by
+/// thinning.  Models the day/night load swing of the datacenter setting the
+/// paper's introduction motivates.
+struct DiurnalParams {
+  int n_jobs = 200;
+  double base_rate = 1.0;
+  double amplitude = 0.8;  ///< relative swing, in [0, 1)
+  double period = 24.0;
+  VolumeDist volume_dist = VolumeDist::kLognormal;
+  double volume_mean = 1.0;
+  double volume_param = 1.2;
+  DensityMode density_mode = DensityMode::kUnit;
+  int density_classes = 3;
+  double density_spread = 10.0;
+  std::uint64_t seed = 1;
+};
+[[nodiscard]] Instance diurnal_trace(const DiurnalParams& params);
+
+}  // namespace speedscale::workload

@@ -1,0 +1,58 @@
+#include "src/workload/trace_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <vector>
+
+namespace speedscale::workload {
+
+void write_trace(std::ostream& os, const Instance& instance) {
+  os << "id,release,volume,density\n";
+  os << std::setprecision(17);
+  for (const Job& j : instance.jobs()) {
+    os << j.id << ',' << j.release << ',' << j.volume << ',' << j.density << '\n';
+  }
+}
+
+void write_trace_file(const std::string& path, const Instance& instance) {
+  std::ofstream f(path);
+  if (!f) throw ModelError("write_trace_file: cannot open " + path);
+  write_trace(f, instance);
+}
+
+Instance read_trace(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line)) throw ModelError("read_trace: empty stream");
+  if (line.rfind("id,", 0) != 0) throw ModelError("read_trace: missing header");
+  std::vector<Job> jobs;
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream ss(line);
+    std::string field;
+    Job j;
+    try {
+      std::getline(ss, field, ',');  // id (ignored; reassigned)
+      std::getline(ss, field, ',');
+      j.release = std::stod(field);
+      std::getline(ss, field, ',');
+      j.volume = std::stod(field);
+      std::getline(ss, field, ',');
+      j.density = std::stod(field);
+    } catch (const std::exception&) {
+      throw ModelError("read_trace: malformed line " + std::to_string(line_no));
+    }
+    jobs.push_back(j);
+  }
+  return Instance(std::move(jobs));
+}
+
+Instance read_trace_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw ModelError("read_trace_file: cannot open " + path);
+  return read_trace(f);
+}
+
+}  // namespace speedscale::workload

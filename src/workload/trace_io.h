@@ -1,0 +1,22 @@
+// CSV trace I/O for instances.
+//
+// Format (header line required):
+//   id,release,volume,density
+// Ids in the file are informational; loading reassigns contiguous ids in
+// file order (the Instance invariant).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/core/instance.h"
+
+namespace speedscale::workload {
+
+void write_trace(std::ostream& os, const Instance& instance);
+void write_trace_file(const std::string& path, const Instance& instance);
+
+[[nodiscard]] Instance read_trace(std::istream& is);
+[[nodiscard]] Instance read_trace_file(const std::string& path);
+
+}  // namespace speedscale::workload

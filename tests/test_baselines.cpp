@@ -1,0 +1,180 @@
+// Tests for the baseline schedulers (algo/baselines.h).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/algo/algorithm_c.h"
+#include "src/algo/baselines.h"
+#include "src/workload/generators.h"
+
+namespace speedscale {
+namespace {
+
+TEST(FixedSpeed, HandComputableCase) {
+  const Instance inst({Job{kNoJob, 0.0, 2.0, 1.0}});
+  const RunResult r = run_fixed_speed(inst, 2.0, 2.0);
+  // Processing takes 1s at speed 2: energy 4, Fint = 2*1, Ffrac = int(2-2t) = 1.
+  EXPECT_NEAR(r.metrics.energy, 4.0, 1e-12);
+  EXPECT_NEAR(r.metrics.integral_flow, 2.0, 1e-12);
+  EXPECT_NEAR(r.metrics.fractional_flow, 1.0, 1e-12);
+  EXPECT_NEAR(r.schedule.completion(0), 1.0, 1e-12);
+}
+
+TEST(FixedSpeed, IdlesBetweenSparseArrivals) {
+  const Instance inst({Job{kNoJob, 0.0, 1.0, 1.0}, Job{kNoJob, 5.0, 1.0, 1.0}});
+  const RunResult r = run_fixed_speed(inst, 2.0, 1.0);
+  EXPECT_NEAR(r.schedule.completion(0), 1.0, 1e-12);
+  EXPECT_NEAR(r.schedule.completion(1), 6.0, 1e-12);
+  EXPECT_NEAR(r.metrics.energy, 2.0, 1e-12);
+}
+
+TEST(FixedSpeed, RejectsNonPositiveSpeed) {
+  const Instance inst({Job{kNoJob, 0.0, 1.0, 1.0}});
+  EXPECT_THROW(run_fixed_speed(inst, 2.0, 0.0), ModelError);
+}
+
+TEST(ActiveCount, SingleJobClosedForm) {
+  // One active job: P = 1, speed = 1, duration = V.
+  const Instance inst({Job{kNoJob, 0.0, 3.0, 1.0}});
+  const SharedRun r = run_active_count(inst, 2.0);
+  EXPECT_NEAR(r.completions.at(0), 3.0, 1e-12);
+  EXPECT_NEAR(r.metrics.energy, 3.0, 1e-12);
+  // Ffrac = int_0^3 (3 - t) dt = 4.5.
+  EXPECT_NEAR(r.metrics.fractional_flow, 4.5, 1e-12);
+  EXPECT_NEAR(r.metrics.integral_flow, 9.0, 1e-12);
+}
+
+TEST(ActiveCount, TwoEqualJobsShareEvenly) {
+  const double alpha = 2.0;
+  const Instance inst({Job{kNoJob, 0.0, 1.0, 1.0}, Job{kNoJob, 0.0, 1.0, 1.0}});
+  const SharedRun r = run_active_count(inst, alpha);
+  // Phase 1: n=2, speed sqrt(2), each at rate sqrt(2)/2, both finish
+  // together at t = 2/sqrt(2) = sqrt(2).
+  EXPECT_NEAR(r.completions.at(0), std::sqrt(2.0), 1e-9);
+  EXPECT_NEAR(r.completions.at(1), std::sqrt(2.0), 1e-9);
+  EXPECT_NEAR(r.metrics.energy, 2.0 * std::sqrt(2.0), 1e-9);
+}
+
+TEST(ActiveCount, EnergyEqualsQuadrature) {
+  const Instance inst = workload::generate({.n_jobs = 12, .arrival_rate = 2.0, .seed = 10});
+  const SharedRun r = run_active_count(inst, 3.0);
+  EXPECT_GT(r.metrics.energy, 0.0);
+  EXPECT_GT(r.makespan, 0.0);
+  // All jobs complete.
+  EXPECT_EQ(r.completions.size(), inst.size());
+}
+
+TEST(Laps, SingleJobMatchesActiveCount) {
+  const Instance inst({Job{kNoJob, 0.0, 3.0, 1.0}});
+  const SharedRun ps = run_active_count(inst, 2.0);
+  const SharedRun laps = run_laps(inst, 2.0, 0.5);
+  EXPECT_NEAR(laps.completions.at(0), ps.completions.at(0), 1e-12);
+  EXPECT_NEAR(laps.metrics.fractional_objective(), ps.metrics.fractional_objective(), 1e-12);
+}
+
+TEST(Laps, BetaOneDegeneratesToActiveCount) {
+  const Instance inst = workload::generate({.n_jobs = 14, .arrival_rate = 2.0, .seed = 4});
+  const SharedRun ps = run_active_count(inst, 2.5);
+  const SharedRun laps = run_laps(inst, 2.5, 1.0);
+  EXPECT_NEAR(laps.metrics.fractional_objective(), ps.metrics.fractional_objective(),
+              1e-9 * ps.metrics.fractional_objective());
+}
+
+TEST(Laps, ServesLatestArrivalsFirst) {
+  // Two jobs; the second arrives while the first still runs: with
+  // beta = 0.5 LAPS serves ONLY the newer job until it completes.
+  const Instance inst({Job{kNoJob, 0.0, 2.0, 1.0}, Job{kNoJob, 0.5, 0.2, 1.0}});
+  const SharedRun laps = run_laps(inst, 2.0, 0.5);
+  EXPECT_LT(laps.completions.at(1), laps.completions.at(0));
+  // Job 1 is served alone at speed sqrt(2) from t = 0.5.
+  EXPECT_NEAR(laps.completions.at(1), 0.5 + 0.2 / std::sqrt(2.0), 1e-9);
+}
+
+TEST(Laps, CompletesEverythingAcrossSeeds) {
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    const Instance inst = workload::generate({.n_jobs = 20, .arrival_rate = 3.0, .seed = seed});
+    const SharedRun laps = run_laps(inst, 2.0, 0.4);
+    EXPECT_EQ(laps.completions.size(), inst.size());
+    EXPECT_TRUE(std::isfinite(laps.metrics.fractional_objective()));
+  }
+}
+
+TEST(Laps, RejectsBadBeta) {
+  const Instance inst({Job{kNoJob, 0.0, 1.0, 1.0}});
+  EXPECT_THROW(run_laps(inst, 2.0, 0.0), ModelError);
+  EXPECT_THROW(run_laps(inst, 2.0, 1.5), ModelError);
+}
+
+TEST(Wrr, SingleJobRunsAtFullWeightPower) {
+  // One active job of weight W: speed = W^{1/alpha}, constant (the full
+  // weight is known and does not shrink as the job is processed).
+  const double alpha = 2.0;
+  const Instance inst({Job{kNoJob, 0.0, 2.0, 1.0}});  // W = 2
+  const SharedRun r = run_wrr_known_weight(inst, alpha);
+  const double s = std::sqrt(2.0);
+  EXPECT_NEAR(r.completions.at(0), 2.0 / s, 1e-12);
+  EXPECT_NEAR(r.metrics.energy, 2.0 * (2.0 / s), 1e-12);
+}
+
+TEST(Wrr, SharesProportionallyToWeight) {
+  // Two jobs at t=0 with weights 1 and 3 (unit density): the heavy one gets
+  // a 3x speed share; both finish simultaneously at t = 4 / P^{-1}(4) = 2.
+  const Instance inst({Job{kNoJob, 0.0, 1.0, 1.0}, Job{kNoJob, 0.0, 3.0, 1.0}});
+  const SharedRun r = run_wrr_known_weight(inst, 2.0);
+  EXPECT_NEAR(r.completions.at(0), 2.0, 1e-9);
+  EXPECT_NEAR(r.completions.at(1), 2.0, 1e-9);
+}
+
+TEST(Wrr, BatchCompetitivenessMatchesLamEtAl) {
+  // [7]'s (2 - 1/alpha)^2 guarantee is for jobs all released at time 0.
+  const double alpha = 2.0;
+  const double bound = (2.0 - 1.0 / alpha) * (2.0 - 1.0 / alpha);  // 2.25
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    const Instance batch =
+        workload::batch_at_zero(10, workload::VolumeDist::kExponential, 1.0, 0.0, seed);
+    const SharedRun wrr = run_wrr_known_weight(batch, alpha);
+    // Compare against the clairvoyant C (2-competitive), giving an implied
+    // bound vs OPT of 2 * ratio; assert the direct [7] bound with OPT >=
+    // C/2: wrr/opt <= 2 * wrr/C... conservatively check wrr <= bound * C.
+    const RunResult c = run_c(batch, alpha);
+    EXPECT_LE(wrr.metrics.fractional_objective(),
+              bound * c.metrics.fractional_objective() * (1.0 + 1e-9))
+        << "seed " << seed;
+  }
+}
+
+TEST(Wrr, CompletesEverythingWithArrivals) {
+  const Instance inst = workload::generate({.n_jobs = 18, .arrival_rate = 2.5, .seed = 9});
+  const SharedRun r = run_wrr_known_weight(inst, 3.0);
+  EXPECT_EQ(r.completions.size(), inst.size());
+  for (const Job& j : inst.jobs()) {
+    EXPECT_GE(r.completions.at(j.id), j.release);
+  }
+}
+
+TEST(NaiveNC, MatchesNCOnlyForSingleJob) {
+  // With exactly one job the naive rule coincides with Algorithm NC.
+  const Instance inst({Job{kNoJob, 0.0, 1.0, 1.0}});
+  const RunResult naive = run_naive_nc(inst, 2.0);
+  EXPECT_NEAR(naive.metrics.energy, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(naive.metrics.fractional_flow, 4.0 / 3.0, 1e-12);
+}
+
+TEST(NaiveNC, OverspendsOnSparseInstances) {
+  // Sparse arrivals: the naive offset keeps growing, so later jobs burn far
+  // more energy than Algorithm C would.
+  const Instance inst = workload::generate({.n_jobs = 12, .arrival_rate = 0.2, .seed = 14});
+  const double alpha = 2.0;
+  const RunResult naive = run_naive_nc(inst, alpha);
+  const RunResult c = run_c(inst, alpha);
+  EXPECT_GT(naive.metrics.energy, c.metrics.energy * 1.05);
+}
+
+TEST(Baselines, SchedulesValidate) {
+  const Instance inst = workload::generate({.n_jobs = 10, .seed = 20});
+  run_fixed_speed(inst, 2.0, 1.5).schedule.validate(inst);
+  run_naive_nc(inst, 2.0).schedule.validate(inst);
+}
+
+}  // namespace
+}  // namespace speedscale

@@ -1,0 +1,51 @@
+// Tests for the evolving-instance differential identities (Section 3 proof
+// steps) via analysis/evolution.h.
+#include <gtest/gtest.h>
+
+#include "src/analysis/evolution.h"
+#include "src/workload/generators.h"
+
+namespace speedscale {
+namespace {
+
+class EvolutionSweep : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(EvolutionSweep, DifferentialIdentitiesHold) {
+  const auto [alpha, seed] = GetParam();
+  const Instance inst = workload::generate({.n_jobs = 10,
+                                            .arrival_rate = 1.3,
+                                            .seed = static_cast<std::uint64_t>(seed)});
+  const analysis::EvolutionReport rep = analysis::analyze_evolution(inst, alpha, 16);
+  ASSERT_FALSE(rep.probes.empty());
+  // Eqn (4): the clairvoyant energy of I(T) grows at exactly NC's power.
+  EXPECT_LT(rep.worst_eqn4_error, 1e-4);
+  // Lemma 4 differential form: dE^C = (1 - 1/alpha) dF^NC.
+  EXPECT_LT(rep.worst_lemma4_error, 1e-4);
+  // Lemma 8 differential form: dFint <= (2 - 1/alpha) dF (allow fd noise).
+  EXPECT_LT(rep.worst_lemma8_excess, 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, EvolutionSweep,
+                         ::testing::Combine(::testing::Values(1.5, 2.0, 3.0),
+                                            ::testing::Values(1, 2)));
+
+TEST(Evolution, ProbesCarryConsistentMetadata) {
+  const Instance inst = workload::generate({.n_jobs = 6, .seed = 3});
+  const analysis::EvolutionReport rep = analysis::analyze_evolution(inst, 2.0, 8);
+  double prev_t = -1.0;
+  for (const auto& p : rep.probes) {
+    EXPECT_GT(p.T, prev_t);
+    prev_t = p.T;
+    EXPECT_NE(p.job, kNoJob);
+    EXPECT_GT(p.nc_power, 0.0);
+    EXPECT_GT(p.dFnc_dT, 0.0);  // flow strictly accrues while processing
+  }
+}
+
+TEST(Evolution, RejectsNonUniform) {
+  const Instance mixed({Job{kNoJob, 0.0, 1.0, 1.0}, Job{kNoJob, 0.0, 1.0, 2.0}});
+  EXPECT_THROW(analysis::analyze_evolution(mixed, 2.0), ModelError);
+}
+
+}  // namespace
+}  // namespace speedscale

@@ -1,0 +1,125 @@
+// Tests for the Lemma 15 fractional -> integral reduction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/algo/algorithm_c.h"
+#include "src/algo/algorithm_nc_uniform.h"
+#include "src/algo/bounds.h"
+#include "src/algo/frac_to_int.h"
+#include "src/core/kinematics.h"
+#include "src/workload/generators.h"
+
+namespace speedscale {
+namespace {
+
+TEST(FracToInt, SingleJobExactAccounting) {
+  const double alpha = 2.0, eps = 1.0;
+  const Instance inst({Job{kNoJob, 0.0, 1.0, 1.0}});
+  const RunResult nc = run_nc_uniform(inst, alpha);
+  const IntReductionRun red = reduce_frac_to_int(inst, nc.schedule, eps);
+  // A_int finishes when A_frac has processed 1/2 of the job.  A_frac's
+  // growth curve: U^{1/2} = t/2 (alpha=2, rho=1) => U(t) = t^2/4; U = 1/2 at
+  // t = sqrt(2).
+  EXPECT_NEAR(red.completions.at(0), std::sqrt(2.0), 1e-12);
+  // Integral flow: W * tau = sqrt(2).
+  EXPECT_NEAR(red.integral_flow, std::sqrt(2.0), 1e-12);
+  // Energy: (1+eps)^alpha * int_0^tau U dt = 4 * tau^3/12.
+  EXPECT_NEAR(red.energy, 4.0 * std::pow(std::sqrt(2.0), 3.0) / 12.0, 1e-12);
+}
+
+TEST(FracToInt, CompletionsPrecedeFractionalCompletions) {
+  const Instance inst = workload::generate({.n_jobs = 20, .seed = 2});
+  const double alpha = 2.5;
+  const RunResult nc = run_nc_uniform(inst, alpha);
+  const IntReductionRun red = reduce_frac_to_int(inst, nc.schedule, 0.5);
+  for (const Job& j : inst.jobs()) {
+    EXPECT_LE(red.completions.at(j.id), nc.schedule.completion(j.id) + 1e-12);
+    EXPECT_GE(red.completions.at(j.id), j.release);
+  }
+}
+
+class FracToIntSweep : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(FracToIntSweep, Lemma15Bounds) {
+  const auto [alpha, eps] = GetParam();
+  const Instance inst = workload::generate({.n_jobs = 18, .arrival_rate = 1.2, .seed = 8});
+  const RunResult nc = run_nc_uniform(inst, alpha);
+  const IntReductionRun red = reduce_frac_to_int(inst, nc.schedule, eps);
+  // Lemma 15's two component bounds.
+  EXPECT_LE(red.energy, std::pow(1.0 + eps, alpha) * nc.metrics.energy * (1.0 + 1e-9));
+  EXPECT_LE(red.integral_flow,
+            (1.0 + 1.0 / eps) * nc.metrics.fractional_flow * (1.0 + 1e-9));
+  // And the combined objective bound.
+  EXPECT_LE(red.integral_objective(), bounds::reduction_factor(alpha, eps) *
+                                          nc.metrics.fractional_objective() * (1.0 + 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, FracToIntSweep,
+                         ::testing::Combine(::testing::Values(1.5, 2.0, 3.0),
+                                            ::testing::Values(0.25, 0.5, 1.0, 2.0)));
+
+TEST(FracToInt, EnergyScalesExactlyForFullyProcessedParts) {
+  // With a tiny eps, A_int runs nearly the whole fractional schedule at
+  // speed ~(1+eps): its energy must approach (1+eps)^alpha * E_frac.
+  const double alpha = 2.0, eps = 1e-4;
+  const Instance inst = workload::generate({.n_jobs = 10, .seed = 3});
+  const RunResult nc = run_nc_uniform(inst, alpha);
+  const IntReductionRun red = reduce_frac_to_int(inst, nc.schedule, eps);
+  EXPECT_NEAR(red.energy, std::pow(1.0 + eps, alpha) * nc.metrics.energy,
+              1e-2 * nc.metrics.energy);
+}
+
+TEST(FracToInt, HandlesPreemptedMultiSegmentJobs) {
+  // Algorithm C preempts low-density jobs, so a job's volume is spread over
+  // several segments — exercising the cross-segment accumulation and the
+  // mid-segment inversion of the reduction.
+  const Instance inst({Job{kNoJob, 0.0, 4.0, 1.0}, Job{kNoJob, 0.3, 0.3, 30.0},
+                       Job{kNoJob, 1.4, 0.3, 30.0}, Job{kNoJob, 2.6, 0.2, 30.0}});
+  const double alpha = 2.0, eps = 0.8;
+  const RunResult c = run_c(inst, alpha);
+  // Ensure the low-density job really is split.
+  int segments_of_job0 = 0;
+  for (const Segment& seg : c.schedule.segments()) {
+    if (seg.job == 0) ++segments_of_job0;
+  }
+  ASSERT_GE(segments_of_job0, 3);
+  const IntReductionRun red = reduce_frac_to_int(inst, c.schedule, eps);
+  EXPECT_LE(red.energy, std::pow(1.0 + eps, alpha) * c.metrics.energy * (1.0 + 1e-9));
+  EXPECT_LE(red.integral_flow,
+            (1.0 + 1.0 / eps) * c.metrics.fractional_flow * (1.0 + 1e-9));
+  for (const Job& j : inst.jobs()) {
+    EXPECT_LE(red.completions.at(j.id), c.schedule.completion(j.id) + 1e-12);
+    EXPECT_GE(red.completions.at(j.id), j.release - 1e-12);
+  }
+}
+
+TEST(FracToInt, CompletionIsExactVolumeInversion) {
+  // Single job under C: tau solves processed(tau) = V/(1+eps) on the decay
+  // law; check against the closed-form inversion.
+  const double alpha = 2.0, eps = 1.0, V = 2.0;
+  const Instance inst({Job{kNoJob, 0.0, V, 1.0}});
+  const RunResult c = run_c(inst, alpha);
+  const IntReductionRun red = reduce_frac_to_int(inst, c.schedule, eps);
+  const PowerLawKinematics kin(alpha);
+  // Weight drops from V to V - V/(1+eps) = V/2.
+  const double tau_expect = kin.decay_time_to_weight(V, V / 2.0, 1.0);
+  EXPECT_NEAR(red.completions.at(0), tau_expect, 1e-12);
+}
+
+TEST(FracToInt, RejectsBadEps) {
+  const Instance inst({Job{kNoJob, 0.0, 1.0, 1.0}});
+  const RunResult nc = run_nc_uniform(inst, 2.0);
+  EXPECT_THROW(reduce_frac_to_int(inst, nc.schedule, 0.0), ModelError);
+  EXPECT_THROW(reduce_frac_to_int(inst, nc.schedule, -0.5), ModelError);
+}
+
+TEST(FracToInt, ThrowsOnIncompleteSchedule) {
+  const Instance inst({Job{kNoJob, 0.0, 1.0, 1.0}});
+  Schedule partial(2.0);
+  partial.append({0.0, 0.1, 0, SpeedLaw::kConstant, 1.0, 1.0});
+  EXPECT_THROW(reduce_frac_to_int(inst, partial, 1.0), ModelError);
+}
+
+}  // namespace
+}  // namespace speedscale

@@ -1,0 +1,124 @@
+// Randomized cross-algorithm invariants ("fuzz"): on a wide spread of
+// workload shapes, every algorithm must produce a valid schedule and the
+// model-level orderings must hold.  These are cheap per-instance checks, so
+// the sweep covers many seeds and distributions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/algo/algorithm_c.h"
+#include "src/algo/algorithm_nc_uniform.h"
+#include "src/algo/baselines.h"
+#include "src/algo/bounds.h"
+#include "src/algo/frac_to_int.h"
+#include "src/algo/parallel.h"
+#include "src/workload/generators.h"
+
+namespace speedscale {
+namespace {
+
+struct FuzzCase {
+  workload::VolumeDist dist;
+  double rate;
+  int n;
+};
+
+class Fuzz : public ::testing::TestWithParam<std::tuple<int, int>> {
+ protected:
+  [[nodiscard]] Instance make() const {
+    const auto [shape, seed] = GetParam();
+    static const FuzzCase cases[] = {
+        {workload::VolumeDist::kUniform, 0.3, 9},
+        {workload::VolumeDist::kExponential, 1.0, 17},
+        {workload::VolumeDist::kPareto, 2.0, 23},
+        {workload::VolumeDist::kLognormal, 5.0, 30},
+        {workload::VolumeDist::kFixed, 10.0, 12},
+    };
+    const FuzzCase& c = cases[static_cast<std::size_t>(shape)];
+    return workload::generate({.n_jobs = c.n,
+                               .arrival_rate = c.rate,
+                               .volume_dist = c.dist,
+                               .volume_param = 1.8,
+                               .seed = static_cast<std::uint64_t>(seed * 7919 + shape)});
+  }
+};
+
+TEST_P(Fuzz, AllAlgorithmsProduceValidFiniteSchedules) {
+  const Instance inst = make();
+  const double alpha = 2.0;
+  const RunResult c = run_c(inst, alpha);
+  const RunResult nc = run_nc_uniform(inst, alpha);
+  const RunResult naive = run_naive_nc(inst, alpha);
+  const RunResult doubling = run_doubling_nc(inst, alpha);
+  for (const RunResult* r : {&c, &nc, &naive, &doubling}) {
+    r->schedule.validate(inst);
+    EXPECT_TRUE(std::isfinite(r->metrics.fractional_objective()));
+    EXPECT_TRUE(std::isfinite(r->metrics.integral_objective()));
+    EXPECT_GT(r->metrics.energy, 0.0);
+    for (const Job& j : inst.jobs()) {
+      EXPECT_GE(r->schedule.completion(j.id), j.release);
+    }
+  }
+}
+
+TEST_P(Fuzz, FractionalFlowNeverExceedsIntegralFlow) {
+  // Each infinitesimal piece of a job finishes no later than the job, so
+  // F[j] <= Fint[j] for every schedule.
+  const Instance inst = make();
+  for (const double alpha : {1.5, 3.0}) {
+    const RunResult c = run_c(inst, alpha);
+    const RunResult nc = run_nc_uniform(inst, alpha);
+    EXPECT_LE(c.metrics.fractional_flow, c.metrics.integral_flow * (1.0 + 1e-9));
+    EXPECT_LE(nc.metrics.fractional_flow, nc.metrics.integral_flow * (1.0 + 1e-9));
+  }
+}
+
+TEST_P(Fuzz, PaperIdentitiesAndOrderings) {
+  const Instance inst = make();
+  const double alpha = 2.5;
+  const RunResult c = run_c(inst, alpha);
+  const RunResult nc = run_nc_uniform(inst, alpha);
+  // Lemma 3/4 identities on every fuzzed shape.
+  EXPECT_NEAR(nc.metrics.energy, c.metrics.energy, 1e-9 * std::max(1.0, c.metrics.energy));
+  EXPECT_NEAR(nc.metrics.fractional_flow,
+              bounds::nc_over_c_flow(alpha) * c.metrics.fractional_flow,
+              1e-9 * std::max(1.0, nc.metrics.fractional_flow));
+  // Algorithm C's energy = flow identity.
+  EXPECT_NEAR(c.metrics.energy, c.metrics.fractional_flow,
+              1e-9 * std::max(1.0, c.metrics.energy));
+  // Lemma 8 on every fuzzed shape.
+  EXPECT_LE(nc.metrics.integral_flow,
+            bounds::nc_integral_over_fractional_flow(alpha) * nc.metrics.fractional_flow *
+                (1.0 + 1e-9));
+}
+
+TEST_P(Fuzz, ReductionBoundsAcrossShapes) {
+  const Instance inst = make();
+  const double alpha = 2.0, eps = 0.7;
+  const RunResult nc = run_nc_uniform(inst, alpha);
+  const IntReductionRun red = reduce_frac_to_int(inst, nc.schedule, eps);
+  EXPECT_LE(red.energy, std::pow(1.0 + eps, alpha) * nc.metrics.energy * (1.0 + 1e-9));
+  EXPECT_LE(red.integral_flow, (1.0 + 1.0 / eps) * nc.metrics.fractional_flow * (1.0 + 1e-9));
+  for (const Job& j : inst.jobs()) {
+    EXPECT_LE(red.completions.at(j.id), nc.schedule.completion(j.id) + 1e-12);
+  }
+}
+
+TEST_P(Fuzz, ParallelIdentitiesAcrossShapes) {
+  const Instance inst = make();
+  const double alpha = 2.0;
+  const int k = 3;
+  const ParallelRun c = run_c_par(inst, alpha, k);
+  const ParallelRun nc = run_nc_par(inst, alpha, k);
+  for (std::size_t i = 0; i < inst.size(); ++i) {
+    ASSERT_EQ(c.assignment[i], nc.assignment[i]);
+  }
+  EXPECT_NEAR(nc.metrics.energy, c.metrics.energy, 1e-9 * std::max(1.0, c.metrics.energy));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, Fuzz,
+                         ::testing::Combine(::testing::Range(0, 5),
+                                            ::testing::Values(1, 2, 3, 4)));
+
+}  // namespace
+}  // namespace speedscale

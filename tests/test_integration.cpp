@@ -1,0 +1,152 @@
+// End-to-end integration tests: pipelines that thread multiple subsystems
+// together the way a downstream user would.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/algo/algorithm_c.h"
+#include "src/algo/algorithm_nc_nonuniform.h"
+#include "src/algo/algorithm_nc_uniform.h"
+#include "src/algo/frac_to_int.h"
+#include "src/algo/parallel.h"
+#include "src/analysis/export.h"
+#include "src/analysis/ratio_harness.h"
+#include "src/opt/convex_opt.h"
+#include "src/sim/speed_profile.h"
+#include "src/workload/generators.h"
+#include "src/workload/trace_io.h"
+
+namespace speedscale {
+namespace {
+
+TEST(Integration, TraceRoundTripPreservesAlgorithmBehaviour) {
+  // Generate -> serialize -> parse -> run: bit-identical costs.
+  const Instance orig = workload::cloud_trace({});
+  std::stringstream ss;
+  workload::write_trace(ss, orig);
+  const Instance back = workload::read_trace(ss);
+  const double alpha = 2.5;
+  const RunResult a = run_c(orig, alpha);
+  const RunResult b = run_c(back, alpha);
+  EXPECT_DOUBLE_EQ(a.metrics.fractional_objective(), b.metrics.fractional_objective());
+  EXPECT_DOUBLE_EQ(a.metrics.integral_objective(), b.metrics.integral_objective());
+}
+
+TEST(Integration, FileBasedTraceWorkflow) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "speedscale_it";
+  fs::create_directories(dir);
+  const fs::path trace = dir / "trace.csv";
+  const fs::path profile = dir / "profile.csv";
+
+  const Instance inst = workload::generate({.n_jobs = 8, .seed = 42});
+  workload::write_trace_file(trace.string(), inst);
+  const Instance loaded = workload::read_trace_file(trace.string());
+  const RunResult nc = run_nc_uniform(loaded, 2.0);
+  analysis::export_speed_profile_file(profile.string(), nc.schedule, 64);
+
+  std::ifstream pf(profile.string());
+  ASSERT_TRUE(pf.good());
+  std::string header;
+  std::getline(pf, header);
+  EXPECT_EQ(header, "t,speed,power");
+  int rows = 0;
+  for (std::string line; std::getline(pf, line);) ++rows;
+  EXPECT_EQ(rows, 65);
+  fs::remove_all(dir);
+}
+
+TEST(Integration, ReductionOfParallelPerMachineSchedules) {
+  // Theorem 17 covers the integral objective; one way to realize it is the
+  // Lemma 15 reduction applied per machine to NC-PAR's schedules.
+  const Instance inst = workload::generate({.n_jobs = 24, .arrival_rate = 3.0, .seed = 10});
+  const double alpha = 2.0, eps = 0.5;
+  const ParallelRun nc = run_nc_par(inst, alpha, 3);
+  double int_objective = 0.0;
+  for (int m = 0; m < 3; ++m) {
+    // Build this machine's sub-instance (local ids) and reduce its schedule.
+    std::vector<Job> local_jobs;
+    std::vector<JobId> orig;
+    for (const Job& j : inst.jobs()) {
+      if (nc.assignment[static_cast<std::size_t>(j.id)] == m) {
+        local_jobs.push_back(j);
+        orig.push_back(j.id);
+      }
+    }
+    if (local_jobs.empty()) continue;
+    const Instance local(std::move(local_jobs));
+    Schedule local_sched(alpha);
+    for (Segment seg : nc.schedules[static_cast<std::size_t>(m)].segments()) {
+      const auto it = std::find(orig.begin(), orig.end(), seg.job);
+      ASSERT_NE(it, orig.end());
+      seg.job = static_cast<JobId>(it - orig.begin());
+      local_sched.append(seg);
+    }
+    for (std::size_t i = 0; i < orig.size(); ++i) {
+      local_sched.set_completion(static_cast<JobId>(i),
+                                 nc.schedules[static_cast<std::size_t>(m)].completion(orig[i]));
+    }
+    const IntReductionRun red = reduce_frac_to_int(local, local_sched, eps);
+    int_objective += red.integral_objective();
+  }
+  // The combined bound: Gamma_int <= max((1+eps)^a, 1+1/eps) * frac objective.
+  const double factor = std::max(std::pow(1.0 + eps, alpha), 1.0 + 1.0 / eps);
+  EXPECT_LE(int_objective, factor * nc.metrics.fractional_objective() * (1.0 + 1e-9));
+  EXPECT_GT(int_objective, 0.0);
+}
+
+TEST(Integration, SuiteOnMixedDensityCloudTrace) {
+  workload::CloudParams cp;
+  cp.n_interactive = 10;
+  cp.n_batch = 4;
+  cp.seed = 77;
+  const Instance trace = workload::cloud_trace(cp);
+  const analysis::SuiteResult suite =
+      analysis::run_suite(trace, 2.0, {.include_nonuniform = true, .opt_slots = 300});
+  ASSERT_TRUE(suite.opt_fractional.has_value());
+  // Every algorithm beats OPT by at most its regime's constant; and the
+  // clairvoyant C respects Theorem 1 with slack.
+  for (const auto& o : suite.outcomes) {
+    if (o.integral_only) continue;
+    EXPECT_GT(suite.frac_ratio(o), 0.85) << o.name;
+    EXPECT_LT(suite.frac_ratio(o), 60.0) << o.name;
+    if (o.name == "C (clairvoyant)") {
+      EXPECT_LT(suite.frac_ratio(o), 2.1);
+    }
+  }
+}
+
+TEST(Integration, NonUniformScheduleFeedsAllAnalyses) {
+  // One non-uniform run drives: metrics, validation, level sets, export.
+  const Instance inst = workload::generate({.n_jobs = 8,
+                                            .arrival_rate = 1.0,
+                                            .density_mode = workload::DensityMode::kClasses,
+                                            .seed = 21});
+  const NCNonUniformRun run = run_nc_nonuniform(inst, 2.0);
+  run.result.schedule.validate(inst);
+  EXPECT_GT(time_at_or_above(run.result.schedule,
+                             0.5 * run.result.schedule.speed_at(
+                                       0.5 * run.result.schedule.makespan()) +
+                                 1e-9),
+            0.0);
+  std::ostringstream os;
+  analysis::export_job_summary(os, inst, run.result.schedule);
+  EXPECT_NE(os.str().find("flow_time"), std::string::npos);
+}
+
+TEST(Integration, OptHorizonOverrideIsRespected) {
+  const Instance inst = workload::generate({.n_jobs = 5, .seed = 31});
+  const ConvexOptResult a = solve_fractional_opt(inst, 2.0, {.slots = 200, .horizon = 40.0});
+  EXPECT_DOUBLE_EQ(a.horizon, 40.0);
+  EXPECT_EQ(a.slot_speed.size(), 200u);
+  // A too-short horizon must still produce a feasible (if worse) objective.
+  const ConvexOptResult b = solve_fractional_opt(inst, 2.0, {.slots = 200});
+  EXPECT_GE(a.objective, b.objective * 0.8);
+}
+
+}  // namespace
+}  // namespace speedscale

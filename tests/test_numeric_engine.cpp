@@ -1,0 +1,135 @@
+// Tests for the generic numeric engine (sim/numeric_engine.h): closed-form
+// cross-validation on power laws, and the paper's general-P lemmas (3 and 6)
+// on non-polynomial power functions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/algo/algorithm_c.h"
+#include "src/algo/algorithm_nc_uniform.h"
+#include "src/core/power.h"
+#include "src/sim/numeric_engine.h"
+#include "src/workload/generators.h"
+
+namespace speedscale {
+namespace {
+
+Instance uniform_instance(int n, std::uint64_t seed) {
+  return workload::generate({.n_jobs = n, .arrival_rate = 1.2, .seed = seed});
+}
+
+TEST(NumericEngine, GenericCMatchesExactCOnPowerLaw) {
+  const double alpha = 2.5;
+  const Instance inst = uniform_instance(8, 11);
+  const PowerLaw p(alpha);
+  const SampledRun num = run_generic_c(inst, p);
+  const RunResult exact = run_c(inst, alpha);
+  EXPECT_NEAR(num.energy, exact.metrics.energy, 1e-4 * exact.metrics.energy);
+  EXPECT_NEAR(num.fractional_flow, exact.metrics.fractional_flow,
+              1e-4 * exact.metrics.fractional_flow);
+  for (const Job& j : inst.jobs()) {
+    EXPECT_NEAR(num.completions.at(j.id), exact.schedule.completion(j.id),
+                1e-4 * std::max(1.0, exact.schedule.completion(j.id)));
+  }
+}
+
+TEST(NumericEngine, GenericCWithDensitiesMatchesExact) {
+  const double alpha = 3.0;
+  const Instance inst = workload::generate(
+      {.n_jobs = 8, .density_mode = workload::DensityMode::kClasses, .seed = 4});
+  const PowerLaw p(alpha);
+  const SampledRun num = run_generic_c(inst, p);
+  const RunResult exact = run_c(inst, alpha);
+  EXPECT_NEAR(num.energy, exact.metrics.energy, 2e-4 * exact.metrics.energy);
+  EXPECT_NEAR(num.integral_flow, exact.metrics.integral_flow,
+              2e-4 * exact.metrics.integral_flow);
+}
+
+TEST(NumericEngine, GenericNCMatchesExactNCOnPowerLaw) {
+  const double alpha = 2.0;
+  const Instance inst = uniform_instance(8, 19);
+  const PowerLaw p(alpha);
+  const SampledRun num = run_generic_nc_uniform(inst, p);
+  const RunResult exact = run_nc_uniform(inst, alpha);
+  EXPECT_NEAR(num.energy, exact.metrics.energy, 5e-3 * exact.metrics.energy);
+  EXPECT_NEAR(num.fractional_flow, exact.metrics.fractional_flow,
+              5e-3 * exact.metrics.fractional_flow);
+}
+
+TEST(NumericEngine, WeightLeftQueriesPreEventValue) {
+  const Instance inst({Job{kNoJob, 0.0, 1.0, 1.0}, Job{kNoJob, 0.5, 1.0, 1.0}});
+  const PowerLaw p(2.0);
+  const SampledRun c = run_generic_c(inst, p);
+  const PowerLawKinematics kin(2.0);
+  const double expect = kin.decay_weight_after(1.0, 1.0, 0.5);
+  EXPECT_NEAR(c.weight_left(0.5), expect, 1e-4);
+}
+
+// --- The general-power-function lemmas (experiment E11's invariants) -----
+
+class GeneralPowerLemmas : public ::testing::TestWithParam<int> {
+ protected:
+  [[nodiscard]] std::unique_ptr<PowerFunction> make_power() const {
+    switch (GetParam()) {
+      case 0:
+        return std::make_unique<LeakyPowerLaw>(2.0, 0.5);
+      case 1:
+        return std::make_unique<LeakyPowerLaw>(3.0, 2.0);
+      default:
+        return std::make_unique<ExpPower>();
+    }
+  }
+};
+
+// Lemma 3 holds for EVERY power function: NC and C consume equal energy.
+TEST_P(GeneralPowerLemmas, Lemma3EnergyEquality) {
+  const auto power = make_power();
+  const Instance inst = uniform_instance(6, 23);
+  const SampledRun c = run_generic_c(inst, *power);
+  const SampledRun nc = run_generic_nc_uniform(inst, *power);
+  EXPECT_NEAR(nc.energy, c.energy, 5e-3 * c.energy) << power->name();
+}
+
+// Lemma 6 holds for EVERY power function: the speed profiles are
+// measure-preserving rearrangements (equal level-set measures).
+TEST_P(GeneralPowerLemmas, Lemma6LevelSetsAgree) {
+  const auto power = make_power();
+  const Instance inst = uniform_instance(5, 29);
+  const SampledRun c = run_generic_c(inst, *power);
+  const SampledRun nc = run_generic_nc_uniform(inst, *power);
+  double s_max = 0.0;
+  for (double s : c.speed) s_max = std::max(s_max, s);
+  ASSERT_GT(s_max, 0.0);
+  double makespan = std::max(c.t.back(), nc.t.back());
+  for (double f : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    const double x = f * s_max;
+    EXPECT_NEAR(nc.time_at_or_above(x), c.time_at_or_above(x), 2e-2 * makespan)
+        << power->name() << " at threshold " << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PowerFns, GeneralPowerLemmas, ::testing::Values(0, 1, 2));
+
+TEST(NumericEngine, RejectsNonUniformNC) {
+  const Instance mixed({Job{kNoJob, 0.0, 1.0, 1.0}, Job{kNoJob, 0.0, 1.0, 2.0}});
+  const PowerLaw p(2.0);
+  EXPECT_THROW(run_generic_nc_uniform(mixed, p), ModelError);
+}
+
+TEST(NumericEngine, SubstepRefinementConverges) {
+  const Instance inst = uniform_instance(4, 41);
+  const PowerLaw p(2.0);
+  NumericConfig coarse;
+  coarse.substeps_per_interval = 256;
+  NumericConfig fine;
+  fine.substeps_per_interval = 4096;
+  const SampledRun a = run_generic_c(inst, p, coarse);
+  const SampledRun b = run_generic_c(inst, p, fine);
+  const RunResult exact = run_c(inst, 2.0);
+  const double err_a = std::abs(a.energy - exact.metrics.energy);
+  const double err_b = std::abs(b.energy - exact.metrics.energy);
+  EXPECT_LE(err_b, err_a + 1e-12);
+}
+
+}  // namespace
+}  // namespace speedscale

@@ -1,0 +1,168 @@
+// Unit tests for the numerics module (roots, ODE, projection, stats).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "src/numerics/ode.h"
+#include "src/numerics/projection.h"
+#include "src/numerics/roots.h"
+#include "src/numerics/stats.h"
+
+namespace speedscale::numerics {
+namespace {
+
+TEST(Roots, BisectFindsSimpleRoot) {
+  const double r = bisect([](double x) { return x * x - 2.0; }, 0.0, 2.0, 1e-12);
+  EXPECT_NEAR(r, std::sqrt(2.0), 1e-10);
+}
+
+TEST(Roots, BisectThrowsWhenUnbracketed) {
+  EXPECT_THROW(bisect([](double x) { return x * x + 1.0; }, -1.0, 1.0, 1e-12),
+               std::invalid_argument);
+}
+
+TEST(Roots, BrentMatchesKnownRoots) {
+  EXPECT_NEAR(brent([](double x) { return std::cos(x); }, 0.0, 3.0, 1e-14), M_PI / 2.0, 1e-12);
+  EXPECT_NEAR(brent([](double x) { return x * x * x - 8.0; }, 0.0, 5.0, 1e-14), 2.0, 1e-12);
+}
+
+TEST(Roots, BrentHandlesEndpointRoot) {
+  EXPECT_DOUBLE_EQ(brent([](double x) { return x; }, 0.0, 1.0, 1e-14), 0.0);
+}
+
+TEST(Roots, FindRootIncreasingExpandsBracket) {
+  const double r =
+      find_root_increasing([](double x) { return x - 100.0; }, 0.0, 1.0, 1e-12);
+  EXPECT_NEAR(r, 100.0, 1e-8);
+}
+
+TEST(Ode, Rk4SolvesLinearDecay) {
+  // y' = -y, y(0) = 1: y(1) = e^{-1}.
+  double y = 1.0;
+  const int n = 100;
+  for (int i = 0; i < n; ++i) {
+    y = rk4_step([](double, double v) { return -v; }, 0.0, y, 1.0 / n);
+  }
+  EXPECT_NEAR(y, std::exp(-1.0), 1e-9);
+}
+
+TEST(Ode, AdaptiveIntegrationAccuracy) {
+  // y' = cos(t), y(0) = 0: y(pi) = 0 (through a full arch).
+  const double y = integrate([](double t, double) { return std::cos(t); }, 0.0, 0.0, M_PI,
+                             1e-12);
+  EXPECT_NEAR(y, std::sin(M_PI), 1e-9);
+  const double half = integrate([](double t, double) { return std::cos(t); }, 0.0, 0.0,
+                                M_PI / 2.0, 1e-12);
+  EXPECT_NEAR(half, 1.0, 1e-9);
+}
+
+TEST(Ode, IntegrateUntilLocalizesEvent) {
+  // y' = -y from y=1; event: y <= 1/2 at t = ln 2.
+  const EventResult r = integrate_until(
+      [](double, double y) { return -y; }, 0.0, 1.0, 10.0,
+      [](double, double y) { return y - 0.5; }, 1e-12);
+  EXPECT_TRUE(r.event_hit);
+  EXPECT_NEAR(r.t, std::log(2.0), 1e-8);
+  EXPECT_NEAR(r.y, 0.5, 1e-8);
+}
+
+TEST(Ode, IntegrateUntilHonorsTMax) {
+  const EventResult r = integrate_until(
+      [](double, double) { return 0.0; }, 0.0, 1.0, 2.0,
+      [](double, double y) { return y; }, 1e-10);
+  EXPECT_FALSE(r.event_hit);
+  EXPECT_DOUBLE_EQ(r.t, 2.0);
+}
+
+TEST(Projection, AlreadyFeasibleIsFixedPoint) {
+  std::vector<double> x{0.25, 0.25, 0.5};
+  project_simplex(x, 1.0);
+  EXPECT_NEAR(x[0], 0.25, 1e-12);
+  EXPECT_NEAR(x[1], 0.25, 1e-12);
+  EXPECT_NEAR(x[2], 0.5, 1e-12);
+}
+
+TEST(Projection, ProjectsToCorrectSumAndNonnegativity) {
+  std::mt19937_64 rng(11);
+  std::uniform_real_distribution<double> u(-2.0, 2.0);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> x(17);
+    for (double& v : x) v = u(rng);
+    const double total = 3.0;
+    project_simplex(x, total);
+    double sum = 0.0;
+    for (double v : x) {
+      EXPECT_GE(v, 0.0);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, total, 1e-9);
+  }
+}
+
+TEST(Projection, ProjectionIsClosestPoint) {
+  // Compare against a brute-force check: for random feasible y, the
+  // projection p of x satisfies ||x-p|| <= ||x-y||.
+  std::mt19937_64 rng(5);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  std::vector<double> x(6);
+  for (double& v : x) v = u(rng);
+  std::vector<double> p = x;
+  project_simplex(p, 1.0);
+  const auto dist2 = [&](const std::vector<double>& a, const std::vector<double>& b) {
+    double d = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) d += (a[i] - b[i]) * (a[i] - b[i]);
+    return d;
+  };
+  std::uniform_real_distribution<double> uu(0.0, 1.0);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> y(6);
+    double s = 0.0;
+    for (double& v : y) {
+      v = uu(rng);
+      s += v;
+    }
+    for (double& v : y) v /= s;  // feasible point on the simplex
+    EXPECT_LE(dist2(x, p), dist2(x, y) + 1e-9);
+  }
+}
+
+TEST(Projection, ZeroTotalZeroesEverything) {
+  std::vector<double> x{1.0, 2.0, 3.0};
+  project_simplex(x, 0.0);
+  for (double v : x) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Stats, RunningStatsBasics) {
+  RunningStats s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(Stats, LogLogSlopeRecoversExponent) {
+  std::vector<double> x, y;
+  for (double k = 2.0; k <= 64.0; k *= 2.0) {
+    x.push_back(k);
+    y.push_back(3.0 * std::pow(k, 0.75));
+  }
+  EXPECT_NEAR(fit_log_log_slope(x, y), 0.75, 1e-10);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  std::vector<double> d{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(d, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(d, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(d, 0.5), 2.5);
+}
+
+TEST(Stats, ErrorsOnDegenerateInput) {
+  EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW(fit_log_log_slope({1.0}, {1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace speedscale::numerics

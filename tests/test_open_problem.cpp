@@ -1,0 +1,96 @@
+// Tests for the Section 7 open-problem exploration (algo/open_problem.h)
+// and the doubling baseline.
+#include <gtest/gtest.h>
+
+#include "src/algo/algorithm_c.h"
+#include "src/algo/algorithm_nc_uniform.h"
+#include "src/algo/baselines.h"
+#include "src/algo/open_problem.h"
+#include "src/algo/parallel.h"
+#include "src/workload/generators.h"
+
+namespace speedscale {
+namespace {
+
+Instance mixed_instance(int n, std::uint64_t seed) {
+  return workload::generate({.n_jobs = n,
+                             .arrival_rate = 1.5,
+                             .density_mode = workload::DensityMode::kClasses,
+                             .density_classes = 3,
+                             .density_spread = 30.0,
+                             .seed = seed});
+}
+
+TEST(OpenProblem, BothCandidatesCompleteAllJobs) {
+  const Instance inst = mixed_instance(14, 4);
+  const OpenProblemRun a = run_cpar_density_restricted(inst, 2.0, 3);
+  const OpenProblemRun b = run_ncpar_hdf_queue(inst, 2.0, 3);
+  for (std::size_t i = 0; i < inst.size(); ++i) {
+    EXPECT_NE(a.assignment[i], kNoMachine);
+    EXPECT_NE(b.assignment[i], kNoMachine);
+  }
+  EXPECT_GT(a.metrics.fractional_objective(), 0.0);
+  EXPECT_GT(b.metrics.fractional_objective(), 0.0);
+}
+
+TEST(OpenProblem, UniformDensityRestrictedGreedyEqualsCPar) {
+  // With one density class the restriction is vacuous: the candidate
+  // comparator degenerates to C-PAR's least-remaining-weight rule.
+  const Instance inst = workload::generate({.n_jobs = 18, .arrival_rate = 2.0, .seed = 8});
+  const OpenProblemRun a = run_cpar_density_restricted(inst, 2.0, 3, /*beta=*/0.0);
+  const ParallelRun c = run_c_par(inst, 2.0, 3);
+  for (std::size_t i = 0; i < inst.size(); ++i) {
+    EXPECT_EQ(a.assignment[i], c.assignment[i]) << "job " << i;
+  }
+  EXPECT_NEAR(a.metrics.fractional_objective(), c.metrics.fractional_objective(), 1e-9);
+}
+
+TEST(OpenProblem, DivergenceExists) {
+  // The paper's conjecture: the two candidates CAN assign differently.
+  const DivergenceReport rep = search_divergence(2.0, 2, 16, 40);
+  EXPECT_EQ(rep.instances_tried, 40);
+  EXPECT_GT(rep.diverged, 0);
+  EXPECT_NE(rep.first_divergent_seed, 0u);
+}
+
+TEST(OpenProblem, DivergenceCostIsConstantFactor) {
+  // ... but on these workloads the cost of the divergence stays a small
+  // constant (the Section 7 intuition about density imbalance).
+  const DivergenceReport rep = search_divergence(2.0, 2, 16, 40);
+  EXPECT_LT(rep.worst_cost_ratio, 25.0);
+  EXPECT_GE(rep.worst_cost_ratio, 1.0);
+}
+
+TEST(OpenProblem, RejectsBadMachineCounts) {
+  const Instance inst = mixed_instance(4, 1);
+  EXPECT_THROW(run_cpar_density_restricted(inst, 2.0, 0), ModelError);
+  EXPECT_THROW(run_ncpar_hdf_queue(inst, 2.0, 0), ModelError);
+}
+
+TEST(DoublingBaseline, CompletesAndValidates) {
+  const Instance inst = workload::generate({.n_jobs = 12, .seed = 6});
+  const RunResult r = run_doubling_nc(inst, 2.0);
+  r.schedule.validate(inst);
+  for (const Job& j : inst.jobs()) EXPECT_TRUE(r.schedule.completed(j.id));
+}
+
+TEST(DoublingBaseline, WorseThanAlgorithmNC) {
+  // Guess-and-double pays for its guesses; Algorithm NC does not guess.
+  const Instance inst = workload::generate({.n_jobs = 16, .arrival_rate = 1.0, .seed = 2});
+  const RunResult d = run_doubling_nc(inst, 2.0);
+  const RunResult nc = run_nc_uniform(inst, 2.0);
+  EXPECT_GT(d.metrics.fractional_objective(), nc.metrics.fractional_objective());
+}
+
+TEST(DoublingBaseline, GuessGranularityMatters) {
+  const Instance inst = workload::generate({.n_jobs = 10, .seed = 3});
+  const RunResult tiny = run_doubling_nc(inst, 2.0, 1e-4);
+  const RunResult matched = run_doubling_nc(inst, 2.0, 1.0);
+  // A wildly small initial guess wastes phases (and flow-time).
+  EXPECT_GT(tiny.metrics.fractional_objective(),
+            0.9 * matched.metrics.fractional_objective());
+  EXPECT_THROW(run_doubling_nc(inst, 2.0, 0.0), ModelError);
+}
+
+}  // namespace
+}  // namespace speedscale

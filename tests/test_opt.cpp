@@ -1,0 +1,137 @@
+// Tests for the offline-optimum module: closed-form single-job optimum and
+// the discretized convex solver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/algo/algorithm_c.h"
+#include "src/algo/algorithm_nc_uniform.h"
+#include "src/algo/bounds.h"
+#include "src/opt/convex_opt.h"
+#include "src/opt/single_job_opt.h"
+#include "src/workload/generators.h"
+
+namespace speedscale {
+namespace {
+
+class SingleJobOptAlpha : public ::testing::TestWithParam<double> {};
+
+TEST_P(SingleJobOptAlpha, SpeedProfileProcessesExactlyTheVolume) {
+  const double alpha = GetParam();
+  const double V = 2.3, rho = 1.7;
+  const SingleJobFracOpt opt = single_job_frac_opt(V, rho, alpha);
+  // Quadrature of the Euler-Lagrange speed profile must reproduce V.
+  const int n = 200000;
+  double vol = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double a = opt.horizon * i / n, b = opt.horizon * (i + 1) / n;
+    vol += 0.5 * (opt.speed_at(a, rho, alpha) + opt.speed_at(b, rho, alpha)) * (b - a);
+  }
+  EXPECT_NEAR(vol, V, 1e-3 * V);
+}
+
+TEST_P(SingleJobOptAlpha, ClosedFormMatchesQuadrature) {
+  const double alpha = GetParam();
+  const double V = 1.0, rho = 1.0;
+  const SingleJobFracOpt opt = single_job_frac_opt(V, rho, alpha);
+  const int n = 200000;
+  double energy = 0.0, flow = 0.0;
+  double remaining = V;
+  for (int i = 0; i < n; ++i) {
+    const double a = opt.horizon * i / n, b = opt.horizon * (i + 1) / n;
+    const double s = opt.speed_at(0.5 * (a + b), rho, alpha);
+    energy += std::pow(s, alpha) * (b - a);
+    flow += rho * remaining * (b - a);
+    remaining -= s * (b - a);
+  }
+  EXPECT_NEAR(opt.energy, energy, 2e-3 * std::max(energy, 1e-9));
+  EXPECT_NEAR(opt.fractional_flow, flow, 2e-3 * std::max(flow, 1e-9));
+}
+
+TEST_P(SingleJobOptAlpha, OptimalityAgainstPerturbations) {
+  // Constant-speed and C-style schedules cannot beat the closed form.
+  const double alpha = GetParam();
+  const double V = 1.5, rho = 2.0;
+  const SingleJobFracOpt opt = single_job_frac_opt(V, rho, alpha);
+  const Instance inst({Job{kNoJob, 0.0, V, rho}});
+  const RunResult c = run_c(inst, alpha);
+  EXPECT_LE(opt.objective, c.metrics.fractional_objective() + 1e-9);
+  for (double T : {0.5 * opt.horizon, opt.horizon, 2.0 * opt.horizon}) {
+    const double s = V / T;
+    const double const_cost = std::pow(s, alpha) * T + rho * 0.5 * V * T;
+    EXPECT_LE(opt.objective, const_cost + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AlphaGrid, SingleJobOptAlpha, ::testing::Values(1.5, 2.0, 2.5, 3.0));
+
+TEST(SingleJobIntOpt, FirstOrderOptimality) {
+  const double alpha = 3.0, V = 2.0, rho = 1.5;
+  const SingleJobIntOpt opt = single_job_int_opt(V, rho, alpha);
+  const auto cost = [&](double s) {
+    return std::pow(s, alpha - 1.0) * V + rho * V * V / s;
+  };
+  EXPECT_NEAR(opt.objective, cost(opt.speed), 1e-9);
+  // Local minimum: nudging the speed cannot help.
+  EXPECT_LE(cost(opt.speed), cost(opt.speed * 1.01) + 1e-12);
+  EXPECT_LE(cost(opt.speed), cost(opt.speed * 0.99) + 1e-12);
+}
+
+TEST(SingleJobOpt, RejectsBadParameters) {
+  EXPECT_THROW((void)single_job_frac_opt(0.0, 1.0, 2.0), ModelError);
+  EXPECT_THROW((void)single_job_frac_opt(1.0, -1.0, 2.0), ModelError);
+  EXPECT_THROW((void)single_job_frac_opt(1.0, 1.0, 1.0), ModelError);
+  EXPECT_THROW((void)single_job_int_opt(1.0, 1.0, 0.9), ModelError);
+}
+
+TEST(ConvexOpt, MatchesSingleJobClosedForm) {
+  const double alpha = 2.0;
+  const Instance inst({Job{kNoJob, 0.0, 1.0, 1.0}});
+  const SingleJobFracOpt exact = single_job_frac_opt(1.0, 1.0, alpha);
+  const ConvexOptResult num = solve_fractional_opt(inst, alpha, {.slots = 800});
+  EXPECT_NEAR(num.objective, exact.objective, 0.02 * exact.objective);
+  // Discretized feasible solutions can only be >= the continuum optimum
+  // (up to midpoint-rule wobble).
+  EXPECT_GE(num.objective, exact.objective * 0.999);
+}
+
+TEST(ConvexOpt, LowerBoundsAlgorithmCosts) {
+  const double alpha = 2.5;
+  const Instance inst = workload::generate({.n_jobs = 10, .arrival_rate = 1.5, .seed = 12});
+  const ConvexOptResult opt = solve_fractional_opt(inst, alpha, {.slots = 600});
+  const RunResult c = run_c(inst, alpha);
+  EXPECT_LE(opt.objective, c.metrics.fractional_objective() * (1.0 + 1e-6));
+  // Theorem 1: C is 2-competitive.
+  EXPECT_LE(c.metrics.fractional_objective(), 2.0 * opt.objective * 1.05);
+}
+
+TEST(ConvexOpt, SpeedsAreNonnegativeAndVolumeFeasible) {
+  const double alpha = 2.0;
+  const Instance inst = workload::generate({.n_jobs = 6, .seed = 77});
+  const ConvexOptResult opt = solve_fractional_opt(inst, alpha, {.slots = 400});
+  double volume = 0.0;
+  const double h = opt.horizon / static_cast<double>(opt.slot_speed.size());
+  for (double s : opt.slot_speed) {
+    EXPECT_GE(s, -1e-12);
+    volume += s * h;
+  }
+  EXPECT_NEAR(volume, inst.total_volume(), 1e-6 * inst.total_volume());
+}
+
+TEST(ConvexOpt, RefinementImprovesOrMatches) {
+  const double alpha = 2.0;
+  const Instance inst = workload::generate({.n_jobs = 8, .seed = 5});
+  const ConvexOptResult coarse = solve_fractional_opt(inst, alpha, {.slots = 150});
+  const ConvexOptResult fine = solve_fractional_opt(inst, alpha, {.slots = 900});
+  // Finer grids approximate the continuum better: objective should not grow
+  // by more than the coarse grid's discretization wobble.
+  EXPECT_LE(fine.objective, coarse.objective * 1.01);
+}
+
+TEST(ConvexOpt, EmptyInstance) {
+  const ConvexOptResult opt = solve_fractional_opt(Instance(), 2.0);
+  EXPECT_DOUBLE_EQ(opt.objective, 0.0);
+}
+
+}  // namespace
+}  // namespace speedscale

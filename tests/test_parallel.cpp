@@ -1,0 +1,162 @@
+// Tests for identical parallel machines (paper Section 6: C-PAR, NC-PAR).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/algo/algorithm_c.h"
+#include "src/algo/algorithm_nc_uniform.h"
+#include "src/algo/bounds.h"
+#include "src/algo/parallel.h"
+#include "src/workload/generators.h"
+
+namespace speedscale {
+namespace {
+
+Instance uniform_instance(int n, std::uint64_t seed, double rate = 2.0) {
+  return workload::generate({.n_jobs = n, .arrival_rate = rate, .seed = seed});
+}
+
+TEST(CPar, SingleMachineReducesToAlgorithmC) {
+  const Instance inst = uniform_instance(14, 3);
+  const double alpha = 2.0;
+  const ParallelRun par = run_c_par(inst, alpha, 1);
+  const RunResult c = run_c(inst, alpha);
+  EXPECT_NEAR(par.metrics.fractional_objective(), c.metrics.fractional_objective(), 1e-9);
+  for (const Job& j : inst.jobs()) {
+    EXPECT_EQ(par.assignment[static_cast<std::size_t>(j.id)], 0);
+  }
+}
+
+TEST(NCPar, SingleMachineReducesToAlgorithmNC) {
+  const Instance inst = uniform_instance(14, 3);
+  const double alpha = 2.0;
+  const ParallelRun par = run_nc_par(inst, alpha, 1);
+  const RunResult nc = run_nc_uniform(inst, alpha);
+  EXPECT_NEAR(par.metrics.energy, nc.metrics.energy, 1e-9);
+  EXPECT_NEAR(par.metrics.fractional_flow, nc.metrics.fractional_flow, 1e-9);
+}
+
+TEST(CPar, GreedyPicksLeastLoadedMachine) {
+  // Two heavy jobs then a light one: the light job must go to a fresh machine.
+  const Instance inst({Job{kNoJob, 0.0, 10.0, 1.0}, Job{kNoJob, 0.01, 10.0, 1.0},
+                       Job{kNoJob, 0.02, 0.1, 1.0}});
+  const ParallelRun par = run_c_par(inst, 2.0, 3);
+  EXPECT_NE(par.assignment[0], par.assignment[1]);
+  EXPECT_NE(par.assignment[2], par.assignment[0]);
+  EXPECT_NE(par.assignment[2], par.assignment[1]);
+}
+
+class ParallelSweep : public ::testing::TestWithParam<std::tuple<double, int, int>> {};
+
+// Lemma 20: the NC-PAR assignment equals the C-PAR assignment.
+TEST_P(ParallelSweep, Lemma20AssignmentsCoincide) {
+  const auto [alpha, k, seed] = GetParam();
+  const Instance inst = uniform_instance(26, static_cast<std::uint64_t>(seed));
+  const ParallelRun c = run_c_par(inst, alpha, k);
+  const ParallelRun nc = run_nc_par(inst, alpha, k);
+  for (const Job& j : inst.jobs()) {
+    EXPECT_EQ(c.assignment[static_cast<std::size_t>(j.id)],
+              nc.assignment[static_cast<std::size_t>(j.id)])
+        << "job " << j.id;
+  }
+}
+
+// Lemma 21: equal energy.  Lemma 22: flow ratio exactly 1/(1 - 1/alpha).
+TEST_P(ParallelSweep, Lemma21And22ExactIdentities) {
+  const auto [alpha, k, seed] = GetParam();
+  const Instance inst = uniform_instance(26, static_cast<std::uint64_t>(seed));
+  const ParallelRun c = run_c_par(inst, alpha, k);
+  const ParallelRun nc = run_nc_par(inst, alpha, k);
+  EXPECT_NEAR(nc.metrics.energy, c.metrics.energy, 1e-9 * std::max(1.0, c.metrics.energy));
+  const double expect = c.metrics.fractional_flow * bounds::nc_over_c_flow(alpha);
+  EXPECT_NEAR(nc.metrics.fractional_flow, expect, 1e-9 * std::max(1.0, expect));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ParallelSweep,
+                         ::testing::Combine(::testing::Values(1.5, 2.0, 3.0),
+                                            ::testing::Values(2, 3, 5),
+                                            ::testing::Values(1, 2, 3)));
+
+TEST(Parallel, MoreMachinesNeverHurt) {
+  const Instance inst = uniform_instance(20, 9, 4.0);
+  const double alpha = 2.0;
+  double prev = kInf;
+  for (int k : {1, 2, 4, 8}) {
+    const double cost = run_nc_par(inst, alpha, k).metrics.fractional_objective();
+    EXPECT_LE(cost, prev * (1.0 + 1e-9)) << "k=" << k;
+    prev = cost;
+  }
+}
+
+TEST(Parallel, SchedulesAreDisjointPerJob) {
+  const Instance inst = uniform_instance(18, 21);
+  const ParallelRun par = run_nc_par(inst, 2.0, 3);
+  // No migration: each job appears on exactly its assigned machine.
+  for (std::size_t mi = 0; mi < par.schedules.size(); ++mi) {
+    for (const Segment& seg : par.schedules[mi].segments()) {
+      ASSERT_NE(seg.job, kNoJob);
+      EXPECT_EQ(par.assignment[static_cast<std::size_t>(seg.job)],
+                static_cast<MachineId>(mi));
+    }
+  }
+  // Every job completes exactly once across machines.
+  std::size_t completed = 0;
+  for (const Schedule& s : par.schedules) completed += s.completions().size();
+  EXPECT_EQ(completed, inst.size());
+}
+
+TEST(Parallel, StartTimesRespectReleaseAndQueue) {
+  const Instance inst = uniform_instance(18, 33, 6.0);  // bursty
+  const ParallelRun par = run_nc_par(inst, 2.0, 2);
+  for (const Job& j : inst.jobs()) {
+    EXPECT_GE(par.start_times[static_cast<std::size_t>(j.id)], j.release - 1e-12);
+  }
+}
+
+TEST(Parallel, TiedReleasesKeepLemma20AndIdentities) {
+  // Several jobs released at identical instants: the tie conventions of
+  // C-PAR (index order) and NC-PAR (cohort offsets) must stay aligned.
+  const Instance inst({Job{kNoJob, 0.0, 1.0, 1.0}, Job{kNoJob, 0.0, 2.0, 1.0},
+                       Job{kNoJob, 0.0, 0.5, 1.0}, Job{kNoJob, 1.0, 1.0, 1.0},
+                       Job{kNoJob, 1.0, 0.7, 1.0}, Job{kNoJob, 2.5, 0.4, 1.0}});
+  const double alpha = 2.0;
+  const ParallelRun c = run_c_par(inst, alpha, 2);
+  const ParallelRun nc = run_nc_par(inst, alpha, 2);
+  for (std::size_t i = 0; i < inst.size(); ++i) {
+    EXPECT_EQ(c.assignment[i], nc.assignment[i]) << "job " << i;
+  }
+  EXPECT_NEAR(nc.metrics.energy, c.metrics.energy, 1e-9 * std::max(1.0, c.metrics.energy));
+  EXPECT_NEAR(nc.metrics.fractional_flow, 2.0 * c.metrics.fractional_flow,
+              1e-9 * std::max(1.0, nc.metrics.fractional_flow));
+}
+
+TEST(Parallel, MoreMachinesThanJobs) {
+  const Instance inst({Job{kNoJob, 0.0, 1.0, 1.0}, Job{kNoJob, 0.2, 1.0, 1.0}});
+  const ParallelRun nc = run_nc_par(inst, 2.0, 5);
+  // Each job gets its own machine; no queueing.
+  EXPECT_NE(nc.assignment[0], nc.assignment[1]);
+  EXPECT_NEAR(nc.start_times[0], 0.0, 1e-12);
+  EXPECT_NEAR(nc.start_times[1], 0.2, 1e-12);
+}
+
+TEST(Parallel, RejectsBadInputs) {
+  const Instance uni = uniform_instance(4, 1);
+  EXPECT_THROW(run_c_par(uni, 2.0, 0), ModelError);
+  EXPECT_THROW(run_nc_par(uni, 2.0, 0), ModelError);
+  const Instance mixed({Job{kNoJob, 0.0, 1.0, 1.0}, Job{kNoJob, 0.0, 1.0, 3.0}});
+  EXPECT_THROW(run_nc_par(mixed, 2.0, 2), ModelError);
+}
+
+TEST(Parallel, CParHandlesNonUniformDensities) {
+  // C-PAR is clairvoyant and supports arbitrary densities.
+  const Instance mixed = workload::generate(
+      {.n_jobs = 16, .density_mode = workload::DensityMode::kClasses, .seed = 6});
+  const ParallelRun par = run_c_par(mixed, 2.5, 3);
+  EXPECT_GT(par.metrics.fractional_objective(), 0.0);
+  std::size_t completed = 0;
+  for (const Schedule& s : par.schedules) completed += s.completions().size();
+  EXPECT_EQ(completed, mixed.size());
+}
+
+}  // namespace
+}  // namespace speedscale

@@ -1,0 +1,166 @@
+// Model-level property tests: the scaling symmetries of the P = s^alpha
+// model, shift invariance, and monotonicity.  These pin down the simulator's
+// physics independently of the paper's lemmas.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/algo/algorithm_c.h"
+#include "src/algo/algorithm_nc_uniform.h"
+#include "src/algo/parallel.h"
+#include "src/workload/generators.h"
+
+namespace speedscale {
+namespace {
+
+Instance base_instance(int n, std::uint64_t seed) {
+  return workload::generate({.n_jobs = n, .arrival_rate = 1.5, .seed = seed});
+}
+
+/// Volumes x lambda, releases x lambda^b (b = 1 - 1/alpha) maps trajectories
+/// onto themselves: W'(t) = lambda * W(t / lambda^b).  All objective
+/// components then scale by lambda^{1+b} = lambda^{2 - 1/alpha}.
+class ScaleInvariance : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(ScaleInvariance, AlgorithmC) {
+  const auto [alpha, lambda] = GetParam();
+  const double b = 1.0 - 1.0 / alpha;
+  const Instance inst = base_instance(14, 7);
+  std::vector<Job> scaled = inst.jobs();
+  for (Job& j : scaled) {
+    j.volume *= lambda;
+    j.release *= std::pow(lambda, b);
+  }
+  const Instance inst2{std::move(scaled)};
+  const RunResult a = run_c(inst, alpha);
+  const RunResult s = run_c(inst2, alpha);
+  const double f = std::pow(lambda, 1.0 + b);
+  EXPECT_NEAR(s.metrics.energy, f * a.metrics.energy, 1e-9 * f * a.metrics.energy);
+  EXPECT_NEAR(s.metrics.fractional_flow, f * a.metrics.fractional_flow,
+              1e-9 * f * a.metrics.fractional_flow);
+  // Completion times pass through W^{1/b} chains (1/b = 3 at alpha = 1.5),
+  // which amplify rounding; allow 1e-5 relative for the time-like outputs.
+  EXPECT_NEAR(s.metrics.integral_flow, f * a.metrics.integral_flow,
+              1e-5 * f * a.metrics.integral_flow);
+  const double tb = std::pow(lambda, b);
+  for (const Job& j : inst.jobs()) {
+    EXPECT_NEAR(s.schedule.completion(j.id), tb * a.schedule.completion(j.id),
+                1e-5 * tb * std::max(1.0, a.schedule.completion(j.id)));
+  }
+}
+
+TEST_P(ScaleInvariance, AlgorithmNC) {
+  const auto [alpha, lambda] = GetParam();
+  const double b = 1.0 - 1.0 / alpha;
+  const Instance inst = base_instance(14, 9);
+  std::vector<Job> scaled = inst.jobs();
+  for (Job& j : scaled) {
+    j.volume *= lambda;
+    j.release *= std::pow(lambda, b);
+  }
+  const Instance inst2{std::move(scaled)};
+  const RunResult a = run_nc_uniform(inst, alpha);
+  const RunResult s = run_nc_uniform(inst2, alpha);
+  const double f = std::pow(lambda, 1.0 + b);
+  EXPECT_NEAR(s.metrics.fractional_objective(), f * a.metrics.fractional_objective(),
+              1e-9 * f * a.metrics.fractional_objective());
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ScaleInvariance,
+                         ::testing::Combine(::testing::Values(1.5, 2.0, 3.0),
+                                            ::testing::Values(0.25, 4.0, 64.0)));
+
+/// Densities x mu with volumes x 1/mu keeps every weight; time then runs mu
+/// times faster (dW/dt = -mu rho W^{1/a} after the release rescale), so all
+/// objectives scale by 1/mu.
+TEST(DensityScaling, CostsScaleInversely) {
+  const double alpha = 2.0, mu = 3.0;
+  std::vector<Job> jobs = base_instance(12, 11).jobs();
+  std::vector<Job> scaled = jobs;
+  for (Job& j : scaled) {
+    j.density *= mu;
+    j.volume /= mu;
+    j.release /= mu;
+  }
+  const Instance a_inst{std::move(jobs)};
+  const Instance s_inst{std::move(scaled)};
+  const RunResult a = run_c(a_inst, alpha);
+  const RunResult s = run_c(s_inst, alpha);
+  EXPECT_NEAR(s.metrics.fractional_objective(), a.metrics.fractional_objective() / mu,
+              1e-9 * a.metrics.fractional_objective());
+  const RunResult an = run_nc_uniform(a_inst, alpha);
+  const RunResult sn = run_nc_uniform(s_inst, alpha);
+  EXPECT_NEAR(sn.metrics.fractional_objective(), an.metrics.fractional_objective() / mu,
+              1e-9 * an.metrics.fractional_objective());
+}
+
+/// Shifting every release by Delta shifts the whole run and leaves costs
+/// unchanged (the model is time-translation invariant).
+TEST(ShiftInvariance, CostsUnchangedCompletionsShift) {
+  const double alpha = 2.5, delta = 17.25;
+  const Instance inst = base_instance(10, 13);
+  std::vector<Job> shifted = inst.jobs();
+  for (Job& j : shifted) j.release += delta;
+  const Instance inst2{std::move(shifted)};
+  for (const bool clairvoyant : {true, false}) {
+    const RunResult a = clairvoyant ? run_c(inst, alpha) : run_nc_uniform(inst, alpha);
+    const RunResult s = clairvoyant ? run_c(inst2, alpha) : run_nc_uniform(inst2, alpha);
+    EXPECT_NEAR(s.metrics.fractional_objective(), a.metrics.fractional_objective(),
+                1e-9 * a.metrics.fractional_objective());
+    for (const Job& j : inst.jobs()) {
+      EXPECT_NEAR(s.schedule.completion(j.id), a.schedule.completion(j.id) + delta, 1e-8);
+    }
+  }
+}
+
+TEST(Monotonicity, CompletionGrowsWithVolume) {
+  const double alpha = 2.0;
+  double prev_c = 0.0, prev_nc = 0.0;
+  for (double v : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    const Instance one({Job{kNoJob, 0.0, v, 1.0}});
+    const double c = run_c(one, alpha).schedule.completion(0);
+    const double nc = run_nc_uniform(one, alpha).schedule.completion(0);
+    EXPECT_GT(c, prev_c);
+    EXPECT_GT(nc, prev_nc);
+    // Single job: NC and C have identical completion times (same curve,
+    // reversed) — Figure 1.
+    EXPECT_NEAR(c, nc, 1e-9 * c);
+    prev_c = c;
+    prev_nc = nc;
+  }
+}
+
+TEST(Monotonicity, AddingAJobNeverHelps) {
+  const double alpha = 2.0;
+  const Instance small = base_instance(8, 17);
+  std::vector<Job> more = small.jobs();
+  more.push_back(Job{kNoJob, 0.7, 1.3, 1.0});
+  const Instance big{std::move(more)};
+  EXPECT_GT(run_c(big, alpha).metrics.fractional_objective(),
+            run_c(small, alpha).metrics.fractional_objective());
+  EXPECT_GT(run_nc_uniform(big, alpha).metrics.fractional_objective(),
+            run_nc_uniform(small, alpha).metrics.fractional_objective());
+}
+
+TEST(ParallelScaling, ScaleInvarianceExtendsToMachines) {
+  const double alpha = 2.0, lambda = 9.0;
+  const double b = 1.0 - 1.0 / alpha;
+  const Instance inst = base_instance(20, 19);
+  std::vector<Job> scaled = inst.jobs();
+  for (Job& j : scaled) {
+    j.volume *= lambda;
+    j.release *= std::pow(lambda, b);
+  }
+  const Instance inst2{std::move(scaled)};
+  const ParallelRun a = run_nc_par(inst, alpha, 3);
+  const ParallelRun s = run_nc_par(inst2, alpha, 3);
+  const double f = std::pow(lambda, 1.0 + b);
+  EXPECT_NEAR(s.metrics.fractional_objective(), f * a.metrics.fractional_objective(),
+              1e-9 * f * a.metrics.fractional_objective());
+  for (std::size_t i = 0; i < inst.size(); ++i) {
+    EXPECT_EQ(a.assignment[i], s.assignment[i]);
+  }
+}
+
+}  // namespace
+}  // namespace speedscale

@@ -1,0 +1,93 @@
+// Tests for speed-profile level-set machinery (sim/speed_profile.h).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/algo/algorithm_c.h"
+#include "src/core/power.h"
+#include "src/sim/speed_profile.h"
+
+namespace speedscale {
+namespace {
+
+TEST(SpeedProfile, ConstantSegmentLevelSets) {
+  Schedule s(2.0);
+  s.append({0.0, 2.0, 0, SpeedLaw::kConstant, 3.0, 1.0});
+  EXPECT_DOUBLE_EQ(time_at_or_above(s, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(time_at_or_above(s, 3.0), 2.0);
+  EXPECT_DOUBLE_EQ(time_at_or_above(s, 3.0001), 0.0);
+  EXPECT_THROW((void)time_at_or_above(s, 0.0), ModelError);
+}
+
+TEST(SpeedProfile, DecaySegmentLevelSetMatchesSampling) {
+  const double alpha = 2.0;
+  Schedule s(alpha);
+  const PowerLawKinematics kin(alpha);
+  const double t_end = kin.decay_time_to_zero(4.0, 1.0);
+  s.append({0.0, t_end, 0, SpeedLaw::kPowerDecay, 4.0, 1.0});
+  for (double x : {0.5, 1.0, 1.5, 1.9}) {
+    // Sample-based measure.
+    const int n = 400000;
+    double meas = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const double t = t_end * (i + 0.5) / n;
+      if (s.speed_at(t) >= x) meas += t_end / n;
+    }
+    EXPECT_NEAR(time_at_or_above(s, x), meas, 1e-3 * t_end) << "x=" << x;
+  }
+}
+
+TEST(SpeedProfile, GrowSegmentLevelSetMatchesSampling) {
+  const double alpha = 3.0;
+  Schedule s(alpha);
+  const PowerLawKinematics kin(alpha);
+  const double t_end = kin.grow_time_to_weight(0.0, 4.0, 1.0);
+  s.append({0.0, t_end, 0, SpeedLaw::kPowerGrow, 0.0, 1.0});
+  for (double x : {0.3, 0.8, 1.2}) {
+    const int n = 400000;
+    double meas = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const double t = t_end * (i + 0.5) / n;
+      if (s.speed_at(t) >= x) meas += t_end / n;
+    }
+    EXPECT_NEAR(time_at_or_above(s, x), meas, 1e-3 * t_end) << "x=" << x;
+  }
+}
+
+TEST(SpeedProfile, ThresholdGridSpansSpeeds) {
+  Schedule s(2.0);
+  s.append({0.0, 1.0, 0, SpeedLaw::kConstant, 2.0, 1.0});
+  const auto grid = speed_threshold_grid(s, 33);
+  ASSERT_EQ(grid.size(), 33u);
+  EXPECT_LE(grid.front(), 2.0e-5);
+  EXPECT_NEAR(grid.back(), 2.0, 1e-9);
+  for (std::size_t i = 1; i < grid.size(); ++i) EXPECT_GT(grid[i], grid[i - 1]);
+}
+
+TEST(SpeedProfile, EmptyScheduleGrid) {
+  Schedule s(2.0);
+  EXPECT_TRUE(speed_threshold_grid(s, 10).empty());
+}
+
+TEST(SpeedProfile, RearrangementDistanceDetectsDifference) {
+  Schedule a(2.0), b(2.0);
+  a.append({0.0, 1.0, 0, SpeedLaw::kConstant, 1.0, 1.0});
+  b.append({0.0, 1.0, 0, SpeedLaw::kConstant, 2.0, 1.0});
+  EXPECT_GT(rearrangement_distance(a, b), 0.5);
+  // Same profile shifted in time: distance 0.
+  Schedule c(2.0);
+  c.append({5.0, 6.0, 0, SpeedLaw::kConstant, 1.0, 1.0});
+  EXPECT_NEAR(rearrangement_distance(a, c), 0.0, 1e-12);
+}
+
+TEST(SpeedProfile, EnergyViaLevelSetsMatchesDirect) {
+  const double alpha = 2.0;
+  const Instance inst({Job{kNoJob, 0.0, 1.0, 1.0}, Job{kNoJob, 0.4, 1.0, 1.0}});
+  const RunResult c = run_c(inst, alpha);
+  const PowerLaw p(alpha);
+  const double via_levels = energy_via_level_sets(c.schedule, p);
+  EXPECT_NEAR(via_levels, c.metrics.energy, 1e-2 * c.metrics.energy);
+}
+
+}  // namespace
+}  // namespace speedscale

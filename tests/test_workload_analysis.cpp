@@ -1,0 +1,231 @@
+// Tests for workload generators, adversarial instances, the Section 7
+// geometric-density fact, and the analysis harness utilities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <atomic>
+
+#include <algorithm>
+
+#include "src/algo/algorithm_c.h"
+#include "src/analysis/ascii_chart.h"
+#include "src/analysis/export.h"
+#include "src/analysis/ratio_harness.h"
+#include "src/analysis/table.h"
+#include "src/analysis/thread_pool.h"
+#include "src/workload/adversarial.h"
+#include "src/workload/generators.h"
+
+namespace speedscale {
+namespace {
+
+TEST(Generators, DeterministicInSeed) {
+  const workload::WorkloadParams p{.n_jobs = 20, .seed = 99};
+  const Instance a = workload::generate(p);
+  const Instance b = workload::generate(p);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.jobs()[i].release, b.jobs()[i].release);
+    EXPECT_DOUBLE_EQ(a.jobs()[i].volume, b.jobs()[i].volume);
+  }
+  const Instance c = workload::generate({.n_jobs = 20, .seed = 100});
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a.jobs()[i].volume != c.jobs()[i].volume) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Generators, AllVolumeDistributionsProduceValidJobs) {
+  using workload::VolumeDist;
+  for (VolumeDist d : {VolumeDist::kUniform, VolumeDist::kExponential, VolumeDist::kPareto,
+                       VolumeDist::kLognormal, VolumeDist::kFixed}) {
+    const Instance inst = workload::generate({.n_jobs = 50, .volume_dist = d, .seed = 7});
+    EXPECT_EQ(inst.size(), 50u);
+    for (const Job& j : inst.jobs()) EXPECT_GT(j.volume, 0.0);
+  }
+}
+
+TEST(Generators, DensityModes) {
+  using workload::DensityMode;
+  const Instance unit = workload::generate({.n_jobs = 10, .seed = 1});
+  EXPECT_TRUE(unit.uniform_density());
+  const Instance classes = workload::generate({.n_jobs = 200,
+                                               .density_mode = DensityMode::kClasses,
+                                               .density_classes = 4,
+                                               .density_spread = 8.0,
+                                               .seed = 2});
+  EXPECT_FALSE(classes.uniform_density());
+  EXPECT_GE(classes.min_density(), 1.0 - 1e-12);
+  EXPECT_LE(classes.max_density(), 8.0 + 1e-9);
+}
+
+TEST(Generators, BatchAtZero) {
+  const Instance b = workload::batch_at_zero(12, workload::VolumeDist::kFixed, 2.0, 0.0, 3);
+  for (const Job& j : b.jobs()) {
+    EXPECT_DOUBLE_EQ(j.release, 0.0);
+    EXPECT_DOUBLE_EQ(j.volume, 2.0);
+  }
+}
+
+TEST(Generators, CloudTraceHasTwoClasses) {
+  const Instance c = workload::cloud_trace({});
+  EXPECT_EQ(c.size(), 32u);
+  int hi = 0, lo = 0;
+  for (const Job& j : c.jobs()) {
+    if (j.density == 8.0) ++hi;
+    if (j.density == 1.0) ++lo;
+  }
+  EXPECT_EQ(hi, 24);
+  EXPECT_EQ(lo, 8);
+}
+
+TEST(Generators, DiurnalTraceShape) {
+  const Instance a = workload::diurnal_trace({.n_jobs = 300, .base_rate = 2.0, .seed = 4});
+  EXPECT_EQ(a.size(), 300u);
+  // Deterministic in seed.
+  const Instance b = workload::diurnal_trace({.n_jobs = 300, .base_rate = 2.0, .seed = 4});
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.jobs()[i].release, b.jobs()[i].release);
+  }
+  // Releases strictly ordered (thinning preserves monotone arrival times).
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    EXPECT_GT(a.jobs()[i].release, a.jobs()[i - 1].release);
+  }
+  EXPECT_THROW(workload::diurnal_trace({.amplitude = 1.0}), ModelError);
+}
+
+TEST(Generators, DiurnalAmplitudeModulatesArrivals) {
+  // With a strong diurnal swing, arrivals cluster in the high-rate half of
+  // the period: compare the variance of per-phase counts.
+  const double period = 10.0;
+  const Instance flat =
+      workload::diurnal_trace({.n_jobs = 2000, .amplitude = 0.0, .period = period, .seed = 8});
+  const Instance wavy =
+      workload::diurnal_trace({.n_jobs = 2000, .amplitude = 0.9, .period = period, .seed = 8});
+  const auto peak_fraction = [&](const Instance& inst) {
+    int peak = 0;
+    for (const Job& j : inst.jobs()) {
+      const double phase = std::fmod(j.release, period) / period;
+      if (phase < 0.5) ++peak;  // sin > 0 half of the cycle
+    }
+    return static_cast<double>(peak) / static_cast<double>(inst.size());
+  };
+  EXPECT_NEAR(peak_fraction(flat), 0.5, 0.05);
+  EXPECT_GT(peak_fraction(wavy), 0.6);
+}
+
+TEST(Export, SpeedProfileAndJobSummary) {
+  const Instance inst = workload::generate({.n_jobs = 5, .seed = 2});
+  const RunResult c = run_c(inst, 2.0);
+  std::ostringstream prof;
+  analysis::export_speed_profile(prof, c.schedule, 16);
+  const std::string p = prof.str();
+  EXPECT_NE(p.find("t,speed,power"), std::string::npos);
+  EXPECT_EQ(std::count(p.begin(), p.end(), '\n'), 18);  // header + 17 samples
+  std::ostringstream jobs;
+  analysis::export_job_summary(jobs, inst, c.schedule);
+  const std::string js = jobs.str();
+  EXPECT_NE(js.find("job,release"), std::string::npos);
+  EXPECT_EQ(std::count(js.begin(), js.end(), '\n'), 6);
+}
+
+TEST(Adversarial, SoloCostClosedFormMatchesSimulation) {
+  const double alpha = 2.5;
+  for (double rho : {1.0, 4.0, 16.0}) {
+    const double vol = workload::volume_for_solo_cost(3.0, rho, alpha);
+    const Instance one({Job{kNoJob, 0.0, vol, rho}});
+    const RunResult c = run_c(one, alpha);
+    EXPECT_NEAR(c.metrics.fractional_objective(), 3.0, 1e-9);
+    EXPECT_NEAR(workload::c_solo_cost(vol, rho, alpha), 3.0, 1e-9);
+  }
+}
+
+// Section 7's fact: l jobs with geometric densities (ratio rho >= 4), each of
+// solo cost c, cost at most 4*l*c on a single machine.
+class Sec7Fact : public ::testing::TestWithParam<std::tuple<double, int, double>> {};
+
+TEST_P(Sec7Fact, SingleMachineCostAtMostFourLC) {
+  const auto [alpha, l, rho] = GetParam();
+  const double solo = 1.0;
+  const Instance inst = workload::geometric_density_instance(l, rho, solo, alpha);
+  const RunResult c = run_c(inst, alpha);
+  EXPECT_LE(c.metrics.fractional_objective(), 4.0 * l * solo * (1.0 + 1e-9))
+      << "alpha=" << alpha << " l=" << l << " rho=" << rho;
+  // And it cannot be cheaper than one machine per job.
+  EXPECT_GE(c.metrics.fractional_objective(), l * solo * 0.49);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, Sec7Fact,
+                         ::testing::Combine(::testing::Values(2.0, 3.0),
+                                            ::testing::Values(2, 4, 8),
+                                            ::testing::Values(4.0, 8.0)));
+
+TEST(Adversarial, FifoHdfConflictInstanceShape) {
+  const Instance inst = workload::fifo_hdf_conflict_instance(3, 4, 20.0);
+  EXPECT_EQ(inst.size(), 13u);
+  EXPECT_DOUBLE_EQ(inst.jobs()[0].density, 1.0);
+  EXPECT_DOUBLE_EQ(inst.max_density(), 20.0);
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  analysis::ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  analysis::parallel_for(pool, 1000, [&](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPool, ParallelResultsMatchSerial) {
+  analysis::ThreadPool pool(4);
+  std::vector<double> out(64, 0.0);
+  analysis::parallel_for(pool, out.size(), [&](std::size_t i) {
+    const Instance inst = workload::generate({.n_jobs = 6, .seed = i + 1});
+    out[i] = run_c(inst, 2.0).metrics.fractional_objective();
+  });
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const Instance inst = workload::generate({.n_jobs = 6, .seed = i + 1});
+    EXPECT_DOUBLE_EQ(out[i], run_c(inst, 2.0).metrics.fractional_objective());
+  }
+}
+
+TEST(Table, FormatsAlignedColumns) {
+  analysis::Table t({"name", "value"});
+  t.add_row({"alpha", analysis::Table::cell(2.0)});
+  t.add_row({"longer-name", analysis::Table::cell(123456.0, 4)});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer-name"), std::string::npos);
+  EXPECT_NE(s.find("1.235e+05"), std::string::npos);
+}
+
+TEST(AsciiChart, RendersWithoutCrashing) {
+  std::ostringstream os;
+  analysis::plot(os, {{"line", {0.0, 1.0, 2.0}, {0.0, 1.0, 4.0}, '*'}}, 40, 10, "test");
+  EXPECT_NE(os.str().find('*'), std::string::npos);
+  std::ostringstream empty;
+  analysis::plot(empty, {}, 40, 10);
+  EXPECT_NE(empty.str().find("no data"), std::string::npos);
+}
+
+TEST(RatioHarness, UniformSuiteIncludesExpectedRows) {
+  const Instance inst = workload::generate({.n_jobs = 8, .seed = 4});
+  const analysis::SuiteResult r = analysis::run_suite(inst, 2.0, {.opt_slots = 300});
+  ASSERT_TRUE(r.opt_fractional.has_value());
+  bool has_c = false, has_nc = false;
+  for (const auto& o : r.outcomes) {
+    if (o.name == "C (clairvoyant)") {
+      has_c = true;
+      EXPECT_GE(r.frac_ratio(o), 0.9);
+      EXPECT_LE(r.frac_ratio(o), 2.1);
+    }
+    if (o.name == "NC (uniform)") has_nc = true;
+  }
+  EXPECT_TRUE(has_c);
+  EXPECT_TRUE(has_nc);
+}
+
+}  // namespace
+}  // namespace speedscale

@@ -1,0 +1,68 @@
+// Tests for the adversarial worst-case search (analysis/worst_case.h).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/algo/algorithm_nc_uniform.h"
+#include "src/algo/baselines.h"
+#include "src/algo/bounds.h"
+#include "src/analysis/worst_case.h"
+#include "src/opt/convex_opt.h"
+#include "src/opt/single_job_opt.h"
+
+namespace speedscale {
+namespace {
+
+TEST(SingleJobGame, NcRatioIsScaleInvariant) {
+  // NC's single-job ratio must be flat in the stopping volume.
+  const double alpha = 2.0;
+  const auto nc_cost = [&](double v) {
+    const Instance one({Job{kNoJob, 0.0, v, 1.0}});
+    return run_nc_uniform(one, alpha).metrics.fractional_objective();
+  };
+  double lo = kInf, hi = 0.0;
+  for (double v : {0.01, 0.3, 1.0, 7.0, 300.0}) {
+    const double r = nc_cost(v) / single_job_frac_opt(v, 1.0, alpha).objective;
+    lo = std::min(lo, r);
+    hi = std::max(hi, r);
+  }
+  EXPECT_NEAR(lo, hi, 1e-9);
+  // At alpha = 2 the flat value is exactly 1.5 (computed in test_nc_uniform).
+  EXPECT_NEAR(hi, 1.5, 1e-9);
+}
+
+TEST(SingleJobGame, FindsWorstOnGrid) {
+  const double alpha = 2.0;
+  const auto dbl_cost = [&](double v) {
+    const Instance one({Job{kNoJob, 0.0, v, 1.0}});
+    return run_doubling_nc(one, alpha).metrics.fractional_objective();
+  };
+  const analysis::SingleJobGameResult r = analysis::single_job_game(dbl_cost, alpha);
+  EXPECT_GT(r.worst_ratio, 1.0);
+  EXPECT_GE(r.worst_volume, 1e-3);
+  EXPECT_LE(r.worst_volume, 1e3);
+  // The doubling policy's worst ratio exceeds NC's flat 1.5.
+  EXPECT_GT(r.worst_ratio, 1.5);
+}
+
+TEST(WorstCase, SearchImprovesAndStaysUnderTheoremBound) {
+  const double alpha = 2.0;
+  analysis::WorstCaseOptions opts;
+  opts.n_jobs = 2;
+  opts.rounds = 6;
+  opts.opt_slots = 250;
+  const analysis::WorstCaseResult w = analysis::find_worst_nc_instance(alpha, opts);
+  EXPECT_GT(w.evaluations, 10);
+  // The found ratio is a genuine lower bound estimate: above the single-job
+  // ratio (waiting helps the adversary) and below Theorem 5's upper bound
+  // (with a little numerical-OPT slack).
+  EXPECT_GT(w.ratio, 1.5);
+  EXPECT_LT(w.ratio, bounds::nc_uniform_fractional(alpha) * 1.05);
+  // The reported instance really achieves the reported ratio.
+  const double nc = run_nc_uniform(w.instance, alpha).metrics.fractional_objective();
+  const double opt = solve_fractional_opt(w.instance, alpha, {.slots = 250}).objective;
+  EXPECT_NEAR(nc / opt, w.ratio, 0.02 * w.ratio);
+}
+
+}  // namespace
+}  // namespace speedscale

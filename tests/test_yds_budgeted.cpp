@@ -1,0 +1,162 @@
+// Tests for the related-work modules: YDS/AVR deadline scheduling ([3]) and
+// flow-under-energy-budget ([4]).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "src/algo/yds.h"
+#include "src/opt/budgeted.h"
+#include "src/opt/convex_opt.h"
+#include "src/workload/generators.h"
+
+namespace speedscale {
+namespace {
+
+DeadlineInstance random_deadline_instance(int n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  std::vector<DeadlineJob> jobs;
+  double t = 0.0;
+  for (int i = 0; i < n; ++i) {
+    t += u(rng);
+    DeadlineJob j;
+    j.release = t;
+    j.deadline = t + 0.5 + 3.0 * u(rng);
+    j.volume = 0.2 + 2.0 * u(rng);
+    jobs.push_back(j);
+  }
+  return DeadlineInstance(std::move(jobs));
+}
+
+TEST(Yds, SingleJobRunsAtAverageRate) {
+  const DeadlineInstance inst({DeadlineJob{kNoJob, 1.0, 3.0, 4.0}});
+  const DeadlineRun run = run_yds(inst, 2.0);
+  validate_deadline_run(inst, run);
+  // Optimal: constant speed V / (d - r) = 2 over the whole window.
+  EXPECT_NEAR(run.energy, 4.0 * 2.0, 1e-9);  // s^2 * duration = 4 * 2
+  ASSERT_EQ(run.schedule.segments().size(), 1u);
+  EXPECT_NEAR(run.schedule.segments()[0].param, 2.0, 1e-12);
+}
+
+TEST(Yds, NestedJobCreatesTwoSpeedLevels) {
+  // Outer job [0, 4] volume 2 (avg rate 0.5); inner job [1, 2] volume 2
+  // (avg rate 2): the critical interval is [1, 2] at speed... intensity of
+  // [1,2] counts only the inner job (outer not contained): g = 2.  Then the
+  // outer job runs in the remaining 3 time units at speed 2/3.
+  const DeadlineInstance inst({DeadlineJob{kNoJob, 0.0, 4.0, 2.0},
+                               DeadlineJob{kNoJob, 1.0, 2.0, 2.0}});
+  const DeadlineRun run = run_yds(inst, 2.0);
+  validate_deadline_run(inst, run);
+  const double expect = 2.0 * 2.0 * 1.0 + (2.0 / 3.0) * (2.0 / 3.0) * 3.0;
+  EXPECT_NEAR(run.energy, expect, 1e-9);
+}
+
+TEST(Yds, ProfileIsFeasibleOnRandomInstances) {
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL, 4ULL, 5ULL}) {
+    const DeadlineInstance inst = random_deadline_instance(10, seed);
+    const DeadlineRun run = run_yds(inst, 3.0);
+    validate_deadline_run(inst, run);
+  }
+}
+
+TEST(Yds, BeatsAvrAndConstantSpeedEverywhere) {
+  for (std::uint64_t seed : {7ULL, 8ULL, 9ULL}) {
+    const DeadlineInstance inst = random_deadline_instance(8, seed);
+    for (const double alpha : {2.0, 3.0}) {
+      const DeadlineRun yds = run_yds(inst, alpha);
+      const DeadlineRun avr = run_avr(inst, alpha);
+      validate_deadline_run(inst, avr);
+      EXPECT_LE(yds.energy, avr.energy * (1.0 + 1e-9)) << "seed " << seed;
+      // Constant-speed-EDF baseline: the minimal feasible constant speed is
+      // the max interval intensity; busy time = total volume / s.
+      double s_star = 0.0;
+      for (const DeadlineJob& a : inst.jobs()) {
+        for (const DeadlineJob& b : inst.jobs()) {
+          if (b.deadline <= a.release) continue;
+          double vol = 0.0;
+          for (const DeadlineJob& j : inst.jobs()) {
+            if (j.release >= a.release && j.deadline <= b.deadline) vol += j.volume;
+          }
+          s_star = std::max(s_star, vol / (b.deadline - a.release));
+        }
+      }
+      double total_volume = 0.0;
+      for (const DeadlineJob& j : inst.jobs()) total_volume += j.volume;
+      const double const_energy = std::pow(s_star, alpha) * (total_volume / s_star);
+      EXPECT_LE(yds.energy, const_energy * (1.0 + 1e-9)) << "seed " << seed;
+    }
+  }
+}
+
+TEST(Yds, RejectsBadInstances) {
+  EXPECT_THROW(DeadlineInstance({DeadlineJob{kNoJob, 1.0, 1.0, 1.0}}), ModelError);
+  EXPECT_THROW(DeadlineInstance({DeadlineJob{kNoJob, 0.0, 1.0, 0.0}}), ModelError);
+}
+
+TEST(Oa, FeasibleAndBetweenYdsAndWorstCase) {
+  for (std::uint64_t seed : {2ULL, 5ULL, 13ULL}) {
+    const DeadlineInstance inst = random_deadline_instance(9, seed);
+    const double alpha = 2.0;
+    const DeadlineRun yds = run_yds(inst, alpha);
+    const DeadlineRun oa = run_oa(inst, alpha);
+    validate_deadline_run(inst, oa);
+    // OA can never beat the offline optimum...
+    EXPECT_GE(oa.energy, yds.energy * (1.0 - 1e-9)) << "seed " << seed;
+    // ...and is alpha^alpha-competitive (generous check).
+    EXPECT_LE(oa.energy, std::pow(alpha, alpha) * yds.energy * (1.0 + 1e-9))
+        << "seed " << seed;
+  }
+}
+
+TEST(Oa, SingleJobMatchesYds) {
+  // With one job OA's first (only) plan IS the offline optimum.
+  const DeadlineInstance inst({DeadlineJob{kNoJob, 0.5, 2.5, 3.0}});
+  const DeadlineRun yds = run_yds(inst, 3.0);
+  const DeadlineRun oa = run_oa(inst, 3.0);
+  EXPECT_NEAR(oa.energy, yds.energy, 1e-9 * yds.energy);
+}
+
+TEST(Avr, CompletesBeforeDeadlines) {
+  const DeadlineInstance inst = random_deadline_instance(12, 11);
+  const DeadlineRun run = run_avr(inst, 2.0);
+  validate_deadline_run(inst, run);
+  for (const DeadlineJob& j : inst.jobs()) {
+    EXPECT_LE(run.schedule.completion(j.id), j.deadline + 1e-9);
+  }
+}
+
+TEST(Budgeted, RelaxingTheBudgetNeverHurtsFlow) {
+  const Instance inst = workload::generate({.n_jobs = 6, .arrival_rate = 1.0, .seed = 5});
+  const double alpha = 2.0;
+  const ConvexOptResult unconstrained = solve_fractional_opt(inst, alpha, {.slots = 300});
+  double prev_flow = kInf;
+  for (double budget : {0.5 * unconstrained.energy, 1.0 * unconstrained.energy,
+                        2.0 * unconstrained.energy}) {
+    const BudgetedResult r =
+        solve_flow_under_energy_budget(inst, alpha, budget, {.slots = 300, .max_iters = 2000});
+    EXPECT_LE(r.energy, budget * 1.03);
+    EXPECT_LE(r.flow, prev_flow * (1.0 + 1e-6));
+    prev_flow = r.flow;
+  }
+}
+
+TEST(Budgeted, SlackBudgetRecoversUnconstrainedFlow) {
+  const Instance inst = workload::generate({.n_jobs = 5, .seed = 9});
+  const double alpha = 2.0;
+  const ConvexOptResult unconstrained = solve_fractional_opt(inst, alpha, {.slots = 300});
+  const BudgetedResult r = solve_flow_under_energy_budget(
+      inst, alpha, 50.0 * unconstrained.energy, {.slots = 300, .max_iters = 2000});
+  // With an enormous budget the flow approaches (and may slightly beat,
+  // since the constrained solver can spend more energy) the flow of the
+  // flow+energy optimum.
+  EXPECT_LE(r.flow, unconstrained.fractional_flow * 1.05);
+}
+
+TEST(Budgeted, RejectsNonPositiveBudget) {
+  const Instance inst({Job{kNoJob, 0.0, 1.0, 1.0}});
+  EXPECT_THROW((void)solve_flow_under_energy_budget(inst, 2.0, 0.0), ModelError);
+}
+
+}  // namespace
+}  // namespace speedscale
