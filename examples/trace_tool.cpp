@@ -4,14 +4,20 @@
 //   trace_tool <trace.csv> [--algo nc|c|nc-nonuniform|fixed|naive|doubling]
 //              [--alpha A] [--speed S] [--out schedule.csv]
 //              [--profile profile.csv] [--jobs jobs.csv]
+//              [--trace events.jsonl] [--obs report.json]
 //
 // Trace format (header required):  id,release,volume,density
 // With --out, writes the resulting piecewise schedule as CSV:
 //   t0,t1,job,speed_law,param,rho
+// With --trace, records the run's structured event stream as JSONL (one JSON
+// object per line; scripts/plot_profiles.py can plot it directly) and prints
+// a per-kind summary.  With --obs, writes the metrics-registry snapshot and
+// profiler breakdown as one JSON report.
 // Run with no arguments to see a demo on a generated trace.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 
 #include "src/algo/algorithm_c.h"
@@ -19,6 +25,9 @@
 #include "src/algo/algorithm_nc_uniform.h"
 #include "src/algo/baselines.h"
 #include "src/analysis/export.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/report.h"
+#include "src/obs/trace.h"
 #include "src/workload/generators.h"
 #include "src/workload/trace_io.h"
 
@@ -53,7 +62,8 @@ void write_schedule_csv(const std::string& path, const Schedule& sched) {
 int usage() {
   std::fprintf(stderr,
                "usage: trace_tool <trace.csv> [--algo nc|c|nc-nonuniform|fixed|naive|doubling]\n"
-               "                  [--alpha A] [--speed S] [--out schedule.csv]\n");
+               "                  [--alpha A] [--speed S] [--out schedule.csv]\n"
+               "                  [--trace events.jsonl] [--obs report.json]\n");
   return 2;
 }
 
@@ -61,6 +71,7 @@ int usage() {
 
 int main(int argc, char** argv) {
   std::string trace_path, algo = "nc", out_path, profile_path, jobs_path;
+  std::string events_path, obs_path;
   double alpha = 2.0, speed = 1.0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -76,6 +87,10 @@ int main(int argc, char** argv) {
       profile_path = argv[++i];
     } else if (arg == "--jobs" && i + 1 < argc) {
       jobs_path = argv[++i];
+    } else if (arg == "--trace" && i + 1 < argc) {
+      events_path = argv[++i];
+    } else if (arg == "--obs" && i + 1 < argc) {
+      obs_path = argv[++i];
     } else if (arg.rfind("--", 0) == 0) {
       return usage();
     } else {
@@ -91,6 +106,23 @@ int main(int argc, char** argv) {
     } else {
       inst = workload::read_trace_file(trace_path);
     }
+
+    // Observability plumbing: a JSONL sink plus a human summary when --trace
+    // is given; hot-path metrics + profiling when --obs is given.
+    std::shared_ptr<obs::JsonlSink> jsonl;
+    std::shared_ptr<obs::SummarySink> summary;
+    if (!events_path.empty()) {
+      jsonl = std::make_shared<obs::JsonlSink>(events_path);
+      summary = std::make_shared<obs::SummarySink>();
+      obs::Tracer::instance().add_sink(jsonl);
+      obs::Tracer::instance().add_sink(summary);
+      obs::Tracer::instance().set_enabled(true);
+      // Leading meta event: lets consumers (plot_profiles.py) recover the run
+      // configuration without a side channel.  value = alpha, aux = job count.
+      TRACE_EVENT(.kind = obs::EventKind::kPhaseBoundary, .t = 0.0, .value = alpha,
+                  .aux = static_cast<double>(inst.size()), .label = "trace_tool");
+    }
+    if (!obs_path.empty()) obs::set_metrics_enabled(true);
 
     Schedule sched(alpha);
     Metrics metrics;
@@ -122,6 +154,15 @@ int main(int argc, char** argv) {
       return usage();
     }
 
+    if (jsonl) {
+      TRACE_EVENT(.kind = obs::EventKind::kPhaseBoundary, .t = sched.makespan(), .value = alpha,
+                  .aux = static_cast<double>(inst.size()), .label = "trace_tool.end");
+      obs::Tracer::instance().set_enabled(false);
+      obs::Tracer::instance().flush();
+      obs::Tracer::instance().remove_sink(jsonl.get());
+      obs::Tracer::instance().remove_sink(summary.get());
+    }
+
     std::printf("algo=%s alpha=%.3g jobs=%zu makespan=%.6g\n", algo.c_str(), alpha, inst.size(),
                 sched.makespan());
     std::printf("energy            = %.6g\n", metrics.energy);
@@ -143,6 +184,14 @@ int main(int argc, char** argv) {
       if (!jf) throw ModelError("cannot open " + jobs_path);
       analysis::export_job_summary(jf, inst, sched);
       std::printf("job summary written to %s\n", jobs_path.c_str());
+    }
+    if (jsonl) {
+      std::printf("event trace written to %s (%zu events)\n%s", events_path.c_str(),
+                  jsonl->lines(), summary->summary().c_str());
+    }
+    if (!obs_path.empty()) {
+      obs::write_observability_report_file(obs_path);
+      std::printf("observability report written to %s\n", obs_path.c_str());
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -1,15 +1,23 @@
 #!/usr/bin/env python3
-"""Plot CSVs exported by trace_tool / analysis::export_*.
+"""Plot speed profiles exported by trace_tool / analysis::export_*.
+
+Accepts two input formats, detected by extension:
+  *.csv    -- sampled profile from `trace_tool --profile` (t,speed,power rows)
+  *.jsonl  -- structured event trace from `trace_tool --trace`; the speed
+              curve is rebuilt from speed_change events (steps-post), and
+              power = speed**alpha with alpha taken from the leading
+              "trace_tool" phase_boundary meta event (value field).
 
 Usage:
   examples/trace_tool --algo nc --profile nc.csv --jobs nc_jobs.csv
-  examples/trace_tool --algo c  --profile c.csv
-  scripts/plot_profiles.py nc.csv c.csv -o profiles.png
+  examples/trace_tool --algo nc --trace nc.jsonl
+  scripts/plot_profiles.py nc.csv nc.jsonl -o profiles.png
 
 Requires matplotlib (not needed by the C++ build or tests).
 """
 import argparse
 import csv
+import json
 import sys
 
 
@@ -23,9 +31,43 @@ def read_profile(path):
     return t, speed, power
 
 
+def read_jsonl_trace(path):
+    """Rebuilds (t, speed, power) step series from a JSONL event trace."""
+    alpha = None
+    t, speed = [], []
+    t_end = None
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            ev = json.loads(line)
+            kind = ev.get("kind")
+            if kind == "phase_boundary":
+                label = ev.get("label", "")
+                if label == "trace_tool" and alpha is None:
+                    alpha = float(ev["value"])
+                elif label == "trace_tool.end":
+                    t_end = float(ev["t"])
+            elif kind == "speed_change":
+                t.append(float(ev["t"]))
+                speed.append(float(ev["value"]))
+            elif kind == "job_complete":
+                t_end = float(ev["t"])
+    if alpha is None:
+        alpha = 2.0
+        print(f"{path}: no trace_tool meta event; assuming alpha={alpha}", file=sys.stderr)
+    # Close the staircase: the run ends at the last completion.
+    if t_end is not None and t and t_end > t[-1]:
+        t.append(t_end)
+        speed.append(0.0)
+    power = [s**alpha for s in speed]
+    return t, speed, power
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("profiles", nargs="+", help="profile CSVs from --profile")
+    ap.add_argument("profiles", nargs="+", help="profile CSVs (--profile) or JSONL traces (--trace)")
     ap.add_argument("-o", "--out", default="profiles.png")
     ap.add_argument("--power", action="store_true", help="plot power instead of speed")
     args = ap.parse_args()
@@ -40,8 +82,13 @@ def main():
 
     fig, ax = plt.subplots(figsize=(9, 4.5))
     for path in args.profiles:
-        t, speed, power = read_profile(path)
-        ax.plot(t, power if args.power else speed, label=path, linewidth=1.2)
+        if path.endswith(".jsonl"):
+            t, speed, power = read_jsonl_trace(path)
+            ax.plot(t, power if args.power else speed, label=path, linewidth=1.2,
+                    drawstyle="steps-post")
+        else:
+            t, speed, power = read_profile(path)
+            ax.plot(t, power if args.power else speed, label=path, linewidth=1.2)
     ax.set_xlabel("time")
     ax.set_ylabel("power P(s(t))" if args.power else "speed s(t)")
     ax.legend()

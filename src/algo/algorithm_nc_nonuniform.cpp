@@ -5,6 +5,8 @@
 
 #include "src/core/kinematics.h"
 #include "src/core/power.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/trace.h"
 #include "src/sim/c_machine.h"
 
 namespace speedscale {
@@ -27,6 +29,8 @@ Instance make_current_instance(const Instance& rounded, const std::vector<double
 
 double c_speed_on_current_instance(const Instance& rounded, const std::vector<double>& processed,
                                    double t, double alpha) {
+  // A probe simulation, not part of any real run: keep it out of traces.
+  obs::TraceSuppressGuard suppress_probe;
   const Instance current = make_current_instance(rounded, processed, t);
   if (current.empty()) return 0.0;
   CMachine m(alpha);
@@ -214,6 +218,28 @@ NCNonUniformRun run_nc_nonuniform(const Instance& instance, double alpha,
   std::size_t remaining_jobs = n;
   std::vector<double> p_mid(n, 0.0);
 
+  // Trace bookkeeping (only when tracing at run start): cumulative energy
+  // (sum of s^alpha dt over the piecewise-constant recording, exact) and
+  // cumulative *total* fractional flow via the active true-density weight.
+  const bool tracing = obs::tracing_enabled();
+  OBS_COUNT("algo.nc_nonuniform.runs", 1);
+  double energy_acc = 0.0;
+  double flow_acc = 0.0;
+  double active_weight = 0.0;  // sum of true rho * remaining volume, released jobs
+  const std::vector<JobId> fifo = instance.fifo_order();
+  std::size_t rel_idx = 0;
+  JobId traced_running = kNoJob;
+  const auto emit_releases_up_to = [&](double tau) {
+    while (rel_idx < fifo.size() && instance.job(fifo[rel_idx]).release <= tau) {
+      const Job& j = instance.job(fifo[rel_idx]);
+      active_weight += j.weight();
+      TRACE_EVENT(.kind = obs::EventKind::kJobRelease, .t = j.release, .job = j.id,
+                  .value = j.volume, .aux = j.density);
+      ++rel_idx;
+    }
+  };
+  if (tracing) emit_releases_up_to(0.0);
+
   while (remaining_jobs > 0) {
     if (out.steps > params.max_steps) {
       throw ModelError("run_nc_nonuniform: integrator step cap exceeded; "
@@ -229,6 +255,7 @@ NCNonUniformRun run_nc_nonuniform(const Instance& instance, double alpha,
       }
       t = next_rel;
       t_last_event = t;
+      if (tracing) emit_releases_up_to(t);
       if (observer) observer(t, processed);
       continue;
     }
@@ -255,6 +282,25 @@ NCNonUniformRun run_nc_nonuniform(const Instance& instance, double alpha,
     }
 
     sched.append({t, t + dt, cur, SpeedLaw::kConstant, s2, rounded.job(cur).density});
+    if (tracing) {
+      if (cur != traced_running) {
+        if (traced_running != kNoJob && !done[static_cast<std::size_t>(traced_running)]) {
+          TRACE_EVENT(.kind = obs::EventKind::kPreemption, .t = t, .job = traced_running,
+                      .value = static_cast<double>(cur),
+                      .aux = instance.job(traced_running).volume -
+                             processed[static_cast<std::size_t>(traced_running)]);
+        }
+        TRACE_EVENT(.kind = obs::EventKind::kSpeedChange, .t = t, .job = cur, .value = s2,
+                    .aux = processed[idx]);
+        traced_running = cur;
+      }
+      // Exact accumulation over the constant-speed step (matches the replay
+      // in compute_metrics): the current job's volume shrinks linearly.
+      const double dv = completes ? vrem : s2 * dt;
+      energy_acc += std::pow(s2, alpha) * dt;
+      flow_acc += active_weight * dt - 0.5 * true_job.density * s2 * dt * dt;
+      active_weight = std::max(0.0, active_weight - true_job.density * dv);
+    }
     processed[idx] = completes ? true_job.volume : processed[idx] + s2 * dt;
     t += dt;
     ++out.steps;
@@ -264,12 +310,18 @@ NCNonUniformRun run_nc_nonuniform(const Instance& instance, double alpha,
       --remaining_jobs;
       sched.set_completion(cur, t);
       t_last_event = t;
+      TRACE_EVENT(.kind = obs::EventKind::kJobComplete, .t = t, .job = cur, .value = energy_acc,
+                  .aux = flow_acc);
+      if (tracing) emit_releases_up_to(t);
       if (observer) observer(t, processed);
     } else if (next_rel < kInf && t >= next_rel - 1e-15 * std::max(1.0, next_rel)) {
       t_last_event = t;
+      if (tracing) emit_releases_up_to(t);
       if (observer) observer(t, processed);
     }
   }
+  OBS_COUNT("algo.nc_nonuniform.steps", out.steps);
+  OBS_COUNT("algo.nc_nonuniform.c_evaluations", out.c_evaluations);
 
   const PowerLaw power(alpha);
   out.result.metrics = compute_metrics(instance, sched, power);

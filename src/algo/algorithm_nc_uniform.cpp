@@ -4,6 +4,8 @@
 
 #include "src/core/kinematics.h"
 #include "src/core/power.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/trace.h"
 #include "src/sim/c_machine.h"
 
 namespace speedscale {
@@ -22,12 +24,35 @@ NCUniformRun run_nc_uniform_detailed(const Instance& instance, double alpha) {
   // limits is equivalent to the prefix simulation the paper describes — and
   // is causally available to NC, because FIFO order means every job released
   // before r[j] has been completed (volume revealed) before NC starts j.
-  out.c_schedule = run_algorithm_c(instance, alpha);
+  // It is a *virtual* run: its events do not belong in an NC trace.
+  {
+    obs::TraceSuppressGuard suppress_virtual_run;
+    out.c_schedule = run_algorithm_c(instance, alpha);
+  }
+  OBS_COUNT("algo.nc_uniform.runs", 1);
 
   const PowerLawKinematics kin(alpha);
   Schedule& sched = out.result.schedule;
   double t = 0.0;
   const std::vector<JobId> fifo = instance.fifo_order();
+
+  // Trace bookkeeping, all closed-form: cumulative energy and cumulative
+  // fractional flow *attributed to completed jobs* (a waiting job's accrual
+  // is folded in at its own completion; see docs/observability.md).  Release
+  // events interleave in time order via `next_rel`.
+  const bool tracing = obs::tracing_enabled();
+  double energy_acc = 0.0;
+  double flow_acc = 0.0;
+  std::size_t next_rel = 0;
+  const auto emit_releases_up_to = [&](double tau) {
+    while (next_rel < fifo.size() && instance.job(fifo[next_rel]).release <= tau) {
+      const Job& j = instance.job(fifo[next_rel]);
+      TRACE_EVENT(.kind = obs::EventKind::kJobRelease, .t = j.release, .job = j.id,
+                  .value = j.volume, .aux = j.density);
+      ++next_rel;
+    }
+  };
+
   for (std::size_t pos = 0; pos < fifo.size(); ++pos) {
     const JobId jid = fifo[pos];
     const Job& job = instance.job(jid);
@@ -53,7 +78,25 @@ NCUniformRun run_nc_uniform_detailed(const Instance& instance, double alpha) {
     sched.append({t_start, t_start + dt, jid, SpeedLaw::kPowerGrow, u0, job.density});
     t = t_start + dt;
     sched.set_completion(jid, t);
+
+    if (tracing) {
+      emit_releases_up_to(t_start);
+      TRACE_EVENT(.kind = obs::EventKind::kSpeedChange, .t = t_start, .job = jid,
+                  .value = kin.speed_at_weight(std::max(u0, 0.0)), .aux = u0);
+      emit_releases_up_to(t);
+      // Per-job closed forms: the energy of the growth segment is the C
+      // energy of the weight band it sweeps (Lemma 3, per job), and the
+      // job's whole-lifetime fractional flow is
+      //   W_j (t_start - r_j) + u1 * dt - E_j  ==  E_j / (1 - 1/alpha)
+      // (Lemma 4, per job) — the invariant tests replay exactly this.
+      const double e_j = kin.grow_integral(u0, u1, job.density);
+      energy_acc += e_j;
+      flow_acc += job.weight() * (t_start - job.release) + u1 * dt - e_j;
+      TRACE_EVENT(.kind = obs::EventKind::kJobComplete, .t = t, .job = jid,
+                  .value = energy_acc, .aux = flow_acc);
+    }
   }
+  if (tracing) emit_releases_up_to(kInf);
 
   const PowerLaw power(alpha);
   out.result.metrics = compute_metrics(instance, sched, power);

@@ -3,11 +3,16 @@
 #include <algorithm>
 
 #include "src/algo/parallel.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/trace.h"
 #include "src/sim/c_machine.h"
 
 namespace speedscale {
 
 std::vector<MachineId> dispatch_identical(DispatchPolicy policy, int k, int n) {
+  static const char* const kPolicyLabels[] = {"dispatch.round_robin", "dispatch.least_count",
+                                              "dispatch.first_fit"};
+  const char* const label = kPolicyLabels[static_cast<std::size_t>(policy)];
   std::vector<MachineId> out(static_cast<std::size_t>(n), kNoMachine);
   std::vector<int> count(static_cast<std::size_t>(k), 0);
   for (int i = 0; i < n; ++i) {
@@ -30,6 +35,10 @@ std::vector<MachineId> dispatch_identical(DispatchPolicy policy, int k, int n) {
     }
     out[static_cast<std::size_t>(i)] = target;
     ++count[static_cast<std::size_t>(target)];
+    OBS_COUNT("algo.dispatch.decisions", 1);
+    TRACE_EVENT(.kind = obs::EventKind::kDispatch, .t = 0.0, .job = static_cast<JobId>(i),
+                .machine = target, .value = static_cast<double>(count[static_cast<std::size_t>(target)]),
+                .label = label);
   }
   return out;
 }
@@ -38,7 +47,10 @@ Metrics run_assignment_with_c(const Instance& instance, double alpha, int k,
                               const std::vector<MachineId>& assignment) {
   std::vector<CMachine> machines;
   machines.reserve(static_cast<std::size_t>(k));
-  for (int i = 0; i < k; ++i) machines.emplace_back(alpha);
+  for (int i = 0; i < k; ++i) {
+    machines.emplace_back(alpha);
+    machines.back().set_obs_machine(i);
+  }
   for (JobId jid : instance.fifo_order()) {
     const MachineId m = assignment[static_cast<std::size_t>(jid)];
     machines[static_cast<std::size_t>(m)].advance_to(instance.job(jid).release);

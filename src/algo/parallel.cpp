@@ -6,6 +6,8 @@
 
 #include "src/core/kinematics.h"
 #include "src/core/power.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/trace.h"
 #include "src/sim/c_machine.h"
 
 namespace speedscale {
@@ -53,7 +55,10 @@ ParallelRun run_c_par(const Instance& instance, double alpha, int k) {
 
   std::vector<CMachine> machines;
   machines.reserve(static_cast<std::size_t>(k));
-  for (int i = 0; i < k; ++i) machines.emplace_back(alpha);
+  for (int i = 0; i < k; ++i) {
+    machines.emplace_back(alpha);
+    machines.back().set_obs_machine(i);  // real machines: events carry ids
+  }
 
   // Immediate dispatch in release order (ids break release ties).
   std::vector<JobId> order = instance.fifo_order();
@@ -69,6 +74,9 @@ ParallelRun run_c_par(const Instance& instance, double alpha, int k) {
         best = i;
       }
     }
+    OBS_COUNT("algo.c_par.dispatches", 1);
+    TRACE_EVENT(.kind = obs::EventKind::kDispatch, .t = job.release, .job = jid,
+                .machine = best, .value = best_w, .label = "c_par.least_weight");
     machines[static_cast<std::size_t>(best)].add_job(job);
     out.assignment[static_cast<std::size_t>(jid)] = best;
   }
@@ -105,6 +113,7 @@ ParallelRun run_nc_par(const Instance& instance, double alpha, int k) {
     double busy_until = -1.0;  ///< < 0 means idle
     double last_release = -1.0;
     double tied_weight = 0.0;  ///< weight of same-release jobs already assigned here
+    double energy_acc = 0.0;   ///< cumulative traced energy of this machine
     explicit MachineState(double a) : shadow(a), schedule(a) {}
   };
   std::vector<MachineState> ms;
@@ -131,8 +140,12 @@ ParallelRun run_nc_par(const Instance& instance, double alpha, int k) {
       MachineState& m = ms[static_cast<std::size_t>(idle)];
       // The shadow clairvoyant run sees the job at its *release* time; FIFO
       // assignment order guarantees the shadow frontier has not passed it.
-      m.shadow.add_job(job);
-      m.shadow.advance_to(job.release);
+      // The shadow is virtual — its events stay out of the NC-PAR trace.
+      {
+        obs::TraceSuppressGuard suppress_shadow;
+        m.shadow.add_job(job);
+        m.shadow.advance_to(job.release);
+      }
       // Release-time ties resolve as the limit of infinitesimally-separated
       // releases (cf. run_nc_uniform_detailed): tied jobs already assigned to
       // this machine count toward the offset.
@@ -150,6 +163,16 @@ ParallelRun run_nc_par(const Instance& instance, double alpha, int k) {
       m.busy_until = t + dt;
       out.assignment[static_cast<std::size_t>(jid)] = idle;
       out.start_times[static_cast<std::size_t>(jid)] = t;
+      OBS_COUNT("algo.nc_par.dispatches", 1);
+      if (obs::tracing_enabled()) {
+        TRACE_EVENT(.kind = obs::EventKind::kDispatch, .t = t, .job = jid, .machine = idle,
+                    .value = offset, .label = "nc_par.fifo_pull");
+        TRACE_EVENT(.kind = obs::EventKind::kSpeedChange, .t = t, .job = jid, .machine = idle,
+                    .value = kin.speed_at_weight(std::max(u0, 0.0)), .aux = u0);
+        m.energy_acc += kin.grow_integral(u0, u1, job.density);
+        TRACE_EVENT(.kind = obs::EventKind::kJobComplete, .t = t + dt, .job = jid,
+                    .machine = idle, .value = m.energy_acc, .aux = offset);
+      }
     }
   };
 
@@ -170,6 +193,9 @@ ParallelRun run_nc_par(const Instance& instance, double alpha, int k) {
     }
     while (next_release_idx < order.size() &&
            instance.job(order[next_release_idx]).release <= t) {
+      const Job& j = instance.job(order[next_release_idx]);
+      TRACE_EVENT(.kind = obs::EventKind::kJobRelease, .t = j.release, .job = j.id,
+                  .value = j.volume, .aux = j.density);
       queue.push_back(order[next_release_idx]);
       ++next_release_idx;
     }

@@ -5,6 +5,9 @@
 #include "src/algo/algorithm_nc_uniform.h"
 #include "src/algo/baselines.h"
 #include "src/algo/frac_to_int.h"
+#include "src/obs/profiler.h"
+#include "src/obs/report.h"
+#include "src/obs/trace.h"
 #include "src/opt/convex_opt.h"
 
 namespace speedscale::analysis {
@@ -23,40 +26,65 @@ double SuiteResult::int_ratio(const AlgoOutcome& o) const {
 
 SuiteResult run_suite(const Instance& instance, double alpha, const SuiteOptions& options) {
   SuiteResult out;
+  TRACE_EVENT(.kind = obs::EventKind::kPhaseBoundary, .t = 0.0,
+              .value = static_cast<double>(instance.size()), .aux = alpha,
+              .label = "suite.begin");
 
-  const RunResult c = run_c(instance, alpha);
-  out.outcomes.push_back({"C (clairvoyant)", c.metrics, false});
+  {
+    OBS_TIMED_SCOPE("suite.c");
+    const RunResult c = run_c(instance, alpha);
+    out.outcomes.push_back({"C (clairvoyant)", c.metrics, false});
+  }
 
   const bool uniform = instance.uniform_density();
   if (uniform) {
-    const RunResult nc = run_nc_uniform(instance, alpha);
-    out.outcomes.push_back({"NC (uniform)", nc.metrics, false});
-
-    const IntReductionRun red = reduce_frac_to_int(instance, nc.schedule, options.reduction_eps);
-    Metrics red_m;
-    red_m.energy = red.energy;
-    red_m.integral_flow = red.integral_flow;
-    out.outcomes.push_back({"NC + reduction (int)", red_m, true});
-
-    const RunResult naive = run_naive_nc(instance, alpha);
-    out.outcomes.push_back({"NaiveNC (ablation)", naive.metrics, false});
+    Schedule nc_schedule(alpha);
+    {
+      OBS_TIMED_SCOPE("suite.nc_uniform");
+      RunResult nc = run_nc_uniform(instance, alpha);
+      out.outcomes.push_back({"NC (uniform)", nc.metrics, false});
+      nc_schedule = std::move(nc.schedule);
+    }
+    {
+      OBS_TIMED_SCOPE("suite.reduction");
+      const IntReductionRun red = reduce_frac_to_int(instance, nc_schedule, options.reduction_eps);
+      Metrics red_m;
+      red_m.energy = red.energy;
+      red_m.integral_flow = red.integral_flow;
+      out.outcomes.push_back({"NC + reduction (int)", red_m, true});
+    }
+    {
+      OBS_TIMED_SCOPE("suite.naive");
+      const RunResult naive = run_naive_nc(instance, alpha);
+      out.outcomes.push_back({"NaiveNC (ablation)", naive.metrics, false});
+    }
   }
 
   if (options.include_nonuniform) {
+    OBS_TIMED_SCOPE("suite.nc_nonuniform");
     const NCNonUniformRun ncn = run_nc_nonuniform(instance, alpha);
     out.outcomes.push_back({"NC (non-uniform)", ncn.result.metrics, false});
   }
 
-  const SharedRun ps = run_active_count(instance, alpha);
-  out.outcomes.push_back({"ActiveCount PS", ps.metrics, false});
+  {
+    OBS_TIMED_SCOPE("suite.active_count_ps");
+    const SharedRun ps = run_active_count(instance, alpha);
+    out.outcomes.push_back({"ActiveCount PS", ps.metrics, false});
+  }
 
   if (options.include_opt) {
+    OBS_TIMED_SCOPE("suite.opt");
     ConvexOptParams p;
     p.slots = options.opt_slots;
     const ConvexOptResult opt = solve_fractional_opt(instance, alpha, p);
     out.opt_fractional = opt.objective;
   }
+  TRACE_EVENT(.kind = obs::EventKind::kPhaseBoundary, .t = 0.0,
+              .value = static_cast<double>(out.outcomes.size()),
+              .aux = out.opt_fractional.value_or(0.0), .label = "suite.end");
   return out;
 }
+
+void write_suite_observability(std::ostream& os) { obs::write_observability_report(os); }
 
 }  // namespace speedscale::analysis

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <optional>
+#include <ostream>
 #include <string>
 #include <vector>
 
@@ -38,5 +39,11 @@ struct SuiteResult {
 /// additionally get Algorithm NC (uniform) and the naive ablation.
 [[nodiscard]] SuiteResult run_suite(const Instance& instance, double alpha,
                                     const SuiteOptions& options = {});
+
+/// Writes the current observability report (metrics registry snapshot plus
+/// per-algorithm profiler breakdown) as one JSON object.  run_suite times
+/// each algorithm under "suite.*" profile labels, so calling this after one
+/// or more suites yields a ready-made wall-clock breakdown.
+void write_suite_observability(std::ostream& os);
 
 }  // namespace speedscale::analysis

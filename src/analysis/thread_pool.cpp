@@ -2,9 +2,20 @@
 
 #include <algorithm>
 
+#include "src/obs/metrics_registry.h"
+
 namespace speedscale::analysis {
 
-ThreadPool::ThreadPool(std::size_t n_threads) {
+namespace {
+// Queue latency buckets, in microseconds: sub-µs dispatch through 1 s stalls.
+const std::vector<double> kLatencyBoundsUs = {1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6};
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t n_threads)
+    : tasks_metric_(obs::registry().counter("analysis.thread_pool.tasks")),
+      queue_depth_metric_(obs::registry().gauge("analysis.thread_pool.queue_depth")),
+      latency_metric_(
+          obs::registry().histogram("analysis.thread_pool.task_latency_us", kLatencyBoundsUs)) {
   if (n_threads == 0) {
     n_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
@@ -24,10 +35,16 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  const bool metered = obs::metrics_enabled();
   {
     std::lock_guard<std::mutex> lk(mu_);
-    tasks_.push(std::move(task));
+    tasks_.push({std::move(task),
+                 metered ? std::chrono::steady_clock::now() : std::chrono::steady_clock::time_point{}});
     ++in_flight_;
+    if (metered) {
+      tasks_metric_.add(1);
+      queue_depth_metric_.set(static_cast<double>(tasks_.size()));
+    }
   }
   cv_task_.notify_one();
 }
@@ -39,15 +56,24 @@ void ThreadPool::wait_idle() {
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lk(mu_);
       cv_task_.wait(lk, [this] { return stop_ || !tasks_.empty(); });
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
+      if (obs::metrics_enabled()) {
+        queue_depth_metric_.set(static_cast<double>(tasks_.size()));
+      }
     }
-    task();
+    if (obs::metrics_enabled() &&
+        task.enqueued != std::chrono::steady_clock::time_point{}) {
+      const auto waited = std::chrono::steady_clock::now() - task.enqueued;
+      latency_metric_.observe(
+          std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(waited).count());
+    }
+    task.fn();
     {
       std::lock_guard<std::mutex> lk(mu_);
       --in_flight_;

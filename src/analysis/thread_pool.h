@@ -5,6 +5,7 @@
 // while keeping per-task code single-threaded and deterministic.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -12,6 +13,12 @@
 #include <queue>
 #include <thread>
 #include <vector>
+
+namespace speedscale::obs {
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace speedscale::obs
 
 namespace speedscale::analysis {
 
@@ -33,15 +40,26 @@ class ThreadPool {
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
  private:
+  struct Task {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
+  std::queue<Task> tasks_;
   std::mutex mu_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
   std::size_t in_flight_ = 0;
   bool stop_ = false;
+
+  // Metric handles resolved once at construction; recording stays gated on
+  // obs::metrics_enabled() so an idle observability layer costs nothing here.
+  obs::Counter& tasks_metric_;
+  obs::Gauge& queue_depth_metric_;
+  obs::Histogram& latency_metric_;
 };
 
 /// Runs body(i) for i in [0, n) across the pool; blocks until all complete.

@@ -5,6 +5,9 @@
 #include <random>
 
 #include "src/algo/algorithm_nc_uniform.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/profiler.h"
+#include "src/obs/trace.h"
 #include "src/opt/convex_opt.h"
 #include "src/opt/single_job_opt.h"
 
@@ -53,6 +56,7 @@ WorstCaseResult find_worst_nc_instance(double alpha, const WorstCaseOptions& opt
   int evals = 0;
   const auto evaluate = [&](const std::vector<double>& x) {
     ++evals;
+    OBS_COUNT("analysis.worst_case.evaluations", 1);
     const Instance inst = decode(x, n);
     const double nc = run_nc_uniform(inst, alpha).metrics.fractional_objective();
     const double opt = solve_fractional_opt(inst, alpha, opt_params).objective;
@@ -70,6 +74,7 @@ WorstCaseResult find_worst_nc_instance(double alpha, const WorstCaseOptions& opt
   // Coordinate ascent with a shrinking multiplicative step.
   double step = 2.0;
   for (int round = 0; round < options.rounds; ++round) {
+    OBS_TIMED_SCOPE("worst_case.round");
     bool improved = false;
     for (std::size_t d = 0; d < x.size(); ++d) {
       for (const double mult : {step, 1.0 / step}) {
@@ -84,6 +89,8 @@ WorstCaseResult find_worst_nc_instance(double alpha, const WorstCaseOptions& opt
       }
     }
     if (!improved) step = std::max(std::sqrt(step), 1.05);
+    TRACE_EVENT(.kind = obs::EventKind::kPhaseBoundary, .t = static_cast<double>(round),
+                .value = static_cast<double>(round), .aux = cur, .label = "worst_case.round");
   }
 
   best.instance = decode(x, n);

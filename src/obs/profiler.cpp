@@ -1,0 +1,83 @@
+#include "src/obs/profiler.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace speedscale::obs {
+
+Profiler& Profiler::instance() {
+  static Profiler prof;
+  return prof;
+}
+
+Profiler& profiler() { return Profiler::instance(); }
+
+void Profiler::record(const char* label, std::int64_t ns) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto [it, inserted] = entries_.try_emplace(label);
+  ProfileEntry& e = it->second;
+  if (inserted) {
+    e.label = label;
+    e.min_ns = ns;
+    e.max_ns = ns;
+  } else {
+    e.min_ns = std::min(e.min_ns, ns);
+    e.max_ns = std::max(e.max_ns, ns);
+  }
+  ++e.count;
+  e.total_ns += ns;
+}
+
+std::vector<ProfileEntry> Profiler::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<ProfileEntry> out;
+  out.reserve(entries_.size());
+  for (const auto& [label, e] : entries_) out.push_back(e);
+  std::sort(out.begin(), out.end(),
+            [](const ProfileEntry& a, const ProfileEntry& b) { return a.total_ns > b.total_ns; });
+  return out;
+}
+
+std::string Profiler::report_text() const {
+  const std::vector<ProfileEntry> entries = snapshot();
+  if (entries.empty()) return {};
+  std::string out = "profile (label, calls, total ms, mean ms):\n";
+  char buf[160];
+  for (const ProfileEntry& e : entries) {
+    std::snprintf(buf, sizeof(buf), "  %-36s %8lld %12.3f %12.4f\n", e.label.c_str(),
+                  static_cast<long long>(e.count), static_cast<double>(e.total_ns) * 1e-6,
+                  e.mean_ns() * 1e-6);
+    out += buf;
+  }
+  return out;
+}
+
+std::string Profiler::snapshot_json() const {
+  const std::vector<ProfileEntry> entries = snapshot();
+  std::string out = "{";
+  bool first = true;
+  for (const ProfileEntry& e : entries) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += e.label;  // labels are dotted identifiers; no escaping needed
+    out += "\":{\"count\":";
+    out += std::to_string(e.count);
+    out += ",\"total_ns\":";
+    out += std::to_string(e.total_ns);
+    out += ",\"min_ns\":";
+    out += std::to_string(e.min_ns);
+    out += ",\"max_ns\":";
+    out += std::to_string(e.max_ns);
+    out += '}';
+  }
+  out += '}';
+  return out;
+}
+
+void Profiler::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  entries_.clear();
+}
+
+}  // namespace speedscale::obs

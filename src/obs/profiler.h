@@ -1,0 +1,87 @@
+// Profiling hooks: RAII scoped timers aggregated per label.
+//
+// Placement discipline: scopes wrap *coarse* units — one algorithm run in
+// the ratio harness, one coordinate-ascent round in the worst-case search,
+// one bench repetition — so the two steady_clock reads per scope (~tens of
+// ns) are invisible next to the work they bracket.  The aggregated table is
+// what `ratio_harness`, `worst_case`, and the benches print as a wall-clock
+// breakdown, and what obs::report.h exports as JSON.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace speedscale::obs {
+
+/// Aggregated timings for one label.
+struct ProfileEntry {
+  std::string label;
+  std::int64_t count = 0;
+  std::int64_t total_ns = 0;
+  std::int64_t min_ns = 0;
+  std::int64_t max_ns = 0;
+
+  [[nodiscard]] double mean_ns() const {
+    return count > 0 ? static_cast<double>(total_ns) / static_cast<double>(count) : 0.0;
+  }
+};
+
+/// Process-wide label -> aggregate map.  Thread-safe.
+class Profiler {
+ public:
+  static Profiler& instance();
+
+  void record(const char* label, std::int64_t ns);
+
+  /// Snapshot sorted by total time, descending.
+  [[nodiscard]] std::vector<ProfileEntry> snapshot() const;
+
+  /// Fixed-width human-readable table (empty string when nothing recorded).
+  [[nodiscard]] std::string report_text() const;
+
+  /// {"label":{"count":..,"total_ns":..,"min_ns":..,"max_ns":..},...}
+  [[nodiscard]] std::string snapshot_json() const;
+
+  void reset();
+
+ private:
+  Profiler() = default;
+  mutable std::mutex mu_;
+  std::map<std::string, ProfileEntry> entries_;
+};
+
+/// Shorthand for Profiler::instance().
+[[nodiscard]] Profiler& profiler();
+
+/// Times its scope and records into the global profiler on destruction.
+/// `label` must point to static storage (string literals).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(const char* label)
+      : label_(label), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+    Profiler::instance().record(label_, ns);
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  const char* label_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace speedscale::obs
+
+#define OBS_DETAIL_CONCAT2(a, b) a##b
+#define OBS_DETAIL_CONCAT(a, b) OBS_DETAIL_CONCAT2(a, b)
+
+/// Times the enclosing scope under `label` (a string literal).
+#define OBS_TIMED_SCOPE(label) \
+  ::speedscale::obs::ScopedTimer OBS_DETAIL_CONCAT(obs_scoped_timer_, __LINE__)(label)

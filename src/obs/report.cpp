@@ -1,0 +1,29 @@
+#include "src/obs/report.h"
+
+#include <fstream>
+#include <ostream>
+
+#include "src/core/types.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/profiler.h"
+
+namespace speedscale::obs {
+
+std::string observability_report_json() {
+  std::string out = "{\"metrics\":";
+  out += registry().snapshot_json();
+  out += ",\"profile\":";
+  out += profiler().snapshot_json();
+  out += "}";
+  return out;
+}
+
+void write_observability_report(std::ostream& os) { os << observability_report_json() << '\n'; }
+
+void write_observability_report_file(const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw ModelError("write_observability_report_file: cannot open " + path);
+  write_observability_report(f);
+}
+
+}  // namespace speedscale::obs

@@ -1,0 +1,17 @@
+// Combined observability report: one JSON object bundling the metrics
+// snapshot and the profiler breakdown, the export format the ratio harness
+// and the benches write next to their tables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+namespace speedscale::obs {
+
+/// {"metrics": <MetricsRegistry::snapshot_json>, "profile": <Profiler json>}
+[[nodiscard]] std::string observability_report_json();
+
+void write_observability_report(std::ostream& os);
+void write_observability_report_file(const std::string& path);
+
+}  // namespace speedscale::obs

@@ -1,0 +1,261 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace speedscale::obs {
+
+const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kJobRelease:
+      return "job_release";
+    case EventKind::kJobComplete:
+      return "job_complete";
+    case EventKind::kSpeedChange:
+      return "speed_change";
+    case EventKind::kPreemption:
+      return "preemption";
+    case EventKind::kDispatch:
+      return "dispatch";
+    case EventKind::kPhaseBoundary:
+      return "phase_boundary";
+  }
+  return "?";
+}
+
+namespace {
+
+void append_double(std::string& out, double v) {
+  if (std::isfinite(v)) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out += buf;
+  } else {
+    // JSON has no inf/nan literals; quote them (readers treat as strings).
+    out += v > 0 ? "\"inf\"" : (v < 0 ? "\"-inf\"" : "\"nan\"");
+  }
+}
+
+void append_escaped(std::string& out, const char* s) {
+  out += '"';
+  for (; *s; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+void append_event_json(std::string& out, const TraceEvent& ev) {
+  out += "{\"kind\":\"";
+  out += event_kind_name(ev.kind);
+  out += "\",\"t\":";
+  append_double(out, ev.t);
+  if (ev.job != kNoJob) {
+    out += ",\"job\":";
+    out += std::to_string(ev.job);
+  }
+  if (ev.machine != kNoMachine) {
+    out += ",\"machine\":";
+    out += std::to_string(ev.machine);
+  }
+  out += ",\"value\":";
+  append_double(out, ev.value);
+  out += ",\"aux\":";
+  append_double(out, ev.aux);
+  if (ev.label != nullptr) {
+    out += ",\"label\":";
+    append_escaped(out, ev.label);
+  }
+  out += '}';
+}
+
+// --- RingBufferSink ---------------------------------------------------------
+
+RingBufferSink::RingBufferSink(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {
+  buf_.reserve(std::min<std::size_t>(capacity_, 1024));
+}
+
+void RingBufferSink::on_event(const TraceEvent& ev) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (buf_.size() < capacity_) {
+    buf_.push_back(ev);
+  } else {
+    buf_[total_ % capacity_] = ev;
+  }
+  ++total_;
+}
+
+std::vector<TraceEvent> RingBufferSink::events() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(buf_.size());
+  if (total_ <= capacity_) {
+    out = buf_;
+  } else {
+    const std::size_t head = total_ % capacity_;  // oldest surviving event
+    out.insert(out.end(), buf_.begin() + static_cast<std::ptrdiff_t>(head), buf_.end());
+    out.insert(out.end(), buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(head));
+  }
+  return out;
+}
+
+std::size_t RingBufferSink::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return buf_.size();
+}
+
+std::size_t RingBufferSink::dropped() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return total_ > capacity_ ? total_ - capacity_ : 0;
+}
+
+void RingBufferSink::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  buf_.clear();
+  total_ = 0;
+}
+
+// --- JsonlSink --------------------------------------------------------------
+
+JsonlSink::JsonlSink(std::ostream& os) : os_(&os) {}
+
+JsonlSink::JsonlSink(const std::string& path) {
+  auto f = std::make_unique<std::ofstream>(path);
+  if (!*f) throw ModelError("JsonlSink: cannot open " + path);
+  os_ = f.get();
+  owned_ = std::move(f);
+}
+
+void JsonlSink::on_event(const TraceEvent& ev) {
+  std::lock_guard<std::mutex> lk(mu_);
+  scratch_.clear();
+  append_event_json(scratch_, ev);
+  scratch_ += '\n';
+  *os_ << scratch_;
+  ++lines_;
+}
+
+void JsonlSink::flush() {
+  std::lock_guard<std::mutex> lk(mu_);
+  os_->flush();
+}
+
+std::size_t JsonlSink::lines() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return lines_;
+}
+
+// --- SummarySink ------------------------------------------------------------
+
+void SummarySink::on_event(const TraceEvent& ev) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++counts_[static_cast<std::size_t>(ev.kind)];
+  t_min_ = std::min(t_min_, ev.t);
+  t_max_ = std::max(t_max_, ev.t);
+}
+
+std::size_t SummarySink::count(EventKind kind) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return counts_[static_cast<std::size_t>(kind)];
+}
+
+std::size_t SummarySink::total() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::size_t n = 0;
+  for (const std::size_t c : counts_) n += c;
+  return n;
+}
+
+std::string SummarySink::summary() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::ostringstream os;
+  std::size_t n = 0;
+  for (const std::size_t c : counts_) n += c;
+  os << "trace: " << n << " events";
+  if (n > 0) os << " over t=[" << t_min_ << ", " << t_max_ << "]";
+  for (std::size_t k = 0; k < 6; ++k) {
+    if (counts_[k] == 0) continue;
+    os << "\n  " << event_kind_name(static_cast<EventKind>(k)) << ": " << counts_[k];
+  }
+  os << '\n';
+  return os.str();
+}
+
+// --- Tracer -----------------------------------------------------------------
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::add_sink(std::shared_ptr<TraceSink> sink) {
+  if (!sink) throw ModelError("Tracer::add_sink: null sink");
+  std::lock_guard<std::mutex> lk(mu_);
+  sinks_.push_back(std::move(sink));
+}
+
+void Tracer::remove_sink(const TraceSink* sink) {
+  std::lock_guard<std::mutex> lk(mu_);
+  sinks_.erase(std::remove_if(sinks_.begin(), sinks_.end(),
+                              [&](const std::shared_ptr<TraceSink>& s) { return s.get() == sink; }),
+               sinks_.end());
+}
+
+void Tracer::clear_sinks() {
+  std::lock_guard<std::mutex> lk(mu_);
+  sinks_.clear();
+}
+
+std::size_t Tracer::sink_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return sinks_.size();
+}
+
+void Tracer::set_enabled(bool on) {
+  detail::g_trace_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool Tracer::enabled() const {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+void Tracer::emit(const TraceEvent& ev) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& s : sinks_) s->on_event(ev);
+}
+
+void Tracer::flush() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& s : sinks_) s->flush();
+}
+
+// --- ScopedTracing ----------------------------------------------------------
+
+ScopedTracing::ScopedTracing(std::shared_ptr<TraceSink> sink)
+    : sink_(std::move(sink)), was_enabled_(Tracer::instance().enabled()) {
+  Tracer::instance().add_sink(sink_);
+  Tracer::instance().set_enabled(true);
+}
+
+ScopedTracing::~ScopedTracing() {
+  Tracer::instance().flush();
+  Tracer::instance().remove_sink(sink_.get());
+  Tracer::instance().set_enabled(was_enabled_);
+}
+
+}  // namespace speedscale::obs

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/obs/metrics_registry.h"
+#include "src/obs/trace.h"
+
 namespace speedscale {
 
 CMachine::CMachine(double alpha) : kin_(alpha), schedule_(alpha) {}
@@ -45,6 +48,9 @@ void CMachine::release_due_jobs() {
     st.released = true;
     total_weight_ += st.job.weight();
     active_.insert({st.job.density, st.job.release, id});
+    OBS_COUNT("sim.c_machine.releases", 1);
+    TRACE_EVENT(.kind = obs::EventKind::kJobRelease, .t = now_, .job = id,
+                .machine = obs_machine_, .value = st.job.volume, .aux = st.job.density);
   }
 }
 
@@ -70,6 +76,17 @@ void CMachine::advance_to(double t) {
 
     if (t_event > now_) {
       schedule_.append({now_, t_event, cur.id, SpeedLaw::kPowerDecay, w0, rho});
+      OBS_COUNT("sim.c_machine.segments", 1);
+      if (obs::tracing_enabled()) {
+        if (running_ != kNoJob && running_ != cur.id && !state(running_).done) {
+          TRACE_EVENT(.kind = obs::EventKind::kPreemption, .t = now_, .job = running_,
+                      .machine = obs_machine_, .value = static_cast<double>(cur.id),
+                      .aux = state(running_).remaining);
+        }
+        TRACE_EVENT(.kind = obs::EventKind::kSpeedChange, .t = now_, .job = cur.id,
+                    .machine = obs_machine_, .value = kin_.speed_at_weight(w0), .aux = w0);
+      }
+      running_ = cur.id;
     }
 
     if (t_complete <= t && t_complete <= next_release) {
@@ -80,12 +97,21 @@ void CMachine::advance_to(double t) {
       active_.erase(active_.begin());
       schedule_.set_completion(cur.id, t_complete);
       now_ = t_complete;
+      OBS_COUNT("sim.c_machine.completions", 1);
+      if (obs::tracing_enabled()) {
+        // int W dt over the finished stretch; for Algorithm C the cumulative
+        // energy and cumulative fractional flow are the same integral.
+        energy_acc_ += kin_.decay_integral(w0, std::max(w_done, 0.0), rho);
+        TRACE_EVENT(.kind = obs::EventKind::kJobComplete, .t = t_complete, .job = cur.id,
+                    .machine = obs_machine_, .value = energy_acc_, .aux = energy_acc_);
+      }
     } else {
       const double dt = t_event - now_;
       const double w1 = kin_.decay_weight_after(w0, rho, dt);
       st.remaining = std::max(0.0, st.remaining - (w0 - w1) / rho);
       total_weight_ = w1;
       now_ = t_event;
+      if (obs::tracing_enabled()) energy_acc_ += kin_.decay_integral(w0, w1, rho);
     }
     release_due_jobs();
   }

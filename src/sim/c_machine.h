@@ -74,6 +74,17 @@ class CMachine {
 
   [[nodiscard]] double alpha() const { return kin_.alpha(); }
 
+  /// Machine id stamped onto this simulator's trace events (multi-machine
+  /// runs label each CMachine; single-machine runs leave kNoMachine).
+  void set_obs_machine(MachineId m) { obs_machine_ = m; }
+
+  /// Cumulative int W dt up to the frontier.  Under the P = W rule this is
+  /// both the energy and the fractional flow spent so far; it is the
+  /// cumulative payload of the job_complete trace events.  Only maintained
+  /// while tracing is enabled (0 otherwise) — the disabled hot path must not
+  /// pay the closed-form integral per segment.
+  [[nodiscard]] double traced_energy() const { return energy_acc_; }
+
  private:
   struct ActiveKey {
     double density;
@@ -101,6 +112,9 @@ class CMachine {
   PowerLawKinematics kin_;
   double now_ = 0.0;
   double total_weight_ = 0.0;
+  double energy_acc_ = 0.0;         // cumulative int W dt (tracing only)
+  JobId running_ = kNoJob;          // job of the last appended segment
+  MachineId obs_machine_ = kNoMachine;
   Schedule schedule_;
   std::vector<JobState> jobs_;              // indexed by insertion order
   std::vector<std::size_t> index_of_id_;    // JobId -> index in jobs_

@@ -5,6 +5,8 @@
 
 #include "src/core/kinematics.h"
 #include "src/core/power.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/trace.h"
 
 namespace speedscale {
 
@@ -27,12 +29,25 @@ RunResult run_custom_policy(const Instance& instance, double alpha, const SpeedP
   const std::vector<JobId> order = instance.fifo_order();
   std::size_t next_release_idx = 0;
 
+  // Trace bookkeeping: cumulative energy / fractional flow and the active
+  // (released, unfinished) weight, all maintained only while tracing.
+  const bool tracing = obs::tracing_enabled();
+  double energy_acc = 0.0;
+  double flow_acc = 0.0;
+  double active_weight = 0.0;
+  JobId traced_running = kNoJob;
+
   const auto release_due = [&](double t) {
     while (next_release_idx < order.size() &&
            instance.job(order[next_release_idx]).release <= t) {
       const Job& j = instance.job(order[next_release_idx]);
       visible_index[static_cast<std::size_t>(j.id)] = st.jobs.size();
       st.jobs.push_back({j.id, j.release, j.density, 0.0, false});
+      if (tracing) {
+        active_weight += j.weight();
+        TRACE_EVENT(.kind = obs::EventKind::kJobRelease, .t = j.release, .job = j.id,
+                    .value = j.volume, .aux = j.density, .label = "custom_policy");
+      }
       ++next_release_idx;
     }
   };
@@ -92,6 +107,27 @@ RunResult run_custom_policy(const Instance& instance, double alpha, const SpeedP
       completes = true;
     }
     sched.append({t, t + dt, d.job, SpeedLaw::kConstant, speed, job.density});
+    if (tracing) {
+      // Only decision changes are events; per-step integration stays silent.
+      if (d.job != traced_running) {
+        if (traced_running != kNoJob &&
+            !st.jobs[visible_index[static_cast<std::size_t>(traced_running)]].completed) {
+          const auto& prev = st.jobs[visible_index[static_cast<std::size_t>(traced_running)]];
+          TRACE_EVENT(.kind = obs::EventKind::kPreemption, .t = t, .job = traced_running,
+                      .value = static_cast<double>(d.job),
+                      .aux = instance.job(traced_running).volume - prev.processed,
+                      .label = "custom_policy");
+        }
+        TRACE_EVENT(.kind = obs::EventKind::kSpeedChange, .t = t, .job = d.job, .value = speed,
+                    .aux = vj.processed, .label = "custom_policy");
+        traced_running = d.job;
+      }
+      OBS_COUNT("sim.custom_policy.steps", 1);
+      // Constant speed over [t, t+dt]: exact closed forms per step.
+      energy_acc += std::pow(speed, alpha) * dt;
+      flow_acc += active_weight * dt - 0.5 * job.density * speed * dt * dt;
+      active_weight = std::max(0.0, active_weight - job.density * speed * dt);
+    }
     vj.processed = completes ? job.volume : vj.processed + speed * dt;
     t += dt;
 
@@ -100,6 +136,11 @@ RunResult run_custom_policy(const Instance& instance, double alpha, const SpeedP
       --remaining;
       sched.set_completion(d.job, t);
       t_last_event = t;
+      if (tracing) {
+        TRACE_EVENT(.kind = obs::EventKind::kJobComplete, .t = t, .job = d.job,
+                    .value = energy_acc, .aux = flow_acc, .label = "custom_policy");
+        traced_running = kNoJob;
+      }
     } else if (next_rel < kInf && t >= next_rel - 1e-15 * std::max(1.0, next_rel)) {
       t_last_event = t;
     }

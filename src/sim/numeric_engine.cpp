@@ -6,6 +6,8 @@
 #include <set>
 
 #include "src/numerics/ode.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/trace.h"
 
 namespace speedscale {
 
@@ -26,6 +28,7 @@ struct IntervalOutcome {
 IntervalOutcome integrate_interval(const PowerFunction& power, double rho, double sign,
                                    double t0, double y0, double t1, double target,
                                    int substeps, SampledRun* run) {
+  OBS_COUNT("numerics.engine.intervals", 1);
   IntervalOutcome out;
   const auto rhs = [&](double /*t*/, double y) {
     return sign * rho * power.speed_for_power(std::max(y, 0.0));
@@ -155,6 +158,9 @@ SampledRun run_generic_c(const Instance& instance, const PowerFunction& power,
       prog[static_cast<std::size_t>(id)].released = true;
       W += instance.job(id).weight();
       active.insert(id);
+      const Job& j = instance.job(id);
+      TRACE_EVENT(.kind = obs::EventKind::kJobRelease, .t = j.release, .job = id,
+                  .value = j.volume, .aux = j.density, .label = "numeric_c");
     }
   };
   release_due();
@@ -220,6 +226,8 @@ SampledRun run_generic_c(const Instance& instance, const PowerFunction& power,
       active.erase(active.begin());
       run.completions[cur] = t;
       run.integral_flow += job.weight() * (t - job.release);
+      TRACE_EVENT(.kind = obs::EventKind::kJobComplete, .t = t, .job = cur,
+                  .value = run.energy, .aux = run.fractional_flow, .label = "numeric_c");
     }
     release_due();
   }
@@ -232,7 +240,11 @@ SampledRun run_generic_nc_uniform(const Instance& instance, const PowerFunction&
     throw ModelError("run_generic_nc_uniform: instance must have uniform density");
   }
   // The NC speed rule needs W^C(r_j^-): run the clairvoyant algorithm first.
-  const SampledRun c_run = run_generic_c(instance, power, cfg);
+  // It is a virtual run — its events stay out of the NC trace.
+  const SampledRun c_run = [&] {
+    obs::TraceSuppressGuard suppress_virtual_run;
+    return run_generic_c(instance, power, cfg);
+  }();
 
   SampledRun run;
   std::vector<JobProgress> prog(instance.size());
@@ -246,6 +258,17 @@ SampledRun run_generic_nc_uniform(const Instance& instance, const PowerFunction&
   std::vector<double> releases;
   for (const Job& j : instance.jobs()) releases.push_back(j.release);
   std::sort(releases.begin(), releases.end());
+
+  // Release events interleave into the trace in time order.
+  std::size_t next_rel_idx = 0;
+  const auto emit_releases_up_to = [&](double tau) {
+    while (next_rel_idx < fifo.size() && instance.job(fifo[next_rel_idx]).release <= tau) {
+      const Job& j = instance.job(fifo[next_rel_idx]);
+      TRACE_EVENT(.kind = obs::EventKind::kJobRelease, .t = j.release, .job = j.id,
+                  .value = j.volume, .aux = j.density, .label = "numeric_nc");
+      ++next_rel_idx;
+    }
+  };
 
   double t = 0.0;
   for (JobId jid : fifo) {
@@ -262,6 +285,7 @@ SampledRun run_generic_nc_uniform(const Instance& instance, const PowerFunction&
       run.weight.push_back(0.0);
     }
 
+    emit_releases_up_to(std::max(t, job.release));
     const double offset = c_run.weight_left(job.release);
     double U = std::max(offset, bootstrap);
     const double U_target = U + job.density * pj.remaining;
@@ -306,7 +330,11 @@ SampledRun run_generic_nc_uniform(const Instance& instance, const PowerFunction&
     pj.done = true;
     run.completions[jid] = t;
     run.integral_flow += job.weight() * (t - job.release);
+    emit_releases_up_to(t);
+    TRACE_EVENT(.kind = obs::EventKind::kJobComplete, .t = t, .job = jid,
+                .value = run.energy, .aux = run.fractional_flow, .label = "numeric_nc");
   }
+  if (obs::tracing_enabled()) emit_releases_up_to(kInf);
   return run;
 }
 

@@ -1,0 +1,169 @@
+// Event-level replay of the paper's Lemma 3 / Lemma 4 identities.
+//
+// The simulators annotate every completion event with cumulative energy
+// (value) and cumulative fractional flow (aux).  Because the simulators are
+// closed-form exact, the lemmas hold *at every completion event*, not just
+// in aggregate:
+//
+//   * Algorithm C runs at P(s) = W, so its cumulative energy and cumulative
+//     fractional flow are the same integral: aux == value at every event.
+//   * Algorithm NC sweeps, for job j, exactly the C weight band
+//     [offset_j, offset_j + W_j] (Lemma 3 per job): the cumulative energy at
+//     the k-th completion is the sum of the first k band integrals, and the
+//     total equals C's energy.
+//   * Each job's whole-lifetime fractional flow is E_j / (1 - 1/alpha)
+//     (Lemma 4 per job), so cumulative aux == cumulative value / (1 - 1/alpha)
+//     at every completion event.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/algo/algorithm_c.h"
+#include "src/algo/algorithm_nc_uniform.h"
+#include "src/core/kinematics.h"
+#include "src/obs/trace.h"
+#include "src/workload/generators.h"
+
+namespace speedscale {
+namespace {
+
+using obs::EventKind;
+using obs::TraceEvent;
+
+class ObsInvariantsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { reset(); }
+  void TearDown() override { reset(); }
+  static void reset() {
+    obs::Tracer::instance().set_enabled(false);
+    obs::Tracer::instance().clear_sinks();
+  }
+};
+
+Instance uniform_instance(int n, std::uint64_t seed) {
+  return workload::generate({.n_jobs = n,
+                             .arrival_rate = 1.2,
+                             .volume_dist = workload::VolumeDist::kExponential,
+                             .seed = seed});
+}
+
+std::vector<TraceEvent> capture(const std::function<void()>& run) {
+  auto ring = std::make_shared<obs::RingBufferSink>(1 << 18);
+  obs::ScopedTracing tracing(ring);
+  run();
+  EXPECT_EQ(ring->dropped(), 0u);
+  return ring->events();
+}
+
+TEST_F(ObsInvariantsTest, AlgorithmCFlowEqualsEnergyAtEveryCompletion) {
+  for (const double alpha : {1.5, 2.0, 3.0}) {
+    for (const std::uint64_t seed : {1u, 2u, 3u}) {
+      const Instance inst = uniform_instance(24, seed);
+      RunResult c(alpha);
+      const std::vector<TraceEvent> evs = capture([&] { c = run_c(inst, alpha); });
+
+      std::size_t completions = 0;
+      double last_energy = 0.0;
+      for (const TraceEvent& ev : evs) {
+        if (ev.kind != EventKind::kJobComplete) continue;
+        ++completions;
+        // P(s) = W makes cumulative flow == cumulative energy, event by event.
+        EXPECT_DOUBLE_EQ(ev.aux, ev.value);
+        EXPECT_GE(ev.value, last_energy);
+        last_energy = ev.value;
+      }
+      EXPECT_EQ(completions, inst.size());
+      EXPECT_NEAR(last_energy, c.metrics.energy, 1e-9 * std::max(1.0, c.metrics.energy));
+      EXPECT_NEAR(last_energy, c.metrics.fractional_flow,
+                  1e-9 * std::max(1.0, c.metrics.fractional_flow));
+    }
+  }
+}
+
+TEST_F(ObsInvariantsTest, NCCompletionEventsReplayLemma3And4) {
+  for (const double alpha : {1.5, 2.0, 2.5, 3.0}) {
+    const PowerLawKinematics kin(alpha);
+    for (const std::uint64_t seed : {11u, 12u, 13u}) {
+      const Instance inst = uniform_instance(20, seed);
+      NCUniformRun nc(alpha);
+      const std::vector<TraceEvent> evs =
+          capture([&] { nc = run_nc_uniform_detailed(inst, alpha); });
+
+      // Every job appears exactly once as a release and once as a completion;
+      // the virtual clairvoyant run inside NC must stay invisible.
+      std::map<JobId, int> released, completed;
+      for (const TraceEvent& ev : evs) {
+        if (ev.kind == EventKind::kJobRelease) ++released[ev.job];
+        if (ev.kind == EventKind::kJobComplete) ++completed[ev.job];
+      }
+      EXPECT_EQ(released.size(), inst.size());
+      EXPECT_EQ(completed.size(), inst.size());
+      for (const auto& [jid, cnt] : released) EXPECT_EQ(cnt, 1) << "job " << jid;
+      for (const auto& [jid, cnt] : completed) EXPECT_EQ(cnt, 1) << "job " << jid;
+
+      double band_energy = 0.0;  // sum of C weight-band integrals (Lemma 3)
+      double last_energy = 0.0, last_flow = 0.0;
+      for (const TraceEvent& ev : evs) {
+        if (ev.kind == EventKind::kJobRelease) {
+          const Job& job = inst.job(ev.job);
+          EXPECT_DOUBLE_EQ(ev.t, job.release);
+          EXPECT_DOUBLE_EQ(ev.value, job.volume);
+          EXPECT_DOUBLE_EQ(ev.aux, job.density);
+          continue;
+        }
+        if (ev.kind != EventKind::kJobComplete) continue;
+        const Job& job = inst.job(ev.job);
+        const double u0 = nc.offsets[static_cast<std::size_t>(ev.job)];
+        // Lemma 3, per job: NC spends on job j exactly the C energy of the
+        // weight band [offset_j, offset_j + W_j].
+        band_energy += kin.grow_integral(u0, u0 + job.weight(), job.density);
+        EXPECT_NEAR(ev.value, band_energy, 1e-9 * std::max(1.0, band_energy));
+        // Lemma 4, per job: flow_j == E_j / (1 - 1/alpha), so the cumulative
+        // ratio holds at every completion event.
+        EXPECT_NEAR(ev.aux, ev.value / (1.0 - 1.0 / alpha),
+                    1e-9 * std::max(1.0, ev.aux));
+        last_energy = ev.value;
+        last_flow = ev.aux;
+      }
+
+      // The event stream's running totals land exactly on the run's metrics.
+      EXPECT_NEAR(last_energy, nc.result.metrics.energy,
+                  1e-9 * std::max(1.0, nc.result.metrics.energy));
+      EXPECT_NEAR(last_flow, nc.result.metrics.fractional_flow,
+                  1e-9 * std::max(1.0, nc.result.metrics.fractional_flow));
+
+      // Lemma 3 in aggregate: NC's energy equals the clairvoyant C's energy.
+      RunResult c(alpha);
+      {
+        obs::TraceSuppressGuard quiet;
+        c = run_c(inst, alpha);
+      }
+      EXPECT_NEAR(last_energy, c.metrics.energy, 1e-9 * std::max(1.0, c.metrics.energy));
+    }
+  }
+}
+
+TEST_F(ObsInvariantsTest, NCEventsInterleaveInTimeOrderWithinKind) {
+  const double alpha = 2.0;
+  const Instance inst = uniform_instance(16, 99);
+  const std::vector<TraceEvent> evs = capture([&] { (void)run_nc_uniform(inst, alpha); });
+  double last_release = -kInf, last_complete = -kInf;
+  for (const TraceEvent& ev : evs) {
+    if (ev.kind == EventKind::kJobRelease) {
+      EXPECT_GE(ev.t, last_release);
+      last_release = ev.t;
+    } else if (ev.kind == EventKind::kJobComplete) {
+      EXPECT_GE(ev.t, last_complete);
+      last_complete = ev.t;
+    }
+  }
+  // NC completes in FIFO order, so the last completion is the makespan.
+  EXPECT_GT(last_complete, 0.0);
+}
+
+}  // namespace
+}  // namespace speedscale

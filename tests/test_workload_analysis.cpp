@@ -16,6 +16,7 @@
 #include "src/analysis/thread_pool.h"
 #include "src/workload/adversarial.h"
 #include "src/workload/generators.h"
+#include "src/workload/trace_io.h"
 
 namespace speedscale {
 namespace {
@@ -210,6 +211,57 @@ TEST(AsciiChart, RendersWithoutCrashing) {
   EXPECT_NE(empty.str().find("no data"), std::string::npos);
 }
 
+TEST(TraceIO, RoundTripPreservesEveryJobExactly) {
+  const Instance orig = workload::generate({.n_jobs = 40,
+                                            .arrival_rate = 2.0,
+                                            .volume_dist = workload::VolumeDist::kLognormal,
+                                            .density_mode = workload::DensityMode::kLogUniform,
+                                            .seed = 21});
+  std::stringstream ss;
+  workload::write_trace(ss, orig);
+  const Instance back = workload::read_trace(ss);
+  ASSERT_EQ(back.size(), orig.size());
+  for (std::size_t i = 0; i < orig.size(); ++i) {
+    // setprecision(17) round-trips doubles bit-exactly.
+    EXPECT_DOUBLE_EQ(back.jobs()[i].release, orig.jobs()[i].release);
+    EXPECT_DOUBLE_EQ(back.jobs()[i].volume, orig.jobs()[i].volume);
+    EXPECT_DOUBLE_EQ(back.jobs()[i].density, orig.jobs()[i].density);
+    // Loading reassigns contiguous ids in file order (Instance invariant).
+    EXPECT_EQ(back.jobs()[i].id, static_cast<JobId>(i));
+  }
+}
+
+TEST(TraceIO, ZeroVolumeRowIsRejected) {
+  // A zero-volume job breaks every density/weight identity; the Instance
+  // constructor must refuse it at load time, not during a later run.
+  std::stringstream ss("id,release,volume,density\n0,0.0,0.0,1.0\n");
+  EXPECT_THROW((void)workload::read_trace(ss), ModelError);
+  std::stringstream neg("id,release,volume,density\n0,0.0,-1.0,1.0\n");
+  EXPECT_THROW((void)workload::read_trace(neg), ModelError);
+}
+
+TEST(TraceIO, IdenticalReleaseTimesSurviveRoundTrip) {
+  // Release-time ties are semantically meaningful (the simulators resolve
+  // them as the limit of infinitesimally-separated releases), so a trace
+  // with ties must reload with the ties — and the file order — intact.
+  const Instance orig({Job{kNoJob, 1.0, 0.5, 1.0}, Job{kNoJob, 1.0, 2.0, 1.0},
+                       Job{kNoJob, 1.0, 0.25, 1.0}, Job{kNoJob, 3.0, 1.0, 1.0}});
+  std::stringstream ss;
+  workload::write_trace(ss, orig);
+  const Instance back = workload::read_trace(ss);
+  ASSERT_EQ(back.size(), 4u);
+  EXPECT_DOUBLE_EQ(back.jobs()[0].release, 1.0);
+  EXPECT_DOUBLE_EQ(back.jobs()[1].release, 1.0);
+  EXPECT_DOUBLE_EQ(back.jobs()[2].release, 1.0);
+  EXPECT_DOUBLE_EQ(back.jobs()[1].volume, 2.0);
+  // FIFO order breaks the tie by id, which follows file order.
+  const std::vector<JobId> fifo = back.fifo_order();
+  EXPECT_EQ(fifo[0], 0);
+  EXPECT_EQ(fifo[1], 1);
+  EXPECT_EQ(fifo[2], 2);
+  EXPECT_EQ(fifo[3], 3);
+}
+
 TEST(RatioHarness, UniformSuiteIncludesExpectedRows) {
   const Instance inst = workload::generate({.n_jobs = 8, .seed = 4});
   const analysis::SuiteResult r = analysis::run_suite(inst, 2.0, {.opt_slots = 300});
@@ -225,6 +277,21 @@ TEST(RatioHarness, UniformSuiteIncludesExpectedRows) {
   }
   EXPECT_TRUE(has_c);
   EXPECT_TRUE(has_nc);
+}
+
+TEST(RatioHarness, SuiteObservabilityExportsMetricsAndProfile) {
+  const Instance inst = workload::generate({.n_jobs = 6, .seed = 5});
+  (void)analysis::run_suite(inst, 2.0, {.opt_slots = 200});
+  std::ostringstream os;
+  analysis::write_suite_observability(os);
+  const std::string json = os.str();
+  // One JSON object bundling the registry snapshot and the per-algorithm
+  // profiler breakdown (run_suite times each algorithm under "suite.*").
+  EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(json.find("\"profile\""), std::string::npos);
+  EXPECT_NE(json.find("\"suite.c\""), std::string::npos);
+  EXPECT_NE(json.find("\"suite.nc_uniform\""), std::string::npos);
+  EXPECT_NE(json.find("\"suite.opt\""), std::string::npos);
 }
 
 }  // namespace
