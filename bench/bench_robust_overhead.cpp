@@ -1,0 +1,106 @@
+// E20 — robustness overhead (google-benchmark).
+//
+// The guards added by the robustness layer promise the same cost discipline
+// as the observability sites: a dormant fault-injection site is one relaxed
+// atomic load, the NaN guard in the ODE inner loop is one isfinite branch,
+// and the post-run invariant checker is a single O(samples) pass.  This
+// bench isolates each cost so regressions show up as numbers, not folklore:
+//
+//   * the dormant fault_fire site, alone in a loop;
+//   * the numeric engine with and without an installed (never-firing) plan;
+//   * the guarded engine vs the raw engine (checker + ladder bookkeeping);
+//   * the invariant checker pass by itself.
+#include <benchmark/benchmark.h>
+
+#include "src/core/power.h"
+#include "src/robust/fault_injection.h"
+#include "src/robust/guarded_engine.h"
+#include "src/robust/invariants.h"
+#include "src/sim/numeric_engine.h"
+#include "src/workload/generators.h"
+
+using namespace speedscale;
+
+namespace {
+
+Instance make_uniform(int n, std::uint64_t seed = 1) {
+  return workload::generate({.n_jobs = n, .arrival_rate = 1.5, .seed = seed});
+}
+
+NumericConfig bench_config() {
+  NumericConfig cfg;
+  cfg.substeps_per_interval = 256;  // keep iterations fast; ratio is what matters
+  return cfg;
+}
+
+// The raw cost of a dormant injection site: one relaxed load, ~1 ns/iter.
+void BM_DormantFaultSite(benchmark::State& state) {
+  robust::FaultInjector::instance().clear();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(robust::fault_fire(robust::FaultSite::kOdeSubstepNaN));
+  }
+}
+BENCHMARK(BM_DormantFaultSite);
+
+// An installed plan that never fires: every substep now takes the mutex-
+// guarded slow path.  This is the *test-only* configuration; the delta vs
+// BM_NumericEngine_NoPlan is the price tests pay, not production.
+void BM_NumericEngine_NoPlan(benchmark::State& state) {
+  const Instance inst = make_uniform(static_cast<int>(state.range(0)));
+  const PowerLaw p(2.0);
+  const NumericConfig cfg = bench_config();
+  robust::FaultInjector::instance().clear();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_generic_c(inst, p, cfg));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NumericEngine_NoPlan)->Arg(8)->Arg(32);
+
+void BM_NumericEngine_IdlePlanInstalled(benchmark::State& state) {
+  const Instance inst = make_uniform(static_cast<int>(state.range(0)));
+  const PowerLaw p(2.0);
+  const NumericConfig cfg = bench_config();
+  // Fires at an index the run never reaches.
+  robust::ScopedFaultPlan plan(
+      robust::FaultPlan{}.fire(robust::FaultSite::kOdeSubstepNaN, {~0ULL}));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_generic_c(inst, p, cfg));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NumericEngine_IdlePlanInstalled)->Arg(8)->Arg(32);
+
+// Guarded vs raw: the clean-path premium is one invariant-checker pass plus
+// the RunOutcome plumbing (no retries happen here).
+void BM_GuardedEngine_CleanPath(benchmark::State& state) {
+  const Instance inst = make_uniform(static_cast<int>(state.range(0)));
+  const PowerLaw p(2.0);
+  robust::GuardedNumericOptions opts;
+  opts.base = bench_config();
+  opts.alpha = 2.0;
+  robust::FaultInjector::instance().clear();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(robust::run_generic_c_guarded(inst, p, opts));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GuardedEngine_CleanPath)->Arg(8)->Arg(32);
+
+// The checker pass in isolation, on a reusable run.
+void BM_InvariantChecker(benchmark::State& state) {
+  const Instance inst = make_uniform(static_cast<int>(state.range(0)));
+  const PowerLaw p(2.0);
+  const SampledRun run = run_generic_c(inst, p, bench_config());
+  robust::InvariantOptions opts;
+  opts.kind = robust::RunKind::kAlgorithmC;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(robust::check_sampled_run(inst, run, opts));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(run.t.size()));
+}
+BENCHMARK(BM_InvariantChecker)->Arg(8)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -7,6 +7,8 @@
 //              [--trace events.jsonl] [--obs report.json]
 //
 // Trace format (header required):  id,release,volume,density
+// Reads are strict by default: a malformed line is a typed, line-numbered
+// error.  --lenient skips-and-counts bad lines instead (reported on stdout).
 // With --out, writes the resulting piecewise schedule as CSV:
 //   t0,t1,job,speed_law,param,rho
 // With --trace, records the run's structured event stream as JSONL (one JSON
@@ -28,6 +30,7 @@
 #include "src/obs/metrics_registry.h"
 #include "src/obs/report.h"
 #include "src/obs/trace.h"
+#include "src/robust/diagnostics.h"
 #include "src/workload/generators.h"
 #include "src/workload/trace_io.h"
 
@@ -62,7 +65,7 @@ void write_schedule_csv(const std::string& path, const Schedule& sched) {
 int usage() {
   std::fprintf(stderr,
                "usage: trace_tool <trace.csv> [--algo nc|c|nc-nonuniform|fixed|naive|doubling]\n"
-               "                  [--alpha A] [--speed S] [--out schedule.csv]\n"
+               "                  [--alpha A] [--speed S] [--lenient] [--out schedule.csv]\n"
                "                  [--trace events.jsonl] [--obs report.json]\n");
   return 2;
 }
@@ -73,9 +76,12 @@ int main(int argc, char** argv) {
   std::string trace_path, algo = "nc", out_path, profile_path, jobs_path;
   std::string events_path, obs_path;
   double alpha = 2.0, speed = 1.0;
+  bool lenient = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--algo" && i + 1 < argc) {
+    if (arg == "--lenient") {
+      lenient = true;
+    } else if (arg == "--algo" && i + 1 < argc) {
       algo = argv[++i];
     } else if (arg == "--alpha" && i + 1 < argc) {
       alpha = std::stod(argv[++i]);
@@ -104,7 +110,15 @@ int main(int argc, char** argv) {
       std::printf("(no trace given: demo on a generated 12-job trace; see --help)\n\n");
       inst = workload::generate({.n_jobs = 12, .arrival_rate = 1.5, .seed = 1});
     } else {
-      inst = workload::read_trace_file(trace_path);
+      workload::TraceReadOptions read_opts;
+      read_opts.mode = lenient ? workload::TraceReadMode::kLenient
+                               : workload::TraceReadMode::kStrict;
+      workload::TraceReadStats stats;
+      inst = workload::read_trace_file(trace_path, read_opts, &stats);
+      if (stats.lines_skipped > 0) {
+        std::printf("lenient read: kept %zu job(s), skipped %zu bad line(s)\n",
+                    stats.lines_read, stats.lines_skipped);
+      }
     }
 
     // Observability plumbing: a JSONL sink plus a human summary when --trace
@@ -186,6 +200,7 @@ int main(int argc, char** argv) {
       std::printf("job summary written to %s\n", jobs_path.c_str());
     }
     if (jsonl) {
+      jsonl->close();  // commits the ".tmp" sibling to events_path
       std::printf("event trace written to %s (%zu events)\n%s", events_path.c_str(),
                   jsonl->lines(), summary->summary().c_str());
     }
@@ -193,6 +208,17 @@ int main(int argc, char** argv) {
       obs::write_observability_report_file(obs_path);
       std::printf("observability report written to %s\n", obs_path.c_str());
     }
+  } catch (const workload::TraceIoError& e) {
+    const robust::Diagnostic& d = e.diagnostic();
+    std::fprintf(stderr, "error [%s] %s (%s)\n", robust::error_code_name(d.code),
+                 d.message.c_str(), d.context.c_str());
+    std::fprintf(stderr, "hint: --lenient skips malformed lines instead of failing\n");
+    return 1;
+  } catch (const robust::RobustError& e) {
+    const robust::Diagnostic& d = e.diagnostic();
+    std::fprintf(stderr, "error [%s] %s (%s)\n", robust::error_code_name(d.code),
+                 d.message.c_str(), d.context.c_str());
+    return 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -1,10 +1,13 @@
 #include "src/analysis/ratio_harness.h"
 
+#include <functional>
+
 #include "src/algo/algorithm_c.h"
 #include "src/algo/algorithm_nc_nonuniform.h"
 #include "src/algo/algorithm_nc_uniform.h"
 #include "src/algo/baselines.h"
 #include "src/algo/frac_to_int.h"
+#include "src/obs/metrics_registry.h"
 #include "src/obs/profiler.h"
 #include "src/obs/report.h"
 #include "src/obs/trace.h"
@@ -13,16 +16,52 @@
 namespace speedscale::analysis {
 
 double SuiteResult::frac_ratio(const AlgoOutcome& o) const {
-  if (!opt_fractional || *opt_fractional <= 0.0 || o.integral_only) return 0.0;
+  if (!opt_fractional || *opt_fractional <= 0.0 || o.integral_only || !o.ok()) return 0.0;
   return o.metrics.fractional_objective() / *opt_fractional;
 }
 
 double SuiteResult::int_ratio(const AlgoOutcome& o) const {
   // fractional OPT <= integral OPT, so this over-states the true integral
   // competitive ratio — a safe upper bound for checking theorem bounds.
-  if (!opt_fractional || *opt_fractional <= 0.0) return 0.0;
+  if (!opt_fractional || *opt_fractional <= 0.0 || !o.ok()) return 0.0;
   return o.metrics.integral_objective() / *opt_fractional;
 }
+
+bool SuiteResult::all_ok() const {
+  for (const AlgoOutcome& o : outcomes) {
+    if (o.status != robust::RunStatus::kOk) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Runs one algorithm under guard: a typed (or any) exception becomes a
+/// kFailed outcome carrying the diagnostic, and the suite moves on.
+void guarded_outcome(SuiteResult& out, const char* name, bool integral_only,
+                     const std::function<Metrics()>& body) {
+  AlgoOutcome o;
+  o.name = name;
+  o.integral_only = integral_only;
+  try {
+    o.metrics = body();
+  } catch (const robust::RobustError& e) {
+    o.status = robust::RunStatus::kFailed;
+    o.diagnostic = e.diagnostic().to_string();
+  } catch (const std::exception& e) {
+    o.status = robust::RunStatus::kFailed;
+    o.diagnostic = robust::Diagnostic{robust::ErrorCode::kNoConvergence, e.what()}.to_string();
+  }
+  if (o.status == robust::RunStatus::kFailed) {
+    OBS_COUNT("analysis.suite.algo_failures", 1);
+    TRACE_EVENT(.kind = obs::EventKind::kPhaseBoundary, .t = 0.0,
+                .value = static_cast<double>(out.outcomes.size()), .aux = 0.0,
+                .label = "suite.algo_failed");
+  }
+  out.outcomes.push_back(std::move(o));
+}
+
+}  // namespace
 
 SuiteResult run_suite(const Instance& instance, double alpha, const SuiteOptions& options) {
   SuiteResult out;
@@ -30,54 +69,64 @@ SuiteResult run_suite(const Instance& instance, double alpha, const SuiteOptions
               .value = static_cast<double>(instance.size()), .aux = alpha,
               .label = "suite.begin");
 
-  {
+  guarded_outcome(out, "C (clairvoyant)", false, [&] {
     OBS_TIMED_SCOPE("suite.c");
-    const RunResult c = run_c(instance, alpha);
-    out.outcomes.push_back({"C (clairvoyant)", c.metrics, false});
-  }
+    return run_c(instance, alpha).metrics;
+  });
 
   const bool uniform = instance.uniform_density();
   if (uniform) {
     Schedule nc_schedule(alpha);
-    {
+    bool nc_ok = false;
+    guarded_outcome(out, "NC (uniform)", false, [&] {
       OBS_TIMED_SCOPE("suite.nc_uniform");
       RunResult nc = run_nc_uniform(instance, alpha);
-      out.outcomes.push_back({"NC (uniform)", nc.metrics, false});
       nc_schedule = std::move(nc.schedule);
+      nc_ok = true;
+      return nc.metrics;
+    });
+    if (nc_ok) {
+      // The reduction replays NC's schedule; it only makes sense when NC ran.
+      guarded_outcome(out, "NC + reduction (int)", true, [&] {
+        OBS_TIMED_SCOPE("suite.reduction");
+        const IntReductionRun red =
+            reduce_frac_to_int(instance, nc_schedule, options.reduction_eps);
+        Metrics red_m;
+        red_m.energy = red.energy;
+        red_m.integral_flow = red.integral_flow;
+        return red_m;
+      });
     }
-    {
-      OBS_TIMED_SCOPE("suite.reduction");
-      const IntReductionRun red = reduce_frac_to_int(instance, nc_schedule, options.reduction_eps);
-      Metrics red_m;
-      red_m.energy = red.energy;
-      red_m.integral_flow = red.integral_flow;
-      out.outcomes.push_back({"NC + reduction (int)", red_m, true});
-    }
-    {
+    guarded_outcome(out, "NaiveNC (ablation)", false, [&] {
       OBS_TIMED_SCOPE("suite.naive");
-      const RunResult naive = run_naive_nc(instance, alpha);
-      out.outcomes.push_back({"NaiveNC (ablation)", naive.metrics, false});
-    }
+      return run_naive_nc(instance, alpha).metrics;
+    });
   }
 
   if (options.include_nonuniform) {
-    OBS_TIMED_SCOPE("suite.nc_nonuniform");
-    const NCNonUniformRun ncn = run_nc_nonuniform(instance, alpha);
-    out.outcomes.push_back({"NC (non-uniform)", ncn.result.metrics, false});
+    guarded_outcome(out, "NC (non-uniform)", false, [&] {
+      OBS_TIMED_SCOPE("suite.nc_nonuniform");
+      return run_nc_nonuniform(instance, alpha).result.metrics;
+    });
   }
 
-  {
+  guarded_outcome(out, "ActiveCount PS", false, [&] {
     OBS_TIMED_SCOPE("suite.active_count_ps");
-    const SharedRun ps = run_active_count(instance, alpha);
-    out.outcomes.push_back({"ActiveCount PS", ps.metrics, false});
-  }
+    return run_active_count(instance, alpha).metrics;
+  });
 
   if (options.include_opt) {
     OBS_TIMED_SCOPE("suite.opt");
-    ConvexOptParams p;
-    p.slots = options.opt_slots;
-    const ConvexOptResult opt = solve_fractional_opt(instance, alpha, p);
-    out.opt_fractional = opt.objective;
+    try {
+      ConvexOptParams p;
+      p.slots = options.opt_slots;
+      const ConvexOptResult opt = solve_fractional_opt(instance, alpha, p);
+      out.opt_fractional = opt.objective;
+    } catch (const std::exception&) {
+      // No reference: ratios read 0, per-algorithm objectives still stand.
+      OBS_COUNT("analysis.suite.opt_failures", 1);
+      out.opt_fractional.reset();
+    }
   }
   TRACE_EVENT(.kind = obs::EventKind::kPhaseBoundary, .t = 0.0,
               .value = static_cast<double>(out.outcomes.size()),

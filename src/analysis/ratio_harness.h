@@ -1,6 +1,11 @@
 // Competitive-ratio harness: runs the algorithm suite on an instance and
 // reports each algorithm's objectives against a reference (numerical OPT or
 // the clairvoyant Algorithm C).
+//
+// Robustness: each algorithm runs under its own guard.  One algorithm
+// tripping a typed diagnostic (unbracketed root, NaN, invariant breach)
+// marks *its* outcome as failed — with the diagnostic preserved — and the
+// rest of the suite still runs; ratios of failed outcomes read as 0.
 #pragma once
 
 #include <optional>
@@ -10,6 +15,7 @@
 
 #include "src/core/instance.h"
 #include "src/core/metrics.h"
+#include "src/robust/diagnostics.h"
 
 namespace speedscale::analysis {
 
@@ -17,6 +23,10 @@ struct AlgoOutcome {
   std::string name;
   Metrics metrics;
   bool integral_only = false;  ///< reduction outputs have no fractional flow
+  robust::RunStatus status = robust::RunStatus::kOk;
+  std::string diagnostic;      ///< non-empty iff status != kOk
+
+  [[nodiscard]] bool ok() const { return status != robust::RunStatus::kFailed; }
 };
 
 struct SuiteOptions {
@@ -30,13 +40,18 @@ struct SuiteResult {
   std::vector<AlgoOutcome> outcomes;
   std::optional<double> opt_fractional;  ///< numerical lower-bound reference
 
-  /// Ratio of an outcome's objective to opt (fractional); 0 if opt missing.
+  /// Ratio of an outcome's objective to opt (fractional); 0 if opt missing
+  /// or the outcome failed.
   [[nodiscard]] double frac_ratio(const AlgoOutcome& o) const;
   [[nodiscard]] double int_ratio(const AlgoOutcome& o) const;
+
+  /// True when every algorithm (and OPT, if requested) completed kOk.
+  [[nodiscard]] bool all_ok() const;
 };
 
 /// Runs every applicable algorithm on the instance.  Uniform-density inputs
-/// additionally get Algorithm NC (uniform) and the naive ablation.
+/// additionally get Algorithm NC (uniform) and the naive ablation.  A
+/// failing algorithm yields a kFailed outcome instead of aborting the suite.
 [[nodiscard]] SuiteResult run_suite(const Instance& instance, double alpha,
                                     const SuiteOptions& options = {});
 

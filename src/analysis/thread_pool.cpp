@@ -1,8 +1,11 @@
 #include "src/analysis/thread_pool.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "src/obs/metrics_registry.h"
+#include "src/robust/diagnostics.h"
+#include "src/robust/fault_injection.h"
 
 namespace speedscale::analysis {
 
@@ -13,6 +16,7 @@ const std::vector<double> kLatencyBoundsUs = {1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1
 
 ThreadPool::ThreadPool(std::size_t n_threads)
     : tasks_metric_(obs::registry().counter("analysis.thread_pool.tasks")),
+      failures_metric_(obs::registry().counter("analysis.thread_pool.task_failures")),
       queue_depth_metric_(obs::registry().gauge("analysis.thread_pool.queue_depth")),
       latency_metric_(
           obs::registry().histogram("analysis.thread_pool.task_latency_us", kLatencyBoundsUs)) {
@@ -29,6 +33,8 @@ ThreadPool::~ThreadPool() {
   {
     std::lock_guard<std::mutex> lk(mu_);
     stop_ = true;
+    // A pending first_error_ dies with the pool: destructors cannot throw,
+    // and the workers have already counted it in failed_tasks_.
   }
   cv_task_.notify_all();
   for (auto& w : workers_) w.join();
@@ -52,6 +58,16 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lk(mu_);
   cv_idle_.wait(lk, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr err = std::exchange(first_error_, nullptr);
+    lk.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+std::size_t ThreadPool::failed_tasks() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return failed_tasks_;
 }
 
 void ThreadPool::worker_loop() {
@@ -73,9 +89,23 @@ void ThreadPool::worker_loop() {
       latency_metric_.observe(
           std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(waited).count());
     }
-    task.fn();
+    std::exception_ptr err;
+    try {
+      if (robust::fault_fire(robust::FaultSite::kPoolTask)) {
+        throw robust::RobustError(robust::ErrorCode::kTaskFailed,
+                                  "thread_pool: injected task fault");
+      }
+      task.fn();
+    } catch (...) {
+      err = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> lk(mu_);
+      if (err) {
+        ++failed_tasks_;
+        if (!first_error_) first_error_ = err;
+        if (obs::metrics_enabled()) failures_metric_.add(1);
+      }
       --in_flight_;
       if (in_flight_ == 0) cv_idle_.notify_all();
     }

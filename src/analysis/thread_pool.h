@@ -3,11 +3,19 @@
 // Benches sweep (alpha x seed x size) grids of independent simulations; the
 // pool gives near-linear speedup on those embarrassingly-parallel sweeps
 // while keeping per-task code single-threaded and deterministic.
+//
+// Failure contract: tasks MAY throw.  A worker catches the exception, counts
+// it ("analysis.thread_pool.task_failures"), and stores the first one; the
+// next wait_idle() rethrows it on the caller's thread after the queue
+// drains.  Exceptions can never reach a worker's stack frame boundary, so
+// pool teardown with failing in-flight tasks cannot std::terminate; errors
+// still pending at destruction are swallowed (the destructor cannot throw).
 #pragma once
 
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -31,13 +39,19 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task.  Tasks must not throw (wrap and capture if needed).
+  /// Enqueues a task.  Throwing tasks are captured, not fatal (see the
+  /// failure contract above).
   void submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every submitted task has finished.  If any task threw
+  /// since the last wait_idle(), rethrows the *first* captured exception
+  /// (later ones are only counted); the pool stays usable afterwards.
   void wait_idle();
 
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Tasks that threw since construction (all of them, not just the first).
+  [[nodiscard]] std::size_t failed_tasks() const;
 
  private:
   struct Task {
@@ -49,21 +63,25 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::queue<Task> tasks_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
   std::size_t in_flight_ = 0;
   bool stop_ = false;
+  std::exception_ptr first_error_;    // first uncollected task failure
+  std::size_t failed_tasks_ = 0;      // lifetime count
 
   // Metric handles resolved once at construction; recording stays gated on
   // obs::metrics_enabled() so an idle observability layer costs nothing here.
   obs::Counter& tasks_metric_;
+  obs::Counter& failures_metric_;
   obs::Gauge& queue_depth_metric_;
   obs::Histogram& latency_metric_;
 };
 
 /// Runs body(i) for i in [0, n) across the pool; blocks until all complete.
-/// `body` must be thread-safe across distinct indices and must not throw.
+/// `body` must be thread-safe across distinct indices.  If any index throws,
+/// the first exception is rethrown here after the sweep drains.
 void parallel_for(ThreadPool& pool, std::size_t n, const std::function<void(std::size_t)>& body);
 
 }  // namespace speedscale::analysis

@@ -1,6 +1,7 @@
 #include "src/analysis/worst_case.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <random>
 
@@ -10,6 +11,7 @@
 #include "src/obs/trace.h"
 #include "src/opt/convex_opt.h"
 #include "src/opt/single_job_opt.h"
+#include "src/robust/checkpoint.h"
 
 namespace speedscale::analysis {
 
@@ -53,31 +55,89 @@ WorstCaseResult find_worst_nc_instance(double alpha, const WorstCaseOptions& opt
   opt_params.max_iters = 2500;
 
   WorstCaseResult best;
-  int evals = 0;
-  const auto evaluate = [&](const std::vector<double>& x) {
-    ++evals;
-    OBS_COUNT("analysis.worst_case.evaluations", 1);
-    const Instance inst = decode(x, n);
-    const double nc = run_nc_uniform(inst, alpha).metrics.fractional_objective();
-    const double opt = solve_fractional_opt(inst, alpha, opt_params).objective;
-    return opt > 0.0 ? nc / opt : 0.0;
+  const auto t_start = std::chrono::steady_clock::now();
+  const auto elapsed_s = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start).count();
   };
 
-  std::mt19937_64 rng(options.seed);
-  std::uniform_real_distribution<double> u(0.2, 2.0);
+  // A probe that trips a guard (unbracketed root, NaN, malformed instance)
+  // is a non-improving candidate, not a fatal error: the search records the
+  // first diagnostic, degrades its status, and keeps climbing.
+  const auto evaluate = [&](const std::vector<double>& x) {
+    OBS_COUNT("analysis.worst_case.evaluations", 1);
+    try {
+      const Instance inst = decode(x, n);
+      const double nc = run_nc_uniform(inst, alpha).metrics.fractional_objective();
+      const double opt = solve_fractional_opt(inst, alpha, opt_params).objective;
+      ++best.evaluations;
+      return opt > 0.0 ? nc / opt : 0.0;
+    } catch (const robust::RobustError& e) {
+      ++best.failed_evaluations;
+      OBS_COUNT("analysis.worst_case.failed_evaluations", 1);
+      if (best.diagnostics.empty()) best.diagnostics.push_back(e.diagnostic());
+      best.status = robust::RunStatus::kDegraded;
+      return 0.0;
+    } catch (const std::exception& e) {
+      ++best.failed_evaluations;
+      OBS_COUNT("analysis.worst_case.failed_evaluations", 1);
+      if (best.diagnostics.empty()) {
+        best.diagnostics.push_back(robust::Diagnostic{
+            robust::ErrorCode::kNoConvergence, std::string("evaluation threw: ") + e.what()});
+      }
+      best.status = robust::RunStatus::kDegraded;
+      return 0.0;
+    }
+  };
+
+  // Coordinate ascent with a shrinking multiplicative step; state is either
+  // a fresh seeded restart or the last valid checkpoint line.
   std::vector<double> x(static_cast<std::size_t>(2 * n - 1));
-  for (double& v : x) v = u(rng);
-
-  double cur = evaluate(x);
-  Instance cur_inst = decode(x, n);
-
-  // Coordinate ascent with a shrinking multiplicative step.
   double step = 2.0;
-  for (int round = 0; round < options.rounds; ++round) {
+  double cur = 0.0;
+  int first_round = 0;
+  bool resumed = false;
+  if (!options.checkpoint_path.empty() && options.resume) {
+    std::size_t skipped = 0;
+    if (const auto cp = robust::load_search_checkpoint(options.checkpoint_path, &skipped)) {
+      if (cp->x.size() == x.size()) {
+        x = cp->x;
+        step = cp->step;
+        cur = cp->ratio;
+        first_round = cp->next_round;
+        resumed = true;
+        OBS_COUNT("analysis.worst_case.resumes", 1);
+      } else {
+        best.diagnostics.push_back(robust::Diagnostic{
+            robust::ErrorCode::kIoMalformed,
+            "checkpoint dimension mismatch; restarting from seed",
+            "have " + std::to_string(cp->x.size()) + " want " + std::to_string(x.size())});
+        best.status = robust::RunStatus::kDegraded;
+      }
+    }
+    if (skipped > 0) {
+      best.diagnostics.push_back(robust::Diagnostic{
+          robust::ErrorCode::kIoMalformed, "skipped torn checkpoint lines",
+          std::to_string(skipped) + " line(s) in " + options.checkpoint_path});
+    }
+  }
+  if (!resumed) {
+    std::mt19937_64 rng(options.seed);
+    std::uniform_real_distribution<double> u(0.2, 2.0);
+    for (double& v : x) v = u(rng);
+    cur = evaluate(x);
+  }
+
+  bool budget_hit = false;
+  int round = first_round;
+  for (; round < options.rounds && !budget_hit; ++round) {
     OBS_TIMED_SCOPE("worst_case.round");
     bool improved = false;
-    for (std::size_t d = 0; d < x.size(); ++d) {
+    for (std::size_t d = 0; d < x.size() && !budget_hit; ++d) {
       for (const double mult : {step, 1.0 / step}) {
+        if (elapsed_s() > options.wall_clock_budget_s) {
+          budget_hit = true;
+          break;
+        }
         std::vector<double> y = x;
         y[d] = std::clamp(y[d] * mult, 1e-4, 1e4);
         const double r = evaluate(y);
@@ -88,14 +148,31 @@ WorstCaseResult find_worst_nc_instance(double alpha, const WorstCaseOptions& opt
         }
       }
     }
+    if (budget_hit) break;  // partial round: checkpoint will restart it
     if (!improved) step = std::max(std::sqrt(step), 1.05);
+    best.rounds_completed = round + 1;
     TRACE_EVENT(.kind = obs::EventKind::kPhaseBoundary, .t = static_cast<double>(round),
                 .value = static_cast<double>(round), .aux = cur, .label = "worst_case.round");
+    if (!options.checkpoint_path.empty()) {
+      robust::append_search_checkpoint(options.checkpoint_path,
+                                       {round + 1, step, cur, x});
+    }
+  }
+  if (budget_hit) {
+    best.status = robust::RunStatus::kDegraded;
+    best.diagnostics.push_back(robust::Diagnostic{
+        robust::ErrorCode::kBudgetExhausted, "wall-clock budget exhausted mid-search",
+        "elapsed=" + std::to_string(elapsed_s()) + "s round=" + std::to_string(round)});
+    OBS_COUNT("analysis.worst_case.budget_exhausted", 1);
+    // x/cur stay valid mid-round; persist them so a resume restarts this
+    // round from the best-known instance.
+    if (!options.checkpoint_path.empty()) {
+      robust::append_search_checkpoint(options.checkpoint_path, {round, step, cur, x});
+    }
   }
 
   best.instance = decode(x, n);
   best.ratio = cur;
-  best.evaluations = evals;
   return best;
 }
 

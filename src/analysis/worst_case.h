@@ -14,12 +14,22 @@
 //    NC / numerical-OPT by multiplicative perturbations.  The result is a
 //    certified *lower bound* on the competitive ratio (any instance is),
 //    printed by bench_adversarial_ratio next to the Theorem 5 upper bound.
+//
+// Robustness: these searches can run for hours, so they degrade instead of
+// dying — a wall-clock budget stops the ascent with the best-known instance
+// (RunStatus::kDegraded + kBudgetExhausted diagnostic); a JSONL checkpoint
+// (robust/checkpoint.h) is appended after every round so a killed process
+// resumes from its best-known state and replays the uninterrupted
+// trajectory exactly; an evaluation that throws (unbracketed root, NaN) is
+// counted and treated as non-improving rather than aborting the search.
 #pragma once
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "src/core/instance.h"
+#include "src/robust/diagnostics.h"
 
 namespace speedscale::analysis {
 
@@ -39,9 +49,13 @@ struct SingleJobGameResult {
                                                   int grid = 241);
 
 struct WorstCaseResult {
-  Instance instance;       ///< the worst instance found
-  double ratio = 0.0;      ///< NC fractional objective / numerical OPT
-  int evaluations = 0;
+  Instance instance;        ///< the worst instance found
+  double ratio = 0.0;       ///< NC fractional objective / numerical OPT
+  int evaluations = 0;      ///< successful ratio evaluations
+  int failed_evaluations = 0;  ///< probes that raised a typed diagnostic
+  int rounds_completed = 0;
+  robust::RunStatus status = robust::RunStatus::kOk;
+  std::vector<robust::Diagnostic> diagnostics;  ///< budget/eval-failure trail
 };
 
 struct WorstCaseOptions {
@@ -49,6 +63,13 @@ struct WorstCaseOptions {
   int rounds = 12;          ///< coordinate-ascent sweeps
   int opt_slots = 400;      ///< discretization of the OPT reference
   std::uint64_t seed = 1;   ///< seed of the random restart
+  /// Wall-clock budget in seconds; exceeding it returns the best-so-far
+  /// result as kDegraded with a kBudgetExhausted diagnostic.  Default: none.
+  double wall_clock_budget_s = kInf;
+  /// When non-empty, a JSONL checkpoint line is appended after every round
+  /// and (with `resume`) the search restarts from the last valid line.
+  std::string checkpoint_path;
+  bool resume = true;
 };
 
 /// Coordinate-ascent search for instances maximizing the ratio of Algorithm

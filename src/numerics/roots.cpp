@@ -1,22 +1,55 @@
 #include "src/numerics/roots.h"
 
 #include <cmath>
-#include <stdexcept>
+#include <string>
+
+#include "src/obs/metrics_registry.h"
+#include "src/robust/diagnostics.h"
+#include "src/robust/fault_injection.h"
 
 namespace speedscale::numerics {
 
+namespace {
+
+using robust::ErrorCode;
+using robust::RobustError;
+
+std::string bracket_context(double lo, double flo, double hi, double fhi) {
+  return "lo=" + std::to_string(lo) + " f(lo)=" + std::to_string(flo) +
+         " hi=" + std::to_string(hi) + " f(hi)=" + std::to_string(fhi);
+}
+
+/// Evaluates f with the NaN guard every probe shares.
+double probe(const std::function<double(double)>& f, double x, const char* who) {
+  const double v = f(x);
+  if (std::isnan(v)) {
+    throw RobustError(ErrorCode::kNumericNonfinite, std::string(who) + ": f(x) is NaN",
+                      "x=" + std::to_string(x));
+  }
+  return v;
+}
+
+/// Shared bracket validation: equal signs (or an injected bracket fault)
+/// raise the typed kRootNotBracketed diagnostic.
+void require_bracketed(const char* who, double lo, double flo, double hi, double fhi) {
+  if ((flo > 0.0) == (fhi > 0.0) || robust::fault_fire(robust::FaultSite::kRootBracket)) {
+    throw RobustError(ErrorCode::kRootNotBracketed, std::string(who) + ": root not bracketed",
+                      bracket_context(lo, flo, hi, fhi));
+  }
+}
+
+}  // namespace
+
 double bisect(const std::function<double(double)>& f, double lo, double hi, double tol) {
-  double flo = f(lo);
-  double fhi = f(hi);
+  double flo = probe(f, lo, "bisect");
+  double fhi = probe(f, hi, "bisect");
   if (flo == 0.0) return lo;
   if (fhi == 0.0) return hi;
-  if ((flo > 0.0) == (fhi > 0.0)) {
-    throw std::invalid_argument("bisect: root not bracketed");
-  }
+  require_bracketed("bisect", lo, flo, hi, fhi);
   while (hi - lo > tol * std::max(1.0, std::abs(lo) + std::abs(hi))) {
     const double mid = 0.5 * (lo + hi);
     if (mid == lo || mid == hi) break;  // float exhaustion
-    const double fm = f(mid);
+    const double fm = probe(f, mid, "bisect");
     if (fm == 0.0) return mid;
     if ((fm > 0.0) == (fhi > 0.0)) {
       hi = mid;
@@ -32,10 +65,10 @@ double bisect(const std::function<double(double)>& f, double lo, double hi, doub
 double brent(const std::function<double(double)>& f, double lo, double hi, double tol,
              int max_iter) {
   double a = lo, b = hi;
-  double fa = f(a), fb = f(b);
+  double fa = probe(f, a, "brent"), fb = probe(f, b, "brent");
   if (fa == 0.0) return a;
   if (fb == 0.0) return b;
-  if ((fa > 0.0) == (fb > 0.0)) throw std::invalid_argument("brent: root not bracketed");
+  require_bracketed("brent", a, fa, b, fb);
   if (std::abs(fa) < std::abs(fb)) {
     std::swap(a, b);
     std::swap(fa, fb);
@@ -65,7 +98,7 @@ double brent(const std::function<double(double)>& f, double lo, double hi, doubl
     } else {
       mflag = false;
     }
-    const double fs = f(s);
+    const double fs = probe(f, s, "brent");
     d = c;
     c = b;
     fc = fb;
@@ -81,19 +114,35 @@ double brent(const std::function<double(double)>& f, double lo, double hi, doubl
       std::swap(fa, fb);
     }
   }
-  return b;
+  // Iteration budget exhausted: [a, b] still brackets the root (the update
+  // rule preserves opposite signs), so degrade to plain bisection on it
+  // rather than surfacing kNoConvergence.
+  OBS_COUNT("numerics.roots.brent_fallbacks", 1);
+  return bisect(f, std::min(a, b), std::max(a, b), tol);
 }
 
 double find_root_increasing(const std::function<double(double)>& f, double lo, double hi0,
-                            double tol) {
+                            double tol, int max_expansions) {
   double hi = hi0;
-  double flo = f(lo);
-  if (flo > 0.0) throw std::invalid_argument("find_root_increasing: f(lo) > 0");
-  int guard = 0;
-  while (f(hi) < 0.0) {
-    hi *= 2.0;
-    if (++guard > 200) throw std::runtime_error("find_root_increasing: no sign change found");
+  const double flo = probe(f, lo, "find_root_increasing");
+  if (flo > 0.0) {
+    throw RobustError(ErrorCode::kRootNotBracketed, "find_root_increasing: f(lo) > 0",
+                      "lo=" + std::to_string(lo) + " f(lo)=" + std::to_string(flo));
   }
+  int expansions = 0;
+  double fhi = probe(f, hi, "find_root_increasing");
+  while (fhi < 0.0 || robust::fault_fire(robust::FaultSite::kRootBracket)) {
+    if (++expansions > max_expansions) {
+      OBS_COUNT("numerics.roots.expansion_cap_hits", 1);
+      throw RobustError(ErrorCode::kRootNotBracketed,
+                        "find_root_increasing: no sign change within expansion cap",
+                        "expansions=" + std::to_string(expansions - 1) + " " +
+                            bracket_context(lo, flo, hi, fhi));
+    }
+    hi *= 2.0;
+    fhi = probe(f, hi, "find_root_increasing");
+  }
+  OBS_COUNT("numerics.roots.expansions", expansions);
   return brent(f, lo, hi, tol);
 }
 

@@ -1,11 +1,10 @@
 #include "src/obs/report.h"
 
-#include <fstream>
 #include <ostream>
 
-#include "src/core/types.h"
 #include "src/obs/metrics_registry.h"
 #include "src/obs/profiler.h"
+#include "src/robust/atomic_io.h"
 
 namespace speedscale::obs {
 
@@ -21,9 +20,9 @@ std::string observability_report_json() {
 void write_observability_report(std::ostream& os) { os << observability_report_json() << '\n'; }
 
 void write_observability_report_file(const std::string& path) {
-  std::ofstream f(path);
-  if (!f) throw ModelError("write_observability_report_file: cannot open " + path);
-  write_observability_report(f);
+  // Crash-safe: a killed bench leaves the old report (or none), never a torn
+  // JSON object.
+  robust::atomic_write_file(path, [](std::ostream& os) { write_observability_report(os); });
 }
 
 }  // namespace speedscale::obs

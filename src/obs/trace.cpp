@@ -6,6 +6,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/robust/atomic_io.h"
+
 namespace speedscale::obs {
 
 const char* event_kind_name(EventKind kind) {
@@ -135,14 +137,26 @@ void RingBufferSink::clear() {
 JsonlSink::JsonlSink(std::ostream& os) : os_(&os) {}
 
 JsonlSink::JsonlSink(const std::string& path) {
-  auto f = std::make_unique<std::ofstream>(path);
-  if (!*f) throw ModelError("JsonlSink: cannot open " + path);
+  const std::string tmp = robust::tmp_sibling(path);
+  auto f = std::make_unique<std::ofstream>(tmp);
+  if (!*f) throw ModelError("JsonlSink: cannot open " + tmp);
   os_ = f.get();
   owned_ = std::move(f);
+  final_path_ = path;
+}
+
+JsonlSink::~JsonlSink() {
+  try {
+    close();
+  } catch (...) {
+    // A failed commit leaves the ".tmp" sibling for post-mortem; destructors
+    // must not throw.
+  }
 }
 
 void JsonlSink::on_event(const TraceEvent& ev) {
   std::lock_guard<std::mutex> lk(mu_);
+  if (os_ == nullptr) return;  // closed path-mode sink
   scratch_.clear();
   append_event_json(scratch_, ev);
   scratch_ += '\n';
@@ -152,7 +166,18 @@ void JsonlSink::on_event(const TraceEvent& ev) {
 
 void JsonlSink::flush() {
   std::lock_guard<std::mutex> lk(mu_);
+  if (os_ != nullptr) os_->flush();
+}
+
+void JsonlSink::close() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (final_path_.empty()) return;  // borrowed stream or already committed
   os_->flush();
+  owned_.reset();  // release the descriptor before the rename
+  os_ = nullptr;
+  const std::string path = std::move(final_path_);
+  final_path_.clear();
+  robust::commit_tmp_file(robust::tmp_sibling(path), path);
 }
 
 std::size_t JsonlSink::lines() const {

@@ -96,13 +96,22 @@ class RingBufferSink : public TraceSink {
 
 /// Streams each event as one JSON object per line (JSONL).  Owns the file
 /// stream when constructed from a path; borrows the ostream otherwise.
+///
+/// Path mode is crash-safe: events stream to "<path>.tmp" and the file is
+/// atomically renamed to `path` at destruction (or an explicit close()), so
+/// an interrupted run leaves the ".tmp" sibling behind — never a truncated
+/// artifact at the path a consumer would read.
 class JsonlSink : public TraceSink {
  public:
   explicit JsonlSink(std::ostream& os);
   explicit JsonlSink(const std::string& path);
+  ~JsonlSink() override;
 
   void on_event(const TraceEvent& ev) override;
   void flush() override;
+  /// Path mode: flushes and commits the ".tmp" file to its final path.
+  /// Idempotent; later events are dropped.  No-op for borrowed streams.
+  void close();
   [[nodiscard]] std::size_t lines() const;
 
  private:
@@ -111,6 +120,7 @@ class JsonlSink : public TraceSink {
   std::ostream* os_;
   std::size_t lines_ = 0;
   std::string scratch_;
+  std::string final_path_;  // non-empty iff path mode and not yet committed
 };
 
 /// Per-kind counts and the covered time range; for quick human inspection.

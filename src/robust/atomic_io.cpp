@@ -1,0 +1,36 @@
+#include "src/robust/atomic_io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/robust/diagnostics.h"
+
+namespace speedscale::robust {
+
+std::string tmp_sibling(const std::string& path) { return path + ".tmp"; }
+
+void commit_tmp_file(const std::string& tmp_path, const std::string& path) {
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    throw RobustError(ErrorCode::kIoMalformed, "atomic rename failed",
+                      tmp_path + " -> " + path);
+  }
+}
+
+void atomic_write_file(const std::string& path,
+                       const std::function<void(std::ostream&)>& writer) {
+  const std::string tmp = tmp_sibling(path);
+  {
+    std::ofstream f(tmp, std::ios::trunc);
+    if (!f) throw RobustError(ErrorCode::kIoMalformed, "cannot open temporary", tmp);
+    writer(f);
+    f.flush();
+    if (!f) {
+      f.close();
+      std::remove(tmp.c_str());
+      throw RobustError(ErrorCode::kIoMalformed, "write failed", tmp);
+    }
+  }
+  commit_tmp_file(tmp, path);
+}
+
+}  // namespace speedscale::robust

@@ -1,0 +1,29 @@
+// Crash-safe file writes: write to <path>.tmp, flush, then atomic rename.
+//
+// An interrupted bench or a killed search must never leave a truncated
+// artifact where a complete one is expected — readers either see the old
+// file, the new file, or no file, never a torn one.  (POSIX rename(2) is
+// atomic within a filesystem; the ".tmp" sibling stays on the same mount.)
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+namespace speedscale::robust {
+
+/// Writes `writer(os)` to `path` atomically.  Throws RobustError
+/// (ErrorCode::kIoMalformed) if the temporary cannot be opened, the stream
+/// fails, or the rename fails; in those cases `path` is left untouched.
+void atomic_write_file(const std::string& path,
+                       const std::function<void(std::ostream&)>& writer);
+
+/// The sibling temporary used by atomic_write_file: "<path>.tmp".
+[[nodiscard]] std::string tmp_sibling(const std::string& path);
+
+/// Renames tmp -> path, throwing RobustError(kIoMalformed) on failure.
+/// Exposed for streaming writers (JSONL sinks) that hold the file open for
+/// their lifetime and commit once at close.
+void commit_tmp_file(const std::string& tmp_path, const std::string& path);
+
+}  // namespace speedscale::robust

@@ -1,0 +1,41 @@
+// JSONL checkpoint/resume for long adversarial searches.
+//
+// The coordinate-ascent worst-case search (analysis/worst_case.h) can run
+// for hours; a killed process must restart from its best-known state, not
+// from scratch.  The checkpoint is an append-only JSONL file — one line per
+// completed round:
+//
+//   {"round":4,"step":1.4142...,"ratio":1.6180...,"x":[...17 digits...]}
+//
+// `round` is the index of the *next* round to run, `step` the multiplicative
+// ascent step entering it, `ratio` the best ratio so far, `x` the parameter
+// vector achieving it.  Appends are flushed per line, so a crash loses at
+// most the line being written; the loader skips malformed (torn) lines and
+// resumes from the last valid one.  All doubles round-trip at 17 significant
+// digits, so a resumed search replays the uninterrupted trajectory exactly.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace speedscale::robust {
+
+struct SearchCheckpoint {
+  int next_round = 0;      ///< first round the resumed search should run
+  double step = 2.0;       ///< coordinate-ascent step entering that round
+  double ratio = 0.0;      ///< best objective so far
+  std::vector<double> x;   ///< parameter vector achieving `ratio`
+};
+
+/// Appends one checkpoint line and flushes.  Throws RobustError
+/// (ErrorCode::kIoMalformed) if the file cannot be opened or written.
+void append_search_checkpoint(const std::string& path, const SearchCheckpoint& cp);
+
+/// Loads the last *valid* checkpoint line, skipping torn/corrupt lines.
+/// Returns nullopt when the file is missing or holds no valid line.
+/// `skipped_lines`, when given, receives the number of invalid lines.
+[[nodiscard]] std::optional<SearchCheckpoint> load_search_checkpoint(
+    const std::string& path, std::size_t* skipped_lines = nullptr);
+
+}  // namespace speedscale::robust

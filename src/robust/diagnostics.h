@@ -1,0 +1,107 @@
+// Typed failure taxonomy for the numeric stack.
+//
+// The verification machinery is most brittle exactly where the model is
+// delicate (the alpha -> 1 limit, bootstrap/completion epsilons, hours-long
+// adversarial searches), so failures there must be *data*, not process
+// aborts.  This header defines:
+//
+//   * ErrorCode   — the closed taxonomy every guard reports under;
+//   * Diagnostic  — one typed failure record (code + message + context);
+//   * RobustError — the exception carrying a Diagnostic across layers that
+//                   still use stack unwinding internally;
+//   * RunOutcome  — the boundary type: a value OR a diagnosis, plus the
+//                   degradation status (ok / degraded / failed) and the
+//                   attempt count of the retry ladder that produced it.
+//
+// Contract: guards *throw* RobustError close to the failing operation;
+// harness-level wrappers catch it and convert to RunOutcome so one bad
+// algorithm/instance never aborts a whole suite or search.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace speedscale::robust {
+
+/// Closed error taxonomy (docs/robustness.md documents each member).
+enum class ErrorCode : std::uint8_t {
+  kNumericNonfinite,   ///< NaN/inf escaped a numeric kernel
+  kRootNotBracketed,   ///< root finder's bracket never straddled a sign change
+  kNoConvergence,      ///< iteration budget exhausted without meeting tol
+  kInvariantBreach,    ///< post-run invariant checker tripped
+  kIoMalformed,        ///< malformed trace/checkpoint input
+  kTaskFailed,         ///< a thread-pool task threw
+  kBudgetExhausted,    ///< wall-clock/evaluation budget ran out mid-search
+};
+
+/// Stable lower-case name ("numeric_nonfinite", ...); used in messages,
+/// metrics suffixes, and the JSONL checkpoint/diagnostic encodings.
+[[nodiscard]] const char* error_code_name(ErrorCode code);
+
+/// One typed failure record.  `context` carries the machine-readable locus
+/// ("line 17", "t=3.25 substep=12", ...) separately from the prose message.
+struct Diagnostic {
+  ErrorCode code = ErrorCode::kNumericNonfinite;
+  std::string message;
+  std::string context;
+
+  Diagnostic() = default;
+  Diagnostic(ErrorCode c, std::string msg, std::string ctx = {})
+      : code(c), message(std::move(msg)), context(std::move(ctx)) {}
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Exception form of a Diagnostic, for layers that unwind internally.
+/// what() == diagnostic().to_string().
+class RobustError : public std::runtime_error {
+ public:
+  explicit RobustError(Diagnostic diag)
+      : std::runtime_error(diag.to_string()), diag_(std::move(diag)) {}
+  RobustError(ErrorCode code, std::string message, std::string context = {})
+      : RobustError(Diagnostic{code, std::move(message), std::move(context)}) {}
+
+  [[nodiscard]] const Diagnostic& diagnostic() const noexcept { return diag_; }
+  [[nodiscard]] ErrorCode code() const noexcept { return diag_.code; }
+
+ private:
+  Diagnostic diag_;
+};
+
+/// How a guarded run ended.
+enum class RunStatus : std::uint8_t {
+  kOk,        ///< first attempt, all invariants clean
+  kDegraded,  ///< succeeded after retry/fallback; diagnostics list the trips
+  kFailed,    ///< every attempt failed; no value
+};
+
+[[nodiscard]] const char* run_status_name(RunStatus status);
+
+/// Boundary type of guarded execution: either a value (ok/degraded) or a
+/// diagnosis (failed), never a crash.
+template <typename T>
+struct RunOutcome {
+  RunStatus status = RunStatus::kFailed;
+  std::optional<T> value;                ///< engaged unless status == kFailed
+  std::vector<Diagnostic> diagnostics;   ///< every guard trip along the way
+  int attempts = 0;                      ///< retry-ladder rungs consumed
+
+  [[nodiscard]] bool ok() const noexcept { return status != RunStatus::kFailed; }
+  explicit operator bool() const noexcept { return ok(); }
+
+  /// The value, or a RobustError carrying the first diagnostic.
+  [[nodiscard]] T& value_or_throw() {
+    if (!value.has_value()) {
+      throw RobustError(diagnostics.empty()
+                            ? Diagnostic{ErrorCode::kInvariantBreach,
+                                         "RunOutcome: failed with no diagnostics"}
+                            : diagnostics.front());
+    }
+    return *value;
+  }
+};
+
+}  // namespace speedscale::robust

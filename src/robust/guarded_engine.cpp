@@ -1,0 +1,116 @@
+#include "src/robust/guarded_engine.h"
+
+#include <functional>
+#include <utility>
+
+#include "src/obs/metrics_registry.h"
+#include "src/obs/trace.h"
+
+namespace speedscale::robust {
+
+namespace {
+
+/// Shared retry ladder: run `attempt_fn` with doubled substeps per rung,
+/// validate with `check_fn`, collect diagnostics, classify the outcome.
+RunOutcome<SampledRun> guarded_ladder(
+    const GuardedNumericOptions& options,
+    const std::function<SampledRun(const NumericConfig&)>& attempt_fn,
+    const std::function<InvariantReport(const SampledRun&, const NumericConfig&)>& check_fn) {
+  RunOutcome<SampledRun> out;
+  NumericConfig cfg = options.base;
+  const int max_attempts = std::max(1, options.max_attempts);
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    out.attempts = attempt + 1;
+    if (attempt > 0) {
+      cfg.substeps_per_interval *= 2;
+      OBS_COUNT("robust.retry.attempts", 1);
+      TRACE_EVENT(.kind = obs::EventKind::kPhaseBoundary, .t = 0.0,
+                  .value = static_cast<double>(attempt),
+                  .aux = static_cast<double>(cfg.substeps_per_interval),
+                  .label = "robust.retry");
+    }
+    try {
+      SampledRun run = attempt_fn(cfg);
+      InvariantReport report = check_fn(run, cfg);
+      if (report.ok()) {
+        out.status = (attempt == 0 && out.diagnostics.empty()) ? RunStatus::kOk
+                                                               : RunStatus::kDegraded;
+        out.value = std::move(run);
+        if (out.status == RunStatus::kDegraded) OBS_COUNT("robust.retry.recoveries", 1);
+        return out;
+      }
+      OBS_COUNT("robust.guard.trips", 1);
+      for (Diagnostic& d : report.breaches) out.diagnostics.push_back(std::move(d));
+    } catch (const RobustError& e) {
+      OBS_COUNT("robust.guard.trips", 1);
+      out.diagnostics.push_back(e.diagnostic());
+    } catch (const std::exception& e) {
+      OBS_COUNT("robust.guard.trips", 1);
+      out.diagnostics.push_back(Diagnostic{ErrorCode::kNoConvergence,
+                                           std::string("engine attempt threw: ") + e.what()});
+    }
+  }
+  out.status = RunStatus::kFailed;
+  OBS_COUNT("robust.retry.exhausted", 1);
+  return out;
+}
+
+}  // namespace
+
+RunOutcome<SampledRun> run_generic_c_guarded(const Instance& instance,
+                                             const PowerFunction& power,
+                                             const GuardedNumericOptions& options) {
+  InvariantOptions inv;
+  inv.kind = RunKind::kAlgorithmC;
+  inv.identity_tol = options.identity_tol;
+  inv.alpha = options.alpha;
+  return guarded_ladder(
+      options, [&](const NumericConfig& cfg) { return run_generic_c(instance, power, cfg); },
+      [&](const SampledRun& run, const NumericConfig& cfg) {
+        InvariantOptions o = inv;
+        o.completion_rel_eps = cfg.completion_rel_eps;
+        return check_sampled_run(instance, run, o);
+      });
+}
+
+RunOutcome<SampledRun> run_generic_nc_uniform_guarded(const Instance& instance,
+                                                      const PowerFunction& power,
+                                                      const GuardedNumericOptions& options) {
+  // Lemma 3 needs a trustworthy clairvoyant reference on the same instance;
+  // guard it first (its own events stay suppressed as a virtual run).
+  RunOutcome<SampledRun> ref = [&] {
+    obs::TraceSuppressGuard suppress_virtual_run;
+    return run_generic_c_guarded(instance, power, options);
+  }();
+  if (!ref.ok()) {
+    RunOutcome<SampledRun> out;
+    out.status = RunStatus::kFailed;
+    out.attempts = ref.attempts;
+    out.diagnostics.push_back(Diagnostic{ErrorCode::kInvariantBreach,
+                                         "reference Algorithm C run failed"});
+    for (Diagnostic& d : ref.diagnostics) out.diagnostics.push_back(std::move(d));
+    return out;
+  }
+
+  InvariantOptions inv;
+  inv.kind = RunKind::kAlgorithmNC;
+  inv.identity_tol = options.identity_tol;
+  inv.alpha = options.alpha;
+  inv.reference_c = &*ref.value;
+  RunOutcome<SampledRun> out = guarded_ladder(
+      options,
+      [&](const NumericConfig& cfg) { return run_generic_nc_uniform(instance, power, cfg); },
+      [&](const SampledRun& run, const NumericConfig& cfg) {
+        InvariantOptions o = inv;
+        o.completion_rel_eps = cfg.completion_rel_eps;
+        return check_sampled_run(instance, run, o);
+      });
+  // A degraded reference degrades the overall outcome even if NC was clean.
+  if (out.status == RunStatus::kOk && ref.status == RunStatus::kDegraded) {
+    out.status = RunStatus::kDegraded;
+    for (Diagnostic& d : ref.diagnostics) out.diagnostics.push_back(std::move(d));
+  }
+  return out;
+}
+
+}  // namespace speedscale::robust

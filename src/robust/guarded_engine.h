@@ -1,0 +1,44 @@
+// Guarded execution of the generic numeric engine: run, verify, retry.
+//
+// The numeric engine (sim/numeric_engine.h) is the one simulator in this
+// library without closed forms backing it, so it gets the full treatment:
+// every run is validated by the post-run invariant checker (invariants.h),
+// and a tripped check triggers re-integration with doubled
+// substeps_per_interval — bounded backoff, at most `max_attempts` rungs —
+// instead of returning silently wrong numbers or crashing.  The outcome is
+// typed (RunOutcome): kOk on a clean first attempt, kDegraded when a retry
+// rung was needed (diagnostics record every trip), kFailed when the ladder
+// is exhausted.
+//
+// Retries are counted under "robust.retry.*" and emitted as
+// kPhaseBoundary trace events labelled "robust.retry".
+#pragma once
+
+#include "src/core/instance.h"
+#include "src/core/power.h"
+#include "src/robust/diagnostics.h"
+#include "src/robust/invariants.h"
+#include "src/sim/numeric_engine.h"
+
+namespace speedscale::robust {
+
+struct GuardedNumericOptions {
+  NumericConfig base;              ///< attempt 0 config; substeps double per rung
+  int max_attempts = 3;            ///< total attempts (>= 1)
+  double identity_tol = 1e-5;      ///< lemma-residual tolerance per attempt
+  std::optional<double> alpha;     ///< set iff power is P(s) = s^alpha (Lemma 4)
+};
+
+/// Algorithm C under guard: structural checks + the energy == flow identity.
+[[nodiscard]] RunOutcome<SampledRun> run_generic_c_guarded(
+    const Instance& instance, const PowerFunction& power,
+    const GuardedNumericOptions& options = {});
+
+/// Algorithm NC (uniform density) under guard: structural checks, Lemma 3
+/// against a guarded reference C run, and Lemma 4 when `alpha` is set.
+/// If the reference C run itself fails, the outcome is kFailed.
+[[nodiscard]] RunOutcome<SampledRun> run_generic_nc_uniform_guarded(
+    const Instance& instance, const PowerFunction& power,
+    const GuardedNumericOptions& options = {});
+
+}  // namespace speedscale::robust

@@ -1,0 +1,129 @@
+#include "src/robust/invariants.h"
+
+#include <cmath>
+#include <string>
+
+#include "src/obs/metrics_registry.h"
+
+namespace speedscale::robust {
+
+namespace {
+
+void breach(InvariantReport& report, ErrorCode code, std::string message,
+            std::string context = {}) {
+  report.breaches.push_back(Diagnostic{code, std::move(message), std::move(context)});
+  if (obs::metrics_enabled()) {
+    obs::registry()
+        .counter(std::string("robust.invariants.breach.") + error_code_name(code))
+        .add(1);
+  }
+}
+
+}  // namespace
+
+std::string InvariantReport::to_string() const {
+  std::string out;
+  for (const Diagnostic& d : breaches) {
+    if (!out.empty()) out += "; ";
+    out += d.to_string();
+  }
+  return out.empty() ? "ok" : out;
+}
+
+InvariantReport check_sampled_run(const Instance& instance, const SampledRun& run,
+                                  const InvariantOptions& options) {
+  InvariantReport report;
+  OBS_COUNT("robust.invariants.checks", 1);
+
+  // --- Structural: sample arrays --------------------------------------------
+  if (run.t.size() != run.speed.size() || run.t.size() != run.weight.size()) {
+    breach(report, ErrorCode::kInvariantBreach, "sample arrays have mismatched lengths",
+           "t=" + std::to_string(run.t.size()) + " speed=" + std::to_string(run.speed.size()) +
+               " weight=" + std::to_string(run.weight.size()));
+    return report;  // indices below would be meaningless
+  }
+  for (std::size_t i = 0; i < run.t.size(); ++i) {
+    if (!std::isfinite(run.t[i]) || !std::isfinite(run.speed[i]) ||
+        !std::isfinite(run.weight[i])) {
+      breach(report, ErrorCode::kNumericNonfinite, "non-finite sample",
+             "index " + std::to_string(i) + ", t=" + std::to_string(run.t[i]));
+      break;  // one locus suffices; downstream values are all suspect
+    }
+    if (i > 0 && run.t[i] < run.t[i - 1]) {
+      breach(report, ErrorCode::kInvariantBreach, "sample times decrease",
+             "index " + std::to_string(i));
+      break;
+    }
+    if (run.speed[i] < 0.0) {
+      breach(report, ErrorCode::kInvariantBreach, "negative speed",
+             "index " + std::to_string(i));
+      break;
+    }
+  }
+
+  // --- Structural: objectives ----------------------------------------------
+  for (const auto& [name, v] :
+       {std::pair<const char*, double>{"energy", run.energy},
+        {"fractional_flow", run.fractional_flow},
+        {"integral_flow", run.integral_flow}}) {
+    if (!std::isfinite(v)) {
+      breach(report, ErrorCode::kNumericNonfinite, std::string("non-finite ") + name);
+    } else if (v < 0.0) {
+      breach(report, ErrorCode::kInvariantBreach, std::string("negative ") + name);
+    }
+  }
+
+  // --- Structural: completions ---------------------------------------------
+  for (const Job& j : instance.jobs()) {
+    const auto it = run.completions.find(j.id);
+    if (it == run.completions.end()) {
+      breach(report, ErrorCode::kInvariantBreach, "job never completed",
+             "job " + std::to_string(j.id));
+      continue;
+    }
+    if (!std::isfinite(it->second)) {
+      breach(report, ErrorCode::kNumericNonfinite, "non-finite completion time",
+             "job " + std::to_string(j.id));
+    } else if (it->second < j.release - options.completion_slack) {
+      breach(report, ErrorCode::kInvariantBreach, "completion precedes release",
+             "job " + std::to_string(j.id));
+    }
+  }
+  if (!report.breaches.empty()) return report;  // identities need clean numbers
+
+  // --- Identities ------------------------------------------------------------
+  if (options.kind == RunKind::kAlgorithmC) {
+    report.identity_residual =
+        std::abs(run.energy - run.fractional_flow) / std::max(1.0, run.energy);
+    if (report.identity_residual > options.identity_tol) {
+      breach(report, ErrorCode::kInvariantBreach,
+             "Algorithm C energy != fractional flow",
+             "residual " + std::to_string(report.identity_residual));
+    }
+  }
+  if (options.kind == RunKind::kAlgorithmNC && options.reference_c != nullptr) {
+    const double e_ref = options.reference_c->energy;
+    report.lemma3_residual = std::abs(run.energy - e_ref) / std::max(1.0, e_ref);
+    if (report.lemma3_residual > options.identity_tol) {
+      breach(report, ErrorCode::kInvariantBreach, "Lemma 3 energy equality violated",
+             "residual " + std::to_string(report.lemma3_residual));
+    }
+  }
+  if (options.kind == RunKind::kAlgorithmNC && options.alpha.has_value()) {
+    const double expected = run.energy / (1.0 - 1.0 / *options.alpha);
+    report.lemma4_residual =
+        std::abs(run.fractional_flow - expected) / std::max(1.0, run.fractional_flow);
+    // Energy converges at the completion epsilon itself but the flow tail is
+    // cut at Theta(eps^{1-1/alpha}), so the identity carries that bias no
+    // matter how many substeps the retry ladder adds.
+    const double truncation =
+        20.0 * std::pow(options.completion_rel_eps, 1.0 - 1.0 / *options.alpha);
+    if (report.lemma4_residual > options.identity_tol + truncation) {
+      breach(report, ErrorCode::kInvariantBreach, "Lemma 4 flow ratio violated",
+             "residual " + std::to_string(report.lemma4_residual));
+    }
+  }
+  return report;
+}
+
+}  // namespace speedscale::robust

@@ -3,11 +3,15 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <limits>
 #include <set>
+#include <string>
 
 #include "src/numerics/ode.h"
 #include "src/obs/metrics_registry.h"
 #include "src/obs/trace.h"
+#include "src/robust/diagnostics.h"
+#include "src/robust/fault_injection.h"
 
 namespace speedscale {
 
@@ -47,6 +51,17 @@ IntervalOutcome integrate_interval(const PowerFunction& power, double rho, doubl
   for (int i = 0; i < substeps; ++i) {
     const double t_next = (i + 1 == substeps) ? t1 : t0 + h * (i + 1);
     double y_next = numerics::rk4_step(rhs, t, y, t_next - t);
+    if (robust::fault_fire(robust::FaultSite::kOdeSubstepNaN)) {
+      y_next = std::numeric_limits<double>::quiet_NaN();
+    }
+    // Boundary guard: a poisoned substep is a typed diagnostic here, not a
+    // NaN that propagates into objectives three layers downstream.
+    if (!std::isfinite(y_next)) {
+      OBS_COUNT("sim.numeric_engine.nonfinite_substeps", 1);
+      throw robust::RobustError(
+          robust::ErrorCode::kNumericNonfinite, "integrate_interval: non-finite substep",
+          "t=" + std::to_string(t) + " substep=" + std::to_string(i));
+    }
     if (crossed(y_next)) {
       // Localize the crossing within [t, t_next] by bisection on the
       // sub-step length (RK4 from the sub-step start each probe).

@@ -1,58 +1,141 @@
 #include "src/workload/trace_io.h"
 
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
 #include <vector>
 
+#include "src/robust/atomic_io.h"
+#include "src/robust/fault_injection.h"
+
 namespace speedscale::workload {
+
+namespace {
+
+[[noreturn]] void malformed(std::string message, std::size_t line_no) {
+  throw TraceIoError(robust::Diagnostic{robust::ErrorCode::kIoMalformed, std::move(message),
+                                        "line " + std::to_string(line_no)});
+}
+
+/// Splits a CSV line on ','.  Embedded NULs survive as ordinary characters
+/// (std::getline reads through them) and then fail the numeric full-parse.
+std::vector<std::string> split_fields(const std::string& line) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t comma = line.find(',', start);
+    if (comma == std::string::npos) {
+      fields.push_back(line.substr(start));
+      return fields;
+    }
+    fields.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+}
+
+/// Full-consumption strtod: trailing junk (including NUL bytes) is a parse
+/// failure, unlike std::stod's prefix semantics.
+bool parse_double(const std::string& field, double& out) {
+  if (field.empty() || field.size() != std::string(field.c_str()).size()) return false;
+  char* end = nullptr;
+  out = std::strtod(field.c_str(), &end);
+  while (end && *end == ' ') ++end;
+  return end == field.c_str() + field.size();
+}
+
+/// Parses one data line into `j`.  Returns false (with `why` set) on any
+/// field-count, parse, or finiteness violation.
+bool parse_job_line(const std::string& line, Job& j, std::string& why) {
+  const std::vector<std::string> fields = split_fields(line);
+  if (fields.size() != 4) {
+    why = "expected 4 fields, got " + std::to_string(fields.size());
+    return false;
+  }
+  double id_ignored = 0.0;
+  if (!parse_double(fields[0], id_ignored)) {
+    why = "unparseable id field '" + fields[0].substr(0, 32) + "'";
+    return false;
+  }
+  const char* names[] = {"release", "volume", "density"};
+  double* dests[] = {&j.release, &j.volume, &j.density};
+  for (int k = 0; k < 3; ++k) {
+    if (!parse_double(fields[static_cast<std::size_t>(k + 1)], *dests[k])) {
+      why = std::string("unparseable ") + names[k] + " field '" +
+            fields[static_cast<std::size_t>(k + 1)].substr(0, 32) + "'";
+      return false;
+    }
+    if (!std::isfinite(*dests[k])) {
+      why = std::string("non-finite ") + names[k];
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 void write_trace(std::ostream& os, const Instance& instance) {
   os << "id,release,volume,density\n";
   os << std::setprecision(17);
   for (const Job& j : instance.jobs()) {
-    os << j.id << ',' << j.release << ',' << j.volume << ',' << j.density << '\n';
+    std::ostringstream line;
+    line << std::setprecision(17);
+    line << j.id << ',' << j.release << ',' << j.volume << ',' << j.density;
+    std::string s = line.str();
+    if (robust::fault_fire(robust::FaultSite::kTraceLine)) {
+      s.resize(s.size() * 3 / 5);  // injected mid-line truncation
+    }
+    os << s << '\n';
   }
 }
 
 void write_trace_file(const std::string& path, const Instance& instance) {
-  std::ofstream f(path);
-  if (!f) throw ModelError("write_trace_file: cannot open " + path);
-  write_trace(f, instance);
+  robust::atomic_write_file(path, [&](std::ostream& os) { write_trace(os, instance); });
 }
 
-Instance read_trace(std::istream& is) {
+Instance read_trace(std::istream& is, const TraceReadOptions& options, TraceReadStats* stats) {
+  TraceReadStats local;
+  TraceReadStats& st = stats ? *stats : local;
+  st = TraceReadStats{};
+
   std::string line;
-  if (!std::getline(is, line)) throw ModelError("read_trace: empty stream");
-  if (line.rfind("id,", 0) != 0) throw ModelError("read_trace: missing header");
+  if (!std::getline(is, line)) malformed("empty stream", 1);
+  if (line.rfind("id,", 0) != 0) malformed("missing 'id,...' header", 1);
   std::vector<Job> jobs;
   std::size_t line_no = 1;
   while (std::getline(is, line)) {
     ++line_no;
     if (line.empty()) continue;
-    std::istringstream ss(line);
-    std::string field;
     Job j;
-    try {
-      std::getline(ss, field, ',');  // id (ignored; reassigned)
-      std::getline(ss, field, ',');
-      j.release = std::stod(field);
-      std::getline(ss, field, ',');
-      j.volume = std::stod(field);
-      std::getline(ss, field, ',');
-      j.density = std::stod(field);
-    } catch (const std::exception&) {
-      throw ModelError("read_trace: malformed line " + std::to_string(line_no));
+    std::string why;
+    if (parse_job_line(line, j, why)) {
+      // Lenient mode also drops semantically-invalid rows (non-positive
+      // volume/density) that would fail Instance validation later.
+      if (options.mode == TraceReadMode::kLenient && (j.volume <= 0.0 || j.density <= 0.0)) {
+        ++st.lines_skipped;
+        continue;
+      }
+      jobs.push_back(j);
+      ++st.lines_read;
+    } else if (options.mode == TraceReadMode::kStrict) {
+      malformed("malformed trace line: " + why, line_no);
+    } else {
+      ++st.lines_skipped;
     }
-    jobs.push_back(j);
   }
   return Instance(std::move(jobs));
 }
 
-Instance read_trace_file(const std::string& path) {
+Instance read_trace_file(const std::string& path, const TraceReadOptions& options,
+                         TraceReadStats* stats) {
   std::ifstream f(path);
-  if (!f) throw ModelError("read_trace_file: cannot open " + path);
-  return read_trace(f);
+  if (!f) {
+    throw TraceIoError(robust::Diagnostic{robust::ErrorCode::kIoMalformed,
+                                          "cannot open trace file", path});
+  }
+  return read_trace(f, options, stats);
 }
 
 }  // namespace speedscale::workload

@@ -4,19 +4,60 @@
 //   id,release,volume,density
 // Ids in the file are informational; loading reassigns contiguous ids in
 // file order (the Instance invariant).
+//
+// Robustness:
+//   * reads are strict by default — exact field count, fully-consumed
+//     numeric fields, finite values — and every rejection names its line
+//     number; lenient mode skips-and-counts bad lines instead of throwing;
+//   * parse failures throw TraceIoError, which is a ModelError (so existing
+//     handlers keep working) carrying a typed robust::Diagnostic
+//     (ErrorCode::kIoMalformed);
+//   * write_trace_file is crash-safe: it writes "<path>.tmp", flushes, then
+//     atomically renames, so an interrupted bench never leaves a truncated
+//     trace at the target path.
 #pragma once
 
 #include <iosfwd>
 #include <string>
 
 #include "src/core/instance.h"
+#include "src/robust/diagnostics.h"
 
 namespace speedscale::workload {
 
+/// Malformed trace input.  ModelError-compatible, diagnostic-typed.
+class TraceIoError : public ModelError {
+ public:
+  explicit TraceIoError(robust::Diagnostic diag)
+      : ModelError(diag.to_string()), diag_(std::move(diag)) {}
+  [[nodiscard]] const robust::Diagnostic& diagnostic() const noexcept { return diag_; }
+
+ private:
+  robust::Diagnostic diag_;
+};
+
+enum class TraceReadMode : std::uint8_t {
+  kStrict,   ///< any bad line throws TraceIoError with its line number
+  kLenient,  ///< bad lines are skipped and counted in TraceReadStats
+};
+
+struct TraceReadOptions {
+  TraceReadMode mode = TraceReadMode::kStrict;
+};
+
+struct TraceReadStats {
+  std::size_t lines_read = 0;     ///< data lines accepted as jobs
+  std::size_t lines_skipped = 0;  ///< bad data lines dropped (lenient only)
+};
+
 void write_trace(std::ostream& os, const Instance& instance);
+/// Crash-safe: tmp + flush + atomic rename.
 void write_trace_file(const std::string& path, const Instance& instance);
 
-[[nodiscard]] Instance read_trace(std::istream& is);
-[[nodiscard]] Instance read_trace_file(const std::string& path);
+[[nodiscard]] Instance read_trace(std::istream& is, const TraceReadOptions& options = {},
+                                  TraceReadStats* stats = nullptr);
+[[nodiscard]] Instance read_trace_file(const std::string& path,
+                                       const TraceReadOptions& options = {},
+                                       TraceReadStats* stats = nullptr);
 
 }  // namespace speedscale::workload

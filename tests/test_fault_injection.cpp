@@ -1,0 +1,587 @@
+// The fault matrix: every degradation path in docs/robustness.md is exercised
+// by deterministically injected faults (robust/fault_injection.h) and must
+// end in a typed diagnostic — never a crash, never a silently wrong answer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "src/analysis/thread_pool.h"
+#include "src/analysis/worst_case.h"
+#include "src/core/power.h"
+#include "src/numerics/roots.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/trace.h"
+#include "src/robust/atomic_io.h"
+#include "src/robust/checkpoint.h"
+#include "src/robust/diagnostics.h"
+#include "src/robust/fault_injection.h"
+#include "src/robust/guarded_engine.h"
+#include "src/robust/invariants.h"
+#include "src/sim/numeric_engine.h"
+#include "src/workload/trace_io.h"
+
+namespace speedscale {
+namespace {
+
+using robust::ErrorCode;
+using robust::FaultPlan;
+using robust::FaultSite;
+using robust::RobustError;
+using robust::RunStatus;
+using robust::ScopedFaultPlan;
+
+std::string temp_path(const std::string& name) {
+  std::string dir = ::testing::TempDir();
+  if (!dir.empty() && dir.back() != '/') dir += '/';
+  const std::string path = dir + name;
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+  return path;
+}
+
+bool file_exists(const std::string& path) { return std::ifstream(path).good(); }
+
+// --- Injector mechanics -----------------------------------------------------
+
+TEST(FaultInjector, SeededPlanIsDeterministic) {
+  const FaultPlan a = robust::seed_faults(42, FaultSite::kOdeSubstepNaN, 5, 1000);
+  const FaultPlan b = robust::seed_faults(42, FaultSite::kOdeSubstepNaN, 5, 1000);
+  const auto& sa = a.fire_at[static_cast<std::size_t>(FaultSite::kOdeSubstepNaN)];
+  const auto& sb = b.fire_at[static_cast<std::size_t>(FaultSite::kOdeSubstepNaN)];
+  EXPECT_EQ(sa, sb);
+  EXPECT_EQ(sa.size(), 5u);
+  for (const std::uint64_t i : sa) EXPECT_LT(i, 1000u);
+  const FaultPlan c = robust::seed_faults(43, FaultSite::kOdeSubstepNaN, 5, 1000);
+  EXPECT_NE(sa, c.fire_at[static_cast<std::size_t>(FaultSite::kOdeSubstepNaN)]);
+}
+
+TEST(FaultInjector, CountsCallsAndFires) {
+  EXPECT_FALSE(robust::faults_enabled());
+  {
+    ScopedFaultPlan plan(FaultPlan{}.fire(FaultSite::kRootBracket, {0, 2}));
+    EXPECT_TRUE(robust::faults_enabled());
+    auto& inj = robust::FaultInjector::instance();
+    EXPECT_TRUE(robust::fault_fire(FaultSite::kRootBracket));    // index 0
+    EXPECT_FALSE(robust::fault_fire(FaultSite::kRootBracket));   // index 1
+    EXPECT_TRUE(robust::fault_fire(FaultSite::kRootBracket));    // index 2
+    EXPECT_FALSE(robust::fault_fire(FaultSite::kRootBracket));   // index 3
+    EXPECT_EQ(inj.calls(FaultSite::kRootBracket), 4u);
+    EXPECT_EQ(inj.fired(FaultSite::kRootBracket), 2u);
+    EXPECT_EQ(inj.calls(FaultSite::kPoolTask), 0u);
+  }
+  EXPECT_FALSE(robust::faults_enabled());
+  EXPECT_FALSE(robust::fault_fire(FaultSite::kRootBracket));
+}
+
+// --- ODE engine: NaN substeps ----------------------------------------------
+
+TEST(OdeFault, UnguardedEngineThrowsTypedNonfinite) {
+  ScopedFaultPlan plan(FaultPlan{}.fire(FaultSite::kOdeSubstepNaN, {0}));
+  const Instance inst({Job{kNoJob, 0.0, 1.0, 1.0}});
+  const PowerLaw p(2.0);
+  try {
+    (void)run_generic_c(inst, p);
+    FAIL() << "expected RobustError";
+  } catch (const RobustError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kNumericNonfinite);
+    EXPECT_NE(std::string(e.what()).find("non-finite substep"), std::string::npos);
+  }
+}
+
+TEST(OdeFault, GuardedEngineRetriesAndRecovers) {
+  ScopedFaultPlan plan(FaultPlan{}.fire(FaultSite::kOdeSubstepNaN, {0}));
+  const Instance inst({Job{kNoJob, 0.0, 1.0, 1.0}, Job{kNoJob, 0.4, 0.7, 1.0}});
+  const PowerLaw p(2.0);
+  robust::GuardedNumericOptions opts;
+  opts.base.substeps_per_interval = 512;
+  opts.alpha = 2.0;
+  const auto out = robust::run_generic_c_guarded(inst, p, opts);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.status, RunStatus::kDegraded);
+  EXPECT_EQ(out.attempts, 2);
+  ASSERT_FALSE(out.diagnostics.empty());
+  EXPECT_EQ(out.diagnostics.front().code, ErrorCode::kNumericNonfinite);
+  // The recovered value passes the C identity (energy == fractional flow).
+  const SampledRun& run = *out.value;
+  EXPECT_NEAR(run.energy, run.fractional_flow, 1e-5 * std::max(1.0, run.energy));
+}
+
+TEST(OdeFault, GuardedEngineFailsWhenFaultPersists) {
+  // Poison every substep of every rung: the ladder must exhaust cleanly.
+  FaultPlan plan;
+  auto& s = plan.fire_at[static_cast<std::size_t>(FaultSite::kOdeSubstepNaN)];
+  for (std::uint64_t i = 0; i < 200000; ++i) s.insert(i);
+  ScopedFaultPlan scoped(std::move(plan));
+  const Instance inst({Job{kNoJob, 0.0, 1.0, 1.0}});
+  const PowerLaw p(2.0);
+  robust::GuardedNumericOptions opts;
+  opts.base.substeps_per_interval = 32;
+  opts.max_attempts = 3;
+  auto out = robust::run_generic_c_guarded(inst, p, opts);
+  EXPECT_EQ(out.status, RunStatus::kFailed);
+  EXPECT_FALSE(out.ok());
+  EXPECT_FALSE(out.value.has_value());
+  EXPECT_EQ(out.attempts, 3);
+  EXPECT_GE(out.diagnostics.size(), 3u);
+  EXPECT_THROW((void)out.value_or_throw(), RobustError);
+}
+
+TEST(OdeFault, GuardedNcRecoversAndReVerifiesLemmas) {
+  // The fault hits the guarded *reference* C run first; the NC outcome must
+  // degrade (carrying the reference's diagnostics) yet still satisfy the
+  // paper's identities after the retry.
+  ScopedFaultPlan plan(FaultPlan{}.fire(FaultSite::kOdeSubstepNaN, {0}));
+  const double alpha = 2.0;
+  const Instance inst({Job{kNoJob, 0.0, 1.0, 1.0}, Job{kNoJob, 0.6, 0.5, 1.0}});
+  const PowerLaw p(alpha);
+  robust::GuardedNumericOptions opts;
+  opts.base.substeps_per_interval = 1024;
+  opts.alpha = alpha;
+  const auto out = robust::run_generic_nc_uniform_guarded(inst, p, opts);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.status, RunStatus::kDegraded);
+  ASSERT_FALSE(out.diagnostics.empty());
+  // Lemma 3: NC energy equals C energy on the same instance.
+  const SampledRun ref = run_generic_c(inst, p, opts.base);
+  EXPECT_NEAR(out.value->energy, ref.energy, 1e-5 * std::max(1.0, ref.energy));
+  // Lemma 4 (power law): fractional flow == energy / (1 - 1/alpha), up to the
+  // completion-epsilon flow truncation of O(eps^{1-1/alpha}) ~ 3e-5 here.
+  const double lemma4 = out.value->energy / (1.0 - 1.0 / alpha);
+  EXPECT_NEAR(out.value->fractional_flow, lemma4, 1e-3 * std::max(1.0, lemma4));
+}
+
+TEST(OdeFault, CleanRunIsOkWithSingleAttempt) {
+  const Instance inst({Job{kNoJob, 0.0, 1.0, 1.0}});
+  const PowerLaw p(2.5);
+  robust::GuardedNumericOptions opts;
+  opts.base.substeps_per_interval = 512;
+  opts.alpha = 2.5;
+  const auto out = robust::run_generic_c_guarded(inst, p, opts);
+  EXPECT_EQ(out.status, RunStatus::kOk);
+  EXPECT_EQ(out.attempts, 1);
+  EXPECT_TRUE(out.diagnostics.empty());
+}
+
+// --- Invariant checker ------------------------------------------------------
+
+TEST(Invariants, FlagsPoisonedRuns) {
+  const Instance inst({Job{kNoJob, 0.0, 1.0, 1.0}});
+  const PowerLaw p(2.0);
+  SampledRun run = run_generic_c(inst, p, {.substeps_per_interval = 512});
+  robust::InvariantOptions opts;
+  opts.kind = robust::RunKind::kAlgorithmC;
+  EXPECT_TRUE(robust::check_sampled_run(inst, run, opts).ok());
+
+  SampledRun nan_energy = run;
+  nan_energy.energy = std::nan("");
+  const auto r1 = robust::check_sampled_run(inst, nan_energy, opts);
+  ASSERT_FALSE(r1.ok());
+  EXPECT_EQ(r1.breaches.front().code, ErrorCode::kNumericNonfinite);
+
+  SampledRun bad_times = run;
+  ASSERT_GE(bad_times.t.size(), 2u);
+  std::swap(bad_times.t.front(), bad_times.t.back());  // decreasing times
+  const auto r2 = robust::check_sampled_run(inst, bad_times, opts);
+  ASSERT_FALSE(r2.ok());
+  EXPECT_EQ(r2.breaches.front().code, ErrorCode::kInvariantBreach);
+}
+
+// --- Root finders -----------------------------------------------------------
+
+TEST(RootFault, InjectedBracketFaultIsTyped) {
+  ScopedFaultPlan plan(FaultPlan{}.fire(FaultSite::kRootBracket, {0}));
+  // A perfectly good bracket, failed by injection: the typed path fires.
+  try {
+    (void)numerics::bisect([](double x) { return x - 0.5; }, 0.0, 1.0, 1e-12);
+    FAIL() << "expected RobustError";
+  } catch (const RobustError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kRootNotBracketed);
+  }
+}
+
+TEST(RootFault, ExpansionRecoversFromInjectedFalseNegative) {
+  // The injected fault claims "no sign change" once; one extra doubling
+  // later the finder recovers and converges to the true root.
+  ScopedFaultPlan plan(FaultPlan{}.fire(FaultSite::kRootBracket, {0}));
+  const double root =
+      numerics::find_root_increasing([](double x) { return x - 10.0; }, 0.0, 20.0, 1e-12);
+  EXPECT_NEAR(root, 10.0, 1e-9);
+  EXPECT_EQ(robust::FaultInjector::instance().fired(FaultSite::kRootBracket), 1u);
+}
+
+TEST(RootFault, ExpansionCapHitIsTyped) {
+  FaultPlan plan;
+  auto& s = plan.fire_at[static_cast<std::size_t>(FaultSite::kRootBracket)];
+  for (std::uint64_t i = 0; i < 64; ++i) s.insert(i);
+  ScopedFaultPlan scoped(std::move(plan));
+  try {
+    (void)numerics::find_root_increasing([](double x) { return x - 10.0; }, 0.0, 20.0, 1e-12,
+                                         /*max_expansions=*/5);
+    FAIL() << "expected RobustError";
+  } catch (const RobustError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kRootNotBracketed);
+    EXPECT_NE(e.diagnostic().context.find("expansions="), std::string::npos);
+  }
+}
+
+TEST(RootFault, BrentDegradesToBisectionOnIterationExhaustion) {
+  obs::set_metrics_enabled(true);
+  obs::Counter& fallbacks = obs::registry().counter("numerics.roots.brent_fallbacks");
+  const std::int64_t before = fallbacks.value();
+  // One Brent iteration cannot resolve this root; the fallback must.
+  const double root =
+      numerics::brent([](double x) { return std::cos(x) - x; }, 0.0, 1.0, 1e-13,
+                      /*max_iter=*/1);
+  obs::set_metrics_enabled(false);
+  EXPECT_NEAR(std::cos(root), root, 1e-10);
+  EXPECT_GE(fallbacks.value(), before + 1);
+}
+
+TEST(RootFault, NanProbeIsTyped) {
+  try {
+    (void)numerics::bisect([](double x) { return x < 0.5 ? -1.0 : std::nan(""); }, 0.0, 1.0,
+                           1e-9);
+    FAIL() << "expected RobustError";
+  } catch (const RobustError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kNumericNonfinite);
+  }
+}
+
+// --- Trace I/O --------------------------------------------------------------
+
+Instance small_instance() {
+  return Instance({Job{kNoJob, 0.0, 1.0, 1.0}, Job{kNoJob, 1.0, 1.0, 1.0},
+                   Job{kNoJob, 2.0, 1.0, 1.0}});
+}
+
+TEST(TraceFault, CorruptedLineIsReportedWithItsLineNumber) {
+  std::ostringstream os;
+  {
+    // Fire on the second data line (call index 1) => file line 3.
+    ScopedFaultPlan plan(FaultPlan{}.fire(FaultSite::kTraceLine, {1}));
+    workload::write_trace(os, small_instance());
+    EXPECT_EQ(robust::FaultInjector::instance().fired(FaultSite::kTraceLine), 1u);
+  }
+  std::istringstream is(os.str());
+  try {
+    (void)workload::read_trace(is);
+    FAIL() << "expected TraceIoError";
+  } catch (const workload::TraceIoError& e) {
+    EXPECT_EQ(e.diagnostic().code, ErrorCode::kIoMalformed);
+    EXPECT_EQ(e.diagnostic().context, "line 3");
+  }
+}
+
+TEST(TraceFault, LenientModeSkipsAndCounts) {
+  std::ostringstream os;
+  {
+    ScopedFaultPlan plan(FaultPlan{}.fire(FaultSite::kTraceLine, {1}));
+    workload::write_trace(os, small_instance());
+  }
+  std::istringstream is(os.str());
+  workload::TraceReadStats stats;
+  const Instance got =
+      workload::read_trace(is, {.mode = workload::TraceReadMode::kLenient}, &stats);
+  EXPECT_EQ(got.jobs().size(), 2u);
+  EXPECT_EQ(stats.lines_read, 2u);
+  EXPECT_EQ(stats.lines_skipped, 1u);
+}
+
+TEST(TraceFault, RoundTripSurvivesWhenNoFaultInstalled) {
+  std::ostringstream os;
+  workload::write_trace(os, small_instance());
+  std::istringstream is(os.str());
+  const Instance got = workload::read_trace(is);
+  EXPECT_EQ(got.jobs().size(), 3u);
+}
+
+// --- Thread pool ------------------------------------------------------------
+
+TEST(PoolFault, InjectedTaskFailureRethrownAtWaitIdle) {
+  ScopedFaultPlan plan(FaultPlan{}.fire(FaultSite::kPoolTask, {0}));
+  analysis::ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 4; ++i) {
+    pool.submit([&] { ran.fetch_add(1); });
+  }
+  try {
+    pool.wait_idle();
+    FAIL() << "expected RobustError";
+  } catch (const RobustError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kTaskFailed);
+  }
+  EXPECT_EQ(pool.failed_tasks(), 1u);
+  // The pool stays usable: the error was collected, not fatal.
+  pool.submit([&] { ran.fetch_add(1); });
+  EXPECT_NO_THROW(pool.wait_idle());
+  EXPECT_EQ(ran.load(), 4);  // 3 clean + 1 injected-away + 1 after
+}
+
+TEST(PoolFault, UserExceptionsAreCapturedAndFirstRethrown) {
+  analysis::ThreadPool pool(2);
+  for (int i = 0; i < 3; ++i) {
+    pool.submit([] { throw std::runtime_error("task boom"); });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_EQ(pool.failed_tasks(), 3u);
+  EXPECT_NO_THROW(pool.wait_idle());  // error already collected
+}
+
+TEST(PoolFault, TeardownWithInFlightFailuresCannotTerminate) {
+  // Destroy the pool while tasks are still failing, without wait_idle():
+  // exceptions must stay captured inside workers (reaching a worker's stack
+  // frame boundary would std::terminate the process).
+  {
+    analysis::ThreadPool pool(4);
+    for (int i = 0; i < 64; ++i) {
+      pool.submit([] {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        throw std::runtime_error("mid-teardown boom");
+      });
+    }
+    // ~ThreadPool drains and joins here with errors pending.
+  }
+  SUCCEED();
+}
+
+TEST(PoolFault, TeardownWithInjectedFaultsCannotTerminate) {
+  FaultPlan plan;
+  auto& s = plan.fire_at[static_cast<std::size_t>(FaultSite::kPoolTask)];
+  for (std::uint64_t i = 0; i < 64; ++i) s.insert(i);
+  ScopedFaultPlan scoped(std::move(plan));
+  {
+    analysis::ThreadPool pool(4);
+    for (int i = 0; i < 32; ++i) {
+      pool.submit([] { std::this_thread::sleep_for(std::chrono::microseconds(20)); });
+    }
+  }
+  SUCCEED();
+}
+
+TEST(PoolFault, ParallelForPropagatesFirstError) {
+  analysis::ThreadPool pool(2);
+  EXPECT_THROW(analysis::parallel_for(pool, 8,
+                                      [](std::size_t i) {
+                                        if (i == 5) {
+                                          throw RobustError(ErrorCode::kTaskFailed, "index 5");
+                                        }
+                                      }),
+               RobustError);
+}
+
+// --- Worst-case search: budget + checkpoint/resume --------------------------
+
+TEST(WorstCaseRobust, ZeroBudgetDegradesWithTypedDiagnostic) {
+  analysis::WorstCaseOptions opts;
+  opts.n_jobs = 2;
+  opts.rounds = 4;
+  opts.opt_slots = 100;
+  opts.wall_clock_budget_s = 0.0;
+  const auto w = analysis::find_worst_nc_instance(2.0, opts);
+  EXPECT_EQ(w.status, RunStatus::kDegraded);
+  EXPECT_EQ(w.rounds_completed, 0);
+  ASSERT_FALSE(w.diagnostics.empty());
+  bool has_budget = false;
+  for (const auto& d : w.diagnostics) has_budget |= d.code == ErrorCode::kBudgetExhausted;
+  EXPECT_TRUE(has_budget);
+  // The best-so-far state is still a usable answer.
+  EXPECT_GE(w.ratio, 0.0);
+  EXPECT_EQ(w.instance.jobs().size(), 2u);
+}
+
+TEST(WorstCaseRobust, CheckpointResumeReplaysUninterruptedTrajectory) {
+  const double alpha = 2.0;
+  analysis::WorstCaseOptions base;
+  base.n_jobs = 2;
+  base.opt_slots = 120;
+  base.seed = 7;
+
+  analysis::WorstCaseOptions full = base;
+  full.rounds = 4;
+  const auto uninterrupted = analysis::find_worst_nc_instance(alpha, full);
+
+  const std::string ckpt = temp_path("wc_resume.jsonl");
+  analysis::WorstCaseOptions part1 = base;
+  part1.rounds = 2;
+  part1.checkpoint_path = ckpt;
+  const auto first_half = analysis::find_worst_nc_instance(alpha, part1);
+  EXPECT_EQ(first_half.rounds_completed, 2);
+  ASSERT_TRUE(file_exists(ckpt));
+
+  analysis::WorstCaseOptions part2 = base;
+  part2.rounds = 4;
+  part2.checkpoint_path = ckpt;
+  const auto resumed = analysis::find_worst_nc_instance(alpha, part2);
+
+  EXPECT_NEAR(resumed.ratio, uninterrupted.ratio, 1e-12 * std::max(1.0, uninterrupted.ratio));
+  ASSERT_EQ(resumed.instance.jobs().size(), uninterrupted.instance.jobs().size());
+  for (std::size_t i = 0; i < resumed.instance.jobs().size(); ++i) {
+    EXPECT_NEAR(resumed.instance.jobs()[i].release, uninterrupted.instance.jobs()[i].release,
+                1e-12);
+    EXPECT_NEAR(resumed.instance.jobs()[i].volume, uninterrupted.instance.jobs()[i].volume,
+                1e-12);
+  }
+  std::remove(ckpt.c_str());
+}
+
+TEST(WorstCaseRobust, DimensionMismatchRestartsFromSeed) {
+  const std::string ckpt = temp_path("wc_mismatch.jsonl");
+  robust::append_search_checkpoint(ckpt, {3, 1.5, 2.0, {1.0, 2.0}});  // 2 != 2*3-1
+  analysis::WorstCaseOptions opts;
+  opts.n_jobs = 3;
+  opts.rounds = 1;
+  opts.opt_slots = 80;
+  opts.checkpoint_path = ckpt;
+  const auto w = analysis::find_worst_nc_instance(2.0, opts);
+  EXPECT_EQ(w.status, RunStatus::kDegraded);
+  ASSERT_FALSE(w.diagnostics.empty());
+  EXPECT_EQ(w.diagnostics.front().code, ErrorCode::kIoMalformed);
+  EXPECT_GT(w.ratio, 0.0);  // the seeded restart still produced an answer
+  std::remove(ckpt.c_str());
+}
+
+// --- Checkpoint file format -------------------------------------------------
+
+TEST(Checkpoint, RoundTripsDoublesExactly) {
+  const std::string path = temp_path("ckpt_roundtrip.jsonl");
+  const std::vector<double> x = {1.0 / 3.0, 3.141592653589793, 1e-4, 9876.54321};
+  robust::append_search_checkpoint(path, {5, std::sqrt(2.0), 1.8570331, x});
+  const auto cp = robust::load_search_checkpoint(path);
+  ASSERT_TRUE(cp.has_value());
+  EXPECT_EQ(cp->next_round, 5);
+  EXPECT_EQ(cp->step, std::sqrt(2.0));      // exact: 17 significant digits
+  EXPECT_EQ(cp->ratio, 1.8570331);
+  ASSERT_EQ(cp->x.size(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_EQ(cp->x[i], x[i]);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, TornAndGarbageLinesAreSkipped) {
+  const std::string path = temp_path("ckpt_torn.jsonl");
+  robust::append_search_checkpoint(path, {1, 2.0, 0.5, {1.0}});
+  {
+    std::ofstream f(path, std::ios::app);
+    f << "{\"round\":2,\"step\":\n";                              // torn mid-line
+    f << "utter nonsense\n";                                      // not JSON
+    f << "{\"round\":3,\"step\":1.5,\"ratio\":0.7,\"x\":[]}\n";   // empty x
+  }
+  robust::append_search_checkpoint(path, {9, 1.25, 1.75, {4.0, 5.0}});
+  std::size_t skipped = 0;
+  const auto cp = robust::load_search_checkpoint(path, &skipped);
+  ASSERT_TRUE(cp.has_value());
+  EXPECT_EQ(cp->next_round, 9);           // the last *valid* line wins
+  EXPECT_EQ(cp->x, (std::vector<double>{4.0, 5.0}));
+  EXPECT_EQ(skipped, 3u);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MissingFileIsNullopt) {
+  EXPECT_FALSE(robust::load_search_checkpoint(temp_path("ckpt_missing.jsonl")).has_value());
+}
+
+// --- Crash-safe writes ------------------------------------------------------
+
+TEST(AtomicIo, WriteCommitsAndRemovesTmp) {
+  const std::string path = temp_path("atomic.txt");
+  robust::atomic_write_file(path, [](std::ostream& os) { os << "payload\n"; });
+  ASSERT_TRUE(file_exists(path));
+  EXPECT_FALSE(file_exists(robust::tmp_sibling(path)));
+  std::ifstream f(path);
+  std::string content;
+  std::getline(f, content);
+  EXPECT_EQ(content, "payload");
+  std::remove(path.c_str());
+}
+
+TEST(AtomicIo, FailedWriteLeavesTargetUntouched) {
+  const std::string path = temp_path("atomic_keep.txt");
+  robust::atomic_write_file(path, [](std::ostream& os) { os << "original\n"; });
+  try {
+    robust::atomic_write_file(path, [](std::ostream& os) {
+      os << "partial";
+      os.setstate(std::ios::failbit);  // simulated disk failure
+    });
+    FAIL() << "expected RobustError";
+  } catch (const RobustError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kIoMalformed);
+  }
+  std::ifstream f(path);
+  std::string content;
+  std::getline(f, content);
+  EXPECT_EQ(content, "original");
+  EXPECT_FALSE(file_exists(robust::tmp_sibling(path)));
+  std::remove(path.c_str());
+}
+
+TEST(AtomicIo, JsonlSinkCommitsOnClose) {
+  const std::string path = temp_path("sink.jsonl");
+  obs::JsonlSink sink(path);
+  sink.on_event(obs::TraceEvent{.kind = obs::EventKind::kPhaseBoundary, .t = 1.0});
+  EXPECT_FALSE(file_exists(path));  // still streaming to the .tmp sibling
+  EXPECT_TRUE(file_exists(robust::tmp_sibling(path)));
+  sink.close();
+  EXPECT_TRUE(file_exists(path));
+  EXPECT_FALSE(file_exists(robust::tmp_sibling(path)));
+  EXPECT_NO_THROW(sink.close());  // idempotent
+  EXPECT_EQ(sink.lines(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(AtomicIo, JsonlSinkCommitsAtDestruction) {
+  const std::string path = temp_path("sink_dtor.jsonl");
+  {
+    obs::JsonlSink sink(path);
+    sink.on_event(obs::TraceEvent{.kind = obs::EventKind::kPhaseBoundary, .t = 2.0});
+  }
+  EXPECT_TRUE(file_exists(path));
+  EXPECT_FALSE(file_exists(robust::tmp_sibling(path)));
+  std::remove(path.c_str());
+}
+
+// --- Observability of the guards --------------------------------------------
+
+TEST(RobustMetrics, GuardTripsAndRecoveriesAreCounted) {
+  obs::set_metrics_enabled(true);
+  obs::Counter& trips = obs::registry().counter("robust.guard.trips");
+  obs::Counter& recoveries = obs::registry().counter("robust.retry.recoveries");
+  obs::Counter& fired = obs::registry().counter("robust.faults.fired.ode_substep_nan");
+  const std::int64_t trips0 = trips.value();
+  const std::int64_t rec0 = recoveries.value();
+  const std::int64_t fired0 = fired.value();
+  {
+    ScopedFaultPlan plan(FaultPlan{}.fire(FaultSite::kOdeSubstepNaN, {0}));
+    const Instance inst({Job{kNoJob, 0.0, 1.0, 1.0}});
+    robust::GuardedNumericOptions opts;
+    opts.base.substeps_per_interval = 256;
+    const auto out = robust::run_generic_c_guarded(inst, PowerLaw(2.0), opts);
+    EXPECT_EQ(out.status, RunStatus::kDegraded);
+  }
+  obs::set_metrics_enabled(false);
+  EXPECT_GE(trips.value(), trips0 + 1);
+  EXPECT_GE(recoveries.value(), rec0 + 1);
+  EXPECT_GE(fired.value(), fired0 + 1);
+}
+
+TEST(RobustMetrics, DiagnosticNamesAreStable) {
+  EXPECT_STREQ(robust::error_code_name(ErrorCode::kNumericNonfinite), "numeric_nonfinite");
+  EXPECT_STREQ(robust::error_code_name(ErrorCode::kRootNotBracketed), "root_not_bracketed");
+  EXPECT_STREQ(robust::error_code_name(ErrorCode::kNoConvergence), "no_convergence");
+  EXPECT_STREQ(robust::error_code_name(ErrorCode::kInvariantBreach), "invariant_breach");
+  EXPECT_STREQ(robust::error_code_name(ErrorCode::kIoMalformed), "io_malformed");
+  EXPECT_STREQ(robust::error_code_name(ErrorCode::kTaskFailed), "task_failed");
+  EXPECT_STREQ(robust::error_code_name(ErrorCode::kBudgetExhausted), "budget_exhausted");
+  EXPECT_STREQ(robust::run_status_name(RunStatus::kOk), "ok");
+  EXPECT_STREQ(robust::run_status_name(RunStatus::kDegraded), "degraded");
+  EXPECT_STREQ(robust::run_status_name(RunStatus::kFailed), "failed");
+  EXPECT_STREQ(robust::fault_site_name(FaultSite::kOdeSubstepNaN), "ode_substep_nan");
+  EXPECT_STREQ(robust::fault_site_name(FaultSite::kPoolTask), "pool_task");
+}
+
+}  // namespace
+}  // namespace speedscale

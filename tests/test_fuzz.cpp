@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <sstream>
+#include <string>
 
 #include "src/algo/algorithm_c.h"
 #include "src/algo/algorithm_nc_uniform.h"
@@ -12,7 +14,9 @@
 #include "src/algo/bounds.h"
 #include "src/algo/frac_to_int.h"
 #include "src/algo/parallel.h"
+#include "src/robust/diagnostics.h"
 #include "src/workload/generators.h"
+#include "src/workload/trace_io.h"
 
 namespace speedscale {
 namespace {
@@ -119,6 +123,133 @@ TEST_P(Fuzz, ParallelIdentitiesAcrossShapes) {
 INSTANTIATE_TEST_SUITE_P(Shapes, Fuzz,
                          ::testing::Combine(::testing::Range(0, 5),
                                             ::testing::Values(1, 2, 3, 4)));
+
+// --- read_trace corpus fuzz -------------------------------------------------
+//
+// Hostile trace inputs must never crash the reader: strict mode raises a
+// line-numbered TraceIoError, lenient mode skips-and-counts, and both leave
+// the stream fully drained.
+
+struct TraceCorpusCase {
+  const char* name;
+  const char* input;
+  std::size_t lenient_jobs;     // jobs surviving a lenient read
+  std::size_t lenient_skipped;  // bad lines counted by a lenient read
+  bool strict_throws;
+};
+
+class TraceCorpus : public ::testing::TestWithParam<TraceCorpusCase> {};
+
+TEST_P(TraceCorpus, StrictThrowsTypedLenientSkipsAndCounts) {
+  const TraceCorpusCase& c = GetParam();
+  {
+    std::istringstream is(c.input);
+    if (c.strict_throws) {
+      try {
+        (void)workload::read_trace(is);
+        FAIL() << c.name << ": strict read accepted hostile input";
+      } catch (const workload::TraceIoError& e) {
+        EXPECT_EQ(e.diagnostic().code, robust::ErrorCode::kIoMalformed) << c.name;
+        EXPECT_NE(e.diagnostic().context.find("line"), std::string::npos) << c.name;
+      }
+    } else {
+      EXPECT_NO_THROW((void)workload::read_trace(is)) << c.name;
+    }
+  }
+  // Lenient mode: bad data lines are skipped, never fatal (header faults
+  // still throw — there is nothing to resynchronize on).
+  std::istringstream is(c.input);
+  if (std::string(c.input).rfind("id,", 0) != 0) {
+    EXPECT_THROW((void)workload::read_trace(
+                     is, {.mode = workload::TraceReadMode::kLenient}),
+                 workload::TraceIoError)
+        << c.name;
+    return;
+  }
+  workload::TraceReadStats stats;
+  const Instance got =
+      workload::read_trace(is, {.mode = workload::TraceReadMode::kLenient}, &stats);
+  EXPECT_EQ(got.jobs().size(), c.lenient_jobs) << c.name;
+  EXPECT_EQ(stats.lines_skipped, c.lenient_skipped) << c.name;
+}
+
+std::string corpus_name(const ::testing::TestParamInfo<TraceCorpusCase>& info) {
+  return info.param.name;
+}
+
+const TraceCorpusCase kTraceCorpus[] = {
+    {"truncated_line", "id,release,volume,density\n0,0,1,1\n1,0.5,\n", 1, 1, true},
+    {"wrong_header", "volume,id\n0,0,1,1\n", 0, 0, true},
+    {"no_header", "0,0,1,1\n", 0, 0, true},
+    {"empty_stream", "", 0, 0, true},
+    {"header_only", "id,release,volume,density\n", 0, 0, false},
+    {"too_many_fields", "id,release,volume,density\n0,0,1,1,42\n1,1,1,1\n", 1, 1, true},
+    {"trailing_junk_number", "id,release,volume,density\n0,0,1abc,1\n", 0, 1, true},
+    {"non_finite_value", "id,release,volume,density\n0,0,inf,1\n1,1,1,1\n", 1, 1, true},
+    {"nan_density", "id,release,volume,density\n0,0,1,nan\n", 0, 1, true},
+    {"blank_lines_between_rows", "id,release,volume,density\n0,0,1,1\n\n\n1,1,1,1\n", 2, 0,
+     false},
+};
+
+INSTANTIATE_TEST_SUITE_P(Corpus, TraceCorpus, ::testing::ValuesIn(kTraceCorpus), corpus_name);
+
+TEST(TraceFuzz, NegativeVolumeFailsModelValidationStrictButLenientDrops) {
+  // The row parses numerically, so strict mode hands it to Instance, whose
+  // own validation rejects it (ModelError); lenient mode pre-drops it.
+  const char* input = "id,release,volume,density\n0,0,-3,1\n1,1,1,1\n";
+  std::istringstream strict(input);
+  EXPECT_THROW((void)workload::read_trace(strict), ModelError);
+  std::istringstream lenient(input);
+  workload::TraceReadStats stats;
+  const Instance got = workload::read_trace(
+      lenient, {.mode = workload::TraceReadMode::kLenient}, &stats);
+  EXPECT_EQ(got.jobs().size(), 1u);
+  EXPECT_EQ(stats.lines_skipped, 1u);
+}
+
+TEST(TraceFuzz, EmbeddedNulByteIsRejectedNotCrash) {
+  std::string input = "id,release,volume,density\n0,0,1,1\n1,0.5,2,1\n";
+  input[input.find("2,1") + 0] = '\0';  // NUL inside the volume field
+  std::istringstream strict(input);
+  EXPECT_THROW((void)workload::read_trace(strict), workload::TraceIoError);
+  std::istringstream lenient(input);
+  workload::TraceReadStats stats;
+  const Instance got = workload::read_trace(
+      lenient, {.mode = workload::TraceReadMode::kLenient}, &stats);
+  EXPECT_EQ(got.jobs().size(), 1u);
+  EXPECT_EQ(stats.lines_skipped, 1u);
+}
+
+TEST(TraceFuzz, TenThousandFieldLineIsRejectedNotCrash) {
+  std::string line = "0";
+  for (int i = 0; i < 10000; ++i) line += ",1";
+  const std::string input = "id,release,volume,density\n" + line + "\n0,0,1,1\n";
+  std::istringstream strict(input);
+  EXPECT_THROW((void)workload::read_trace(strict), workload::TraceIoError);
+  std::istringstream lenient(input);
+  workload::TraceReadStats stats;
+  const Instance got = workload::read_trace(
+      lenient, {.mode = workload::TraceReadMode::kLenient}, &stats);
+  EXPECT_EQ(got.jobs().size(), 1u);
+  EXPECT_EQ(stats.lines_skipped, 1u);
+}
+
+TEST(TraceFuzz, WriteReadRoundTripOnFuzzedInstances) {
+  for (int seed = 1; seed <= 6; ++seed) {
+    const Instance inst = workload::generate(
+        {.n_jobs = 12, .arrival_rate = 1.5, .seed = static_cast<std::uint64_t>(seed)});
+    std::ostringstream os;
+    workload::write_trace(os, inst);
+    std::istringstream is(os.str());
+    const Instance got = workload::read_trace(is);
+    ASSERT_EQ(got.jobs().size(), inst.jobs().size());
+    for (std::size_t i = 0; i < inst.size(); ++i) {
+      EXPECT_EQ(got.jobs()[i].release, inst.jobs()[i].release);    // 17-digit exact
+      EXPECT_EQ(got.jobs()[i].volume, inst.jobs()[i].volume);
+      EXPECT_EQ(got.jobs()[i].density, inst.jobs()[i].density);
+    }
+  }
+}
 
 }  // namespace
 }  // namespace speedscale

@@ -8,6 +8,7 @@
 #include "src/numerics/projection.h"
 #include "src/numerics/roots.h"
 #include "src/numerics/stats.h"
+#include "src/robust/diagnostics.h"
 
 namespace speedscale::numerics {
 namespace {
@@ -17,9 +18,31 @@ TEST(Roots, BisectFindsSimpleRoot) {
   EXPECT_NEAR(r, std::sqrt(2.0), 1e-10);
 }
 
-TEST(Roots, BisectThrowsWhenUnbracketed) {
-  EXPECT_THROW(bisect([](double x) { return x * x + 1.0; }, -1.0, 1.0, 1e-12),
-               std::invalid_argument);
+TEST(Roots, BisectThrowsTypedWhenUnbracketed) {
+  try {
+    (void)bisect([](double x) { return x * x + 1.0; }, -1.0, 1.0, 1e-12);
+    FAIL() << "expected RobustError";
+  } catch (const robust::RobustError& e) {
+    EXPECT_EQ(e.code(), robust::ErrorCode::kRootNotBracketed);
+  }
+}
+
+TEST(Roots, BrentFallsBackToBisectionWhenBudgetExhausted) {
+  // max_iter = 1 cannot meet the tolerance; the fallback bisection on the
+  // surviving bracket still converges instead of raising kNoConvergence.
+  const double r = brent([](double x) { return std::cos(x) - x; }, 0.0, 1.0, 1e-13, 1);
+  EXPECT_NEAR(std::cos(r), r, 1e-10);
+}
+
+TEST(Roots, FindRootIncreasingCapsExpansion) {
+  // f stays negative forever: the geometric expansion must stop at the cap
+  // with a typed diagnostic, not loop to overflow.
+  try {
+    (void)find_root_increasing([](double) { return -1.0; }, 0.0, 1.0, 1e-12, 10);
+    FAIL() << "expected RobustError";
+  } catch (const robust::RobustError& e) {
+    EXPECT_EQ(e.code(), robust::ErrorCode::kRootNotBracketed);
+  }
 }
 
 TEST(Roots, BrentMatchesKnownRoots) {
