@@ -1,0 +1,220 @@
+// Bench suite runner: the pinned, deterministic half of the bench ledger.
+//
+// Runs a fixed set of simulator/engine/solver workloads with pinned seeds
+// and configurations, `--reps` times each, and emits a
+// speedscale.bench_ledger/1 JSON document (src/obs/perf/bench_ledger.h):
+//
+//   * per repetition, the wall time of the workload body;
+//   * per workload, the MetricsRegistry counter snapshot it produced — ODE
+//     substeps, root-solver iterations, bracket expansions, retry-ladder
+//     rungs, preemptions, segments.  The simulators are exact, so these are
+//     deterministic per seed; the runner *asserts* every repetition
+//     reproduces the first one's counters and fails loudly otherwise.
+//
+// scripts/run_bench_suite.py wraps this binary, merges the google-benchmark
+// wall-time suites (E13/E19/E20) into the same ledger, and writes the
+// committed artifact (BENCH_PR3.json).  scripts/bench_compare.py is the
+// regression gate over two such ledgers.
+//
+// Usage:
+//   bench_suite_runner [--out ledger.json] [--reps N] [--quick]
+//                      [--filter SUBSTR] [--list] [--suite NAME]
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/algo/algorithm_c.h"
+#include "src/algo/algorithm_nc_nonuniform.h"
+#include "src/algo/algorithm_nc_uniform.h"
+#include "src/core/power.h"
+#include "src/numerics/roots.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/perf/bench_ledger.h"
+#include "src/robust/guarded_engine.h"
+#include "src/sim/numeric_engine.h"
+#include "src/workload/generators.h"
+
+using namespace speedscale;
+
+namespace {
+
+constexpr double kAlpha = 2.0;
+constexpr int kEngineSubsteps = 512;
+
+struct PinnedBench {
+  const char* name;
+  std::function<void()> body;
+};
+
+Instance make_uniform(int n, std::uint64_t seed, double rate = 2.0) {
+  return workload::generate({.n_jobs = n, .arrival_rate = rate, .seed = seed});
+}
+
+NumericConfig engine_config() {
+  NumericConfig cfg;
+  cfg.substeps_per_interval = kEngineSubsteps;
+  return cfg;
+}
+
+/// The pinned suite.  Changing a seed, size, or config here invalidates the
+/// committed baseline — regenerate BENCH_PR3.json in the same change.
+std::vector<PinnedBench> pinned_suite() {
+  return {
+      {"sim.algorithm_c/1024",
+       [] { (void)run_algorithm_c(make_uniform(1024, 1), kAlpha); }},
+      {"sim.algorithm_c/4096",
+       [] { (void)run_algorithm_c(make_uniform(4096, 1), kAlpha); }},
+      {"sim.nc_uniform/1024", [] { (void)run_nc_uniform(make_uniform(1024, 1), kAlpha); }},
+      {"sim.nc_nonuniform/8",
+       [] {
+         const Instance inst = workload::generate(
+             {.n_jobs = 8, .density_mode = workload::DensityMode::kClasses, .seed = 2});
+         (void)run_nc_nonuniform(inst, kAlpha);
+       }},
+      {"sim.preemption_burst/256",
+       [] {
+         // Bursty arrivals with mixed densities: later, denser jobs displace
+         // the running one, so this pins the preemption counter.
+         const Instance inst = workload::generate({.n_jobs = 256,
+                                                   .arrival_rate = 4.0,
+                                                   .density_mode = workload::DensityMode::kClasses,
+                                                   .seed = 6});
+         (void)run_algorithm_c(inst, kAlpha);
+       }},
+      {"engine.numeric_c/16",
+       [] {
+         const PowerLaw p(kAlpha);
+         (void)run_generic_c(make_uniform(16, 3, 1.5), p, engine_config());
+       }},
+      {"engine.numeric_nc/12",
+       [] {
+         const PowerLaw p(kAlpha);
+         (void)run_generic_nc_uniform(make_uniform(12, 4, 1.5), p, engine_config());
+       }},
+      {"robust.guarded_nc/8",
+       [] {
+         const PowerLaw p(kAlpha);
+         robust::GuardedNumericOptions options;
+         options.base.substeps_per_interval = 256;
+         options.alpha = kAlpha;
+         (void)robust::run_generic_nc_uniform_guarded(make_uniform(8, 5, 1.5), p, options);
+       }},
+      {"numerics.roots/sweep",
+       [] {
+         // 48 bracketing root solves: pins brent/bisect iteration counts and
+         // the geometric bracket-expansion tally.
+         for (int k = 1; k <= 48; ++k) {
+           const double target = static_cast<double>(k);
+           (void)numerics::find_root_increasing(
+               [target](double x) { return x * x * x - target; }, 0.0, 0.5, 1e-12);
+         }
+       }},
+  };
+}
+
+/// Counters produced by one repetition (zero-valued names filtered out: the
+/// registry keeps every name ever registered, across benches).
+std::map<std::string, std::int64_t> nonzero_counters() {
+  std::map<std::string, std::int64_t> out;
+  for (const auto& [name, v] : obs::registry().counter_values()) {
+    if (v != 0) out[name] = v;
+  }
+  return out;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_suite_runner [--out ledger.json] [--reps N] [--quick]\n"
+               "                          [--filter SUBSTR] [--list] [--suite NAME]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path, filter, suite_name = "pr3-pinned";
+  int reps = 5;
+  bool quick = false, list = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--reps" && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
+    } else if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--filter" && i + 1 < argc) {
+      filter = argv[++i];
+    } else if (arg == "--list") {
+      list = true;
+    } else if (arg == "--suite" && i + 1 < argc) {
+      suite_name = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+  if (quick) reps = std::min(reps, 2);
+  if (reps < 1) return usage();
+
+  const std::vector<PinnedBench> suite = pinned_suite();
+  if (list) {
+    for (const PinnedBench& b : suite) std::printf("%s\n", b.name);
+    return 0;
+  }
+
+  obs::perf::BenchLedger ledger(suite_name);
+  ledger.set_config("alpha", "2");
+  ledger.set_config("engine_substeps", std::to_string(kEngineSubsteps));
+  ledger.set_config("mode", quick ? "quick" : "full");
+  ledger.set_config("repetitions", std::to_string(reps));
+
+  obs::set_metrics_enabled(true);
+  int ran = 0;
+  for (const PinnedBench& b : suite) {
+    if (!filter.empty() && std::string(b.name).find(filter) == std::string::npos) continue;
+    ++ran;
+    obs::perf::BenchEntry& entry = ledger.entry(b.name);
+    entry.source = "runner";
+    entry.repetitions = reps;
+    for (int rep = 0; rep < reps; ++rep) {
+      obs::registry().reset_all();
+      const auto t0 = std::chrono::steady_clock::now();
+      b.body();
+      const auto t1 = std::chrono::steady_clock::now();
+      entry.wall_ns.push_back(static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()));
+      std::map<std::string, std::int64_t> counters = nonzero_counters();
+      if (rep == 0) {
+        entry.counters = std::move(counters);
+      } else if (counters != entry.counters) {
+        // The whole point of the ledger is that this never happens.
+        std::fprintf(stderr,
+                     "FATAL: %s: work counters differ between repetition 0 and %d — "
+                     "the workload is not deterministic\n",
+                     b.name, rep);
+        return 1;
+      }
+    }
+    std::int64_t work = 0;
+    for (const auto& [name, v] : entry.counters) work += v;
+    std::printf("%-28s reps=%d  wall_med=%.3f ms  counters=%zu  total_work=%lld\n", b.name,
+                reps, entry.wall_median_ns() * 1e-6, entry.counters.size(),
+                static_cast<long long>(work));
+  }
+  if (ran == 0) {
+    std::fprintf(stderr, "no pinned bench matches filter \"%s\"\n", filter.c_str());
+    return 2;
+  }
+
+  if (!out_path.empty()) {
+    ledger.write_file(out_path);
+    std::printf("ledger written to %s (%d benches)\n", out_path.c_str(), ran);
+  }
+  return 0;
+}

@@ -5,6 +5,7 @@
 //              [--alpha A] [--speed S] [--out schedule.csv]
 //              [--profile profile.csv] [--jobs jobs.csv]
 //              [--trace events.jsonl] [--obs report.json]
+//              [--chrome chrome.json] [--lenient] [--help]
 //
 // Trace format (header required):  id,release,volume,density
 // Reads are strict by default: a malformed line is a typed, line-numbered
@@ -14,8 +15,11 @@
 // With --trace, records the run's structured event stream as JSONL (one JSON
 // object per line; scripts/plot_profiles.py can plot it directly) and prints
 // a per-kind summary.  With --obs, writes the metrics-registry snapshot and
-// profiler breakdown as one JSON report.
-// Run with no arguments to see a demo on a generated trace.
+// profiler breakdown as one JSON report.  With --chrome, exports the event
+// stream (plus profiler aggregates, if any) in the Chrome Trace Event Format
+// for https://ui.perfetto.dev or chrome://tracing.
+// Run with no arguments to see a demo on a generated trace; --help for the
+// full flag reference (docs/observability.md has the long-form version).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -28,6 +32,8 @@
 #include "src/algo/baselines.h"
 #include "src/analysis/export.h"
 #include "src/obs/metrics_registry.h"
+#include "src/obs/perf/chrome_trace.h"
+#include "src/obs/profiler.h"
 #include "src/obs/report.h"
 #include "src/obs/trace.h"
 #include "src/robust/diagnostics.h"
@@ -62,11 +68,33 @@ void write_schedule_csv(const std::string& path, const Schedule& sched) {
   }
 }
 
+void print_flags(std::FILE* to) {
+  std::fprintf(
+      to,
+      "usage: trace_tool [trace.csv] [flags]\n"
+      "\n"
+      "  trace.csv            input job trace (header: id,release,volume,density);\n"
+      "                       omitted: demo on a generated 12-job trace\n"
+      "  --algo NAME          scheduler: nc (default) | c | nc-nonuniform | fixed |\n"
+      "                       naive | doubling\n"
+      "  --alpha A            power exponent P = s^A (default 2)\n"
+      "  --speed S            speed for --algo fixed (default 1)\n"
+      "  --lenient            skip-and-count malformed trace lines instead of failing\n"
+      "  --out FILE           write the schedule as CSV (t0,t1,job,speed_law,param,rho)\n"
+      "  --profile FILE       write the piecewise speed profile as CSV\n"
+      "  --jobs FILE          write the per-job summary (completion, flow) as CSV\n"
+      "  --trace FILE         record the structured event stream as JSONL and print\n"
+      "                       a per-kind summary\n"
+      "  --obs FILE           write the metrics + profiler report as JSON\n"
+      "  --chrome FILE        export the event stream as a Chrome Trace Event Format\n"
+      "                       JSON for ui.perfetto.dev / chrome://tracing\n"
+      "  --help, -h           this message\n"
+      "\n"
+      "docs/observability.md documents the flags and artifact formats in full.\n");
+}
+
 int usage() {
-  std::fprintf(stderr,
-               "usage: trace_tool <trace.csv> [--algo nc|c|nc-nonuniform|fixed|naive|doubling]\n"
-               "                  [--alpha A] [--speed S] [--lenient] [--out schedule.csv]\n"
-               "                  [--trace events.jsonl] [--obs report.json]\n");
+  print_flags(stderr);
   return 2;
 }
 
@@ -74,12 +102,15 @@ int usage() {
 
 int main(int argc, char** argv) {
   std::string trace_path, algo = "nc", out_path, profile_path, jobs_path;
-  std::string events_path, obs_path;
+  std::string events_path, obs_path, chrome_path;
   double alpha = 2.0, speed = 1.0;
   bool lenient = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--lenient") {
+    if (arg == "--help" || arg == "-h") {
+      print_flags(stdout);
+      return 0;
+    } else if (arg == "--lenient") {
       lenient = true;
     } else if (arg == "--algo" && i + 1 < argc) {
       algo = argv[++i];
@@ -97,6 +128,8 @@ int main(int argc, char** argv) {
       events_path = argv[++i];
     } else if (arg == "--obs" && i + 1 < argc) {
       obs_path = argv[++i];
+    } else if (arg == "--chrome" && i + 1 < argc) {
+      chrome_path = argv[++i];
     } else if (arg.rfind("--", 0) == 0) {
       return usage();
     } else {
@@ -122,14 +155,22 @@ int main(int argc, char** argv) {
     }
 
     // Observability plumbing: a JSONL sink plus a human summary when --trace
-    // is given; hot-path metrics + profiling when --obs is given.
+    // is given; an in-memory ring for --chrome (the exporter needs the whole
+    // stream at once); hot-path metrics + profiling when --obs is given.
     std::shared_ptr<obs::JsonlSink> jsonl;
     std::shared_ptr<obs::SummarySink> summary;
+    std::shared_ptr<obs::RingBufferSink> ring;
     if (!events_path.empty()) {
       jsonl = std::make_shared<obs::JsonlSink>(events_path);
       summary = std::make_shared<obs::SummarySink>();
       obs::Tracer::instance().add_sink(jsonl);
       obs::Tracer::instance().add_sink(summary);
+    }
+    if (!chrome_path.empty()) {
+      ring = std::make_shared<obs::RingBufferSink>(1 << 20);
+      obs::Tracer::instance().add_sink(ring);
+    }
+    if (jsonl || ring) {
       obs::Tracer::instance().set_enabled(true);
       // Leading meta event: lets consumers (plot_profiles.py) recover the run
       // configuration without a side channel.  value = alpha, aux = job count.
@@ -168,13 +209,14 @@ int main(int argc, char** argv) {
       return usage();
     }
 
-    if (jsonl) {
+    if (jsonl || ring) {
       TRACE_EVENT(.kind = obs::EventKind::kPhaseBoundary, .t = sched.makespan(), .value = alpha,
                   .aux = static_cast<double>(inst.size()), .label = "trace_tool.end");
       obs::Tracer::instance().set_enabled(false);
       obs::Tracer::instance().flush();
-      obs::Tracer::instance().remove_sink(jsonl.get());
-      obs::Tracer::instance().remove_sink(summary.get());
+      if (jsonl) obs::Tracer::instance().remove_sink(jsonl.get());
+      if (summary) obs::Tracer::instance().remove_sink(summary.get());
+      if (ring) obs::Tracer::instance().remove_sink(ring.get());
     }
 
     std::printf("algo=%s alpha=%.3g jobs=%zu makespan=%.6g\n", algo.c_str(), alpha, inst.size(),
@@ -207,6 +249,17 @@ int main(int argc, char** argv) {
     if (!obs_path.empty()) {
       obs::write_observability_report_file(obs_path);
       std::printf("observability report written to %s\n", obs_path.c_str());
+    }
+    if (ring) {
+      if (ring->dropped() > 0) {
+        std::printf("note: chrome trace is truncated to the most recent %zu events "
+                    "(%zu dropped)\n",
+                    ring->capacity(), ring->dropped());
+      }
+      obs::perf::write_chrome_trace_file(chrome_path, ring->events(),
+                                         obs::profiler().snapshot());
+      std::printf("chrome trace written to %s (%zu events; open in ui.perfetto.dev)\n",
+                  chrome_path.c_str(), ring->size());
     }
   } catch (const workload::TraceIoError& e) {
     const robust::Diagnostic& d = e.diagnostic();

@@ -24,10 +24,17 @@ import sys
 def read_profile(path):
     t, speed, power = [], [], []
     with open(path) as f:
-        for row in csv.DictReader(f):
-            t.append(float(row["t"]))
-            speed.append(float(row["speed"]))
-            power.append(float(row["power"]))
+        for i, row in enumerate(csv.DictReader(f), start=2):
+            try:
+                t.append(float(row["t"]))
+                speed.append(float(row["speed"]))
+                power.append(float(row["power"]))
+            except (KeyError, TypeError, ValueError):
+                sys.exit(f"error: {path}:{i}: expected t,speed,power columns "
+                         f"(is this a `trace_tool --profile` CSV?)")
+    if not t:
+        sys.exit(f"error: {path}: no profile rows — nothing to plot "
+                 f"(empty or header-only CSV)")
     return t, speed, power
 
 
@@ -37,11 +44,15 @@ def read_jsonl_trace(path):
     t, speed = [], []
     t_end = None
     with open(path) as f:
-        for line in f:
+        for lineno, line in enumerate(f, start=1):
             line = line.strip()
             if not line:
                 continue
-            ev = json.loads(line)
+            try:
+                ev = json.loads(line)
+            except json.JSONDecodeError as e:
+                sys.exit(f"error: {path}:{lineno}: not valid JSONL ({e.msg}) "
+                         f"(is this a `trace_tool --trace` file?)")
             kind = ev.get("kind")
             if kind == "phase_boundary":
                 label = ev.get("label", "")
@@ -54,6 +65,9 @@ def read_jsonl_trace(path):
                 speed.append(float(ev["value"]))
             elif kind == "job_complete":
                 t_end = float(ev["t"])
+    if not t:
+        sys.exit(f"error: {path}: no speed_change events — nothing to plot "
+                 f"(was the trace recorded with tracing enabled?)")
     if alpha is None:
         alpha = 2.0
         print(f"{path}: no trace_tool meta event; assuming alpha={alpha}", file=sys.stderr)
@@ -72,23 +86,30 @@ def main():
     ap.add_argument("--power", action="store_true", help="plot power instead of speed")
     args = ap.parse_args()
 
+    # Read and validate every input before touching matplotlib, so a bad or
+    # empty file gets its own diagnostic even where matplotlib is missing.
+    series = []
+    for path in args.profiles:
+        try:
+            reader = read_jsonl_trace if path.endswith(".jsonl") else read_profile
+            series.append((path, *reader(path)))
+        except OSError as e:
+            sys.exit(f"error: cannot read {path}: {e.strerror}")
+
     try:
         import matplotlib
 
         matplotlib.use("Agg")
         import matplotlib.pyplot as plt
     except ImportError:
-        sys.exit("matplotlib is required: pip install matplotlib")
+        sys.exit("error: matplotlib is not installed — this script only renders plots;\n"
+                 "the C++ build, tests, and benches do not need it.  Install it\n"
+                 "(e.g. pip install matplotlib) or plot the CSV/JSONL another way.")
 
     fig, ax = plt.subplots(figsize=(9, 4.5))
-    for path in args.profiles:
-        if path.endswith(".jsonl"):
-            t, speed, power = read_jsonl_trace(path)
-            ax.plot(t, power if args.power else speed, label=path, linewidth=1.2,
-                    drawstyle="steps-post")
-        else:
-            t, speed, power = read_profile(path)
-            ax.plot(t, power if args.power else speed, label=path, linewidth=1.2)
+    for path, t, speed, power in series:
+        ax.plot(t, power if args.power else speed, label=path, linewidth=1.2,
+                drawstyle="steps-post" if path.endswith(".jsonl") else None)
     ax.set_xlabel("time")
     ax.set_ylabel("power P(s(t))" if args.power else "speed s(t)")
     ax.legend()

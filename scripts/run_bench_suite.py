@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Run the pinned bench suite and assemble the bench ledger artifact.
+
+Two sources merge into one speedscale.bench_ledger/1 document (schema:
+src/obs/perf/bench_ledger.h, docs/observability.md):
+
+1. `bench_suite_runner` (bench/bench_suite_runner.cpp) — the deterministic
+   half: pinned seeds, wall time per repetition, and the MetricsRegistry
+   work-counter snapshot per workload (byte-for-byte reproducible).
+2. The google-benchmark wall-time suites (E13 `bench_perf`, E19
+   `bench_obs_overhead`, E20 `bench_robust_overhead`), a pinned filter each,
+   run with `--benchmark_format=json`.  Wall-only: their entries carry no
+   counters and are advisory in `bench_compare.py`.
+
+The final file is written by this script (json.dumps, sorted keys, compact
+separators), so regenerating on the same machine/toolchain is byte-stable in
+the counter half.  Refresh the committed baseline with:
+
+    scripts/run_bench_suite.py --build-dir build --out BENCH_PR3.json
+
+Use --quick in CI: fewer repetitions and short google-benchmark min-times;
+counters are per-run deterministic, so quick and full ledgers agree on them.
+"""
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+SCHEMA = "speedscale.bench_ledger/1"
+
+# (binary, pinned --benchmark_filter): the wall-only half of the ledger.
+GBENCH_SUITES = [
+    ("bench_perf", "^BM_AlgorithmC/1024$|^BM_AlgorithmNCUniform/1024$|^BM_NCNonUniform/8$"),
+    ("bench_obs_overhead", "^BM_AlgorithmC_ObsDisabled/1024$|^BM_AlgorithmNCUniform_ObsDisabled/1024$"),
+    ("bench_robust_overhead", "^BM_GuardedEngine_CleanPath/8$|^BM_NumericEngine_NoPlan/8$"),
+]
+
+TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def run_suite_runner(build_dir, quick):
+    runner = os.path.join(build_dir, "bench", "bench_suite_runner")
+    if not os.path.exists(runner):
+        sys.exit(f"error: {runner} not found — build the Release tree first "
+                 f"(cmake --build {build_dir})")
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        tmp_path = tmp.name
+    try:
+        cmd = [runner, "--out", tmp_path] + (["--quick"] if quick else [])
+        print("+", " ".join(cmd), flush=True)
+        subprocess.run(cmd, check=True)
+        with open(tmp_path) as f:
+            ledger = json.load(f)
+    finally:
+        os.unlink(tmp_path)
+    if ledger.get("schema") != SCHEMA:
+        sys.exit(f"error: runner emitted schema {ledger.get('schema')!r}, expected {SCHEMA!r}")
+    return ledger
+
+
+def run_gbench(build_dir, binary, bench_filter, quick, repetitions):
+    path = os.path.join(build_dir, "bench", binary)
+    if not os.path.exists(path):
+        print(f"warning: {path} not found; skipping its wall-time entries", file=sys.stderr)
+        return {}
+    cmd = [
+        path,
+        f"--benchmark_filter={bench_filter}",
+        "--benchmark_format=json",
+        f"--benchmark_repetitions={repetitions}",
+        "--benchmark_report_aggregates_only=false",
+    ]
+    if quick:
+        cmd.append("--benchmark_min_time=0.01")
+    print("+", " ".join(cmd), flush=True)
+    proc = subprocess.run(cmd, check=True, capture_output=True, text=True)
+    report = json.loads(proc.stdout)
+    entries = {}
+    for bench in report.get("benchmarks", []):
+        if bench.get("run_type") != "iteration":
+            continue  # skip gbench's own mean/median/stddev aggregate rows
+        name = bench["run_name"] if "run_name" in bench else bench["name"]
+        wall_ns = bench["real_time"] * TIME_UNIT_NS[bench.get("time_unit", "ns")]
+        entry = entries.setdefault(
+            f"gbench.{binary}/{name}",
+            {"counters": {}, "repetitions": 0, "source": "google_benchmark", "wall_ns": []},
+        )
+        entry["wall_ns"].append(wall_ns)
+        entry["repetitions"] += 1
+    return entries
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--build-dir", default="build", help="CMake build tree (Release)")
+    ap.add_argument("--out", default="BENCH_PR3.json", help="ledger output path")
+    ap.add_argument("--quick", action="store_true",
+                    help="CI mode: 2 runner repetitions, short gbench min-times")
+    ap.add_argument("--skip-gbench", action="store_true",
+                    help="pinned runner only (counters + its wall times)")
+    ap.add_argument("--suite", default=None, help="override the suite label")
+    args = ap.parse_args()
+
+    ledger = run_suite_runner(args.build_dir, args.quick)
+    if args.suite:
+        ledger["suite"] = args.suite
+
+    if not args.skip_gbench:
+        reps = 1 if args.quick else 3
+        for binary, bench_filter in GBENCH_SUITES:
+            for name, entry in run_gbench(args.build_dir, binary, bench_filter,
+                                          args.quick, reps).items():
+                ledger["entries"][name] = entry
+
+    with open(args.out + ".tmp", "w") as f:
+        json.dump(ledger, f, sort_keys=True, separators=(",", ":"))
+        f.write("\n")
+    os.replace(args.out + ".tmp", args.out)
+
+    n_counted = sum(1 for e in ledger["entries"].values() if e["counters"])
+    print(f"wrote {args.out}: {len(ledger['entries'])} entries "
+          f"({n_counted} with deterministic work counters)")
+
+
+if __name__ == "__main__":
+    main()

@@ -38,6 +38,18 @@ void require_bracketed(const char* who, double lo, double flo, double hi, double
   }
 }
 
+/// Flushes an iteration tally to a named counter on scope exit, so every
+/// return path (convergence, float exhaustion, budget fallback) records the
+/// work done.  Iteration counts are seed-deterministic, which makes them the
+/// bench ledger's noise-free regression signal (src/obs/perf/).
+struct IterationTally {
+  const char* name;
+  std::int64_t n = 0;
+  ~IterationTally() {
+    if (n > 0 && obs::metrics_enabled()) obs::registry().counter(name).add(n);
+  }
+};
+
 }  // namespace
 
 double bisect(const std::function<double(double)>& f, double lo, double hi, double tol) {
@@ -46,7 +58,9 @@ double bisect(const std::function<double(double)>& f, double lo, double hi, doub
   if (flo == 0.0) return lo;
   if (fhi == 0.0) return hi;
   require_bracketed("bisect", lo, flo, hi, fhi);
+  IterationTally iters{"numerics.roots.bisect_iters"};
   while (hi - lo > tol * std::max(1.0, std::abs(lo) + std::abs(hi))) {
+    ++iters.n;
     const double mid = 0.5 * (lo + hi);
     if (mid == lo || mid == hi) break;  // float exhaustion
     const double fm = probe(f, mid, "bisect");
@@ -76,8 +90,10 @@ double brent(const std::function<double(double)>& f, double lo, double hi, doubl
   double c = a, fc = fa;
   bool mflag = true;
   double d = 0.0;
+  IterationTally iters{"numerics.roots.brent_iters"};
   for (int i = 0; i < max_iter; ++i) {
     if (fb == 0.0 || std::abs(b - a) < tol * std::max(1.0, std::abs(b))) return b;
+    ++iters.n;
     double s;
     if (fa != fc && fb != fc) {
       // inverse quadratic interpolation

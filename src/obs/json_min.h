@@ -1,0 +1,45 @@
+// Minimal strict JSON parser for the library's own artifacts.
+//
+// The observability layer emits several JSON artifacts (metric snapshots,
+// bench ledgers, Chrome traces); this parser is the in-process way to read
+// them back — round-trip tests, ledger loading in bench tooling — without an
+// external dependency.  It is deliberately small: UTF-8 pass-through (only
+// \uXXXX escapes below 0x80 are decoded), numbers parsed as double, objects
+// keyed by std::map (artifact keys are unique and emitted sorted).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace speedscale::obs {
+
+/// One parsed JSON value (tagged union, value-semantic tree).
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  [[nodiscard]] bool is_null() const { return type == Type::kNull; }
+  [[nodiscard]] bool is_bool() const { return type == Type::kBool; }
+  [[nodiscard]] bool is_number() const { return type == Type::kNumber; }
+  [[nodiscard]] bool is_string() const { return type == Type::kString; }
+  [[nodiscard]] bool is_array() const { return type == Type::kArray; }
+  [[nodiscard]] bool is_object() const { return type == Type::kObject; }
+
+  /// Member lookup on an object; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+  /// Member access that throws ModelError when the key is missing.
+  [[nodiscard]] const JsonValue& at(const std::string& key) const;
+};
+
+/// Parses `text` as exactly one JSON value (trailing garbage is an error).
+/// Throws ModelError with a byte offset on malformed input.
+[[nodiscard]] JsonValue parse_json(const std::string& text);
+
+}  // namespace speedscale::obs

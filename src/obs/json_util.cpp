@@ -1,0 +1,46 @@
+#include "src/obs/json_util.h"
+
+#include <algorithm>
+#include <clocale>
+#include <cmath>
+#include <cstdio>
+
+namespace speedscale::obs {
+
+void append_json_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += v > 0 ? "\"inf\"" : (v < 0 ? "\"-inf\"" : "\"nan\"");
+    return;
+  }
+  char buf[40];
+  const int n = std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // %.17g honours the process's LC_NUMERIC decimal separator; JSON demands
+  // '.', so artifacts stay byte-identical under e.g. a de_DE locale.
+  const char sep = std::localeconv()->decimal_point[0];
+  if (sep != '.') std::replace(buf, buf + n, sep, '.');
+  out.append(buf, static_cast<std::size_t>(n));
+}
+
+void append_json_string(std::string& out, const char* s) {
+  out += '"';
+  for (; *s; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+}
+
+void append_json_string(std::string& out, const std::string& s) {
+  append_json_string(out, s.c_str());
+}
+
+}  // namespace speedscale::obs

@@ -1,0 +1,23 @@
+// Shared JSON emission helpers for every obs artifact (traces, metric
+// snapshots, profiler breakdowns, bench ledgers, Chrome traces).
+//
+// Byte-diffability contract: the same values always serialize to the same
+// bytes, on every platform and under every process locale — numbers use
+// "%.17g" (bit-exact double round-trip) with the decimal separator forced to
+// '.', and non-finite values become the quoted strings "inf"/"-inf"/"nan"
+// (JSON has no literals for them).
+#pragma once
+
+#include <string>
+
+namespace speedscale::obs {
+
+/// Appends the canonical JSON encoding of `v` (see the contract above).
+void append_json_number(std::string& out, double v);
+
+/// Appends `s` as a JSON string literal: '"' and '\\' are backslash-escaped,
+/// control characters become \u00XX.
+void append_json_string(std::string& out, const char* s);
+void append_json_string(std::string& out, const std::string& s);
+
+}  // namespace speedscale::obs

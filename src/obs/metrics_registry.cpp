@@ -1,28 +1,13 @@
 #include "src/obs/metrics_registry.h"
 
 #include <algorithm>
-#include <cmath>
-#include <cstdio>
 #include <sstream>
 
 #include "src/core/types.h"
+#include "src/obs/json_util.h"
 #include "src/obs/trace.h"
 
 namespace speedscale::obs {
-
-namespace {
-
-void append_json_number(std::string& out, double v) {
-  if (std::isfinite(v)) {
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.17g", v);
-    out += buf;
-  } else {
-    out += v > 0 ? "\"inf\"" : (v < 0 ? "\"-inf\"" : "\"nan\"");
-  }
-}
-
-}  // namespace
 
 // --- Histogram --------------------------------------------------------------
 
@@ -90,6 +75,16 @@ Histogram& MetricsRegistry::histogram(const std::string& name, std::vector<doubl
   return *slot;
 }
 
+std::map<std::string, std::int64_t> MetricsRegistry::counter_values() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::map<std::string, std::int64_t> out;
+  for (const auto& [name, c] : counters_) out[name] = c->value();
+  return out;
+}
+
+// Keys emit in sorted order (the maps are ordered) and numbers through
+// append_json_number — snapshots of equal state are byte-identical across
+// runs, platforms, and process locales.
 std::string MetricsRegistry::snapshot_json() const {
   std::lock_guard<std::mutex> lk(mu_);
   std::string out = "{\"counters\":{";

@@ -84,8 +84,14 @@ class MetricsRegistry {
   /// histogram regardless of the bounds they pass.
   Histogram& histogram(const std::string& name, std::vector<double> upper_bounds);
 
+  /// Every counter's current value, sorted by name.  The deterministic
+  /// work-counter signal the bench ledger records (src/obs/perf/).
+  [[nodiscard]] std::map<std::string, std::int64_t> counter_values() const;
+
   /// Serializes every metric as one JSON object:
   ///   {"counters":{...},"gauges":{...},"histograms":{...}}
+  /// Keys are sorted and numbers locale-independent "%.17g", so equal state
+  /// serializes byte-identically everywhere (see src/obs/json_util.h).
   [[nodiscard]] std::string snapshot_json() const;
   void write_snapshot(std::ostream& os) const;
 

@@ -1,0 +1,114 @@
+#include "src/obs/perf/bench_ledger.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "src/core/types.h"
+#include "src/obs/json_min.h"
+#include "src/obs/json_util.h"
+#include "src/robust/atomic_io.h"
+
+namespace speedscale::obs::perf {
+
+double BenchEntry::wall_min_ns() const {
+  if (wall_ns.empty()) return 0.0;
+  return *std::min_element(wall_ns.begin(), wall_ns.end());
+}
+
+double BenchEntry::wall_median_ns() const {
+  if (wall_ns.empty()) return 0.0;
+  std::vector<double> sorted = wall_ns;
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  return n % 2 == 1 ? sorted[n / 2] : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+}
+
+BenchLedger::BenchLedger(std::string suite) : suite_(std::move(suite)) {}
+
+void BenchLedger::set_config(const std::string& key, std::string value) {
+  config_[key] = std::move(value);
+}
+
+BenchEntry& BenchLedger::entry(const std::string& name) { return entries_[name]; }
+
+std::string BenchLedger::to_json() const {
+  std::string out = "{\"config\":{";
+  bool first = true;
+  for (const auto& [key, value] : config_) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, key);
+    out += ':';
+    append_json_string(out, value);
+  }
+  out += "},\"entries\":{";
+  first = true;
+  for (const auto& [name, e] : entries_) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, name);
+    out += ":{\"counters\":{";
+    bool cfirst = true;
+    for (const auto& [cname, v] : e.counters) {
+      if (!cfirst) out += ',';
+      cfirst = false;
+      append_json_string(out, cname);
+      out += ':';
+      out += std::to_string(v);
+    }
+    out += "},\"repetitions\":";
+    out += std::to_string(e.repetitions);
+    out += ",\"source\":";
+    append_json_string(out, e.source);
+    out += ",\"wall_ns\":[";
+    for (std::size_t i = 0; i < e.wall_ns.size(); ++i) {
+      if (i) out += ',';
+      append_json_number(out, e.wall_ns[i]);
+    }
+    out += "]}";
+  }
+  out += "},\"schema\":";
+  append_json_string(out, kSchemaVersion);
+  out += ",\"suite\":";
+  append_json_string(out, suite_);
+  out += '}';
+  return out;
+}
+
+void BenchLedger::write_file(const std::string& path) const {
+  robust::atomic_write_file(path, [this](std::ostream& os) { os << to_json() << '\n'; });
+}
+
+BenchLedger BenchLedger::from_json(const std::string& text) {
+  const JsonValue root = parse_json(text);
+  if (!root.is_object()) throw ModelError("BenchLedger::from_json: not a JSON object");
+  const JsonValue& schema = root.at("schema");
+  if (!schema.is_string() || schema.string != kSchemaVersion) {
+    throw ModelError("BenchLedger::from_json: unsupported schema \"" + schema.string + "\"");
+  }
+  BenchLedger ledger(root.at("suite").string);
+  if (const JsonValue* config = root.find("config")) {
+    for (const auto& [key, value] : config->object) ledger.set_config(key, value.string);
+  }
+  if (const JsonValue* entries = root.find("entries")) {
+    for (const auto& [name, ev] : entries->object) {
+      BenchEntry& e = ledger.entry(name);
+      if (const JsonValue* source = ev.find("source")) e.source = source->string;
+      if (const JsonValue* reps = ev.find("repetitions")) {
+        e.repetitions = static_cast<int>(reps->number);
+      }
+      if (const JsonValue* wall = ev.find("wall_ns")) {
+        for (const JsonValue& w : wall->array) e.wall_ns.push_back(w.number);
+      }
+      if (const JsonValue* counters = ev.find("counters")) {
+        for (const auto& [cname, v] : counters->object) {
+          e.counters[cname] = static_cast<std::int64_t>(std::llround(v.number));
+        }
+      }
+    }
+  }
+  return ledger;
+}
+
+}  // namespace speedscale::obs::perf

@@ -1,0 +1,204 @@
+#include "src/obs/perf/chrome_trace.h"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+
+#include "src/obs/json_util.h"
+#include "src/robust/atomic_io.h"
+
+namespace speedscale::obs::perf {
+
+namespace {
+
+/// Emits one trace-event record with the fields every phase shares.  Keys
+/// are written in sorted order (args, dur, name, ph, pid, s, tid, ts) so the
+/// document is byte-diffable.
+struct RecordWriter {
+  std::string& out;
+  bool& first;
+
+  void begin() {
+    if (!first) out += ',';
+    first = false;
+    out += '{';
+  }
+
+  void field_args_open() { out += "\"args\":{"; }
+  void field_args_close() { out += "},"; }
+
+  void finish(const char* name, char ph, std::int64_t pid, std::int64_t tid, double ts,
+              double dur = -1.0, const char* scope = nullptr) {
+    if (dur >= 0.0) {
+      out += "\"dur\":";
+      append_json_number(out, dur);
+      out += ',';
+    }
+    out += "\"name\":";
+    append_json_string(out, name);
+    out += ",\"ph\":\"";
+    out += ph;
+    out += "\",\"pid\":";
+    out += std::to_string(pid);
+    if (scope != nullptr) {
+      out += ",\"s\":\"";
+      out += scope;
+      out += '"';
+    }
+    out += ",\"tid\":";
+    out += std::to_string(tid);
+    out += ",\"ts\":";
+    append_json_number(out, ts);
+    out += '}';
+  }
+};
+
+void append_arg(std::string& out, bool& first, const char* key, double v) {
+  if (!first) out += ',';
+  first = false;
+  append_json_string(out, key);
+  out += ':';
+  append_json_number(out, v);
+}
+
+void append_metadata(std::string& out, bool& first, const char* what, std::int64_t pid,
+                     const char* name) {
+  RecordWriter rec{out, first};
+  rec.begin();
+  rec.field_args_open();
+  out += "\"name\":";
+  append_json_string(out, name);
+  rec.field_args_close();
+  rec.finish(what, 'M', pid, 0, 0.0);
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const std::vector<TraceEvent>& events,
+                              const std::vector<ProfileEntry>& profile,
+                              const ChromeTraceOptions& options) {
+  const double scale = options.model_time_scale;
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+
+  append_metadata(out, first, "process_name", 1, "speedscale model time");
+  if (!profile.empty()) append_metadata(out, first, "process_name", 2, "profiler (wall clock)");
+
+  // Pair releases with completions so each job renders as one slice.
+  std::map<JobId, double> release_t, complete_t;
+  for (const TraceEvent& ev : events) {
+    if (ev.job == kNoJob) continue;
+    if (ev.kind == EventKind::kJobRelease && release_t.find(ev.job) == release_t.end()) {
+      release_t[ev.job] = ev.t;
+    } else if (ev.kind == EventKind::kJobComplete) {
+      complete_t[ev.job] = ev.t;  // last completion wins (re-runs overwrite)
+    }
+  }
+
+  for (const TraceEvent& ev : events) {
+    RecordWriter rec{out, first};
+    const double ts = ev.t * scale;
+    const std::int64_t job_tid = ev.job == kNoJob ? 0 : static_cast<std::int64_t>(ev.job) + 1;
+    switch (ev.kind) {
+      case EventKind::kJobRelease: {
+        const auto done = ev.job == kNoJob ? complete_t.end() : complete_t.find(ev.job);
+        rec.begin();
+        rec.field_args_open();
+        bool afirst = true;
+        append_arg(out, afirst, "density", ev.aux);
+        append_arg(out, afirst, "volume", ev.value);
+        rec.field_args_close();
+        const std::string name = "job " + std::to_string(ev.job);
+        if (done != complete_t.end() && done->second >= ev.t) {
+          // Release with a known completion: one complete slice on the
+          // job's track covering its whole flow window.
+          rec.finish(name.c_str(), 'X', 1, job_tid, ts, (done->second - ev.t) * scale);
+        } else {
+          rec.finish(name.c_str(), 'i', 1, job_tid, ts, -1.0, "t");
+        }
+        break;
+      }
+      case EventKind::kJobComplete: {
+        rec.begin();
+        rec.field_args_open();
+        bool afirst = true;
+        append_arg(out, afirst, "cum_energy", ev.value);
+        append_arg(out, afirst, "cum_flow", ev.aux);
+        rec.field_args_close();
+        rec.finish("complete", 'i', 1, job_tid, ts, -1.0, "t");
+        break;
+      }
+      case EventKind::kSpeedChange: {
+        rec.begin();
+        rec.field_args_open();
+        bool afirst = true;
+        append_arg(out, afirst, "speed", ev.value);
+        rec.field_args_close();
+        rec.finish("speed", 'C', 1, 0, ts);
+        break;
+      }
+      case EventKind::kPreemption: {
+        rec.begin();
+        rec.field_args_open();
+        bool afirst = true;
+        append_arg(out, afirst, "by_job", ev.value);
+        append_arg(out, afirst, "remaining", ev.aux);
+        rec.field_args_close();
+        rec.finish("preemption", 'i', 1, job_tid, ts, -1.0, "p");
+        break;
+      }
+      case EventKind::kDispatch: {
+        rec.begin();
+        rec.field_args_open();
+        bool afirst = true;
+        append_arg(out, afirst, "key", ev.value);
+        rec.field_args_close();
+        rec.finish("dispatch", 'i', 1, job_tid, ts, -1.0, "p");
+        break;
+      }
+      case EventKind::kPhaseBoundary: {
+        rec.begin();
+        rec.field_args_open();
+        bool afirst = true;
+        append_arg(out, afirst, "aux", ev.aux);
+        append_arg(out, afirst, "value", ev.value);
+        rec.field_args_close();
+        rec.finish(ev.label != nullptr ? ev.label : "phase", 'i', 1, 0, ts, -1.0, "g");
+        break;
+      }
+    }
+  }
+
+  // Profiler aggregates, end-to-end in label order (see header).
+  std::vector<ProfileEntry> sorted = profile;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ProfileEntry& a, const ProfileEntry& b) { return a.label < b.label; });
+  double cursor_us = 0.0;
+  for (const ProfileEntry& e : sorted) {
+    RecordWriter rec{out, first};
+    rec.begin();
+    rec.field_args_open();
+    bool afirst = true;
+    append_arg(out, afirst, "count", static_cast<double>(e.count));
+    append_arg(out, afirst, "max_ns", static_cast<double>(e.max_ns));
+    append_arg(out, afirst, "mean_ns", e.mean_ns());
+    append_arg(out, afirst, "min_ns", static_cast<double>(e.min_ns));
+    rec.field_args_close();
+    const double dur_us = static_cast<double>(e.total_ns) * 1e-3;
+    rec.finish(e.label.c_str(), 'X', 2, 0, cursor_us, dur_us);
+    cursor_us += dur_us;
+  }
+
+  out += "]}";
+  return out;
+}
+
+void write_chrome_trace_file(const std::string& path, const std::vector<TraceEvent>& events,
+                             const std::vector<ProfileEntry>& profile,
+                             const ChromeTraceOptions& options) {
+  robust::atomic_write_file(path, [&](std::ostream& os) {
+    os << chrome_trace_json(events, profile, options) << '\n';
+  });
+}
+
+}  // namespace speedscale::obs::perf

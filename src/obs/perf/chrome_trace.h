@@ -1,0 +1,47 @@
+// Chrome/Perfetto trace export: obs trace events and profiler aggregates as
+// a `chrome://tracing`-loadable JSON document (the Trace Event Format).
+//
+// Two timelines share one file, as separate processes:
+//
+//   * pid 1, "speedscale model time" — the simulator's own event stream.
+//     Model seconds map to trace microseconds (x1e6 by default).  Each job
+//     becomes a complete ("X") slice on its own track (tid = job id + 1,
+//     release -> completion); speed changes become a counter ("C") series;
+//     preemptions, dispatches, and phase boundaries become instants ("i").
+//   * pid 2, "profiler (wall clock)" — the Profiler's per-label aggregates.
+//     Aggregates carry no start timestamps, so labels are laid end-to-end in
+//     sorted order, each an "X" slice of its total duration with
+//     count/mean/min/max in args.  A synthetic timeline, but it makes the
+//     relative cost of the instrumented phases visible at a glance — and it
+//     is deterministic given the aggregates, which is what the golden-file
+//     test pins down.
+//
+// Surfaced as `trace_tool --chrome out.json`; open the file in
+// https://ui.perfetto.dev or chrome://tracing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/obs/profiler.h"
+#include "src/obs/trace.h"
+
+namespace speedscale::obs::perf {
+
+struct ChromeTraceOptions {
+  double model_time_scale = 1e6;  ///< model seconds -> trace microseconds
+};
+
+/// Serializes `events` (+ optional profiler aggregates) as one Trace Event
+/// Format document: {"displayTimeUnit":"ms","traceEvents":[...]}.
+/// Deterministic: equal inputs serialize byte-identically (json_util.h).
+[[nodiscard]] std::string chrome_trace_json(const std::vector<TraceEvent>& events,
+                                            const std::vector<ProfileEntry>& profile = {},
+                                            const ChromeTraceOptions& options = {});
+
+/// Crash-safe file variant (tmp + atomic rename).
+void write_chrome_trace_file(const std::string& path, const std::vector<TraceEvent>& events,
+                             const std::vector<ProfileEntry>& profile = {},
+                             const ChromeTraceOptions& options = {});
+
+}  // namespace speedscale::obs::perf

@@ -53,14 +53,17 @@ std::string Profiler::report_text() const {
 }
 
 std::string Profiler::snapshot_json() const {
-  const std::vector<ProfileEntry> entries = snapshot();
+  // Label-sorted (unlike snapshot(), which sorts by total time for humans):
+  // JSON artifacts must be byte-diffable, so equal aggregates always
+  // serialize identically.
+  std::lock_guard<std::mutex> lk(mu_);
   std::string out = "{";
   bool first = true;
-  for (const ProfileEntry& e : entries) {
+  for (const auto& [label, e] : entries_) {
     if (!first) out += ',';
     first = false;
     out += '"';
-    out += e.label;  // labels are dotted identifiers; no escaping needed
+    out += label;  // labels are dotted identifiers; no escaping needed
     out += "\":{\"count\":";
     out += std::to_string(e.count);
     out += ",\"total_ns\":";

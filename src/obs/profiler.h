@@ -44,6 +44,7 @@ class Profiler {
   [[nodiscard]] std::string report_text() const;
 
   /// {"label":{"count":..,"total_ns":..,"min_ns":..,"max_ns":..},...}
+  /// Labels emit in sorted order so equal aggregates are byte-diffable.
   [[nodiscard]] std::string snapshot_json() const;
 
   void reset();

@@ -1,11 +1,10 @@
 #include "src/obs/trace.h"
 
 #include <algorithm>
-#include <cmath>
-#include <cstdio>
 #include <fstream>
 #include <sstream>
 
+#include "src/obs/json_util.h"
 #include "src/robust/atomic_io.h"
 
 namespace speedscale::obs {
@@ -28,44 +27,11 @@ const char* event_kind_name(EventKind kind) {
   return "?";
 }
 
-namespace {
-
-void append_double(std::string& out, double v) {
-  if (std::isfinite(v)) {
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.17g", v);
-    out += buf;
-  } else {
-    // JSON has no inf/nan literals; quote them (readers treat as strings).
-    out += v > 0 ? "\"inf\"" : (v < 0 ? "\"-inf\"" : "\"nan\"");
-  }
-}
-
-void append_escaped(std::string& out, const char* s) {
-  out += '"';
-  for (; *s; ++s) {
-    const char c = *s;
-    if (c == '"' || c == '\\') {
-      out += '\\';
-      out += c;
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      char buf[8];
-      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-      out += buf;
-    } else {
-      out += c;
-    }
-  }
-  out += '"';
-}
-
-}  // namespace
-
 void append_event_json(std::string& out, const TraceEvent& ev) {
   out += "{\"kind\":\"";
   out += event_kind_name(ev.kind);
   out += "\",\"t\":";
-  append_double(out, ev.t);
+  append_json_number(out, ev.t);
   if (ev.job != kNoJob) {
     out += ",\"job\":";
     out += std::to_string(ev.job);
@@ -75,12 +41,12 @@ void append_event_json(std::string& out, const TraceEvent& ev) {
     out += std::to_string(ev.machine);
   }
   out += ",\"value\":";
-  append_double(out, ev.value);
+  append_json_number(out, ev.value);
   out += ",\"aux\":";
-  append_double(out, ev.aux);
+  append_json_number(out, ev.aux);
   if (ev.label != nullptr) {
     out += ",\"label\":";
-    append_escaped(out, ev.label);
+    append_json_string(out, ev.label);
   }
   out += '}';
 }

@@ -17,6 +17,7 @@ RunOutcome<SampledRun> guarded_ladder(
     const std::function<SampledRun(const NumericConfig&)>& attempt_fn,
     const std::function<InvariantReport(const SampledRun&, const NumericConfig&)>& check_fn) {
   RunOutcome<SampledRun> out;
+  OBS_COUNT("robust.guard.runs", 1);
   NumericConfig cfg = options.base;
   const int max_attempts = std::max(1, options.max_attempts);
   for (int attempt = 0; attempt < max_attempts; ++attempt) {

@@ -77,8 +77,13 @@ void CMachine::advance_to(double t) {
     if (t_event > now_) {
       schedule_.append({now_, t_event, cur.id, SpeedLaw::kPowerDecay, w0, rho});
       OBS_COUNT("sim.c_machine.segments", 1);
+      // Preemption detection is shared by the metrics counter and the trace
+      // event: the counter must fire whenever metrics are on (it is one of
+      // the ledger's deterministic work signals), not only under tracing.
+      const bool preempted = running_ != kNoJob && running_ != cur.id && !state(running_).done;
+      if (preempted) OBS_COUNT("sim.c_machine.preemptions", 1);
       if (obs::tracing_enabled()) {
-        if (running_ != kNoJob && running_ != cur.id && !state(running_).done) {
+        if (preempted) {
           TRACE_EVENT(.kind = obs::EventKind::kPreemption, .t = now_, .job = running_,
                       .machine = obs_machine_, .value = static_cast<double>(cur.id),
                       .aux = state(running_).remaining);

@@ -63,10 +63,14 @@ IntervalOutcome integrate_interval(const PowerFunction& power, double rho, doubl
           "t=" + std::to_string(t) + " substep=" + std::to_string(i));
     }
     if (crossed(y_next)) {
+      OBS_COUNT("sim.numeric_engine.ode_substeps", i + 1);
+      OBS_COUNT("sim.numeric_engine.crossings", 1);
       // Localize the crossing within [t, t_next] by bisection on the
       // sub-step length (RK4 from the sub-step start each probe).
       double lo = 0.0, hi = t_next - t;
+      int bisect_iters = 0;
       for (int it = 0; it < 60; ++it) {
+        ++bisect_iters;
         const double mid = 0.5 * (lo + hi);
         if (crossed(numerics::rk4_step(rhs, t, y, mid))) {
           hi = mid;
@@ -75,6 +79,7 @@ IntervalOutcome integrate_interval(const PowerFunction& power, double rho, doubl
         }
         if (hi - lo < 1e-15 * std::max(1.0, t)) break;
       }
+      OBS_COUNT("sim.numeric_engine.crossing_bisect_iters", bisect_iters);
       const double t_hit = t + hi;
       out.int_y += 0.5 * (y + target) * (t_hit - t);
       out.t_end = t_hit;
@@ -96,6 +101,7 @@ IntervalOutcome integrate_interval(const PowerFunction& power, double rho, doubl
       run->weight.push_back(y);
     }
   }
+  OBS_COUNT("sim.numeric_engine.ode_substeps", substeps);
   out.t_end = t1;
   out.y_end = y;
   return out;

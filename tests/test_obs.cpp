@@ -6,12 +6,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <clocale>
 #include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "src/analysis/thread_pool.h"
+#include "src/obs/json_min.h"
 #include "src/obs/metrics_registry.h"
 #include "src/obs/profiler.h"
 #include "src/obs/report.h"
@@ -264,6 +266,64 @@ TEST_F(ObsTest, TracerDeliversEveryEventUnderConcurrentEmitters) {
   }
   for (int i = 0; i < kTasks; ++i) EXPECT_EQ(per_job[static_cast<std::size_t>(i)], kOpsPerTask);
   obs::Tracer::instance().remove_sink(summary.get());
+}
+
+TEST_F(ObsTest, ReportJsonRoundTripsThroughOwnParser) {
+  obs::registry().counter("sim.c_machine.steps").add(64);
+  obs::registry().counter("numerics.roots.brent_iters").add(7);
+  obs::registry().gauge("analysis.ratio").set(2.391);
+  obs::registry().histogram("sim.latency_us", {1.0, 10.0}).observe(3.5);
+  obs::profiler().record("sim.run", 1500);
+  obs::profiler().record("sim.run", 500);
+
+  const obs::JsonValue doc = obs::parse_json(obs::observability_report_json());
+  const obs::JsonValue& metrics = doc.at("metrics");
+  EXPECT_DOUBLE_EQ(metrics.at("counters").at("sim.c_machine.steps").number, 64.0);
+  EXPECT_DOUBLE_EQ(metrics.at("counters").at("numerics.roots.brent_iters").number, 7.0);
+  EXPECT_DOUBLE_EQ(metrics.at("gauges").at("analysis.ratio").number, 2.391);
+  EXPECT_DOUBLE_EQ(metrics.at("histograms").at("sim.latency_us").at("count").number, 1.0);
+  const obs::JsonValue& prof = doc.at("profile").at("sim.run");
+  EXPECT_DOUBLE_EQ(prof.at("count").number, 2.0);
+  EXPECT_DOUBLE_EQ(prof.at("total_ns").number, 2000.0);
+}
+
+TEST_F(ObsTest, SnapshotJsonEmitsKeysSorted) {
+  // Registered deliberately out of order; serialization must not care.
+  obs::registry().counter("z.last").add(1);
+  obs::registry().counter("a.first").add(1);
+  obs::registry().counter("m.middle").add(1);
+  obs::profiler().record("z.scope", 10);
+  obs::profiler().record("a.scope", 10);
+
+  const std::string metrics = obs::registry().snapshot_json();
+  EXPECT_LT(metrics.find("\"a.first\""), metrics.find("\"m.middle\""));
+  EXPECT_LT(metrics.find("\"m.middle\""), metrics.find("\"z.last\""));
+  const std::string profile = obs::profiler().snapshot_json();
+  EXPECT_LT(profile.find("\"a.scope\""), profile.find("\"z.scope\""));
+}
+
+TEST_F(ObsTest, SnapshotJsonIsLocaleIndependent) {
+  obs::registry().gauge("locale.check").set(3.14159265358979);
+  obs::profiler().record("locale.scope", 1234);
+
+  // A locale whose decimal separator is ',' would corrupt "%.17g" output if
+  // the formatter trusted it; json_util.h normalizes the separator.
+  const char* prev = std::setlocale(LC_NUMERIC, nullptr);
+  const std::string saved = prev ? prev : "C";
+  if (std::setlocale(LC_NUMERIC, "de_DE.UTF-8") == nullptr &&
+      std::setlocale(LC_NUMERIC, "de_DE.utf8") == nullptr) {
+    GTEST_SKIP() << "no de_DE locale installed; cannot exercise the ',' separator";
+  }
+  const std::string metrics = obs::registry().snapshot_json();
+  const std::string profile = obs::profiler().snapshot_json();
+  std::setlocale(LC_NUMERIC, saved.c_str());
+
+  EXPECT_NE(metrics.find("3.14159265358979"), std::string::npos) << metrics;
+  EXPECT_EQ(metrics.find("3,14"), std::string::npos) << metrics;  // the de_DE spelling
+  // Parse back (under the restored default locale) and compare the value.
+  const obs::JsonValue doc = obs::parse_json(metrics);
+  EXPECT_DOUBLE_EQ(doc.at("gauges").at("locale.check").number, 3.14159265358979);
+  EXPECT_NE(profile.find("\"locale.scope\""), std::string::npos);
 }
 
 TEST_F(ObsTest, ProfilerIsExactUnderConcurrentWorkers) {
