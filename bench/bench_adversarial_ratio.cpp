@@ -56,6 +56,7 @@ int main() {
       analysis::WorstCaseOptions opts;
       opts.n_jobs = n;
       opts.seed = 5;
+      opts.report_tightest = 3;
       const analysis::WorstCaseResult w = analysis::find_worst_nc_instance(alpha, opts);
       t2.add_row({Table::cell(alpha), Table::cell(static_cast<long>(n)), Table::cell(w.ratio),
                   Table::cell(static_cast<long>(w.evaluations)),
@@ -65,6 +66,11 @@ int main() {
         std::printf("\n  worst 3-job instance at alpha=2:\n");
         for (const Job& j : w.instance.jobs()) {
           std::printf("    job %d: release %.4f volume %.4f\n", j.id, j.release, j.volume);
+        }
+        std::printf("\n  tightest certificates (release slack, smallest first):\n");
+        for (const auto& r : w.tightest_certificates) {
+          std::printf("    t=%.4f job %d: slack %.4f (committed %.4f vs budget %.4f)\n",
+                      r.t, r.job, r.slack, r.alg_cum + r.phi, r.slack + r.alg_cum + r.phi);
         }
         std::printf("\n");
       }

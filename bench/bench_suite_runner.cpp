@@ -34,8 +34,10 @@
 #include "src/algo/algorithm_nc_uniform.h"
 #include "src/core/power.h"
 #include "src/numerics/roots.h"
+#include "src/obs/cert/potential_tracker.h"
 #include "src/obs/metrics_registry.h"
 #include "src/obs/perf/bench_ledger.h"
+#include "src/obs/trace.h"
 #include "src/robust/guarded_engine.h"
 #include "src/sim/numeric_engine.h"
 #include "src/workload/generators.h"
@@ -104,6 +106,21 @@ std::vector<PinnedBench> pinned_suite() {
          options.base.substeps_per_interval = 256;
          options.alpha = kAlpha;
          (void)robust::run_generic_nc_uniform_guarded(make_uniform(8, 5, 1.5), p, options);
+       }},
+      {"cert.nc_uniform/24",
+       [] {
+         // Certificate ledger over a captured NC run.  Single-job OPT mode:
+         // closed-form, so obs.cert.records / obs.cert.opt_lb_updates are
+         // deterministic work counters — the convex-solve mode would add
+         // iteration counts that drift with solver tuning.
+         auto ring = std::make_shared<obs::RingBufferSink>(1 << 16);
+         {
+           obs::ScopedTracing tracing(ring);
+           (void)run_nc_uniform(make_uniform(24, 7), kAlpha);
+         }
+         obs::cert::CertOptions copts;
+         copts.opt_lb = obs::cert::OptLbMode::kSingleJob;
+         (void)obs::cert::certify_events(ring->events(), kAlpha, copts);
        }},
       {"numerics.roots/sweep",
        [] {

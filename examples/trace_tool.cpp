@@ -1,11 +1,15 @@
-// trace_tool: run any of the library's schedulers on a CSV job trace.
+// trace_tool: run any of the library's schedulers on a CSV job trace, or
+// replay a recorded trace into a competitiveness-certificate report.
 //
 // Usage:
 //   trace_tool <trace.csv> [--algo nc|c|nc-nonuniform|fixed|naive|doubling]
 //              [--alpha A] [--speed S] [--out schedule.csv]
 //              [--profile profile.csv] [--jobs jobs.csv]
 //              [--trace events.jsonl] [--obs report.json]
-//              [--chrome chrome.json] [--lenient] [--help]
+//              [--chrome chrome.json] [--cert-out certs.jsonl]
+//              [--fail-on-violation] [--lenient] [--help]
+//   trace_tool --certify recorded.{jsonl|json} [--cert-out certs.jsonl]
+//              [--alpha A] [--fail-on-violation]
 //
 // Trace format (header required):  id,release,volume,density
 // Reads are strict by default: a malformed line is a typed, line-numbered
@@ -18,12 +22,21 @@
 // profiler breakdown as one JSON report.  With --chrome, exports the event
 // stream (plus profiler aggregates, if any) in the Chrome Trace Event Format
 // for https://ui.perfetto.dev or chrome://tracing.
+//
+// Certificates (src/obs/cert/, docs/observability.md): --certify FILE
+// replays a recorded event trace (JSONL from --trace, or a Chrome trace from
+// --chrome) through the potential-function ledger and prints the certificate
+// summary, running no scheduler; --cert-out on a live run certifies the
+// run's own event stream and writes the per-event certificate JSONL
+// (scripts/plot_certificates.py plots it).  --fail-on-violation exits with
+// code 3 when any certificate has negative slack.
 // Run with no arguments to see a demo on a generated trace; --help for the
 // full flag reference (docs/observability.md has the long-form version).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 
 #include "src/algo/algorithm_c.h"
@@ -31,6 +44,8 @@
 #include "src/algo/algorithm_nc_uniform.h"
 #include "src/algo/baselines.h"
 #include "src/analysis/export.h"
+#include "src/obs/cert/potential_tracker.h"
+#include "src/obs/json_min.h"
 #include "src/obs/metrics_registry.h"
 #include "src/obs/perf/chrome_trace.h"
 #include "src/obs/profiler.h"
@@ -88,52 +103,122 @@ void print_flags(std::FILE* to) {
       "  --obs FILE           write the metrics + profiler report as JSON\n"
       "  --chrome FILE        export the event stream as a Chrome Trace Event Format\n"
       "                       JSON for ui.perfetto.dev / chrome://tracing\n"
+      "  --certify FILE       replay a recorded trace (JSONL from --trace, or a\n"
+      "                       Chrome trace from --chrome) into a certificate report;\n"
+      "                       runs no scheduler\n"
+      "  --cert-out FILE      write the per-event certificate JSONL; on a live run\n"
+      "                       this certifies the run's own event stream\n"
+      "  --fail-on-violation  exit with code 3 if any certificate has negative slack\n"
       "  --help, -h           this message\n"
       "\n"
+      "exit codes: 0 ok, 1 error, 2 usage, 3 certificate violation.\n"
       "docs/observability.md documents the flags and artifact formats in full.\n");
 }
 
-int usage() {
+int usage(const char* complaint = nullptr, const char* flag = nullptr) {
+  if (complaint != nullptr) {
+    std::fprintf(stderr, "trace_tool: %s%s%s\n\n", complaint, flag != nullptr ? ": " : "",
+                 flag != nullptr ? flag : "");
+  }
   print_flags(stderr);
   return 2;
+}
+
+/// Replays a recorded trace file (JSONL event stream or Chrome Trace Event
+/// Format — sniffed by parsing) into events plus the recorded alpha.
+obs::cert::ReplayedTrace replay_recorded_trace(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw ModelError("cannot open " + path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  const std::string text = ss.str();
+  // A Chrome trace is one JSON document with a traceEvents array; a JSONL
+  // stream fails the whole-file parse on its second line.
+  try {
+    const obs::JsonValue doc = obs::parse_json(text);
+    if (doc.is_object() && doc.find("traceEvents") != nullptr) {
+      return obs::cert::replay_chrome_trace(text);
+    }
+  } catch (const ModelError&) {
+  }
+  std::istringstream lines(text);
+  return obs::cert::replay_jsonl_trace(lines);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string trace_path, algo = "nc", out_path, profile_path, jobs_path;
-  std::string events_path, obs_path, chrome_path;
+  std::string events_path, obs_path, chrome_path, certify_path, cert_out;
   double alpha = 2.0, speed = 1.0;
-  bool lenient = false;
+  bool lenient = false, fail_on_violation = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    const bool has_arg = i + 1 < argc;
     if (arg == "--help" || arg == "-h") {
       print_flags(stdout);
       return 0;
     } else if (arg == "--lenient") {
       lenient = true;
-    } else if (arg == "--algo" && i + 1 < argc) {
-      algo = argv[++i];
-    } else if (arg == "--alpha" && i + 1 < argc) {
-      alpha = std::stod(argv[++i]);
-    } else if (arg == "--speed" && i + 1 < argc) {
-      speed = std::stod(argv[++i]);
-    } else if (arg == "--out" && i + 1 < argc) {
-      out_path = argv[++i];
-    } else if (arg == "--profile" && i + 1 < argc) {
-      profile_path = argv[++i];
-    } else if (arg == "--jobs" && i + 1 < argc) {
-      jobs_path = argv[++i];
-    } else if (arg == "--trace" && i + 1 < argc) {
-      events_path = argv[++i];
-    } else if (arg == "--obs" && i + 1 < argc) {
-      obs_path = argv[++i];
-    } else if (arg == "--chrome" && i + 1 < argc) {
-      chrome_path = argv[++i];
-    } else if (arg.rfind("--", 0) == 0) {
-      return usage();
+    } else if (arg == "--fail-on-violation") {
+      fail_on_violation = true;
+    } else if (arg == "--algo" || arg == "--alpha" || arg == "--speed" || arg == "--out" ||
+               arg == "--profile" || arg == "--jobs" || arg == "--trace" || arg == "--obs" ||
+               arg == "--chrome" || arg == "--certify" || arg == "--cert-out") {
+      if (!has_arg) return usage("flag requires an argument", arg.c_str());
+      const std::string val = argv[++i];
+      if (arg == "--algo") {
+        algo = val;
+      } else if (arg == "--alpha") {
+        alpha = std::stod(val);
+      } else if (arg == "--speed") {
+        speed = std::stod(val);
+      } else if (arg == "--out") {
+        out_path = val;
+      } else if (arg == "--profile") {
+        profile_path = val;
+      } else if (arg == "--jobs") {
+        jobs_path = val;
+      } else if (arg == "--trace") {
+        events_path = val;
+      } else if (arg == "--obs") {
+        obs_path = val;
+      } else if (arg == "--chrome") {
+        chrome_path = val;
+      } else if (arg == "--certify") {
+        certify_path = val;
+      } else {
+        cert_out = val;
+      }
+    } else if (arg.rfind("-", 0) == 0) {
+      return usage("unknown flag", arg.c_str());
     } else {
       trace_path = arg;
+    }
+  }
+
+  // --certify: pure replay of a recorded trace — no scheduler runs.
+  if (!certify_path.empty()) {
+    try {
+      const obs::cert::ReplayedTrace replayed = replay_recorded_trace(certify_path);
+      const double a = replayed.alpha > 1.0 ? replayed.alpha : alpha;
+      const obs::cert::CertificateLedger ledger = obs::cert::certify_events(replayed.events, a);
+      std::printf("certified %s: %zu event(s), alpha=%.3g\n%s", certify_path.c_str(),
+                  replayed.events.size(), a, ledger.summary().c_str());
+      if (!cert_out.empty()) {
+        obs::cert::write_certificates_jsonl_file(cert_out, ledger);
+        std::printf("certificates written to %s (%zu records)\n", cert_out.c_str(),
+                    ledger.records.size());
+      }
+      if (fail_on_violation && ledger.violations() > 0) {
+        std::fprintf(stderr, "trace_tool: %zu certificate(s) with negative slack\n",
+                     ledger.violations());
+        return 3;
+      }
+      return 0;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
     }
   }
 
@@ -166,7 +251,9 @@ int main(int argc, char** argv) {
       obs::Tracer::instance().add_sink(jsonl);
       obs::Tracer::instance().add_sink(summary);
     }
-    if (!chrome_path.empty()) {
+    if (!chrome_path.empty() || !cert_out.empty()) {
+      // The Chrome exporter and the certificate ledger both need the whole
+      // event stream at once.
       ring = std::make_shared<obs::RingBufferSink>(1 << 20);
       obs::Tracer::instance().add_sink(ring);
     }
@@ -207,6 +294,19 @@ int main(int argc, char** argv) {
       metrics = r.metrics;
     } else {
       return usage();
+    }
+
+    // Live-run certification: replay the run's own event stream through the
+    // potential-function ledger.  Emitted while the sinks are still attached
+    // so the "cert.slack"/"cert.phi" series land in the JSONL and Chrome
+    // artifacts (the tracker checkpoints the sinks as it streams).
+    obs::cert::CertificateLedger cert_ledger;
+    bool certified = false;
+    if (!cert_out.empty()) {
+      obs::cert::CertOptions copts;
+      copts.emit_trace_events = true;
+      cert_ledger = obs::cert::certify_events(ring->events(), alpha, copts);
+      certified = true;
     }
 
     if (jsonl || ring) {
@@ -250,7 +350,7 @@ int main(int argc, char** argv) {
       obs::write_observability_report_file(obs_path);
       std::printf("observability report written to %s\n", obs_path.c_str());
     }
-    if (ring) {
+    if (ring && !chrome_path.empty()) {
       if (ring->dropped() > 0) {
         std::printf("note: chrome trace is truncated to the most recent %zu events "
                     "(%zu dropped)\n",
@@ -260,6 +360,16 @@ int main(int argc, char** argv) {
                                          obs::profiler().snapshot());
       std::printf("chrome trace written to %s (%zu events; open in ui.perfetto.dev)\n",
                   chrome_path.c_str(), ring->size());
+    }
+    if (certified) {
+      obs::cert::write_certificates_jsonl_file(cert_out, cert_ledger);
+      std::printf("certificates written to %s (%zu records)\n%s", cert_out.c_str(),
+                  cert_ledger.records.size(), cert_ledger.summary().c_str());
+      if (fail_on_violation && cert_ledger.violations() > 0) {
+        std::fprintf(stderr, "trace_tool: %zu certificate(s) with negative slack\n",
+                     cert_ledger.violations());
+        return 3;
+      }
     }
   } catch (const workload::TraceIoError& e) {
     const robust::Diagnostic& d = e.diagnostic();

@@ -1,0 +1,69 @@
+"""Shared input-validation helpers for the plotting scripts.
+
+Everything here is about failing with a useful diagnostic *before* matplotlib
+enters the picture: a truncated JSONL line, a missing column, or a numeric
+field that is not a number should name the file, the line, and what the
+script expected — even on machines where matplotlib is not installed.
+"""
+import json
+import sys
+
+
+def die(msg):
+    sys.exit(f"error: {msg}")
+
+
+def iter_jsonl(path, hint):
+    """Yields (lineno, record) for each non-empty line of a JSONL file.
+
+    Exits with a file:line diagnostic (mentioning `hint`, e.g. the trace_tool
+    flag that produces the expected format) on unreadable files or lines that
+    are not valid JSON objects.
+    """
+    try:
+        f = open(path)
+    except OSError as e:
+        die(f"cannot read {path}: {e.strerror}")
+    with f:
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as e:
+                die(f"{path}:{lineno}: not valid JSONL ({e.msg}) ({hint})")
+            if not isinstance(rec, dict):
+                die(f"{path}:{lineno}: expected a JSON object ({hint})")
+            yield lineno, rec
+
+
+def number(rec, key, path, lineno):
+    """Fetches a numeric field; json_util writes non-finite doubles as the
+    quoted strings "inf"/"-inf"/"nan", which float() accepts."""
+    v = rec.get(key)
+    if isinstance(v, bool) or v is None:
+        die(f"{path}:{lineno}: field '{key}' is not a number")
+    if isinstance(v, (int, float)):
+        return float(v)
+    if isinstance(v, str):
+        try:
+            return float(v)
+        except ValueError:
+            pass
+    die(f"{path}:{lineno}: field '{key}' is not a number")
+
+
+def require_matplotlib():
+    """Imports matplotlib (Agg backend) or exits with the standard hint."""
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+
+        return plt
+    except ImportError:
+        sys.exit("error: matplotlib is not installed — this script only renders plots;\n"
+                 "the C++ build, tests, and benches do not need it.  Install it\n"
+                 "(e.g. pip install matplotlib) or plot the CSV/JSONL another way.")

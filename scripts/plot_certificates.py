@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Plot competitiveness-certificate streams from `trace_tool --cert-out`.
+
+Each input is the certificate JSONL written by the potential-function ledger
+(src/obs/cert/): one record per simulator event with the cumulative slack
+    slack(t) = c * OPT_lb(t) - ALG(t) - Phi(t)
+plus a trailing {"kind":"cert_summary",...} line.  Two views:
+
+  default  -- slack over time, one step curve per input (fractional, and the
+              integral ledger with --int); violations (slack < 0) are marked.
+  --hist   -- histogram of per-release slacks pooled across all inputs (the
+              E22 view: how much amortization headroom a workload sweep has).
+
+Usage:
+  examples/trace_tool --cert-out nc_cert.jsonl
+  scripts/plot_certificates.py nc_cert.jsonl -o slack.png
+  scripts/plot_certificates.py sweep_*.jsonl --hist -o slack_hist.png
+
+Requires matplotlib (not needed by the C++ build or tests).
+"""
+import argparse
+import sys
+
+sys.path.insert(0, sys.path[0])
+import _plot_common as common
+
+
+def read_certificates(path):
+    """Returns (records, summary) where records are the per-event dicts
+    (with floats materialized) and summary is the cert_summary line."""
+    records, summary = [], None
+    for lineno, rec in common.iter_jsonl(path, "is this a `trace_tool --cert-out` file?"):
+        if rec.get("kind") == "cert_summary":
+            summary = rec
+            continue
+        if "event" not in rec or "slack" not in rec:
+            common.die(f"{path}:{lineno}: record has no event/slack fields "
+                       f"(is this a `trace_tool --cert-out` file?)")
+        records.append({
+            "t": common.number(rec, "t", path, lineno),
+            "event": rec["event"],
+            "slack": common.number(rec, "slack", path, lineno),
+            "slack_int": common.number(rec, "slack_int", path, lineno),
+        })
+    if not records:
+        common.die(f"{path}: no certificate records — nothing to plot "
+                   f"(empty stream, or only a summary line)")
+    return records, summary
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("certs", nargs="+", help="certificate JSONL files (--cert-out)")
+    ap.add_argument("-o", "--out", default="certificates.png")
+    ap.add_argument("--int", dest="integral", action="store_true",
+                    help="also plot the integral-objective (Theorem 9) slack")
+    ap.add_argument("--hist", action="store_true",
+                    help="histogram of per-release slacks across all inputs")
+    args = ap.parse_args()
+
+    # Read and validate every input before touching matplotlib, so a bad or
+    # empty file gets its own diagnostic even where matplotlib is missing.
+    series = []
+    for path in args.certs:
+        series.append((path, *read_certificates(path)))
+
+    plt = common.require_matplotlib()
+    fig, ax = plt.subplots(figsize=(9, 4.5))
+    if args.hist:
+        slacks = [r["slack"] for _, records, _ in series
+                  for r in records if r["event"] == "job_release"]
+        ax.hist(slacks, bins=min(40, max(10, len(slacks) // 8)), edgecolor="black",
+                linewidth=0.5)
+        ax.axvline(0.0, color="red", linewidth=1.0, linestyle="--", label="violation boundary")
+        ax.set_xlabel("certificate slack at release")
+        ax.set_ylabel("count")
+        ax.set_title(f"{len(slacks)} release certificates from {len(series)} run(s)")
+    else:
+        for path, records, _ in series:
+            t = [r["t"] for r in records]
+            slack = [r["slack"] for r in records]
+            ax.plot(t, slack, label=f"{path} (frac)", linewidth=1.2, drawstyle="steps-post")
+            if args.integral:
+                ax.plot(t, [r["slack_int"] for r in records], label=f"{path} (int)",
+                        linewidth=1.0, linestyle=":", drawstyle="steps-post")
+            bad_t = [r["t"] for r in records if min(r["slack"], r["slack_int"]) < 0.0]
+            if bad_t:
+                ax.plot(bad_t, [0.0] * len(bad_t), "rv", markersize=6, label=f"{path} violations")
+        ax.axhline(0.0, color="red", linewidth=0.8, linestyle="--")
+        ax.set_xlabel("time")
+        ax.set_ylabel("slack  c*OPT_lb - ALG - Phi")
+    ax.legend()
+    ax.grid(alpha=0.3)
+    fig.tight_layout()
+    fig.savefig(args.out, dpi=150)
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -17,8 +17,10 @@ Requires matplotlib (not needed by the C++ build or tests).
 """
 import argparse
 import csv
-import json
 import sys
+
+sys.path.insert(0, sys.path[0])
+import _plot_common as common
 
 
 def read_profile(path):
@@ -30,11 +32,11 @@ def read_profile(path):
                 speed.append(float(row["speed"]))
                 power.append(float(row["power"]))
             except (KeyError, TypeError, ValueError):
-                sys.exit(f"error: {path}:{i}: expected t,speed,power columns "
-                         f"(is this a `trace_tool --profile` CSV?)")
+                common.die(f"{path}:{i}: expected t,speed,power columns "
+                           f"(is this a `trace_tool --profile` CSV?)")
     if not t:
-        sys.exit(f"error: {path}: no profile rows — nothing to plot "
-                 f"(empty or header-only CSV)")
+        common.die(f"{path}: no profile rows — nothing to plot "
+                   f"(empty or header-only CSV)")
     return t, speed, power
 
 
@@ -43,31 +45,22 @@ def read_jsonl_trace(path):
     alpha = None
     t, speed = [], []
     t_end = None
-    with open(path) as f:
-        for lineno, line in enumerate(f, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                ev = json.loads(line)
-            except json.JSONDecodeError as e:
-                sys.exit(f"error: {path}:{lineno}: not valid JSONL ({e.msg}) "
-                         f"(is this a `trace_tool --trace` file?)")
-            kind = ev.get("kind")
-            if kind == "phase_boundary":
-                label = ev.get("label", "")
-                if label == "trace_tool" and alpha is None:
-                    alpha = float(ev["value"])
-                elif label == "trace_tool.end":
-                    t_end = float(ev["t"])
-            elif kind == "speed_change":
-                t.append(float(ev["t"]))
-                speed.append(float(ev["value"]))
-            elif kind == "job_complete":
-                t_end = float(ev["t"])
+    for lineno, ev in common.iter_jsonl(path, "is this a `trace_tool --trace` file?"):
+        kind = ev.get("kind")
+        if kind == "phase_boundary":
+            label = ev.get("label", "")
+            if label == "trace_tool" and alpha is None:
+                alpha = common.number(ev, "value", path, lineno)
+            elif label == "trace_tool.end":
+                t_end = common.number(ev, "t", path, lineno)
+        elif kind == "speed_change":
+            t.append(common.number(ev, "t", path, lineno))
+            speed.append(common.number(ev, "value", path, lineno))
+        elif kind == "job_complete":
+            t_end = common.number(ev, "t", path, lineno)
     if not t:
-        sys.exit(f"error: {path}: no speed_change events — nothing to plot "
-                 f"(was the trace recorded with tracing enabled?)")
+        common.die(f"{path}: no speed_change events — nothing to plot "
+                   f"(was the trace recorded with tracing enabled?)")
     if alpha is None:
         alpha = 2.0
         print(f"{path}: no trace_tool meta event; assuming alpha={alpha}", file=sys.stderr)
@@ -94,18 +87,9 @@ def main():
             reader = read_jsonl_trace if path.endswith(".jsonl") else read_profile
             series.append((path, *reader(path)))
         except OSError as e:
-            sys.exit(f"error: cannot read {path}: {e.strerror}")
+            common.die(f"cannot read {path}: {e.strerror}")
 
-    try:
-        import matplotlib
-
-        matplotlib.use("Agg")
-        import matplotlib.pyplot as plt
-    except ImportError:
-        sys.exit("error: matplotlib is not installed — this script only renders plots;\n"
-                 "the C++ build, tests, and benches do not need it.  Install it\n"
-                 "(e.g. pip install matplotlib) or plot the CSV/JSONL another way.")
-
+    plt = common.require_matplotlib()
     fig, ax = plt.subplots(figsize=(9, 4.5))
     for path, t, speed, power in series:
         ax.plot(t, power if args.power else speed, label=path, linewidth=1.2,

@@ -7,6 +7,7 @@
 #include "src/algo/algorithm_nc_uniform.h"
 #include "src/algo/baselines.h"
 #include "src/algo/frac_to_int.h"
+#include "src/obs/cert/potential_tracker.h"
 #include "src/obs/metrics_registry.h"
 #include "src/obs/profiler.h"
 #include "src/obs/report.h"
@@ -61,6 +62,45 @@ void guarded_outcome(SuiteResult& out, const char* name, bool integral_only,
   out.outcomes.push_back(std::move(o));
 }
 
+/// Certificate summary captured inside a guarded body, applied to the
+/// outcome once guarded_outcome has pushed it (the outcome does not exist
+/// while the body runs).
+struct CertCapture {
+  bool set = false;
+  double min_slack = 0.0;
+  double min_slack_int = 0.0;
+  std::size_t records = 0;
+  std::size_t violations = 0;
+
+  /// Runs `body` with its event stream captured, then certifies the stream.
+  /// Certification happens outside the capture scope so the ledger's own
+  /// virtual solves never pollute the recorded run.
+  Metrics run(double alpha, const std::function<Metrics()>& body) {
+    auto ring = std::make_shared<obs::RingBufferSink>(1 << 18);
+    Metrics m;
+    {
+      obs::ScopedTracing tracing(ring);
+      m = body();
+    }
+    const obs::cert::CertificateLedger ledger = obs::cert::certify_events(ring->events(), alpha);
+    set = true;
+    min_slack = ledger.min_slack_frac;
+    min_slack_int = ledger.min_slack_int;
+    records = ledger.records.size();
+    violations = ledger.violations();
+    return m;
+  }
+
+  void apply(AlgoOutcome& o) const {
+    if (!set) return;
+    o.certified = true;
+    o.cert_min_slack = min_slack;
+    o.cert_min_slack_int = min_slack_int;
+    o.cert_records = records;
+    o.cert_violations = violations;
+  }
+};
+
 }  // namespace
 
 SuiteResult run_suite(const Instance& instance, double alpha, const SuiteOptions& options) {
@@ -69,22 +109,30 @@ SuiteResult run_suite(const Instance& instance, double alpha, const SuiteOptions
               .value = static_cast<double>(instance.size()), .aux = alpha,
               .label = "suite.begin");
 
+  CertCapture c_cert;
   guarded_outcome(out, "C (clairvoyant)", false, [&] {
     OBS_TIMED_SCOPE("suite.c");
-    return run_c(instance, alpha).metrics;
+    const auto body = [&] { return run_c(instance, alpha).metrics; };
+    return options.certify ? c_cert.run(alpha, body) : body();
   });
+  c_cert.apply(out.outcomes.back());
 
   const bool uniform = instance.uniform_density();
   if (uniform) {
     Schedule nc_schedule(alpha);
     bool nc_ok = false;
+    CertCapture nc_cert;
     guarded_outcome(out, "NC (uniform)", false, [&] {
       OBS_TIMED_SCOPE("suite.nc_uniform");
-      RunResult nc = run_nc_uniform(instance, alpha);
-      nc_schedule = std::move(nc.schedule);
-      nc_ok = true;
-      return nc.metrics;
+      const auto body = [&] {
+        RunResult nc = run_nc_uniform(instance, alpha);
+        nc_schedule = std::move(nc.schedule);
+        nc_ok = true;
+        return nc.metrics;
+      };
+      return options.certify ? nc_cert.run(alpha, body) : body();
     });
+    nc_cert.apply(out.outcomes.back());
     if (nc_ok) {
       // The reduction replays NC's schedule; it only makes sense when NC ran.
       guarded_outcome(out, "NC + reduction (int)", true, [&] {

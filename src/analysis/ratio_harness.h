@@ -26,6 +26,15 @@ struct AlgoOutcome {
   robust::RunStatus status = robust::RunStatus::kOk;
   std::string diagnostic;      ///< non-empty iff status != kOk
 
+  // Per-event competitiveness certificates (src/obs/cert/), filled when
+  // SuiteOptions::certify is set and the algorithm's event stream supports
+  // the potential-function ledger (C and NC-uniform).
+  bool certified = false;
+  double cert_min_slack = 0.0;      ///< min fractional release slack
+  double cert_min_slack_int = 0.0;  ///< min integral release slack
+  std::size_t cert_records = 0;
+  std::size_t cert_violations = 0;  ///< records with negative slack
+
   [[nodiscard]] bool ok() const { return status != robust::RunStatus::kFailed; }
 };
 
@@ -34,6 +43,10 @@ struct SuiteOptions {
   bool include_nonuniform = true; ///< run NC-nonuniform even on uniform inputs
   double reduction_eps = 0.5;     ///< eps of the Lemma 15 reduction rows
   int opt_slots = 500;
+  /// Capture the C and NC-uniform event streams and run the per-event
+  /// certificate ledger over them (docs/observability.md).  Enables tracing
+  /// for the duration of those runs.
+  bool certify = false;
 };
 
 struct SuiteResult {

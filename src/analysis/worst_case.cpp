@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <memory>
 #include <random>
 
 #include "src/algo/algorithm_nc_uniform.h"
+#include "src/obs/cert/potential_tracker.h"
 #include "src/obs/metrics_registry.h"
 #include "src/obs/profiler.h"
 #include "src/obs/trace.h"
@@ -173,6 +175,40 @@ WorstCaseResult find_worst_nc_instance(double alpha, const WorstCaseOptions& opt
 
   best.instance = decode(x, n);
   best.ratio = cur;
+
+  // Where exactly is the adversarial instance tight?  Re-run NC on the
+  // winner under the certificate ledger and keep the K lowest-slack release
+  // records — those are the events the adversary is squeezing.
+  if (options.report_tightest > 0) {
+    try {
+      auto ring = std::make_shared<obs::RingBufferSink>(1 << 18);
+      {
+        obs::ScopedTracing tracing(ring);
+        (void)run_nc_uniform(best.instance, alpha);
+      }
+      obs::cert::CertOptions copts;
+      copts.opt_slots = options.opt_slots;
+      const obs::cert::CertificateLedger ledger =
+          obs::cert::certify_events(ring->events(), alpha, copts);
+      std::vector<obs::cert::CertRecord> releases;
+      for (const obs::cert::CertRecord& r : ledger.records) {
+        if (r.kind == obs::EventKind::kJobRelease) releases.push_back(r);
+      }
+      std::sort(releases.begin(), releases.end(),
+                [](const obs::cert::CertRecord& a, const obs::cert::CertRecord& b) {
+                  if (a.slack != b.slack) return a.slack < b.slack;
+                  return a.t < b.t;  // deterministic tie-break
+                });
+      const std::size_t k =
+          std::min(releases.size(), static_cast<std::size_t>(options.report_tightest));
+      best.tightest_certificates.assign(releases.begin(),
+                                        releases.begin() + static_cast<std::ptrdiff_t>(k));
+    } catch (const std::exception& e) {
+      best.diagnostics.push_back(robust::Diagnostic{
+          robust::ErrorCode::kNoConvergence,
+          std::string("certificate re-run failed: ") + e.what()});
+    }
+  }
   return best;
 }
 

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "src/core/instance.h"
+#include "src/obs/cert/potential_tracker.h"
 #include "src/robust/diagnostics.h"
 
 namespace speedscale::analysis {
@@ -56,6 +57,12 @@ struct WorstCaseResult {
   int rounds_completed = 0;
   robust::RunStatus status = robust::RunStatus::kOk;
   std::vector<robust::Diagnostic> diagnostics;  ///< budget/eval-failure trail
+  /// The K tightest certificates (smallest fractional release slack) from
+  /// re-running NC on the worst instance under the potential-function ledger
+  /// (src/obs/cert/), sorted tightest first.  Empty unless
+  /// WorstCaseOptions::report_tightest > 0 — or when the certification
+  /// re-run itself failed (recorded as a diagnostic, never fatal).
+  std::vector<obs::cert::CertRecord> tightest_certificates;
 };
 
 struct WorstCaseOptions {
@@ -70,6 +77,9 @@ struct WorstCaseOptions {
   /// and (with `resume`) the search restarts from the last valid line.
   std::string checkpoint_path;
   bool resume = true;
+  /// When > 0, re-run NC on the winning instance under the certificate
+  /// ledger and report this many tightest (lowest release slack) records.
+  int report_tightest = 0;
 };
 
 /// Coordinate-ascent search for instances maximizing the ratio of Algorithm

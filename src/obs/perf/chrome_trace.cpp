@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <ostream>
+#include <string_view>
 
 #include "src/obs/json_util.h"
 #include "src/robust/atomic_io.h"
@@ -72,6 +73,29 @@ void append_metadata(std::string& out, bool& first, const char* what, std::int64
   rec.finish(what, 'M', pid, 0, 0.0);
 }
 
+/// One endpoint of a per-job lifecycle async span ('b'/'e', matched by
+/// cat "lifecycle" + the job id).  Keys in sorted order, like every record.
+void append_async(std::string& out, bool& first, const char* name, char ph, JobId job, double ts) {
+  if (!first) out += ',';
+  first = false;
+  out += "{\"cat\":\"lifecycle\",\"id\":\"";
+  out += std::to_string(job);
+  out += "\",\"name\":";
+  append_json_string(out, name);
+  out += ",\"ph\":\"";
+  out += ph;
+  out += "\",\"pid\":1,\"tid\":";
+  out += std::to_string(static_cast<std::int64_t>(job) + 1);
+  out += ",\"ts\":";
+  append_json_number(out, ts);
+  out += '}';
+}
+
+void append_span(std::string& out, bool& first, const char* name, JobId job, double t0, double t1) {
+  append_async(out, first, name, 'b', job, t0);
+  append_async(out, first, name, 'e', job, t1);
+}
+
 }  // namespace
 
 std::string chrome_trace_json(const std::vector<TraceEvent>& events,
@@ -84,14 +108,18 @@ std::string chrome_trace_json(const std::vector<TraceEvent>& events,
   append_metadata(out, first, "process_name", 1, "speedscale model time");
   if (!profile.empty()) append_metadata(out, first, "process_name", 2, "profiler (wall clock)");
 
-  // Pair releases with completions so each job renders as one slice.
-  std::map<JobId, double> release_t, complete_t;
+  // Pair releases with completions so each job renders as one slice, and
+  // with first attributed speed changes so the lifecycle spans know when a
+  // job went from waiting to active.
+  std::map<JobId, double> release_t, complete_t, start_t;
   for (const TraceEvent& ev : events) {
     if (ev.job == kNoJob) continue;
     if (ev.kind == EventKind::kJobRelease && release_t.find(ev.job) == release_t.end()) {
       release_t[ev.job] = ev.t;
     } else if (ev.kind == EventKind::kJobComplete) {
       complete_t[ev.job] = ev.t;  // last completion wins (re-runs overwrite)
+    } else if (ev.kind == EventKind::kSpeedChange && start_t.find(ev.job) == start_t.end()) {
+      start_t[ev.job] = ev.t;
     }
   }
 
@@ -163,9 +191,37 @@ std::string chrome_trace_json(const std::vector<TraceEvent>& events,
         append_arg(out, afirst, "aux", ev.aux);
         append_arg(out, afirst, "value", ev.value);
         rec.field_args_close();
-        rec.finish(ev.label != nullptr ? ev.label : "phase", 'i', 1, 0, ts, -1.0, "g");
+        // Certificate series ("cert.slack", "cert.phi", emitted by the
+        // potential tracker) render as counter tracks next to the speed
+        // series; other phase boundaries stay global instants.
+        const char* name = ev.label != nullptr ? ev.label : "phase";
+        if (ev.label != nullptr && std::string_view(ev.label).substr(0, 5) == "cert.") {
+          rec.finish(name, 'C', 1, 0, ts);
+        } else {
+          rec.finish(name, 'i', 1, 0, ts, -1.0, "g");
+        }
         break;
       }
+    }
+  }
+
+  // Per-job lifecycle state machine as async spans: released -> (waiting)
+  // -> active -> completed.  Perfetto renders these as a Gantt chart, one
+  // row per job, on top of the instant/slice records above.  Jobs whose
+  // stream never attributes a speed change (numerically-stepped engines)
+  // get one "flow" span covering their whole release -> completion window.
+  for (const auto& [job, rel] : release_t) {
+    const auto s = start_t.find(job);
+    const auto c = complete_t.find(job);
+    const bool has_start = s != start_t.end() && s->second >= rel;
+    const bool has_complete = c != complete_t.end() && c->second >= rel;
+    if (has_start && has_complete && s->second <= c->second) {
+      append_span(out, first, "waiting", job, rel * scale, s->second * scale);
+      append_span(out, first, "active", job, s->second * scale, c->second * scale);
+    } else if (has_start) {
+      append_span(out, first, "waiting", job, rel * scale, s->second * scale);
+    } else if (has_complete) {
+      append_span(out, first, "flow", job, rel * scale, c->second * scale);
     }
   }
 

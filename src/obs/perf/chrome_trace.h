@@ -8,6 +8,12 @@
 //     becomes a complete ("X") slice on its own track (tid = job id + 1,
 //     release -> completion); speed changes become a counter ("C") series;
 //     preemptions, dispatches, and phase boundaries become instants ("i").
+//     Each job additionally carries its lifecycle state machine (released ->
+//     waiting -> active -> completed) as async spans ("b"/"e", cat
+//     "lifecycle"), so the trace opens as a per-job Gantt in Perfetto; and
+//     certificate series from the potential tracker (phase boundaries
+//     labelled "cert.*", src/obs/cert/) render as counter tracks next to
+//     the speed series.
 //   * pid 2, "profiler (wall clock)" — the Profiler's per-label aggregates.
 //     Aggregates carry no start timestamps, so labels are laid end-to-end in
 //     sorted order, each an "X" slice of its total duration with

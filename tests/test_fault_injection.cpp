@@ -15,6 +15,7 @@
 #include "src/analysis/worst_case.h"
 #include "src/core/power.h"
 #include "src/numerics/roots.h"
+#include "src/obs/cert/potential_tracker.h"
 #include "src/obs/metrics_registry.h"
 #include "src/obs/trace.h"
 #include "src/robust/atomic_io.h"
@@ -541,6 +542,42 @@ TEST(AtomicIo, JsonlSinkCommitsAtDestruction) {
   }
   EXPECT_TRUE(file_exists(path));
   EXPECT_FALSE(file_exists(robust::tmp_sibling(path)));
+  std::remove(path.c_str());
+}
+
+TEST(AtomicIo, CertCheckpointFlushSurvivesWithoutCommit) {
+  // The certificate tracker checkpoints (Tracer::flush) every
+  // `checkpoint_every` records, so a run killed before the JsonlSink commits
+  // still leaves every flushed certificate line in the ".tmp" sibling.
+  const std::string path = temp_path("cert_stream.jsonl");
+  auto sink = std::make_shared<obs::JsonlSink>(path);
+  const std::vector<obs::TraceEvent> stream = {
+      {.kind = obs::EventKind::kJobRelease, .t = 0.0, .job = 0, .value = 1.0, .aux = 1.0},
+      {.kind = obs::EventKind::kJobRelease, .t = 0.5, .job = 1, .value = 2.0, .aux = 1.0},
+      {.kind = obs::EventKind::kJobComplete, .t = 1.0, .job = 0, .value = 1.5, .aux = 2.0},
+      {.kind = obs::EventKind::kJobComplete, .t = 2.5, .job = 1, .value = 4.0, .aux = 6.0},
+  };
+  {
+    obs::ScopedTracing tracing(sink);
+    obs::cert::CertOptions copts;
+    copts.opt_lb = obs::cert::OptLbMode::kSingleJob;
+    copts.emit_trace_events = true;
+    copts.checkpoint_every = 1;  // flush after every record
+    (void)obs::cert::certify_events(stream, 2.0, copts);
+  }
+  // No close(): the "crash" happens before the atomic rename.  The final
+  // artifact must not exist, but the flushed stream must be fully readable.
+  EXPECT_FALSE(file_exists(path));
+  std::ifstream tmp(robust::tmp_sibling(path));
+  ASSERT_TRUE(tmp.is_open());
+  std::size_t cert_lines = 0;
+  std::string line;
+  while (std::getline(tmp, line)) {
+    if (line.find("cert.") != std::string::npos) ++cert_lines;
+  }
+  // One cert.slack + one cert.phi line per record (4 events -> 8 lines).
+  EXPECT_EQ(cert_lines, 2 * stream.size());
+  sink->close();
   std::remove(path.c_str());
 }
 
