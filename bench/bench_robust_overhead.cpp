@@ -12,7 +12,10 @@
 //   * the invariant checker pass by itself.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+
 #include "src/core/power.h"
+#include "src/obs/metrics_registry.h"
 #include "src/robust/fault_injection.h"
 #include "src/robust/guarded_engine.h"
 #include "src/robust/invariants.h"
@@ -86,6 +89,43 @@ void BM_GuardedEngine_CleanPath(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_GuardedEngine_CleanPath)->Arg(8)->Arg(32);
+
+// The retry path: a NaN injected at a fixed substep rejects attempt 0, the
+// ladder doubles substeps and attempt 1 lands clean.  Pins the guarded
+// engine's attempted/committed work split — attempted counts every rung's
+// deterministic work units, committed only the accepted rung's (a rejected
+// attempt's counters never reach the main ledger).  The per-iteration
+// averages surface as gbench custom counters; run_bench_suite.py lifts
+// work_attempted / work_committed into the bench ledger, where
+// bench_compare.py hard-gates them.
+void BM_GuardedEngine_FaultRetry(benchmark::State& state) {
+  const Instance inst = make_uniform(static_cast<int>(state.range(0)));
+  const PowerLaw p(2.0);
+  robust::GuardedNumericOptions opts;
+  opts.base = bench_config();
+  opts.alpha = 2.0;
+  const bool metrics_were_enabled = obs::metrics_enabled();
+  obs::set_metrics_enabled(true);
+  obs::Counter& attempted = obs::registry().counter("robust.work.attempted_units");
+  obs::Counter& committed = obs::registry().counter("robust.work.committed_units");
+  const std::int64_t attempted0 = attempted.value();
+  const std::int64_t committed0 = committed.value();
+  for (auto _ : state) {
+    // Reinstalled per iteration: install() resets the site call counters, so
+    // the fault fires at the same substep index every time.
+    robust::ScopedFaultPlan plan(
+        robust::FaultPlan{}.fire(robust::FaultSite::kOdeSubstepNaN, {100}));
+    benchmark::DoNotOptimize(robust::run_generic_c_guarded(inst, p, opts));
+  }
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["work_attempted"] =
+      benchmark::Counter(static_cast<double>(attempted.value() - attempted0) / iters);
+  state.counters["work_committed"] =
+      benchmark::Counter(static_cast<double>(committed.value() - committed0) / iters);
+  obs::set_metrics_enabled(metrics_were_enabled);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GuardedEngine_FaultRetry)->Arg(8);
 
 // The checker pass in isolation, on a reusable run.
 void BM_InvariantChecker(benchmark::State& state) {

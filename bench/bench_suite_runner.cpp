@@ -16,9 +16,16 @@
 // committed artifact (BENCH_PR3.json).  scripts/bench_compare.py is the
 // regression gate over two such ledgers.
 //
+// The (bench x repetition) grid itself is sharded across the sweep
+// scheduler (src/analysis/sweep.h): each repetition runs inside its own
+// metrics shard, so its counter snapshot is exactly what the body recorded
+// no matter which worker ran it or what ran beside it — the ledger is
+// byte-identical for --jobs 1 and --jobs N.
+//
 // Usage:
-//   bench_suite_runner [--out ledger.json] [--reps N] [--quick]
-//                      [--filter SUBSTR] [--list] [--suite NAME]
+//   bench_suite_runner [--out ledger.json] [--reps N] [--quick] [--jobs N]
+//                      [--filter SUBSTR] [--exclude SUBSTR] [--list]
+//                      [--suite NAME]
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -32,6 +39,7 @@
 #include "src/algo/algorithm_c.h"
 #include "src/algo/algorithm_nc_nonuniform.h"
 #include "src/algo/algorithm_nc_uniform.h"
+#include "src/analysis/sweep.h"
 #include "src/core/power.h"
 #include "src/numerics/roots.h"
 #include "src/obs/cert/potential_tracker.h"
@@ -62,6 +70,26 @@ NumericConfig engine_config() {
   NumericConfig cfg;
   cfg.substeps_per_interval = kEngineSubsteps;
   return cfg;
+}
+
+/// One sweep-suite workload: the full ratio-harness suite (with certificate
+/// capture) over 8 pinned uniform instances, sharded across `jobs` inner
+/// workers.  The /8x1 and /8x8 entries run the *same* points, so their
+/// counter snapshots must be identical — the committed proof that the sweep
+/// engine's parallelism is unobservable — while their wall times expose the
+/// speedup (tracked in BENCH_PR5.json; wall is advisory in the gate).
+void run_sweep_suite_bench(std::size_t jobs) {
+  std::vector<analysis::SuitePoint> points;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    points.push_back({make_uniform(20, seed), kAlpha});
+  }
+  analysis::SuiteOptions suite;
+  suite.include_nonuniform = false;
+  suite.certify = true;
+  suite.opt_slots = 200;
+  analysis::SweepOptions sweep;
+  sweep.jobs = jobs;
+  (void)analysis::run_suite_sweep(points, suite, sweep);
 }
 
 /// The pinned suite.  Changing a seed, size, or config here invalidates the
@@ -112,15 +140,17 @@ std::vector<PinnedBench> pinned_suite() {
          // Certificate ledger over a captured NC run.  Single-job OPT mode:
          // closed-form, so obs.cert.records / obs.cert.opt_lb_updates are
          // deterministic work counters — the convex-solve mode would add
-         // iteration counts that drift with solver tuning.
-         auto ring = std::make_shared<obs::RingBufferSink>(1 << 16);
+         // iteration counts that drift with solver tuning.  The capture is
+         // thread-exclusive (ScopedThreadCapture): global ScopedTracing
+         // would interleave sibling benches' events at --jobs > 1.
+         obs::RingBufferSink ring(1 << 16);
          {
-           obs::ScopedTracing tracing(ring);
+           obs::ScopedThreadCapture capture(&ring);
            (void)run_nc_uniform(make_uniform(24, 7), kAlpha);
          }
          obs::cert::CertOptions copts;
          copts.opt_lb = obs::cert::OptLbMode::kSingleJob;
-         (void)obs::cert::certify_events(ring->events(), kAlpha, copts);
+         (void)obs::cert::certify_events(ring.events(), kAlpha, copts);
        }},
       {"numerics.roots/sweep",
        [] {
@@ -132,14 +162,23 @@ std::vector<PinnedBench> pinned_suite() {
                [target](double x) { return x * x * x - target; }, 0.0, 0.5, 1e-12);
          }
        }},
+      // The sweep-engine determinism pair: same 8-point suite grid at inner
+      // jobs 1 and 8.  Identical counters (incl. opt.cache.hits/misses from
+      // the per-point memoized OPT solves), different wall — the committed
+      // speedup evidence.  Heavier than the rest; run_bench_suite.py keeps
+      // them in their own ledger (--exclude / --filter analysis.sweep_suite).
+      {"analysis.sweep_suite/8x1", [] { run_sweep_suite_bench(1); }},
+      {"analysis.sweep_suite/8x8", [] { run_sweep_suite_bench(8); }},
   };
 }
 
-/// Counters produced by one repetition (zero-valued names filtered out: the
-/// registry keeps every name ever registered, across benches).
-std::map<std::string, std::int64_t> nonzero_counters() {
+/// Zero-valued names filtered out of a shard's counter delta: a shard scope
+/// records OBS_COUNT(name, 0) as an explicit 0 entry, but the ledger pins
+/// the counters a workload actually *produced* (matching the registry's
+/// historical nonzero-snapshot semantics).
+std::map<std::string, std::int64_t> nonzero(const std::map<std::string, std::int64_t>& delta) {
   std::map<std::string, std::int64_t> out;
-  for (const auto& [name, v] : obs::registry().counter_values()) {
+  for (const auto& [name, v] : delta) {
     if (v != 0) out[name] = v;
   }
   return out;
@@ -148,15 +187,17 @@ std::map<std::string, std::int64_t> nonzero_counters() {
 int usage() {
   std::fprintf(stderr,
                "usage: bench_suite_runner [--out ledger.json] [--reps N] [--quick]\n"
-               "                          [--filter SUBSTR] [--list] [--suite NAME]\n");
+               "                          [--jobs N] [--filter SUBSTR] [--exclude SUBSTR]\n"
+               "                          [--list] [--suite NAME]\n");
   return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string out_path, filter, suite_name = "pr3-pinned";
+  std::string out_path, filter, exclude, suite_name = "pr3-pinned";
   int reps = 5;
+  std::size_t jobs = 1;
   bool quick = false, list = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -164,10 +205,14 @@ int main(int argc, char** argv) {
       out_path = argv[++i];
     } else if (arg == "--reps" && i + 1 < argc) {
       reps = std::atoi(argv[++i]);
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      jobs = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (arg == "--quick") {
       quick = true;
     } else if (arg == "--filter" && i + 1 < argc) {
       filter = argv[++i];
+    } else if (arg == "--exclude" && i + 1 < argc) {
+      exclude = argv[++i];
     } else if (arg == "--list") {
       list = true;
     } else if (arg == "--suite" && i + 1 < argc) {
@@ -185,6 +230,19 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  std::vector<const PinnedBench*> selected;
+  for (const PinnedBench& b : suite) {
+    const std::string name(b.name);
+    if (!filter.empty() && name.find(filter) == std::string::npos) continue;
+    if (!exclude.empty() && name.find(exclude) != std::string::npos) continue;
+    selected.push_back(&b);
+  }
+  if (selected.empty()) {
+    std::fprintf(stderr, "no pinned bench matches filter \"%s\" (exclude \"%s\")\n",
+                 filter.c_str(), exclude.c_str());
+    return 2;
+  }
+
   obs::perf::BenchLedger ledger(suite_name);
   ledger.set_config("alpha", "2");
   ledger.set_config("engine_substeps", std::to_string(kEngineSubsteps));
@@ -192,21 +250,38 @@ int main(int argc, char** argv) {
   ledger.set_config("repetitions", std::to_string(reps));
 
   obs::set_metrics_enabled(true);
-  int ran = 0;
-  for (const PinnedBench& b : suite) {
-    if (!filter.empty() && std::string(b.name).find(filter) == std::string::npos) continue;
-    ++ran;
+  obs::registry().reset_all();
+
+  // The (bench x rep) grid through the sweep scheduler.  Each repetition's
+  // counters are its shard delta — exactly what the body recorded, wherever
+  // it ran — so the ledger does not depend on --jobs.  No outer OPT cache:
+  // memoizing across repetitions would make rep 1 cheaper than rep 0 and
+  // trip the determinism check (workloads that want caching install their
+  // own, e.g. the sweep-suite points).
+  const std::size_t n_items = selected.size() * static_cast<std::size_t>(reps);
+  std::vector<double> wall_ns(n_items, 0.0);
+  analysis::SweepOptions sweep_options;
+  sweep_options.jobs = jobs;
+  sweep_options.opt_cache_capacity = 0;
+  analysis::SweepScheduler scheduler(sweep_options);
+  const auto deltas = scheduler.run(n_items, [&](std::size_t idx) {
+    const PinnedBench& b = *selected[idx / static_cast<std::size_t>(reps)];
+    const auto t0 = std::chrono::steady_clock::now();
+    b.body();
+    const auto t1 = std::chrono::steady_clock::now();
+    wall_ns[idx] = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+  });
+
+  for (std::size_t bi = 0; bi < selected.size(); ++bi) {
+    const PinnedBench& b = *selected[bi];
     obs::perf::BenchEntry& entry = ledger.entry(b.name);
     entry.source = "runner";
     entry.repetitions = reps;
     for (int rep = 0; rep < reps; ++rep) {
-      obs::registry().reset_all();
-      const auto t0 = std::chrono::steady_clock::now();
-      b.body();
-      const auto t1 = std::chrono::steady_clock::now();
-      entry.wall_ns.push_back(static_cast<double>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()));
-      std::map<std::string, std::int64_t> counters = nonzero_counters();
+      const std::size_t idx = bi * static_cast<std::size_t>(reps) + static_cast<std::size_t>(rep);
+      entry.wall_ns.push_back(wall_ns[idx]);
+      std::map<std::string, std::int64_t> counters = nonzero(deltas[idx]);
       if (rep == 0) {
         entry.counters = std::move(counters);
       } else if (counters != entry.counters) {
@@ -224,14 +299,10 @@ int main(int argc, char** argv) {
                 reps, entry.wall_median_ns() * 1e-6, entry.counters.size(),
                 static_cast<long long>(work));
   }
-  if (ran == 0) {
-    std::fprintf(stderr, "no pinned bench matches filter \"%s\"\n", filter.c_str());
-    return 2;
-  }
 
   if (!out_path.empty()) {
     ledger.write_file(out_path);
-    std::printf("ledger written to %s (%d benches)\n", out_path.c_str(), ran);
+    std::printf("ledger written to %s (%zu benches)\n", out_path.c_str(), selected.size());
   }
   return 0;
 }

@@ -9,7 +9,7 @@
 //              [--chrome chrome.json] [--cert-out certs.jsonl]
 //              [--fail-on-violation] [--lenient] [--help]
 //   trace_tool --certify recorded.{jsonl|json} [--cert-out certs.jsonl]
-//              [--alpha A] [--fail-on-violation]
+//              [--alpha A] [--jobs N] [--fail-on-violation]
 //
 // Trace format (header required):  id,release,volume,density
 // Reads are strict by default: a malformed line is a typed, line-numbered
@@ -33,6 +33,7 @@
 // Run with no arguments to see a demo on a generated trace; --help for the
 // full flag reference (docs/observability.md has the long-form version).
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
@@ -51,6 +52,7 @@
 #include "src/obs/profiler.h"
 #include "src/obs/report.h"
 #include "src/obs/trace.h"
+#include "src/opt/opt_cache.h"
 #include "src/robust/diagnostics.h"
 #include "src/workload/generators.h"
 #include "src/workload/trace_io.h"
@@ -97,7 +99,9 @@ void print_flags(std::FILE* to) {
       "  --lenient            skip-and-count malformed trace lines instead of failing\n"
       "  --out FILE           write the schedule as CSV (t0,t1,job,speed_law,param,rho)\n"
       "  --profile FILE       write the piecewise speed profile as CSV\n"
-      "  --jobs FILE          write the per-job summary (completion, flow) as CSV\n"
+      "  --jobs FILE          write the per-job summary (completion, flow) as CSV;\n"
+      "                       in --certify mode: a worker-thread count N for the\n"
+      "                       ledger's prefix OPT solves (same certificates at any N)\n"
       "  --trace FILE         record the structured event stream as JSONL and print\n"
       "                       a per-kind summary\n"
       "  --obs FILE           write the metrics + profiler report as JSON\n"
@@ -197,12 +201,28 @@ int main(int argc, char** argv) {
     }
   }
 
-  // --certify: pure replay of a recorded trace — no scheduler runs.
+  // --certify: pure replay of a recorded trace — no scheduler runs.  In this
+  // mode --jobs is a worker count for the ledger's prefix convex solves (the
+  // certificates are byte-identical at any count), not a jobs.csv path.
   if (!certify_path.empty()) {
+    obs::cert::CertOptions copts;
+    if (!jobs_path.empty()) {
+      char* end = nullptr;
+      const long n = std::strtol(jobs_path.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || n < 1) {
+        return usage("--jobs in --certify mode takes a worker count", jobs_path.c_str());
+      }
+      copts.solver_jobs = static_cast<int>(n);
+    }
     try {
       const obs::cert::ReplayedTrace replayed = replay_recorded_trace(certify_path);
       const double a = replayed.alpha > 1.0 ? replayed.alpha : alpha;
-      const obs::cert::CertificateLedger ledger = obs::cert::certify_events(replayed.events, a);
+      // Memoize the prefix solves: replays of overlapping streams (or the
+      // C + NC pair of one instance) repeat prefixes exactly.
+      OptSolveCache opt_cache(512);
+      ScopedOptSolveCache opt_cache_scope(&opt_cache);
+      const obs::cert::CertificateLedger ledger =
+          obs::cert::certify_events(replayed.events, a, copts);
       std::printf("certified %s: %zu event(s), alpha=%.3g\n%s", certify_path.c_str(),
                   replayed.events.size(), a, ledger.summary().c_str());
       if (!cert_out.empty()) {

@@ -9,14 +9,28 @@ src/obs/perf/bench_ledger.h, docs/observability.md):
    work-counter snapshot per workload (byte-for-byte reproducible).
 2. The google-benchmark wall-time suites (E13 `bench_perf`, E19
    `bench_obs_overhead`, E20 `bench_robust_overhead`), a pinned filter each,
-   run with `--benchmark_format=json`.  Wall-only: their entries carry no
-   counters and are advisory in `bench_compare.py`.
+   run with `--benchmark_format=json`.  Mostly wall-only (advisory in
+   `bench_compare.py`), except custom gbench counters named `work_*`
+   (e.g. BM_GuardedEngine_FaultRetry's attempted/committed split), which are
+   deterministic per iteration and lifted into the hard-gated counter half.
 
 The final file is written by this script (json.dumps, sorted keys, compact
 separators), so regenerating on the same machine/toolchain is byte-stable in
-the counter half.  Refresh the committed baseline with:
+the counter half.  Refresh the committed baselines with:
 
-    scripts/run_bench_suite.py --build-dir build --out BENCH_PR3.json
+    scripts/run_bench_suite.py --build-dir build --out BENCH_PR3.json \
+        --pr5-out BENCH_PR5.json
+
+`--jobs N` shards the runner's (bench x repetition) grid across N workers;
+the counter half of the ledger is byte-identical at any N (the sweep
+engine's determinism contract, docs/performance.md), so CI exercises the
+parallel path with --jobs $(nproc) against the same committed baseline.
+
+The heavyweight sweep-suite pair (analysis.sweep_suite/8x1 vs /8x8 — same
+counters, serial vs parallel wall) lives in its own ledger, written when
+--pr5-out is given; the main ledger excludes it.  The PR5 run always uses
+one *outer* worker so the 8x1/8x8 wall comparison is not skewed by the two
+entries co-running.
 
 Use --quick in CI: fewer repetitions and short google-benchmark min-times;
 counters are per-run deterministic, so quick and full ledgers agree on them.
@@ -30,17 +44,26 @@ import tempfile
 
 SCHEMA = "speedscale.bench_ledger/1"
 
-# (binary, pinned --benchmark_filter): the wall-only half of the ledger.
+# (binary, pinned --benchmark_filter): the google-benchmark half.
 GBENCH_SUITES = [
     ("bench_perf", "^BM_AlgorithmC/1024$|^BM_AlgorithmNCUniform/1024$|^BM_NCNonUniform/8$"),
     ("bench_obs_overhead", "^BM_AlgorithmC_ObsDisabled/1024$|^BM_AlgorithmNCUniform_ObsDisabled/1024$"),
-    ("bench_robust_overhead", "^BM_GuardedEngine_CleanPath/8$|^BM_NumericEngine_NoPlan/8$"),
+    ("bench_robust_overhead",
+     "^BM_GuardedEngine_CleanPath/8$|^BM_NumericEngine_NoPlan/8$|^BM_GuardedEngine_FaultRetry/8$"),
 ]
 
 TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
+# gbench JSON keys that are report metadata, not user counters.
+GBENCH_META_KEYS = frozenset({
+    "name", "run_name", "run_type", "repetitions", "repetition_index", "threads",
+    "iterations", "real_time", "cpu_time", "time_unit", "family_index",
+    "per_family_instance_index", "items_per_second", "bytes_per_second",
+    "aggregate_name", "aggregate_unit", "label", "error_occurred", "error_message",
+})
 
-def run_suite_runner(build_dir, quick):
+
+def run_suite_runner(build_dir, quick, jobs=1, extra_args=()):
     runner = os.path.join(build_dir, "bench", "bench_suite_runner")
     if not os.path.exists(runner):
         sys.exit(f"error: {runner} not found — build the Release tree first "
@@ -48,7 +71,9 @@ def run_suite_runner(build_dir, quick):
     with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
         tmp_path = tmp.name
     try:
-        cmd = [runner, "--out", tmp_path] + (["--quick"] if quick else [])
+        cmd = [runner, "--out", tmp_path, "--jobs", str(jobs)] + list(extra_args)
+        if quick:
+            cmd.append("--quick")
         print("+", " ".join(cmd), flush=True)
         subprocess.run(cmd, check=True)
         with open(tmp_path) as f:
@@ -89,6 +114,17 @@ def run_gbench(build_dir, binary, bench_filter, quick, repetitions):
         )
         entry["wall_ns"].append(wall_ns)
         entry["repetitions"] += 1
+        # Custom counters named work_* are per-iteration deterministic work
+        # tallies (e.g. the guarded engine's attempted/committed units);
+        # lifting them into `counters` puts them under bench_compare.py's
+        # hard gate.  Reps must agree, like the runner's determinism check.
+        work = {k: int(round(v)) for k, v in bench.items()
+                if k.startswith("work_") and k not in GBENCH_META_KEYS}
+        if work:
+            if entry["counters"] and entry["counters"] != work:
+                sys.exit(f"error: {name}: work_* counters differ between repetitions — "
+                         f"the workload is not deterministic")
+            entry["counters"] = work
     return entries
 
 
@@ -97,6 +133,11 @@ def main():
                                  formatter_class=argparse.RawDescriptionHelpFormatter)
     ap.add_argument("--build-dir", default="build", help="CMake build tree (Release)")
     ap.add_argument("--out", default="BENCH_PR3.json", help="ledger output path")
+    ap.add_argument("--jobs", type=int, default=1,
+                    help="runner worker threads (counters identical at any value)")
+    ap.add_argument("--pr5-out", default=None,
+                    help="also write the sweep-suite ledger (analysis.sweep_suite/8x1 "
+                         "vs /8x8: identical counters, serial vs parallel wall) here")
     ap.add_argument("--quick", action="store_true",
                     help="CI mode: 2 runner repetitions, short gbench min-times")
     ap.add_argument("--skip-gbench", action="store_true",
@@ -104,7 +145,17 @@ def main():
     ap.add_argument("--suite", default=None, help="override the suite label")
     args = ap.parse_args()
 
-    ledger = run_suite_runner(args.build_dir, args.quick)
+    def write_ledger(path, ledger):
+        with open(path + ".tmp", "w") as f:
+            json.dump(ledger, f, sort_keys=True, separators=(",", ":"))
+            f.write("\n")
+        os.replace(path + ".tmp", path)
+        n_counted = sum(1 for e in ledger["entries"].values() if e["counters"])
+        print(f"wrote {path}: {len(ledger['entries'])} entries "
+              f"({n_counted} with deterministic work counters)")
+
+    ledger = run_suite_runner(args.build_dir, args.quick, jobs=args.jobs,
+                              extra_args=["--exclude", "analysis.sweep_suite"])
     if args.suite:
         ledger["suite"] = args.suite
 
@@ -115,14 +166,16 @@ def main():
                                           args.quick, reps).items():
                 ledger["entries"][name] = entry
 
-    with open(args.out + ".tmp", "w") as f:
-        json.dump(ledger, f, sort_keys=True, separators=(",", ":"))
-        f.write("\n")
-    os.replace(args.out + ".tmp", args.out)
+    write_ledger(args.out, ledger)
 
-    n_counted = sum(1 for e in ledger["entries"].values() if e["counters"])
-    print(f"wrote {args.out}: {len(ledger['entries'])} entries "
-          f"({n_counted} with deterministic work counters)")
+    if args.pr5_out:
+        # Outer jobs pinned to 1: the /8x1 vs /8x8 wall comparison must not
+        # have the two entries competing for the same cores.  Parallelism
+        # under test is the *inner* sweep (the /8x8 workload's own workers).
+        pr5 = run_suite_runner(args.build_dir, args.quick, jobs=1,
+                               extra_args=["--filter", "analysis.sweep_suite",
+                                           "--suite", "pr5-sweep"])
+        write_ledger(args.pr5_out, pr5)
 
 
 if __name__ == "__main__":

@@ -71,33 +71,38 @@ struct CertCapture {
   double min_slack_int = 0.0;
   std::size_t records = 0;
   std::size_t violations = 0;
+  std::string jsonl;
 
   /// Runs `body` with its event stream captured, then certifies the stream.
-  /// Certification happens outside the capture scope so the ledger's own
-  /// virtual solves never pollute the recorded run.
+  /// The capture is thread-exclusive (ScopedThreadCapture), so concurrent
+  /// suites on sweep workers never interleave events; certification happens
+  /// outside the capture scope so the ledger's own virtual solves never
+  /// pollute the recorded run.
   Metrics run(double alpha, const std::function<Metrics()>& body) {
-    auto ring = std::make_shared<obs::RingBufferSink>(1 << 18);
+    obs::RingBufferSink ring(1 << 18);
     Metrics m;
     {
-      obs::ScopedTracing tracing(ring);
+      obs::ScopedThreadCapture capture(&ring);
       m = body();
     }
-    const obs::cert::CertificateLedger ledger = obs::cert::certify_events(ring->events(), alpha);
+    const obs::cert::CertificateLedger ledger = obs::cert::certify_events(ring.events(), alpha);
     set = true;
     min_slack = ledger.min_slack_frac;
     min_slack_int = ledger.min_slack_int;
     records = ledger.records.size();
     violations = ledger.violations();
+    jsonl = obs::cert::certificates_jsonl(ledger);
     return m;
   }
 
-  void apply(AlgoOutcome& o) const {
+  void apply(AlgoOutcome& o) {
     if (!set) return;
     o.certified = true;
     o.cert_min_slack = min_slack;
     o.cert_min_slack_int = min_slack_int;
     o.cert_records = records;
     o.cert_violations = violations;
+    o.cert_jsonl = std::move(jsonl);
   }
 };
 

@@ -34,6 +34,10 @@ struct AlgoOutcome {
   double cert_min_slack_int = 0.0;  ///< min integral release slack
   std::size_t cert_records = 0;
   std::size_t cert_violations = 0;  ///< records with negative slack
+  /// The full byte-stable certificate stream (certificates_jsonl) of this
+  /// outcome's run; empty unless certified.  Kept so parallel sweeps can
+  /// emit per-point certificate JSONL identical to a serial run's.
+  std::string cert_jsonl;
 
   [[nodiscard]] bool ok() const { return status != robust::RunStatus::kFailed; }
 };

@@ -1,6 +1,7 @@
 #include "src/analysis/thread_pool.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 
 #include "src/obs/metrics_registry.h"
@@ -17,6 +18,7 @@ const std::vector<double> kLatencyBoundsUs = {1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1
 ThreadPool::ThreadPool(std::size_t n_threads)
     : tasks_metric_(obs::registry().counter("analysis.thread_pool.tasks")),
       failures_metric_(obs::registry().counter("analysis.thread_pool.task_failures")),
+      dropped_errors_metric_(obs::registry().counter("analysis.thread_pool.dropped_errors")),
       queue_depth_metric_(obs::registry().gauge("analysis.thread_pool.queue_depth")),
       latency_metric_(
           obs::registry().histogram("analysis.thread_pool.task_latency_us", kLatencyBoundsUs)) {
@@ -33,11 +35,25 @@ ThreadPool::~ThreadPool() {
   {
     std::lock_guard<std::mutex> lk(mu_);
     stop_ = true;
-    // A pending first_error_ dies with the pool: destructors cannot throw,
-    // and the workers have already counted it in failed_tasks_.
   }
   cv_task_.notify_all();
   for (auto& w : workers_) w.join();
+  // A first_error_ never collected by wait_idle() cannot be rethrown here
+  // (destructors must not throw) — but it must not vanish silently: report
+  // it on stderr and count it.  The counter add is deliberately ungated so
+  // the drop is visible even with the hot-path metrics switched off.
+  if (first_error_) {
+    try {
+      std::rethrow_exception(first_error_);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "ThreadPool: dropping uncollected task failure at teardown: %s\n",
+                   e.what());
+    } catch (...) {
+      std::fprintf(stderr,
+                   "ThreadPool: dropping uncollected non-std task failure at teardown\n");
+    }
+    dropped_errors_metric_.add(1);
+  }
 }
 
 void ThreadPool::submit(std::function<void()> task) {
@@ -57,7 +73,13 @@ void ThreadPool::submit(std::function<void()> task) {
 
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lk(mu_);
-  cv_idle_.wait(lk, [this] { return in_flight_ == 0; });
+  // in_flight_ counts queued AND running tasks, and a nested submit() bumps
+  // it before the submitting task's own decrement — so in_flight_ == 0 does
+  // imply the queue is empty.  The queue check makes that invariant explicit
+  // rather than implicit: if the accounting is ever broken, wait_idle()
+  // blocks (and the regression test fails) instead of returning with work
+  // still queued.
+  cv_idle_.wait(lk, [this] { return in_flight_ == 0 && tasks_.empty(); });
   if (first_error_) {
     std::exception_ptr err = std::exchange(first_error_, nullptr);
     lk.unlock();

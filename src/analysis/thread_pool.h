@@ -8,8 +8,11 @@
 // it ("analysis.thread_pool.task_failures"), and stores the first one; the
 // next wait_idle() rethrows it on the caller's thread after the queue
 // drains.  Exceptions can never reach a worker's stack frame boundary, so
-// pool teardown with failing in-flight tasks cannot std::terminate; errors
-// still pending at destruction are swallowed (the destructor cannot throw).
+// pool teardown with failing in-flight tasks cannot std::terminate.  An
+// error still pending at destruction cannot be rethrown (destructors must
+// not throw), but it is not silent either: the destructor reports it on
+// stderr and bumps "analysis.thread_pool.dropped_errors", which — like the
+// lifetime failure counters — survives the pool itself.
 #pragma once
 
 #include <chrono>
@@ -75,6 +78,7 @@ class ThreadPool {
   // obs::metrics_enabled() so an idle observability layer costs nothing here.
   obs::Counter& tasks_metric_;
   obs::Counter& failures_metric_;
+  obs::Counter& dropped_errors_metric_;
   obs::Gauge& queue_depth_metric_;
   obs::Histogram& latency_metric_;
 };

@@ -7,11 +7,13 @@
 #include <random>
 
 #include "src/algo/algorithm_nc_uniform.h"
+#include "src/analysis/sweep.h"
 #include "src/obs/cert/potential_tracker.h"
 #include "src/obs/metrics_registry.h"
 #include "src/obs/profiler.h"
 #include "src/obs/trace.h"
 #include "src/opt/convex_opt.h"
+#include "src/opt/opt_cache.h"
 #include "src/opt/single_job_opt.h"
 #include "src/robust/checkpoint.h"
 
@@ -48,13 +50,21 @@ Instance decode(const std::vector<double>& x, int n) {
   return Instance(std::move(jobs));
 }
 
-}  // namespace
-
-WorstCaseResult find_worst_nc_instance(double alpha, const WorstCaseOptions& options) {
+/// One seeded coordinate-ascent search (the pre-restart find_worst body,
+/// minus the certificate re-run, which runs once on the overall winner).
+WorstCaseResult run_single_search(double alpha, const WorstCaseOptions& options) {
   const int n = options.n_jobs;
   ConvexOptParams opt_params;
   opt_params.slots = options.opt_slots;
   opt_params.max_iters = 2500;
+
+  // Once the ascent's step factor saturates at its 1.05 floor a stuck search
+  // re-probes identical coordinates round after round; the memoized solver
+  // turns those repeats into lookups.  Hits/misses depend only on this
+  // search's own probe sequence (the cache is private), so the work counters
+  // stay deterministic at any restart-sweep thread count.
+  OptSolveCache opt_cache(512);
+  ScopedOptSolveCache opt_cache_scope(&opt_cache);
 
   WorstCaseResult best;
   const auto t_start = std::chrono::steady_clock::now();
@@ -175,40 +185,80 @@ WorstCaseResult find_worst_nc_instance(double alpha, const WorstCaseOptions& opt
 
   best.instance = decode(x, n);
   best.ratio = cur;
+  return best;
+}
 
-  // Where exactly is the adversarial instance tight?  Re-run NC on the
-  // winner under the certificate ledger and keep the K lowest-slack release
-  // records — those are the events the adversary is squeezing.
-  if (options.report_tightest > 0) {
-    try {
-      auto ring = std::make_shared<obs::RingBufferSink>(1 << 18);
-      {
-        obs::ScopedTracing tracing(ring);
-        (void)run_nc_uniform(best.instance, alpha);
-      }
-      obs::cert::CertOptions copts;
-      copts.opt_slots = options.opt_slots;
-      const obs::cert::CertificateLedger ledger =
-          obs::cert::certify_events(ring->events(), alpha, copts);
-      std::vector<obs::cert::CertRecord> releases;
-      for (const obs::cert::CertRecord& r : ledger.records) {
-        if (r.kind == obs::EventKind::kJobRelease) releases.push_back(r);
-      }
-      std::sort(releases.begin(), releases.end(),
-                [](const obs::cert::CertRecord& a, const obs::cert::CertRecord& b) {
-                  if (a.slack != b.slack) return a.slack < b.slack;
-                  return a.t < b.t;  // deterministic tie-break
-                });
-      const std::size_t k =
-          std::min(releases.size(), static_cast<std::size_t>(options.report_tightest));
-      best.tightest_certificates.assign(releases.begin(),
-                                        releases.begin() + static_cast<std::ptrdiff_t>(k));
-    } catch (const std::exception& e) {
-      best.diagnostics.push_back(robust::Diagnostic{
-          robust::ErrorCode::kNoConvergence,
-          std::string("certificate re-run failed: ") + e.what()});
+/// Where exactly is the adversarial instance tight?  Re-run NC on the
+/// winner under the certificate ledger and keep the K lowest-slack release
+/// records — those are the events the adversary is squeezing.
+void attach_tightest(WorstCaseResult& best, double alpha, const WorstCaseOptions& options) {
+  try {
+    obs::RingBufferSink ring(1 << 18);
+    {
+      obs::ScopedThreadCapture capture(&ring);
+      (void)run_nc_uniform(best.instance, alpha);
     }
+    obs::cert::CertOptions copts;
+    copts.opt_slots = options.opt_slots;
+    const obs::cert::CertificateLedger ledger =
+        obs::cert::certify_events(ring.events(), alpha, copts);
+    std::vector<obs::cert::CertRecord> releases;
+    for (const obs::cert::CertRecord& r : ledger.records) {
+      if (r.kind == obs::EventKind::kJobRelease) releases.push_back(r);
+    }
+    std::sort(releases.begin(), releases.end(),
+              [](const obs::cert::CertRecord& a, const obs::cert::CertRecord& b) {
+                if (a.slack != b.slack) return a.slack < b.slack;
+                return a.t < b.t;  // deterministic tie-break
+              });
+    const std::size_t k =
+        std::min(releases.size(), static_cast<std::size_t>(options.report_tightest));
+    best.tightest_certificates.assign(releases.begin(),
+                                      releases.begin() + static_cast<std::ptrdiff_t>(k));
+  } catch (const std::exception& e) {
+    best.diagnostics.push_back(robust::Diagnostic{
+        robust::ErrorCode::kNoConvergence,
+        std::string("certificate re-run failed: ") + e.what()});
   }
+}
+
+}  // namespace
+
+WorstCaseResult find_worst_nc_instance(double alpha, const WorstCaseOptions& options) {
+  const int restarts = std::max(1, options.restarts);
+  WorstCaseResult best;
+  if (restarts == 1) {
+    best = run_single_search(alpha, options);
+  } else {
+    // Independent seeded searches, sharded through the sweep scheduler: the
+    // reduction picks the best ratio in restart-index order, so the result —
+    // and the merged work counters — are identical at any `jobs`.
+    std::vector<WorstCaseResult> results(static_cast<std::size_t>(restarts));
+    SweepOptions sweep_options;
+    sweep_options.jobs = options.jobs;
+    sweep_options.opt_cache_capacity = 0;  // each search installs its own cache
+    SweepScheduler scheduler(sweep_options);
+    scheduler.run(static_cast<std::size_t>(restarts), [&](std::size_t i) {
+      WorstCaseOptions o = options;
+      o.seed = options.seed + i;
+      o.report_tightest = 0;  // certified once, on the overall winner
+      if (!o.checkpoint_path.empty()) o.checkpoint_path += ".r" + std::to_string(i);
+      results[i] = run_single_search(alpha, o);
+    });
+    int evaluations = 0;
+    int failed = 0;
+    std::size_t win = 0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      evaluations += results[i].evaluations;
+      failed += results[i].failed_evaluations;
+      if (results[i].ratio > results[win].ratio) win = i;
+    }
+    best = std::move(results[win]);
+    best.evaluations = evaluations;
+    best.failed_evaluations = failed;
+  }
+  best.restarts_run = restarts;
+  if (options.report_tightest > 0) attach_tightest(best, alpha, options);
   return best;
 }
 

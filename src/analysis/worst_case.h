@@ -52,9 +52,10 @@ struct SingleJobGameResult {
 struct WorstCaseResult {
   Instance instance;        ///< the worst instance found
   double ratio = 0.0;       ///< NC fractional objective / numerical OPT
-  int evaluations = 0;      ///< successful ratio evaluations
+  int evaluations = 0;      ///< successful ratio evaluations (all restarts)
   int failed_evaluations = 0;  ///< probes that raised a typed diagnostic
-  int rounds_completed = 0;
+  int rounds_completed = 0;    ///< of the winning restart
+  int restarts_run = 1;
   robust::RunStatus status = robust::RunStatus::kOk;
   std::vector<robust::Diagnostic> diagnostics;  ///< budget/eval-failure trail
   /// The K tightest certificates (smallest fractional release slack) from
@@ -80,6 +81,15 @@ struct WorstCaseOptions {
   /// When > 0, re-run NC on the winning instance under the certificate
   /// ledger and report this many tightest (lowest release slack) records.
   int report_tightest = 0;
+  /// Independent seeded restarts (seeds seed, seed+1, ...).  The result is
+  /// the best ratio across restarts (ties break to the lowest restart
+  /// index), with evaluation counts summed over all of them; per-restart
+  /// checkpoints get a ".r<i>" path suffix.  1 = the classic single search.
+  int restarts = 1;
+  /// Worker threads for the restart sweep (0 = hardware concurrency).  The
+  /// result and the merged work counters are identical for any value — the
+  /// restarts are sharded through the sweep scheduler (src/analysis/sweep.h).
+  std::size_t jobs = 1;
 };
 
 /// Coordinate-ascent search for instances maximizing the ratio of Algorithm

@@ -46,7 +46,9 @@ struct IterationTally {
   const char* name;
   std::int64_t n = 0;
   ~IterationTally() {
-    if (n > 0 && obs::metrics_enabled()) obs::registry().counter(name).add(n);
+    // shard_aware_add: under a sweep shard (src/obs/shard_scope.h) the tally
+    // lands in the shard's delta map, like every OBS_COUNT site.
+    if (n > 0 && obs::metrics_enabled()) obs::shard_aware_add(name, n);
   }
 };
 

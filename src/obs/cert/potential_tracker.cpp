@@ -1,11 +1,16 @@
 #include "src/obs/cert/potential_tracker.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <exception>
 #include <istream>
+#include <limits>
 #include <map>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -16,6 +21,7 @@
 #include "src/obs/json_util.h"
 #include "src/obs/metrics_registry.h"
 #include "src/opt/convex_opt.h"
+#include "src/opt/opt_cache.h"
 #include "src/opt/single_job_opt.h"
 #include "src/robust/atomic_io.h"
 #include "src/sim/c_machine.h"
@@ -298,6 +304,76 @@ CertificateLedger certify_events(const std::vector<TraceEvent>& events, double a
     }
   }
 
+  // --- Prefix convex solves, hoisted out of pass 2 ------------------------
+  // Each qualifying release k solves the prefix instance of releases 0..k —
+  // a pure function of the (already fixed) release order, so the solves can
+  // run ahead of the walk, sharded across options.solver_jobs threads.
+  // Pass 2 consumes the objectives in stream order, which keeps the ledger
+  // byte-identical at any thread count.  NaN marks an unsolvable prefix
+  // (ModelError): pass 2 keeps the previous bound and does not count an
+  // update, exactly as the inline solve did.
+  std::vector<double> prefix_objective;
+  if (options.opt_lb == OptLbMode::kPrefixConvex) {
+    std::vector<Job> releases;  // qualifying releases, in stream order
+    {
+      std::map<JobId, bool> seen;
+      for (const TraceEvent& ev : sorted) {
+        if (ev.kind != EventKind::kJobRelease || ev.job == kNoJob || seen[ev.job]) continue;
+        seen[ev.job] = true;
+        const JobState& js = jobs[ev.job];
+        if (js.volume > 0.0 && js.density > 0.0) {
+          releases.push_back(Job{ev.job, js.r, js.volume, js.density});
+        }
+      }
+    }
+    prefix_objective.assign(releases.size(), std::numeric_limits<double>::quiet_NaN());
+    const auto solve_prefix = [&](std::size_t k) {
+      try {
+        TraceSuppressGuard suppress_virtual_solves;
+        ConvexOptParams params;
+        params.slots = options.opt_slots;
+        params.max_iters = options.opt_max_iters;
+        std::vector<Job> pre(releases.begin(),
+                             releases.begin() + static_cast<std::ptrdiff_t>(k + 1));
+        prefix_objective[k] =
+            solve_fractional_opt(Instance(std::move(pre)), alpha, params).objective;
+      } catch (const ModelError&) {
+        // leave NaN: unsolvable prefix keeps the previous bound
+      }
+    };
+    const std::size_t n_solves = releases.size();
+    const std::size_t workers = std::min(
+        n_solves, options.solver_jobs > 1 ? static_cast<std::size_t>(options.solver_jobs)
+                                          : std::size_t{1});
+    if (workers > 1) {
+      // Plain std::thread workers (obs cannot depend on analysis::ThreadPool)
+      // over an atomic work counter.  Each worker re-installs the caller's
+      // OPT solve cache so repeated prefixes memoize across certify calls.
+      OptSolveCache* caller_cache = active_opt_cache();
+      std::atomic<std::size_t> next{0};
+      std::exception_ptr first_error;
+      std::mutex error_mu;
+      std::vector<std::thread> pool;
+      pool.reserve(workers);
+      for (std::size_t w = 0; w < workers; ++w) {
+        pool.emplace_back([&] {
+          ScopedOptSolveCache cache_scope(caller_cache);
+          try {
+            for (std::size_t k; (k = next.fetch_add(1)) < n_solves;) solve_prefix(k);
+          } catch (...) {
+            // Rethrown after the join: same propagation as the serial path.
+            const std::lock_guard<std::mutex> lock(error_mu);
+            if (!first_error) first_error = std::current_exception();
+          }
+        });
+      }
+      for (std::thread& t : pool) t.join();
+      if (first_error) std::rethrow_exception(first_error);
+    } else {
+      for (std::size_t k = 0; k < n_solves; ++k) solve_prefix(k);
+    }
+  }
+
   // --- Pass 2: walk the stream, maintain Phi and the OPT lower bound ------
   double phi = 0.0;
   double phi_int = 0.0;
@@ -305,8 +381,7 @@ CertificateLedger certify_events(const std::vector<TraceEvent>& events, double a
   double alg_cum_int = 0.0;
   double opt_lb = 0.0;
   double min_combined = kInf;
-  std::vector<Job> prefix;  // jobs released so far (volumes are in the stream)
-  prefix.reserve(jobs.size());
+  std::size_t prefix_idx = 0;  // next entry of prefix_objective to consume
   std::map<JobId, bool> seen_release, seen_complete;
 
   for (const TraceEvent& ev : sorted) {
@@ -328,18 +403,12 @@ CertificateLedger certify_events(const std::vector<TraceEvent>& events, double a
           lb_new = opt_lb + single_job_frac_opt(js.volume, js.density, alpha).objective;
           ++ledger.opt_lb_updates;
         } else if (options.opt_lb == OptLbMode::kPrefixConvex) {
-          prefix.push_back(Job{ev.job, js.r, js.volume, js.density});
-          try {
-            TraceSuppressGuard suppress_virtual_solves;
-            ConvexOptParams params;
-            params.slots = options.opt_slots;
-            params.max_iters = options.opt_max_iters;
-            const ConvexOptResult opt = solve_fractional_opt(Instance(prefix), alpha, params);
-            lb_new = std::max(opt_lb, opt.objective);
+          const double objective = prefix_objective[prefix_idx++];
+          if (!std::isnan(objective)) {
+            lb_new = std::max(opt_lb, objective);
             ++ledger.opt_lb_updates;
-          } catch (const ModelError&) {
-            lb_new = opt_lb;  // unsolvable prefix: keep the previous bound
           }
+          // NaN: unsolvable prefix, keep the previous bound (no update)
         }
         rec.d_opt_lb = lb_new - opt_lb;
         opt_lb = lb_new;

@@ -90,6 +90,12 @@ struct CertOptions {
   OptLbMode opt_lb = OptLbMode::kPrefixConvex;
   int opt_slots = 240;       ///< discretization of the prefix convex solves
   int opt_max_iters = 2000;  ///< FISTA iteration cap per prefix solve
+  /// Worker threads for the kPrefixConvex solves.  Each release's prefix
+  /// solve is a pure function of the release order, so the solves run in a
+  /// pre-pass sharded across this many threads; the ledger (records, slack,
+  /// opt_lb_updates) is byte-identical at any value.  Workers re-install the
+  /// caller's active OPT solve cache (src/opt/opt_cache.h), if any.
+  int solver_jobs = 1;
   ProfileCert profile = ProfileCert::kAuto;
   /// When emitting through the Tracer (emit_trace_events), flush all sinks
   /// every this many records so a crashed run keeps its certificate stream

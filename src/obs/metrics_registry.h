@@ -109,10 +109,20 @@ class MetricsRegistry {
 /// Shorthand for MetricsRegistry::instance().
 [[nodiscard]] MetricsRegistry& registry();
 
+class ShardMetricsScope;
+
 namespace detail {
 /// Gate for *hot-path* metric sites (see OBS_COUNT).  Off by default so the
 /// exact simulators run at seed speed; harnesses and tools flip it on.
 inline std::atomic<bool> g_metrics_enabled{false};
+/// Innermost shard scope on this thread (src/obs/shard_scope.h).  While
+/// non-null, counter adds divert into the scope's private delta map instead
+/// of the global registry; the sweep scheduler merges the deltas back in a
+/// deterministic order after the shard finishes.
+inline thread_local ShardMetricsScope* g_shard_scope = nullptr;
+/// Records `n` against `literal_name` in the thread's innermost shard scope.
+/// Pointer is retained: the name must have static storage duration.
+void shard_record(const char* literal_name, std::int64_t n);
 }  // namespace detail
 
 [[nodiscard]] inline bool metrics_enabled() noexcept {
@@ -123,6 +133,24 @@ void set_metrics_enabled(bool on) noexcept;
 /// Enables/disables both pillars' runtime gates (tracing + hot metrics).
 void set_observability_enabled(bool on) noexcept;
 
+/// Shard-aware add for a pre-resolved counter (the OBS_COUNT fast path):
+/// one thread_local load + branch on top of the relaxed RMW.  `name` must
+/// have static storage duration (shard scopes retain the pointer).
+inline void shard_aware_add(Counter& cached, const char* name, std::int64_t n) {
+  if (detail::g_shard_scope != nullptr) {
+    detail::shard_record(name, n);
+  } else {
+    cached.add(n);
+  }
+}
+
+/// Shard-aware add for call sites that carry the counter name at runtime and
+/// cannot cache a per-site reference (numerics::IterationTally, the sweep
+/// scheduler's merge step).  `name` must have static storage duration.
+void shard_aware_add(const char* name, std::int64_t n);
+/// Same, for dynamically built names (the pointer is not retained).
+void shard_aware_add(const std::string& name, std::int64_t n);
+
 }  // namespace speedscale::obs
 
 /// Hot-path counter increment: a relaxed load + branch when disabled; the
@@ -132,6 +160,6 @@ void set_observability_enabled(bool on) noexcept;
     if (::speedscale::obs::metrics_enabled()) {                               \
       static ::speedscale::obs::Counter& obs_counter_ =                       \
           ::speedscale::obs::registry().counter(name);                        \
-      obs_counter_.add(n);                                                    \
+      ::speedscale::obs::shard_aware_add(obs_counter_, name, (n));            \
     }                                                                         \
   } while (0)

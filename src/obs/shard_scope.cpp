@@ -1,0 +1,62 @@
+#include "src/obs/shard_scope.h"
+
+namespace speedscale::obs {
+
+namespace detail {
+
+void shard_record(const char* literal_name, std::int64_t n) {
+  g_shard_scope->record_site(literal_name, n);
+}
+
+}  // namespace detail
+
+ShardMetricsScope::ShardMetricsScope() : prev_(detail::g_shard_scope), active_(true) {
+  detail::g_shard_scope = this;
+}
+
+ShardMetricsScope::~ShardMetricsScope() { stop(); }
+
+void ShardMetricsScope::stop() {
+  if (!active_) return;
+  // Scopes are strictly nested per thread, so the innermost is always `this`
+  // when stop() runs on the owning thread.
+  detail::g_shard_scope = prev_;
+  active_ = false;
+}
+
+std::map<std::string, std::int64_t> ShardMetricsScope::counters() const {
+  std::map<std::string, std::int64_t> out = by_name_;
+  for (const auto& [name, v] : by_site_) out[name] += v;
+  return out;
+}
+
+void ShardMetricsScope::merge_into_parent() {
+  stop();
+  for (const auto& [name, v] : counters()) shard_aware_add(name, v);
+}
+
+void ShardMetricsScope::record_site(const char* literal_name, std::int64_t n) {
+  by_site_[literal_name] += n;
+}
+
+void ShardMetricsScope::record_named(const std::string& name, std::int64_t n) {
+  by_name_[name] += n;
+}
+
+void shard_aware_add(const char* name, std::int64_t n) {
+  if (ShardMetricsScope* scope = detail::g_shard_scope) {
+    scope->record_site(name, n);
+  } else {
+    registry().counter(name).add(n);
+  }
+}
+
+void shard_aware_add(const std::string& name, std::int64_t n) {
+  if (ShardMetricsScope* scope = detail::g_shard_scope) {
+    scope->record_named(name, n);
+  } else {
+    registry().counter(name).add(n);
+  }
+}
+
+}  // namespace speedscale::obs

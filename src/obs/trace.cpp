@@ -226,6 +226,12 @@ bool Tracer::enabled() const {
 }
 
 void Tracer::emit(const TraceEvent& ev) {
+  // An exclusive per-thread capture (ScopedThreadCapture) short-circuits the
+  // global sink set: no shared lock, no cross-thread event mixing.
+  if (TraceSink* local = detail::g_thread_sink) {
+    local->on_event(ev);
+    return;
+  }
   std::lock_guard<std::mutex> lk(mu_);
   for (const auto& s : sinks_) s->on_event(ev);
 }

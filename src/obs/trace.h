@@ -144,11 +144,16 @@ namespace detail {
 inline std::atomic<bool> g_trace_enabled{false};
 /// Per-thread suppression depth (virtual runs trace nothing).
 inline thread_local int g_suppress_depth = 0;
+/// Per-thread exclusive capture sink (see ScopedThreadCapture).  While set,
+/// this thread's events bypass the global enabled flag and sink set entirely
+/// — no shared mutex, no cross-thread interleaving.
+inline thread_local TraceSink* g_thread_sink = nullptr;
 }  // namespace detail
 
 /// True when TRACE_EVENT sites are live on this thread.
 [[nodiscard]] inline bool tracing_enabled() noexcept {
-  return detail::g_trace_enabled.load(std::memory_order_relaxed) &&
+  return (detail::g_trace_enabled.load(std::memory_order_relaxed) ||
+          detail::g_thread_sink != nullptr) &&
          detail::g_suppress_depth == 0;
 }
 
@@ -202,6 +207,25 @@ class ScopedTracing {
   bool was_enabled_;
 };
 
+/// Routes this thread's TRACE_EVENTs *exclusively* to `sink` for the scope:
+/// the global enabled flag and registered sinks are bypassed, so concurrent
+/// captures on different threads (sweep shards certifying their own runs in
+/// parallel) never see each other's events and take no shared lock.
+/// TraceSuppressGuard still applies.  Nests: the previous thread sink is
+/// restored on destruction.  The caller owns `sink` and must keep it alive.
+class ScopedThreadCapture {
+ public:
+  explicit ScopedThreadCapture(TraceSink* sink) : prev_(detail::g_thread_sink) {
+    detail::g_thread_sink = sink;
+  }
+  ~ScopedThreadCapture() { detail::g_thread_sink = prev_; }
+  ScopedThreadCapture(const ScopedThreadCapture&) = delete;
+  ScopedThreadCapture& operator=(const ScopedThreadCapture&) = delete;
+
+ private:
+  TraceSink* prev_;
+};
+
 }  // namespace speedscale::obs
 
 /// Emission macro: zero work beyond one relaxed atomic load when disabled.
@@ -210,8 +234,9 @@ class ScopedTracing {
 ///               .value = cum_energy, .aux = cum_flow);
 #define TRACE_EVENT(...)                                                     \
   do {                                                                       \
-    if (::speedscale::obs::detail::g_trace_enabled.load(                     \
-            std::memory_order_relaxed) &&                                    \
+    if ((::speedscale::obs::detail::g_trace_enabled.load(                    \
+             std::memory_order_relaxed) ||                                   \
+         ::speedscale::obs::detail::g_thread_sink != nullptr) &&             \
         ::speedscale::obs::detail::g_suppress_depth == 0) {                  \
       ::speedscale::obs::Tracer::instance().emit(                            \
           ::speedscale::obs::TraceEvent{__VA_ARGS__});                       \

@@ -5,6 +5,7 @@
 #include <span>
 
 #include "src/numerics/projection.h"
+#include "src/opt/opt_cache.h"
 #include "src/sim/c_machine.h"
 
 namespace speedscale {
@@ -83,6 +84,16 @@ struct Problem {
 
 ConvexOptResult solve_fractional_opt(const Instance& instance, double alpha,
                                      const ConvexOptParams& params) {
+  if (OptSolveCache* cache = active_opt_cache()) {
+    return cache->solve(instance, alpha, params);
+  }
+  return detail::solve_fractional_opt_uncached(instance, alpha, params);
+}
+
+namespace detail {
+
+ConvexOptResult solve_fractional_opt_uncached(const Instance& instance, double alpha,
+                                              const ConvexOptParams& params) {
   if (instance.empty()) return {};
   double horizon = params.horizon;
   if (horizon <= 0.0) {
@@ -177,5 +188,7 @@ ConvexOptResult solve_fractional_opt(const Instance& instance, double alpha,
   }
   return out;
 }
+
+}  // namespace detail
 
 }  // namespace speedscale

@@ -42,8 +42,17 @@ struct ConvexOptResult {
   std::vector<double> slot_speed;  ///< total machine speed per slot
 };
 
-/// Solves the discretized fractional offline optimum.
+/// Solves the discretized fractional offline optimum.  Consults the calling
+/// thread's installed OptSolveCache (src/opt/opt_cache.h), when one exists,
+/// before running FISTA — results are identical either way.
 [[nodiscard]] ConvexOptResult solve_fractional_opt(const Instance& instance, double alpha,
                                                    const ConvexOptParams& params = {});
+
+namespace detail {
+/// The raw FISTA solve, bypassing any installed cache (the cache's own
+/// miss path lands here — it must not recurse through the public entry).
+[[nodiscard]] ConvexOptResult solve_fractional_opt_uncached(const Instance& instance, double alpha,
+                                                            const ConvexOptParams& params);
+}  // namespace detail
 
 }  // namespace speedscale

@@ -1,0 +1,71 @@
+#include "src/opt/opt_cache.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "src/obs/metrics_registry.h"
+
+namespace speedscale {
+
+namespace {
+
+thread_local OptSolveCache* t_active_cache = nullptr;
+
+}  // namespace
+
+bool OptSolveCache::Key::operator<(const Key& other) const {
+  return std::tie(alpha, horizon, rel_tol, energy_weight, slots, max_iters, jobs) <
+         std::tie(other.alpha, other.horizon, other.rel_tol, other.energy_weight, other.slots,
+                  other.max_iters, other.jobs);
+}
+
+OptSolveCache::OptSolveCache(std::size_t capacity) : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+ConvexOptResult OptSolveCache::solve(const Instance& instance, double alpha,
+                                     const ConvexOptParams& params) {
+  Key key{alpha,       params.horizon,   params.rel_tol, params.energy_weight,
+          params.slots, params.max_iters, {}};
+  key.jobs.reserve(instance.size());
+  for (const Job& j : instance.jobs()) key.jobs.push_back({j.release, j.volume, j.density});
+
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      OBS_COUNT("opt.cache.hits", 1);
+      return it->second;
+    }
+  }
+
+  // Miss: solve outside the lock so shared-cache users (the certificate
+  // prefix pre-solve) can make progress concurrently.
+  const ConvexOptResult result = detail::solve_fractional_opt_uncached(instance, alpha, params);
+
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (entries_.size() >= capacity_) {
+      OBS_COUNT("opt.cache.evictions", static_cast<std::int64_t>(entries_.size()));
+      entries_.clear();
+    }
+    entries_.emplace(std::move(key), result);
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  OBS_COUNT("opt.cache.misses", 1);
+  return result;
+}
+
+std::size_t OptSolveCache::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return entries_.size();
+}
+
+OptSolveCache* active_opt_cache() noexcept { return t_active_cache; }
+
+ScopedOptSolveCache::ScopedOptSolveCache(OptSolveCache* cache) : prev_(t_active_cache) {
+  t_active_cache = cache;
+}
+
+ScopedOptSolveCache::~ScopedOptSolveCache() { t_active_cache = prev_; }
+
+}  // namespace speedscale

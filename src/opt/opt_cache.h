@@ -1,0 +1,88 @@
+// Memoization cache for convex-relaxation OPT solves.
+//
+// The certificate ledger re-solves the released prefix at every release, the
+// ratio harness certifies several algorithms over the *same* instance (so
+// their prefix relaxations coincide), and the adversarial search re-probes
+// coordinates it has visited before.  All of those solves are pure functions
+// of (instance, alpha, params), so a scoped cache turns the repeats into
+// lookups without touching any call site: solve_fractional_opt consults the
+// thread's installed cache transparently.
+//
+// Keying and invalidation: the key is the *exact* solve input — alpha, every
+// ConvexOptParams field, and each job's (release, volume, density) triple,
+// compared bitwise (no hashing, no epsilon) in job order.  Any change to the
+// instance, the discretization, or the solver tolerances is a different key;
+// there is no time-based or version-based invalidation to get wrong.  When
+// the capacity is reached the cache clears wholesale — a deterministic
+// policy (no recency state), so cache behavior is a pure function of the
+// solve sequence and hit/miss counters stay byte-stable across runs.
+//
+// Threading: a cache is internally locked and may be shared by worker
+// threads (the certificate pre-solve does this); misses solve outside the
+// lock.  Installation is per-thread (ScopedOptSolveCache), so parallel sweep
+// shards with private caches never contend.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "src/opt/convex_opt.h"
+
+namespace speedscale {
+
+class OptSolveCache {
+ public:
+  /// `capacity` = max retained solves; the map clears wholesale when full.
+  explicit OptSolveCache(std::size_t capacity = 256);
+
+  /// Returns the cached result for this exact solve, computing (and
+  /// retaining) it on miss.  Bumps the "opt.cache.hits"/"opt.cache.misses"
+  /// work counters so cache effectiveness is pinned in the bench ledger.
+  [[nodiscard]] ConvexOptResult solve(const Instance& instance, double alpha,
+                                      const ConvexOptParams& params);
+
+  [[nodiscard]] std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  struct Key {
+    double alpha;
+    double horizon;
+    double rel_tol;
+    double energy_weight;
+    int slots;
+    int max_iters;
+    std::vector<std::array<double, 3>> jobs;  // (release, volume, density) in id order
+
+    bool operator<(const Key& other) const;
+  };
+
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::map<Key, ConvexOptResult> entries_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+/// The cache solve_fractional_opt consults on this thread; null when none.
+[[nodiscard]] OptSolveCache* active_opt_cache() noexcept;
+
+/// Installs `cache` (may be null = uninstall) as the thread's active cache
+/// for the scope; restores the previous one on destruction.  Nestable.
+class ScopedOptSolveCache {
+ public:
+  explicit ScopedOptSolveCache(OptSolveCache* cache);
+  ~ScopedOptSolveCache();
+  ScopedOptSolveCache(const ScopedOptSolveCache&) = delete;
+  ScopedOptSolveCache& operator=(const ScopedOptSolveCache&) = delete;
+
+ private:
+  OptSolveCache* prev_;
+};
+
+}  // namespace speedscale

@@ -1,9 +1,11 @@
 #include "src/robust/guarded_engine.h"
 
 #include <functional>
+#include <optional>
 #include <utility>
 
 #include "src/obs/metrics_registry.h"
+#include "src/obs/shard_scope.h"
 #include "src/obs/trace.h"
 
 namespace speedscale::robust {
@@ -30,25 +32,47 @@ RunOutcome<SampledRun> guarded_ladder(
                   .aux = static_cast<double>(cfg.substeps_per_interval),
                   .label = "robust.retry");
     }
-    try {
-      SampledRun run = attempt_fn(cfg);
-      InvariantReport report = check_fn(run, cfg);
-      if (report.ok()) {
-        out.status = (attempt == 0 && out.diagnostics.empty()) ? RunStatus::kOk
-                                                               : RunStatus::kDegraded;
-        out.value = std::move(run);
-        if (out.status == RunStatus::kDegraded) OBS_COUNT("robust.retry.recoveries", 1);
-        return out;
+    // Each attempt runs inside its own metrics shard so the deterministic
+    // work counters (ODE substeps, root iterations, ...) of a *rejected*
+    // attempt never reach the main ledger — previously a retried substep was
+    // counted once per rung, skewing BENCH ledgers under fault injection.
+    // Only the accepted attempt's deltas merge back ("committed"); every
+    // attempt also tallies into the attempted total so retry cost stays
+    // visible.  Control-plane counters (guard.runs/trips, retry.*) live
+    // outside the shard by design.
+    std::optional<SampledRun> run;
+    InvariantReport report;
+    std::optional<Diagnostic> thrown;
+    std::int64_t units = 0;
+    {
+      obs::ShardMetricsScope attempt_work;
+      try {
+        run = attempt_fn(cfg);
+        report = check_fn(*run, cfg);
+      } catch (const RobustError& e) {
+        thrown = e.diagnostic();
+      } catch (const std::exception& e) {
+        thrown = Diagnostic{ErrorCode::kNoConvergence,
+                            std::string("engine attempt threw: ") + e.what()};
       }
-      OBS_COUNT("robust.guard.trips", 1);
+      attempt_work.stop();
+      for (const auto& [name, v] : attempt_work.counters()) units += v;
+      if (!thrown && report.ok()) attempt_work.merge_into_parent();
+    }
+    OBS_COUNT("robust.work.attempted_units", units);
+    if (!thrown && report.ok()) {
+      OBS_COUNT("robust.work.committed_units", units);
+      out.status = (attempt == 0 && out.diagnostics.empty()) ? RunStatus::kOk
+                                                             : RunStatus::kDegraded;
+      out.value = std::move(*run);
+      if (out.status == RunStatus::kDegraded) OBS_COUNT("robust.retry.recoveries", 1);
+      return out;
+    }
+    OBS_COUNT("robust.guard.trips", 1);
+    if (thrown) {
+      out.diagnostics.push_back(std::move(*thrown));
+    } else {
       for (Diagnostic& d : report.breaches) out.diagnostics.push_back(std::move(d));
-    } catch (const RobustError& e) {
-      OBS_COUNT("robust.guard.trips", 1);
-      out.diagnostics.push_back(e.diagnostic());
-    } catch (const std::exception& e) {
-      OBS_COUNT("robust.guard.trips", 1);
-      out.diagnostics.push_back(Diagnostic{ErrorCode::kNoConvergence,
-                                           std::string("engine attempt threw: ") + e.what()});
     }
   }
   out.status = RunStatus::kFailed;

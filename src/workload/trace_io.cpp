@@ -107,7 +107,22 @@ Instance read_trace(std::istream& is, const TraceReadOptions& options, TraceRead
   std::size_t line_no = 1;
   while (std::getline(is, line)) {
     ++line_no;
+    // getline hitting EOF mid-line means the final line has no '\n': the
+    // file is a torn tail (crash-safe ".tmp" prefixes end exactly like this,
+    // and write_trace always terminates lines).  The fragment may still
+    // parse as 4 valid fields — a truncated "…,1.25" reads as "…,1" — so it
+    // must never be accepted as data: strict mode rejects it by position,
+    // lenient mode counts it as skipped (it used to be silently accepted,
+    // undercounting lines_skipped).
+    const bool torn_tail = is.eof();
     if (line.empty()) continue;
+    if (torn_tail) {
+      if (options.mode == TraceReadMode::kStrict) {
+        malformed("unterminated final line (torn tail)", line_no);
+      }
+      ++st.lines_skipped;
+      continue;
+    }
     Job j;
     std::string why;
     if (parse_job_line(line, j, why)) {

@@ -189,6 +189,13 @@ const TraceCorpusCase kTraceCorpus[] = {
     {"nan_density", "id,release,volume,density\n0,0,1,nan\n", 0, 1, true},
     {"blank_lines_between_rows", "id,release,volume,density\n0,0,1,1\n\n\n1,1,1,1\n", 2, 0,
      false},
+    // A crash-truncated tail (no trailing '\n', as left by interrupted
+    // ".tmp" writers).  The parsable variant is the regression: the torn
+    // fragment "1,1,2,1" (say, cut from "1,1,2,1.5") reads as 4 valid
+    // fields, and lenient mode used to accept it silently instead of
+    // counting it as skipped.
+    {"torn_tail_parsable", "id,release,volume,density\n0,0,1,1\n1,1,2,1", 1, 1, true},
+    {"torn_tail_unparsable", "id,release,volume,density\n0,0,1,1\n1,0.5,2", 1, 1, true},
 };
 
 INSTANTIATE_TEST_SUITE_P(Corpus, TraceCorpus, ::testing::ValuesIn(kTraceCorpus), corpus_name);
