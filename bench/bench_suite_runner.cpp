@@ -42,7 +42,9 @@
 #include "src/analysis/sweep.h"
 #include "src/core/power.h"
 #include "src/numerics/roots.h"
+#include "src/obs/build_info.h"
 #include "src/obs/cert/potential_tracker.h"
+#include "src/obs/live/telemetry_hub.h"
 #include "src/obs/metrics_registry.h"
 #include "src/obs/perf/bench_ledger.h"
 #include "src/obs/trace.h"
@@ -162,6 +164,21 @@ std::vector<PinnedBench> pinned_suite() {
                [target](double x) { return x * x * x - target; }, 0.0, 0.5, 1e-12);
          }
        }},
+      {"live.nc_uniform_sampled/256",
+       [] {
+         // NC-uniform with the live telemetry sampler scraping the registry
+         // at 1 ms (src/obs/live/).  The hub writes gauges only, so the
+         // shard's counter delta must pin exactly the same work counters as
+         // an unsampled run — the committed proof that live telemetry is
+         // unobservable in the deterministic half of the ledger.
+         obs::live::TelemetryOptions topts;
+         topts.period = std::chrono::milliseconds(1);
+         topts.publish_sweep_gauges = false;
+         obs::live::TelemetryHub hub(topts);
+         hub.start();
+         (void)run_nc_uniform(make_uniform(256, 9), kAlpha);
+         hub.stop();
+       }},
       // The sweep-engine determinism pair: same 8-point suite grid at inner
       // jobs 1 and 8.  Identical counters (incl. opt.cache.hits/misses from
       // the per-point memoized OPT solves), different wall — the committed
@@ -195,7 +212,8 @@ int usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string out_path, filter, exclude, suite_name = "pr3-pinned";
+  std::string out_path, suite_name = "pr3-pinned";
+  std::vector<std::string> filters, excludes;  // repeatable; substring match
   int reps = 5;
   std::size_t jobs = 1;
   bool quick = false, list = false;
@@ -210,9 +228,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--quick") {
       quick = true;
     } else if (arg == "--filter" && i + 1 < argc) {
-      filter = argv[++i];
+      filters.emplace_back(argv[++i]);
     } else if (arg == "--exclude" && i + 1 < argc) {
-      exclude = argv[++i];
+      excludes.emplace_back(argv[++i]);
     } else if (arg == "--list") {
       list = true;
     } else if (arg == "--suite" && i + 1 < argc) {
@@ -233,19 +251,27 @@ int main(int argc, char** argv) {
   std::vector<const PinnedBench*> selected;
   for (const PinnedBench& b : suite) {
     const std::string name(b.name);
-    if (!filter.empty() && name.find(filter) == std::string::npos) continue;
-    if (!exclude.empty() && name.find(exclude) != std::string::npos) continue;
+    const auto matches = [&name](const std::string& s) {
+      return name.find(s) != std::string::npos;
+    };
+    if (!filters.empty() && std::none_of(filters.begin(), filters.end(), matches)) continue;
+    if (std::any_of(excludes.begin(), excludes.end(), matches)) continue;
     selected.push_back(&b);
   }
   if (selected.empty()) {
-    std::fprintf(stderr, "no pinned bench matches filter \"%s\" (exclude \"%s\")\n",
-                 filter.c_str(), exclude.c_str());
+    std::fprintf(stderr, "no pinned bench matches the --filter/--exclude selection\n");
     return 2;
   }
 
   obs::perf::BenchLedger ledger(suite_name);
   ledger.set_config("alpha", "2");
+  // Build identity (src/obs/build_info.h) travels with every ledger so a
+  // regression report names the exact binary.  bench_compare.py ignores
+  // config, so committed baselines predating these keys stay comparable.
+  ledger.set_config("build_type", obs::build_info().build_type);
+  ledger.set_config("compiler", obs::build_info().compiler);
   ledger.set_config("engine_substeps", std::to_string(kEngineSubsteps));
+  ledger.set_config("git_hash", obs::build_info().git_hash);
   ledger.set_config("mode", quick ? "quick" : "full");
   ledger.set_config("repetitions", std::to_string(reps));
 

@@ -58,10 +58,21 @@ def compare(baseline, current, wall_tolerance=0.25, out=sys.stdout):
 
         base_counters = base.get("counters", {})
         cur_counters = cur.get("counters", {})
-        for cname in sorted(set(base_counters) | set(cur_counters)):
-            b, c = base_counters.get(cname), cur_counters.get(cname)
-            if b != c:
-                failures.append(f"{name}: counter {cname}: baseline={b} current={c}")
+        diverging = [cname for cname in sorted(set(base_counters) | set(cur_counters))
+                     if base_counters.get(cname) != cur_counters.get(cname)]
+        if diverging:
+            # Full sorted diff of every diverging counter, so a regression is
+            # diagnosable from the CI log alone — no re-run needed.
+            width = max(len(c) for c in diverging)
+            lines = [f"{name}: {len(diverging)} diverging counter(s):",
+                     f"  {'counter':<{width}} {'baseline':>16} {'current':>16} {'delta':>12}"]
+            for cname in diverging:
+                b, c = base_counters.get(cname), cur_counters.get(cname)
+                bs = "(missing)" if b is None else str(b)
+                cs = "(missing)" if c is None else str(c)
+                delta = f"{c - b:+d}" if b is not None and c is not None else "n/a"
+                lines.append(f"  {cname:<{width}} {bs:>16} {cs:>16} {delta:>12}")
+            failures.append("\n".join(lines))
 
         base_wall = min(base.get("wall_ns") or [0])
         cur_wall = min(cur.get("wall_ns") or [0])
@@ -104,11 +115,26 @@ def self_test():
     f, w = compare(base, copy.deepcopy(base), out=io.StringIO())
     assert not f and not w, (f, w)
 
-    # An injected counter regression (one extra segment) must hard-fail.
+    # An injected counter regression (one extra segment, plus a counter that
+    # only exists on one side each way) must hard-fail, and the failure must
+    # carry the full sorted diff: every diverging counter with baseline /
+    # current / delta and (missing) markers.
     hot = copy.deepcopy(base)
     hot["entries"]["sim.x/64"]["counters"]["sim.c_machine.segments"] = 101
-    f, _ = compare(base, hot, out=io.StringIO())
+    hot["entries"]["sim.x/64"]["counters"]["sim.roots.iters"] = 7
+    base["entries"]["sim.x/64"]["counters"]["sim.retries"] = 3
+    diff_out = io.StringIO()
+    f, _ = compare(base, hot, out=diff_out)
     assert f, "injected counter regression was not detected"
+    diff = diff_out.getvalue()
+    assert "3 diverging counter(s)" in diff, diff
+    for expected in ("sim.c_machine.segments", "sim.roots.iters", "sim.retries",
+                     "(missing)", "+1"):
+        assert expected in diff, f"diff section missing {expected!r}:\n{diff}"
+    # Sorted order within the diff table.
+    assert diff.index("sim.c_machine.segments") < diff.index("sim.retries") \
+        < diff.index("sim.roots.iters"), diff
+    del base["entries"]["sim.x/64"]["counters"]["sim.retries"]
 
     # A vanished pinned (counter-carrying) bench must hard-fail.
     gone = copy.deepcopy(base)

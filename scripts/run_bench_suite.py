@@ -19,7 +19,7 @@ separators), so regenerating on the same machine/toolchain is byte-stable in
 the counter half.  Refresh the committed baselines with:
 
     scripts/run_bench_suite.py --build-dir build --out BENCH_PR3.json \
-        --pr5-out BENCH_PR5.json
+        --pr5-out BENCH_PR5.json --pr6-out BENCH_PR6.json
 
 `--jobs N` shards the runner's (bench x repetition) grid across N workers;
 the counter half of the ledger is byte-identical at any N (the sweep
@@ -138,6 +138,9 @@ def main():
     ap.add_argument("--pr5-out", default=None,
                     help="also write the sweep-suite ledger (analysis.sweep_suite/8x1 "
                          "vs /8x8: identical counters, serial vs parallel wall) here")
+    ap.add_argument("--pr6-out", default=None,
+                    help="also write the live-telemetry ledger (live.* pinned counters "
+                         "under a running sampler + E23 overhead wall rows) here")
     ap.add_argument("--quick", action="store_true",
                     help="CI mode: 2 runner repetitions, short gbench min-times")
     ap.add_argument("--skip-gbench", action="store_true",
@@ -155,7 +158,8 @@ def main():
               f"({n_counted} with deterministic work counters)")
 
     ledger = run_suite_runner(args.build_dir, args.quick, jobs=args.jobs,
-                              extra_args=["--exclude", "analysis.sweep_suite"])
+                              extra_args=["--exclude", "analysis.sweep_suite",
+                                          "--exclude", "live."])
     if args.suite:
         ledger["suite"] = args.suite
 
@@ -176,6 +180,24 @@ def main():
                                extra_args=["--filter", "analysis.sweep_suite",
                                            "--suite", "pr5-sweep"])
         write_ledger(args.pr5_out, pr5)
+
+    if args.pr6_out:
+        # Live telemetry (ISSUE 6 / E23): the live.* pinned counters prove
+        # the sampler is unobservable in the deterministic half; the gbench
+        # rows are the sampled-vs-unsampled overhead evidence (wall-only,
+        # advisory in the gate).
+        pr6 = run_suite_runner(args.build_dir, args.quick, jobs=1,
+                               extra_args=["--filter", "live.",
+                                           "--suite", "pr6-telemetry"])
+        if not args.skip_gbench:
+            pr6_filter = ("^BM_AlgorithmNCUniform_MetricsOnly/1024$"
+                          "|^BM_AlgorithmNCUniform_SampledHub/1024$"
+                          "|^BM_TelemetrySampleTick$|^BM_PrometheusExposition$")
+            for name, entry in run_gbench(args.build_dir, "bench_obs_overhead",
+                                          pr6_filter, args.quick,
+                                          1 if args.quick else 3).items():
+                pr6["entries"][name] = entry
+        write_ledger(args.pr6_out, pr6)
 
 
 if __name__ == "__main__":

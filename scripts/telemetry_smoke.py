@@ -1,0 +1,197 @@
+#!/usr/bin/env python3
+"""CI smoke test for the live telemetry plane (src/obs/live/).
+
+Launches `datacenter_cluster --serve-metrics` in the background, waits for
+the atomically-written port file, scrapes /metrics twice, and asserts:
+
+  * the exposition parses as Prometheus 0.0.4 text (every sample line has a
+    finite-or-token value, every metric has a preceding # TYPE line);
+  * `speedscale_build_info{...} 1` is present with a non-empty git_hash;
+  * counters are monotone non-decreasing between the two scrapes, and the
+    simulated cluster actually progressed (speedscale_cluster_rounds grew);
+  * /snapshot.json parses as JSON and carries build_info;
+  * /healthz answers ok;
+  * SIGTERM produces a clean shutdown (exit code 0).
+
+Usage: telemetry_smoke.py /path/to/datacenter_cluster
+
+Exit codes: 0 pass, 1 assertion failure, 2 usage/spawn failure.
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+SCRAPE_TIMEOUT = 10.0
+PROM_TOKENS = {"+Inf", "-Inf", "NaN"}
+
+
+def fail(msg):
+    print(f"telemetry_smoke: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def scrape(address, path):
+    """Minimal HTTP/1.0 GET against HOST:PORT or unix:PATH."""
+    deadline = time.monotonic() + SCRAPE_TIMEOUT
+    if address.startswith("unix:"):
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(SCRAPE_TIMEOUT)
+        sock.connect(address[len("unix:"):])
+    else:
+        host, port = address.rsplit(":", 1)
+        sock = socket.create_connection((host, int(port)), timeout=SCRAPE_TIMEOUT)
+    with sock:
+        sock.sendall(f"GET {path} HTTP/1.0\r\n\r\n".encode())
+        chunks = []
+        while time.monotonic() < deadline:
+            data = sock.recv(65536)
+            if not data:
+                break
+            chunks.append(data)
+    response = b"".join(chunks).decode()
+    head, sep, body = response.partition("\r\n\r\n")
+    if not sep or " 200 " not in head.splitlines()[0]:
+        fail(f"scrape {path}: bad response head {head.splitlines()[:1]}")
+    return body
+
+
+def parse_exposition(text):
+    """Validate 0.0.4 text syntax; return {metric_name: value} for samples."""
+    samples = {}
+    typed = set()
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line:
+            fail(f"exposition line {lineno}: empty line")
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in ("counter", "gauge", "histogram"):
+                fail(f"exposition line {lineno}: bad TYPE line {line!r}")
+            typed.add(parts[2])
+            continue
+        if line.startswith("#"):
+            continue
+        name_part, _, value_part = line.rpartition(" ")
+        if not name_part:
+            fail(f"exposition line {lineno}: no value separator in {line!r}")
+        if value_part not in PROM_TOKENS:
+            try:
+                float(value_part)
+            except ValueError:
+                fail(f"exposition line {lineno}: bad value {value_part!r}")
+        name = name_part.split("{", 1)[0]
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if base.endswith(suffix) and base[: -len(suffix)] in typed:
+                base = base[: -len(suffix)]
+                break
+        if base not in typed:
+            fail(f"exposition line {lineno}: sample {name!r} has no # TYPE line")
+        if not name.startswith("speedscale_"):
+            fail(f"exposition line {lineno}: {name!r} missing speedscale_ prefix")
+        samples[name_part] = value_part
+    if not samples:
+        fail("exposition has no samples")
+    return samples
+
+
+def counters_of(text):
+    """{name: float} for every metric declared `# TYPE ... counter`."""
+    counter_names = set()
+    for line in text.splitlines():
+        if line.startswith("# TYPE ") and line.endswith(" counter"):
+            counter_names.add(line.split()[2])
+    out = {}
+    for name_part, value in parse_exposition(text).items():
+        base = name_part.split("{", 1)[0]
+        if base in counter_names and value not in PROM_TOKENS:
+            out[name_part] = float(value)
+    return out
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    binary = sys.argv[1]
+    if not os.access(binary, os.X_OK):
+        print(f"telemetry_smoke: not executable: {binary}", file=sys.stderr)
+        return 2
+
+    with tempfile.TemporaryDirectory(prefix="telemetry_smoke_") as tmp:
+        port_file = os.path.join(tmp, "address")
+        jsonl = os.path.join(tmp, "telemetry.jsonl")
+        proc = subprocess.Popen(
+            [binary, "--serve-metrics", "0", "--port-file", port_file,
+             "--rounds", "0", "--period-ms", "50", "--round-sleep-ms", "20",
+             "--telemetry-jsonl", jsonl],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+        try:
+            deadline = time.monotonic() + SCRAPE_TIMEOUT
+            while not os.path.exists(port_file):
+                if proc.poll() is not None:
+                    fail(f"server exited early: {proc.communicate()[0]}")
+                if time.monotonic() > deadline:
+                    fail("port file never appeared")
+                time.sleep(0.05)
+            address = open(port_file).read().strip()
+            print(f"telemetry_smoke: serving at {address}")
+
+            if scrape(address, "/healthz").strip() != "ok":
+                fail("/healthz did not answer ok")
+
+            first = scrape(address, "/metrics")
+            parse_exposition(first)
+            if 'git_hash="' not in first or "speedscale_build_info{" not in first:
+                fail("exposition missing speedscale_build_info with git_hash")
+
+            snapshot = json.loads(scrape(address, "/snapshot.json"))
+            for key in ("build_info", "counters", "gauges"):
+                if key not in snapshot:
+                    fail(f"/snapshot.json missing {key!r}")
+            if not snapshot["build_info"].get("git_hash"):
+                fail("/snapshot.json build_info.git_hash empty")
+
+            time.sleep(0.5)  # let a few rounds land
+            second = scrape(address, "/metrics")
+            parse_exposition(second)
+
+            before, after = counters_of(first), counters_of(second)
+            for name, value in before.items():
+                if name in after and after[name] < value:
+                    fail(f"counter {name} went backwards: {value} -> {after[name]}")
+            rounds = "speedscale_cluster_rounds"
+            if after.get(rounds, 0.0) <= before.get(rounds, 0.0):
+                fail(f"{rounds} did not advance ({before.get(rounds)} -> {after.get(rounds)})")
+            print(f"telemetry_smoke: {len(after)} counters monotone, "
+                  f"{rounds} {before.get(rounds):.0f} -> {after.get(rounds):.0f}")
+        finally:
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGTERM)
+            try:
+                out, _ = proc.communicate(timeout=SCRAPE_TIMEOUT)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                fail("server did not shut down on SIGTERM")
+
+        if proc.returncode != 0:
+            fail(f"server exit code {proc.returncode}, output:\n{out}")
+        if "clean shutdown" not in out:
+            fail(f"server never printed clean shutdown:\n{out}")
+        if not os.path.exists(jsonl) or os.path.getsize(jsonl) == 0:
+            fail("telemetry JSONL artifact missing or empty after shutdown")
+        header = json.loads(open(jsonl).readline())
+        if header.get("schema") != "speedscale.telemetry_jsonl/1":
+            fail(f"bad JSONL header schema: {header.get('schema')!r}")
+        print("telemetry_smoke: clean shutdown, JSONL artifact committed")
+    print("telemetry_smoke: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

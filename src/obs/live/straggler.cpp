@@ -1,0 +1,177 @@
+#include "src/obs/live/straggler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+
+#include "src/obs/metrics_registry.h"
+
+namespace speedscale::obs::live {
+
+namespace {
+
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Per-thread slot assignment, valid for one sweep epoch.
+struct ThreadSlot {
+  std::uint64_t epoch = 0;
+  std::size_t slot = 0;
+};
+thread_local ThreadSlot t_slot;
+
+}  // namespace
+
+SweepHeartbeats& SweepHeartbeats::instance() {
+  static SweepHeartbeats hb;
+  return hb;
+}
+
+std::int64_t SweepHeartbeats::now_ns() const {
+  return steady_ns() - start_ns_.load(std::memory_order_relaxed);
+}
+
+bool SweepHeartbeats::begin_sweep(std::size_t items_total, std::size_t workers) {
+  std::lock_guard<std::mutex> lk(begin_mu_);
+  if (active_.load(std::memory_order_acquire)) return false;  // nested sweep
+  epoch_.fetch_add(1, std::memory_order_relaxed);
+  items_total_.store(static_cast<std::int64_t>(items_total), std::memory_order_relaxed);
+  started_.store(0, std::memory_order_relaxed);
+  completed_.store(0, std::memory_order_relaxed);
+  completed_ns_.store(0, std::memory_order_relaxed);
+  workers_.store(workers, std::memory_order_relaxed);
+  start_ns_.store(steady_ns(), std::memory_order_relaxed);
+  next_slot_.store(0, std::memory_order_relaxed);
+  for (Shard& s : shards_) {
+    s.started.store(0, std::memory_order_relaxed);
+    s.completed.store(0, std::memory_order_relaxed);
+    s.item_start_ns.store(0, std::memory_order_relaxed);
+    s.last_progress_ns.store(0, std::memory_order_relaxed);
+    s.current_item.store(-1, std::memory_order_relaxed);
+    s.busy.store(false, std::memory_order_relaxed);
+  }
+  active_.store(true, std::memory_order_release);
+  return true;
+}
+
+void SweepHeartbeats::end_sweep() { active_.store(false, std::memory_order_release); }
+
+std::size_t SweepHeartbeats::item_started(std::size_t item_index) {
+  const std::uint64_t epoch = epoch_.load(std::memory_order_relaxed);
+  if (t_slot.epoch != epoch) {
+    t_slot.epoch = epoch;
+    t_slot.slot = std::min(next_slot_.fetch_add(1, std::memory_order_relaxed),
+                           kMaxHeartbeatShards - 1);
+  }
+  const std::int64_t now = now_ns();
+  Shard& s = shards_[t_slot.slot];
+  s.started.fetch_add(1, std::memory_order_relaxed);
+  s.item_start_ns.store(now, std::memory_order_relaxed);
+  s.last_progress_ns.store(now, std::memory_order_relaxed);
+  s.current_item.store(static_cast<std::int64_t>(item_index), std::memory_order_relaxed);
+  s.busy.store(true, std::memory_order_relaxed);
+  started_.fetch_add(1, std::memory_order_relaxed);
+  return t_slot.slot;
+}
+
+void SweepHeartbeats::item_finished(std::size_t slot) {
+  slot = std::min(slot, kMaxHeartbeatShards - 1);
+  const std::int64_t now = now_ns();
+  Shard& s = shards_[slot];
+  const std::int64_t item_ns = now - s.item_start_ns.load(std::memory_order_relaxed);
+  s.completed.fetch_add(1, std::memory_order_relaxed);
+  s.last_progress_ns.store(now, std::memory_order_relaxed);
+  s.current_item.store(-1, std::memory_order_relaxed);
+  s.busy.store(false, std::memory_order_relaxed);
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  completed_ns_.fetch_add(std::max<std::int64_t>(item_ns, 0), std::memory_order_relaxed);
+}
+
+HeartbeatSnapshot SweepHeartbeats::snapshot() const {
+  HeartbeatSnapshot out;
+  out.active = active_.load(std::memory_order_acquire);
+  out.epoch = epoch_.load(std::memory_order_relaxed);
+  out.workers = workers_.load(std::memory_order_relaxed);
+  out.items_total = items_total_.load(std::memory_order_relaxed);
+  out.items_started = started_.load(std::memory_order_relaxed);
+  out.items_completed = completed_.load(std::memory_order_relaxed);
+  out.queue_depth = std::max<std::int64_t>(out.items_total - out.items_started, 0);
+  const std::int64_t now = now_ns();
+  out.elapsed_seconds = static_cast<double>(now) * 1e-9;
+  if (out.items_completed > 0) {
+    out.mean_item_seconds = static_cast<double>(completed_ns_.load(std::memory_order_relaxed)) *
+                            1e-9 / static_cast<double>(out.items_completed);
+  }
+  const std::size_t used =
+      std::min(next_slot_.load(std::memory_order_relaxed), kMaxHeartbeatShards);
+  out.shards.resize(used);
+  for (std::size_t i = 0; i < used; ++i) {
+    const Shard& s = shards_[i];
+    ShardBeat& b = out.shards[i];
+    b.busy = s.busy.load(std::memory_order_relaxed);
+    b.items_started = s.started.load(std::memory_order_relaxed);
+    b.items_completed = s.completed.load(std::memory_order_relaxed);
+    b.current_item = s.current_item.load(std::memory_order_relaxed);
+    b.last_progress_seconds =
+        static_cast<double>(s.last_progress_ns.load(std::memory_order_relaxed)) * 1e-9;
+    if (b.busy) {
+      b.inflight_seconds =
+          static_cast<double>(now - s.item_start_ns.load(std::memory_order_relaxed)) * 1e-9;
+      if (b.inflight_seconds < 0.0) b.inflight_seconds = 0.0;
+    }
+  }
+  return out;
+}
+
+StragglerReport detect_stragglers(const HeartbeatSnapshot& hb, const StragglerOptions& options) {
+  StragglerReport out;
+  if (!hb.active) return out;
+  const double threshold =
+      std::max(options.min_seconds, options.factor * hb.mean_item_seconds);
+  for (std::size_t i = 0; i < hb.shards.size(); ++i) {
+    if (hb.shards[i].busy && hb.shards[i].inflight_seconds > threshold) {
+      out.stragglers.push_back(i);
+    }
+  }
+  if (hb.items_completed > 0 && hb.workers > 0 && hb.mean_item_seconds > 0.0) {
+    const double remaining = static_cast<double>(hb.items_total - hb.items_completed);
+    out.eta_seconds = remaining * hb.mean_item_seconds / static_cast<double>(hb.workers);
+  }
+  return out;
+}
+
+void publish_sweep_gauges(const StragglerOptions& options) {
+  const HeartbeatSnapshot hb = SweepHeartbeats::instance().snapshot();
+  MetricsRegistry& reg = registry();
+  reg.gauge("sweep.active").set(hb.active ? 1.0 : 0.0);
+  if (!hb.active) return;  // last sweep's gauges persist; `sweep.active` disambiguates
+  const StragglerReport report = detect_stragglers(hb, options);
+  reg.gauge("sweep.epoch").set(static_cast<double>(hb.epoch));
+  reg.gauge("sweep.workers").set(static_cast<double>(hb.workers));
+  reg.gauge("sweep.items_total").set(static_cast<double>(hb.items_total));
+  reg.gauge("sweep.items_started").set(static_cast<double>(hb.items_started));
+  reg.gauge("sweep.items_completed").set(static_cast<double>(hb.items_completed));
+  reg.gauge("sweep.queue_depth").set(static_cast<double>(hb.queue_depth));
+  reg.gauge("sweep.elapsed_seconds").set(hb.elapsed_seconds);
+  reg.gauge("sweep.mean_item_seconds").set(hb.mean_item_seconds);
+  reg.gauge("sweep.eta_seconds").set(report.eta_seconds);
+  reg.gauge("sweep.stragglers").set(static_cast<double>(report.stragglers.size()));
+  for (std::size_t i = 0; i < hb.shards.size(); ++i) {
+    const ShardBeat& b = hb.shards[i];
+    const std::string prefix = "sweep.shard." + std::to_string(i) + ".";
+    reg.gauge(prefix + "busy").set(b.busy ? 1.0 : 0.0);
+    reg.gauge(prefix + "items_started").set(static_cast<double>(b.items_started));
+    reg.gauge(prefix + "items_completed").set(static_cast<double>(b.items_completed));
+    reg.gauge(prefix + "inflight_seconds").set(b.inflight_seconds);
+    reg.gauge(prefix + "last_progress_seconds").set(b.last_progress_seconds);
+    const bool straggler =
+        std::find(report.stragglers.begin(), report.stragglers.end(), i) !=
+        report.stragglers.end();
+    reg.gauge(prefix + "straggler").set(straggler ? 1.0 : 0.0);
+  }
+}
+
+}  // namespace speedscale::obs::live

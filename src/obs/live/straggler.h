@@ -1,0 +1,130 @@
+// Sweep heartbeats and straggler detection.
+//
+// The sweep scheduler (src/analysis/sweep.h) is the repo's long-running
+// surface: a grid of items sharded across a pool, invisible from outside
+// until it returns.  This module gives it a live pulse.  Worker threads
+// publish per-shard heartbeats (items started/completed, the age of the
+// in-flight item, last-progress timestamp) into a fixed array of atomics —
+// no locks, no allocation on the item path — and a pure detector turns a
+// heartbeat snapshot into a straggler list and an ETA.
+//
+// The telemetry hub (src/obs/live/telemetry_hub.h) publishes the snapshot as
+// `sweep.*` / `sweep.shard.<slot>.*` *gauges* each sampler tick.  Gauges
+// never enter sweep artifacts, certificate streams, or bench-ledger counter
+// snapshots, so the PR 5 determinism contract (--jobs N byte-identical to
+// --jobs 1) holds with live telemetry enabled.
+//
+// Only the outermost sweep owns the heartbeat plane: begin_sweep() returns
+// false for nested sweeps (bench workloads that run inner sweeps), which
+// then report nothing — the live view describes the run the caller started.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace speedscale::obs::live {
+
+/// Fixed heartbeat capacity: worker threads beyond this share the last slot
+/// (counts stay correct; per-shard attribution degrades gracefully).
+inline constexpr std::size_t kMaxHeartbeatShards = 64;
+
+/// One worker's heartbeat at snapshot time.  Seconds are relative to the
+/// sweep's own start.
+struct ShardBeat {
+  bool busy = false;
+  std::int64_t items_started = 0;
+  std::int64_t items_completed = 0;
+  double inflight_seconds = 0.0;       ///< age of the current item; 0 when idle
+  double last_progress_seconds = 0.0;  ///< last start/finish on this shard
+  std::int64_t current_item = -1;      ///< item index in flight; -1 when idle
+};
+
+/// Whole-sweep heartbeat snapshot (plus per-shard beats).
+struct HeartbeatSnapshot {
+  bool active = false;
+  std::uint64_t epoch = 0;  ///< increments every begin_sweep
+  std::size_t workers = 0;
+  std::int64_t items_total = 0;
+  std::int64_t items_started = 0;
+  std::int64_t items_completed = 0;
+  std::int64_t queue_depth = 0;  ///< items not yet started
+  double elapsed_seconds = 0.0;
+  double mean_item_seconds = 0.0;  ///< over completed items; 0 before any
+  std::vector<ShardBeat> shards;   ///< one per slot handed out this sweep
+};
+
+/// Process-wide heartbeat plane.  Hot-path methods (item_started /
+/// item_finished) are lock-free; begin/end serialize on a mutex.
+class SweepHeartbeats {
+ public:
+  static SweepHeartbeats& instance();
+
+  /// Claims the heartbeat plane for a sweep of `items_total` items on
+  /// `workers` workers.  Returns false when a sweep is already active
+  /// (nested sweeps report nothing); only a true return may be paired with
+  /// item_started/item_finished/end_sweep.
+  bool begin_sweep(std::size_t items_total, std::size_t workers);
+  void end_sweep();
+
+  /// Marks `item_index` in flight on the calling thread's shard slot
+  /// (assigned per thread per sweep).  Returns the slot.
+  std::size_t item_started(std::size_t item_index);
+  void item_finished(std::size_t slot);
+
+  [[nodiscard]] HeartbeatSnapshot snapshot() const;
+
+ private:
+  SweepHeartbeats() = default;
+
+  struct Shard {
+    std::atomic<std::int64_t> started{0};
+    std::atomic<std::int64_t> completed{0};
+    std::atomic<std::int64_t> item_start_ns{0};
+    std::atomic<std::int64_t> last_progress_ns{0};
+    std::atomic<std::int64_t> current_item{-1};
+    std::atomic<bool> busy{false};
+  };
+
+  [[nodiscard]] std::int64_t now_ns() const;  // since sweep start
+
+  std::mutex begin_mu_;
+  std::atomic<bool> active_{false};
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::int64_t> items_total_{0};
+  std::atomic<std::int64_t> started_{0};
+  std::atomic<std::int64_t> completed_{0};
+  std::atomic<std::int64_t> completed_ns_{0};  ///< summed completed-item time
+  std::atomic<std::size_t> workers_{0};
+  std::atomic<std::int64_t> start_ns_{0};  ///< steady_clock epoch of the sweep
+  std::atomic<std::size_t> next_slot_{0};
+  Shard shards_[kMaxHeartbeatShards];
+};
+
+/// Straggler policy: a busy shard is a straggler when its in-flight item is
+/// older than max(min_seconds, factor x mean completed-item time).  Before
+/// any item completes, min_seconds alone governs.
+struct StragglerOptions {
+  double factor = 4.0;
+  double min_seconds = 0.05;
+};
+
+struct StragglerReport {
+  std::vector<std::size_t> stragglers;  ///< slot indices, ascending
+  /// Naive remaining-work estimate: (total - completed) x mean / workers.
+  /// -1 while unknown (no completions yet, or the sweep is inactive).
+  double eta_seconds = -1.0;
+};
+
+/// Pure function of a snapshot — unit-testable with synthetic heartbeats.
+[[nodiscard]] StragglerReport detect_stragglers(const HeartbeatSnapshot& hb,
+                                                const StragglerOptions& options = {});
+
+/// Publishes the current heartbeat snapshot + straggler report as `sweep.*`
+/// gauges (see docs/observability.md).  Gauges from the previous sweep
+/// persist after end_sweep — `sweep.active` says whether they are live.
+void publish_sweep_gauges(const StragglerOptions& options = {});
+
+}  // namespace speedscale::obs::live

@@ -1,0 +1,369 @@
+#include "src/obs/live/telemetry_hub.h"
+
+#include <algorithm>
+#include <clocale>
+#include <cmath>
+#include <cstdio>
+
+#include "src/obs/json_util.h"
+#include "src/obs/live/straggler.h"
+#include "src/obs/trace.h"
+
+namespace speedscale::obs::live {
+
+namespace {
+
+double seconds_between(std::chrono::steady_clock::time_point a,
+                       std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(b - a).count();
+}
+
+// "p50" / "p99" / "p99.9": %g drops trailing zeros, so labels stay short.
+std::string quantile_label(double q) {
+  char buf[24];
+  const int n = std::snprintf(buf, sizeof(buf), "p%g", q * 100.0);
+  const char sep = std::localeconv()->decimal_point[0];
+  if (sep != '.') std::replace(buf, buf + n, sep, '.');
+  return std::string(buf, static_cast<std::size_t>(n));
+}
+
+}  // namespace
+
+// --- TelemetryHub -----------------------------------------------------------
+
+TelemetryHub::TelemetryHub(const TelemetryOptions& options)
+    : options_(options), start_time_(std::chrono::steady_clock::now()) {
+  if (options_.ring_capacity == 0) options_.ring_capacity = 1;
+}
+
+TelemetryHub::~TelemetryHub() { stop(); }
+
+void TelemetryHub::push_series(const std::string& name, const char* kind, double t, double v) {
+  Ring& ring = series_[name];
+  if (ring.t.empty()) {  // first sight of this series: the only allocation
+    ring.kind = kind;
+    ring.t.resize(options_.ring_capacity);
+    ring.v.resize(options_.ring_capacity);
+  }
+  ring.t[ring.head] = t;
+  ring.v[ring.head] = v;
+  ring.head = (ring.head + 1) % options_.ring_capacity;
+  if (ring.size < options_.ring_capacity) ++ring.size;
+  ring.last = v;
+}
+
+void TelemetryHub::sample_now() {
+  const auto tick_start = std::chrono::steady_clock::now();
+  if (options_.publish_sweep_gauges) publish_sweep_gauges();
+  // The hub's own pulse is published as *gauges*: counters stay workload-
+  // deterministic (the bench ledger's hard gate) with the sampler running.
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    registry().gauge("obs.live.samples").set(static_cast<double>(samples_ + 1));
+  }
+  registry().gauge("obs.live.sample_cost_us").set(last_cost_us_.load(std::memory_order_relaxed));
+
+  const double t = seconds_between(start_time_, tick_start);
+  const MetricsSnapshot snap = registry().snapshot();
+
+  std::string line;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    const double dt = t - prev_t_;
+    for (const auto& [name, v] : snap.counters) {
+      push_series(name, "counter", t, static_cast<double>(v));
+      Ring& ring = series_[name];
+      const auto prev = prev_counters_.find(name);
+      ring.rate = (prev != prev_counters_.end() && dt > 0.0)
+                      ? static_cast<double>(v - prev->second) / dt
+                      : 0.0;
+    }
+    for (const auto& [name, v] : snap.gauges) push_series(name, "gauge", t, v);
+    for (const auto& [name, h] : snap.histograms) {
+      for (const double q : options_.quantiles) {
+        push_series(name + "." + quantile_label(q), "quantile", t, h.quantile(q));
+      }
+    }
+    prev_counters_ = snap.counters;
+    prev_t_ = t;
+    ++samples_;
+    if (sink_) {
+      line = sample_jsonl_line(t, snap);
+      sink_->write_line(line);
+    }
+  }
+
+  last_cost_us_.store(seconds_between(tick_start, std::chrono::steady_clock::now()) * 1e6,
+                      std::memory_order_relaxed);
+}
+
+std::string TelemetryHub::sample_jsonl_line(double t, const MetricsSnapshot& snap) const {
+  // Callers hold mu_.  Sorted keys + "%.17g" numbers: equal samples
+  // serialize byte-identically (src/obs/json_util.h contract).
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : snap.counters) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, name);
+    out += ':' + std::to_string(v);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : snap.gauges) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, name);
+    out += ':';
+    append_json_number(out, v);
+  }
+  out += "},\"quantiles\":{";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    for (const double q : options_.quantiles) {
+      if (!first) out += ',';
+      first = false;
+      append_json_string(out, name + "." + quantile_label(q));
+      out += ':';
+      append_json_number(out, h.quantile(q));
+    }
+  }
+  out += "},\"samples\":" + std::to_string(samples_);
+  out += ",\"t\":";
+  append_json_number(out, t);
+  out += '}';
+  return out;
+}
+
+void TelemetryHub::start() {
+  std::lock_guard<std::mutex> lk(thread_mu_);
+  if (running_) return;
+  stop_requested_ = false;
+  if (!options_.jsonl_path.empty()) {
+    auto sink = std::make_unique<JsonlSink>(options_.jsonl_path);
+    JsonlSink::FlushPolicy policy;
+    policy.mode = JsonlSink::FlushPolicy::Mode::kTimed;
+    policy.interval = options_.jsonl_flush_interval;
+    sink->set_flush_policy(policy);
+    std::string header = "{\"build_info\":";
+    append_build_info_json(header);
+    header += ",\"kind\":\"telemetry_header\",\"period_ms\":" +
+              std::to_string(options_.period.count());
+    header += ",\"quantiles\":[";
+    for (std::size_t i = 0; i < options_.quantiles.size(); ++i) {
+      if (i) header += ',';
+      append_json_number(header, options_.quantiles[i]);
+    }
+    header += "],\"schema\":\"speedscale.telemetry_jsonl/1\"}";
+    sink->write_line(header);
+    std::lock_guard<std::mutex> lk2(mu_);
+    sink_ = std::move(sink);
+  }
+  sample_now();
+  sampler_ = std::thread(&TelemetryHub::sampler_main, this);
+  running_ = true;
+}
+
+void TelemetryHub::sampler_main() {
+  std::unique_lock<std::mutex> lk(thread_mu_);
+  while (!stop_requested_) {
+    cv_.wait_for(lk, options_.period, [this] { return stop_requested_; });
+    if (stop_requested_) break;
+    lk.unlock();
+    sample_now();
+    lk.lock();
+  }
+}
+
+void TelemetryHub::stop() {
+  std::thread sampler;
+  bool was_running = false;
+  {
+    std::lock_guard<std::mutex> lk(thread_mu_);
+    was_running = running_;
+    stop_requested_ = true;
+    running_ = false;
+    sampler = std::move(sampler_);
+  }
+  cv_.notify_all();
+  if (sampler.joinable()) sampler.join();
+  if (was_running) sample_now();  // final tick: the JSONL artifact ends current
+  std::lock_guard<std::mutex> lk(mu_);
+  if (sink_) {
+    sink_->close();
+    sink_.reset();
+  }
+}
+
+bool TelemetryHub::running() const {
+  std::lock_guard<std::mutex> lk(thread_mu_);
+  return running_;
+}
+
+std::uint64_t TelemetryHub::samples() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return samples_;
+}
+
+std::string TelemetryHub::series_json() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::string out = "{\"samples\":" + std::to_string(samples_);
+  out += ",\"schema\":\"speedscale.telemetry_series/1\",\"series\":{";
+  bool first = true;
+  for (const auto& [name, ring] : series_) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, name);
+    out += ":{\"kind\":";
+    append_json_string(out, ring.kind);
+    out += ",\"last\":";
+    append_json_number(out, ring.last);
+    out += ",\"points\":[";
+    const std::size_t cap = options_.ring_capacity;
+    for (std::size_t i = 0; i < ring.size; ++i) {
+      const std::size_t idx = (ring.head + cap - ring.size + i) % cap;
+      if (i) out += ',';
+      out += "[";
+      append_json_number(out, ring.t[idx]);
+      out += ',';
+      append_json_number(out, ring.v[idx]);
+      out += ']';
+    }
+    out += "],\"rate\":";
+    append_json_number(out, ring.rate);
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+SeriesView TelemetryHub::series(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  SeriesView out;
+  const auto it = series_.find(name);
+  if (it == series_.end()) return out;
+  const Ring& ring = it->second;
+  out.kind = ring.kind;
+  out.last = ring.last;
+  out.rate = ring.rate;
+  out.t.reserve(ring.size);
+  out.v.reserve(ring.size);
+  const std::size_t cap = options_.ring_capacity;
+  for (std::size_t i = 0; i < ring.size; ++i) {
+    const std::size_t idx = (ring.head + cap - ring.size + i) % cap;
+    out.t.push_back(ring.t[idx]);
+    out.v.push_back(ring.v[idx]);
+  }
+  return out;
+}
+
+std::vector<std::string> TelemetryHub::series_names() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::string> out;
+  out.reserve(series_.size());
+  for (const auto& [name, ring] : series_) out.push_back(name);
+  return out;
+}
+
+// --- Prometheus exposition --------------------------------------------------
+
+namespace {
+
+// Exposition numbers share the "%.17g" locale-independent discipline of
+// src/obs/json_util.h, but use Prometheus's non-finite tokens (+Inf / -Inf /
+// NaN) instead of quoted JSON strings.
+void append_prom_number(std::string& out, double v) {
+  if (std::isnan(v)) {
+    out += "NaN";
+    return;
+  }
+  if (std::isinf(v)) {
+    out += v > 0 ? "+Inf" : "-Inf";
+    return;
+  }
+  char buf[40];
+  const int n = std::snprintf(buf, sizeof(buf), "%.17g", v);
+  const char sep = std::localeconv()->decimal_point[0];
+  if (sep != '.') std::replace(buf, buf + n, sep, '.');
+  out.append(buf, static_cast<std::size_t>(n));
+}
+
+// Prometheus label-value escaping: backslash, double quote, newline.
+void append_prom_label_value(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    if (c == '\\' || c == '"') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string prometheus_name(const std::string& metric) {
+  std::string out = "speedscale_";
+  for (const char c : metric) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string prometheus_exposition(const MetricsSnapshot& snap, const BuildInfo& info) {
+  std::string out;
+  out += "# TYPE speedscale_build_info gauge\n";
+  out += "speedscale_build_info{alpha_config=";
+  append_prom_label_value(out, info.alpha_config);
+  out += ",build_type=";
+  append_prom_label_value(out, info.build_type);
+  out += ",compiler=";
+  append_prom_label_value(out, info.compiler);
+  out += ",cxx_standard=";
+  append_prom_label_value(out, info.cxx_standard);
+  out += ",git_hash=";
+  append_prom_label_value(out, info.git_hash);
+  out += "} 1\n";
+
+  for (const auto& [name, v] : snap.counters) {
+    const std::string prom = prometheus_name(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + ' ' + std::to_string(v) + '\n';
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    const std::string prom = prometheus_name(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + ' ';
+    append_prom_number(out, v);
+    out += '\n';
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string prom = prometheus_name(name);
+    out += "# TYPE " + prom + " histogram\n";
+    std::int64_t cum = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i < h.counts.size()) cum += h.counts[i];
+      out += prom + "_bucket{le=\"";
+      append_prom_number(out, h.bounds[i]);
+      out += "\"} " + std::to_string(cum) + '\n';
+    }
+    out += prom + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + '\n';
+    out += prom + "_sum ";
+    append_prom_number(out, h.sum);
+    out += '\n';
+    out += prom + "_count " + std::to_string(h.count) + '\n';
+  }
+  return out;
+}
+
+std::string prometheus_exposition() {
+  return prometheus_exposition(registry().snapshot(), build_info());
+}
+
+}  // namespace speedscale::obs::live

@@ -1,0 +1,144 @@
+// Live telemetry hub: periodic registry sampling into bounded time series.
+//
+// A background sampler thread ticks on a configurable period.  Each tick
+//
+//   1. publishes the sweep heartbeat gauges (src/obs/live/straggler.h),
+//   2. takes one MetricsRegistry snapshot (one registry lock, relaxed loads),
+//   3. pushes (t, value) into a preallocated per-series ring — fixed
+//      capacity, no allocation once a series exists,
+//   4. derives windowed counter rates (delta / dt against the previous tick)
+//      and streaming histogram quantiles (p50/p95/p99 by linear bucket
+//      interpolation), published as their own series,
+//   5. optionally appends one JSONL sample line through the crash-safe
+//      JsonlSink (time-based flush policy), so a killed process leaves a
+//      near-current ".tmp" time-series file behind.
+//
+// The hub is the data plane behind the scrape server
+// (src/obs/live/telemetry_server.h) and the `telemetry_tool --watch` view.
+// Determinism: the hub writes *gauges* ("obs.live.samples", sweep.*) and
+// reads counters; it never adds to a counter, so pinned bench-ledger counter
+// snapshots and sweep artifacts are byte-identical with the hub running.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/build_info.h"
+#include "src/obs/metrics_registry.h"
+
+namespace speedscale::obs {
+class JsonlSink;
+}  // namespace speedscale::obs
+
+namespace speedscale::obs::live {
+
+struct TelemetryOptions {
+  /// Sampler tick period.
+  std::chrono::milliseconds period{250};
+  /// Points retained per series (ring capacity; fixed after creation).
+  std::size_t ring_capacity = 512;
+  /// Histogram quantiles derived per tick, as `<hist>.p<q*100>` series.
+  /// When non-empty each entry must be in (0, 1).
+  std::vector<double> quantiles{0.50, 0.95, 0.99};
+  /// Publish sweep.* heartbeat gauges each tick (src/obs/live/straggler.h).
+  bool publish_sweep_gauges = true;
+  /// When non-empty: append one JSONL sample object per tick here
+  /// (speedscale.telemetry_jsonl/1), via the crash-safe JsonlSink.
+  std::string jsonl_path;
+  /// Flush interval for the JSONL sink (JsonlSink FlushPolicy::kTimed).
+  std::chrono::milliseconds jsonl_flush_interval{1000};
+};
+
+/// One series' recent history, oldest-first.
+struct SeriesView {
+  std::string kind;  ///< "counter" | "gauge" | "quantile"
+  double last = 0.0;
+  double rate = 0.0;  ///< counters: delta/dt over the last tick; else 0
+  std::vector<double> t;
+  std::vector<double> v;
+};
+
+class TelemetryHub {
+ public:
+  explicit TelemetryHub(const TelemetryOptions& options = {});
+  ~TelemetryHub();  // stops the sampler and commits the JSONL artifact
+
+  TelemetryHub(const TelemetryHub&) = delete;
+  TelemetryHub& operator=(const TelemetryHub&) = delete;
+
+  /// Launches the sampler thread (opens the JSONL sink, writes its header
+  /// line, takes an initial sample).  Idempotent.
+  void start();
+  /// Takes a final sample, joins the sampler, commits the JSONL artifact
+  /// (tmp -> final rename).  Idempotent.
+  void stop();
+  [[nodiscard]] bool running() const;
+
+  /// One synchronous sampler tick.  Public so tests drive the hub
+  /// deterministically without the thread; safe concurrently with start().
+  void sample_now();
+
+  [[nodiscard]] std::uint64_t samples() const;
+  [[nodiscard]] const TelemetryOptions& options() const { return options_; }
+
+  /// All series as one sorted-key JSON object
+  /// (schema speedscale.telemetry_series/1); byte-stable for equal data.
+  [[nodiscard]] std::string series_json() const;
+  /// One series' history; empty view (kind "") when unknown.
+  [[nodiscard]] SeriesView series(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> series_names() const;
+
+ private:
+  struct Ring {
+    std::string kind;
+    std::vector<double> t, v;  // preallocated to ring_capacity
+    std::size_t head = 0;      // next write index
+    std::size_t size = 0;
+    double last = 0.0;
+    double rate = 0.0;
+  };
+
+  void sampler_main();
+  void push_series(const std::string& name, const char* kind, double t, double v);
+  [[nodiscard]] std::string sample_jsonl_line(double t, const MetricsSnapshot& snap) const;
+
+  TelemetryOptions options_;
+  std::chrono::steady_clock::time_point start_time_;
+
+  mutable std::mutex mu_;  // guards series_, prev_*, samples_, sink_ pointer swaps
+  std::map<std::string, Ring> series_;
+  std::map<std::string, std::int64_t> prev_counters_;
+  double prev_t_ = 0.0;
+  std::uint64_t samples_ = 0;
+  std::unique_ptr<JsonlSink> sink_;
+  std::atomic<double> last_cost_us_{0.0};  // previous tick's cost, for the gauge
+
+  mutable std::mutex thread_mu_;  // guards start/stop transitions + cv
+  std::condition_variable cv_;
+  std::thread sampler_;
+  bool running_ = false;
+  bool stop_requested_ = false;
+};
+
+/// Prometheus text exposition (format version 0.0.4) of one metrics
+/// snapshot: `speedscale_`-prefixed sanitized names, one `# TYPE` line per
+/// metric, cumulative `_bucket{le="..."}` histogram encoding, and a
+/// `speedscale_build_info{...} 1` identity metric.  Pure function of its
+/// inputs — byte-stable for equal snapshots (the golden-tested contract).
+[[nodiscard]] std::string prometheus_exposition(const MetricsSnapshot& snap,
+                                                const BuildInfo& info);
+/// The process's own registry + build identity.
+[[nodiscard]] std::string prometheus_exposition();
+
+/// "sim.nc_uniform.speed_changes" -> "speedscale_sim_nc_uniform_speed_changes".
+[[nodiscard]] std::string prometheus_name(const std::string& metric);
+
+}  // namespace speedscale::obs::live

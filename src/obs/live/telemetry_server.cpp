@@ -1,0 +1,274 @@
+#include "src/obs/live/telemetry_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/core/types.h"
+#include "src/obs/live/telemetry_hub.h"
+#include "src/obs/metrics_registry.h"
+
+namespace speedscale::obs::live {
+
+namespace {
+
+constexpr int kAcceptPollMs = 100;     // stop() latency upper bound
+constexpr std::size_t kMaxRequest = 8192;
+
+struct ParsedBind {
+  bool is_unix = false;
+  std::string unix_path;
+  std::string host = "127.0.0.1";
+  int port = 0;
+};
+
+ParsedBind parse_bind(const std::string& bind) {
+  ParsedBind out;
+  if (bind.rfind("unix:", 0) == 0) {
+    out.is_unix = true;
+    out.unix_path = bind.substr(5);
+    if (out.unix_path.empty()) throw ModelError("telemetry server: empty unix socket path");
+    return out;
+  }
+  const std::size_t colon = bind.rfind(':');
+  const std::string port_str = colon == std::string::npos ? bind : bind.substr(colon + 1);
+  if (colon != std::string::npos && colon > 0) out.host = bind.substr(0, colon);
+  char* end = nullptr;
+  const long port = std::strtol(port_str.c_str(), &end, 10);
+  if (end == port_str.c_str() || *end != '\0' || port < 0 || port > 65535) {
+    throw ModelError("telemetry server: bad bind address \"" + bind + '"');
+  }
+  out.port = static_cast<int>(port);
+  return out;
+}
+
+void send_all(int fd, const char* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
+    if (w <= 0) {
+      if (w < 0 && errno == EINTR) continue;
+      return;  // peer went away: a scraper hanging up is not our error
+    }
+    off += static_cast<std::size_t>(w);
+  }
+}
+
+std::string http_response(int status, const char* reason, const char* content_type,
+                          const std::string& body) {
+  std::string out = "HTTP/1.0 " + std::to_string(status) + ' ' + reason + "\r\n";
+  out += "Content-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: " + std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+TelemetryServer::TelemetryServer(TelemetryHub& hub, const TelemetryServerOptions& options)
+    : hub_(hub), options_(options) {}
+
+TelemetryServer::~TelemetryServer() {
+  try {
+    stop();
+  } catch (...) {
+  }
+}
+
+void TelemetryServer::start() {
+  if (running_) return;
+  const ParsedBind bind = parse_bind(options_.bind);
+  stop_requested_.store(false, std::memory_order_relaxed);
+
+  if (bind.is_unix) {
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) throw ModelError("telemetry server: socket() failed");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (bind.unix_path.size() >= sizeof(addr.sun_path)) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      throw ModelError("telemetry server: unix socket path too long");
+    }
+    std::strncpy(addr.sun_path, bind.unix_path.c_str(), sizeof(addr.sun_path) - 1);
+    ::unlink(bind.unix_path.c_str());  // stale socket from a previous run
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      throw ModelError("telemetry server: cannot bind " + options_.bind);
+    }
+    unix_path_ = bind.unix_path;
+    address_ = "unix:" + bind.unix_path;
+    port_ = -1;
+  } else {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) throw ModelError("telemetry server: socket() failed");
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(bind.port));
+    if (::inet_pton(AF_INET, bind.host.c_str(), &addr.sin_addr) != 1) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      throw ModelError("telemetry server: bad host \"" + bind.host + '"');
+    }
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      throw ModelError("telemetry server: cannot bind " + options_.bind);
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+    port_ = static_cast<int>(ntohs(bound.sin_port));
+    address_ = bind.host + ':' + std::to_string(port_);
+  }
+
+  if (::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw ModelError("telemetry server: listen() failed on " + address_);
+  }
+  acceptor_ = std::thread(&TelemetryServer::accept_loop, this);
+  running_ = true;
+}
+
+void TelemetryServer::stop() {
+  if (!running_) return;
+  stop_requested_.store(true, std::memory_order_relaxed);
+  if (acceptor_.joinable()) acceptor_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (!unix_path_.empty()) {
+    ::unlink(unix_path_.c_str());
+    unix_path_.clear();
+  }
+  running_ = false;
+}
+
+std::string TelemetryServer::address() const { return address_; }
+
+void TelemetryServer::accept_loop() {
+  while (!stop_requested_.load(std::memory_order_relaxed)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, kAcceptPollMs);
+    if (ready <= 0) continue;  // timeout (stop-flag check) or EINTR
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    handle_connection(fd);
+    ::close(fd);
+  }
+}
+
+void TelemetryServer::handle_connection(int fd) {
+  timeval timeout{};
+  timeout.tv_sec = 2;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  std::string request;
+  char buf[1024];
+  while (request.size() < kMaxRequest && request.find("\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    request.append(buf, static_cast<std::size_t>(n));
+  }
+  // Request line: "GET <path> HTTP/1.x".
+  std::string path = "/";
+  const std::size_t sp1 = request.find(' ');
+  if (sp1 != std::string::npos) {
+    const std::size_t sp2 = request.find(' ', sp1 + 1);
+    if (sp2 != std::string::npos) path = request.substr(sp1 + 1, sp2 - sp1 - 1);
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  OBS_COUNT("obs.live.server.requests", 1);
+  const std::string response = respond(path);
+  send_all(fd, response.data(), response.size());
+}
+
+std::string TelemetryServer::respond(const std::string& path) const {
+  if (path == "/metrics" || path == "/") {
+    return http_response(200, "OK", "text/plain; version=0.0.4; charset=utf-8",
+                         prometheus_exposition());
+  }
+  if (path == "/snapshot.json") {
+    return http_response(200, "OK", "application/json", registry().snapshot_json());
+  }
+  if (path == "/series.json") {
+    return http_response(200, "OK", "application/json", hub_.series_json());
+  }
+  if (path == "/healthz") {
+    return http_response(200, "OK", "text/plain; charset=utf-8", "ok\n");
+  }
+  return http_response(404, "Not Found", "text/plain; charset=utf-8",
+                       "unknown endpoint " + path + "\n");
+}
+
+// --- scrape client ----------------------------------------------------------
+
+std::string scrape(const std::string& address, const std::string& path) {
+  const ParsedBind target = parse_bind(address);
+  int fd = -1;
+  if (target.is_unix) {
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) throw ModelError("scrape: socket() failed");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, target.unix_path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd);
+      throw ModelError("scrape: cannot connect to " + address);
+    }
+  } else {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw ModelError("scrape: socket() failed");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(target.port));
+    if (::inet_pton(AF_INET, target.host.c_str(), &addr.sin_addr) != 1) {
+      ::close(fd);
+      throw ModelError("scrape: bad host \"" + target.host + '"');
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd);
+      throw ModelError("scrape: cannot connect to " + address);
+    }
+  }
+
+  const std::string request = "GET " + path + " HTTP/1.0\r\nHost: speedscale\r\n\r\n";
+  send_all(fd, request.data(), request.size());
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  const std::size_t header_end = response.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    throw ModelError("scrape: malformed response from " + address + path);
+  }
+  const std::string status_line = response.substr(0, response.find("\r\n"));
+  if (status_line.find(" 200 ") == std::string::npos) {
+    throw ModelError("scrape: " + address + path + " returned \"" + status_line + '"');
+  }
+  return response.substr(header_end + 4);
+}
+
+}  // namespace speedscale::obs::live

@@ -1,0 +1,85 @@
+// Minimal scrape server for the live telemetry plane.
+//
+// One blocking accept loop on its own thread, serving four read-only
+// endpoints over HTTP/1.0 (connection-per-request, no keep-alive):
+//
+//   /metrics        Prometheus text exposition of the registry (0.0.4)
+//   /snapshot.json  MetricsRegistry::snapshot_json() (byte-stable JSON)
+//   /series.json    TelemetryHub::series_json() (recent time series)
+//   /healthz        "ok"
+//
+// Binding: "HOST:PORT" (TCP; PORT 0 picks an ephemeral port, resolved via
+// address()), a bare "PORT", or "unix:PATH" (unix-domain socket — no
+// network permissions needed; any existing socket file at PATH is
+// replaced).  stop() wakes the accept loop through a 100 ms poll() cadence
+// and joins the thread — clean shutdown is part of the contract and is what
+// the CI smoke test asserts.
+//
+// This is deliberately not a general HTTP server: one request per
+// connection, GET only, requests served sequentially.  A Prometheus scraper
+// or `telemetry_tool --watch` is exactly that traffic shape.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+namespace speedscale::obs::live {
+
+class TelemetryHub;
+
+struct TelemetryServerOptions {
+  /// "HOST:PORT", bare "PORT", or "unix:PATH".  Default: loopback,
+  /// ephemeral port.
+  std::string bind = "127.0.0.1:0";
+};
+
+class TelemetryServer {
+ public:
+  explicit TelemetryServer(TelemetryHub& hub, const TelemetryServerOptions& options = {});
+  ~TelemetryServer();  // stop()
+
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  /// Binds and launches the accept thread.  Throws ModelError on bind
+  /// failure.  Idempotent.
+  void start();
+  /// Stops accepting, joins the thread, closes the socket (and unlinks a
+  /// unix-socket path).  Idempotent.
+  void stop();
+
+  /// Resolved scrape address: "127.0.0.1:PORT" or "unix:PATH".  Valid after
+  /// start().
+  [[nodiscard]] std::string address() const;
+  /// Resolved TCP port; -1 for unix sockets or before start().
+  [[nodiscard]] int port() const { return port_; }
+  [[nodiscard]] std::uint64_t requests() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void accept_loop();
+  void handle_connection(int fd);
+  /// Full HTTP response for `path` (body + headers; 404 for unknown paths).
+  [[nodiscard]] std::string respond(const std::string& path) const;
+
+  TelemetryHub& hub_;
+  TelemetryServerOptions options_;
+  int listen_fd_ = -1;
+  int port_ = -1;
+  std::string unix_path_;  // non-empty iff unix-socket mode
+  std::string address_;
+  std::thread acceptor_;
+  std::atomic<bool> stop_requested_{false};
+  bool running_ = false;
+  std::atomic<std::uint64_t> requests_{0};
+};
+
+/// Minimal one-shot scrape client (tests, telemetry_tool): GETs `path` from
+/// `address` ("HOST:PORT" or "unix:PATH") and returns the response body.
+/// Throws ModelError on connection failure or a non-200 status.
+[[nodiscard]] std::string scrape(const std::string& address, const std::string& path);
+
+}  // namespace speedscale::obs::live

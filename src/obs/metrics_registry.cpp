@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "src/core/types.h"
+#include "src/obs/build_info.h"
 #include "src/obs/json_util.h"
 #include "src/obs/trace.h"
 
@@ -45,6 +46,25 @@ void Histogram::reset() {
   sum_.store(0.0, std::memory_order_relaxed);
 }
 
+double HistogramSnapshot::quantile(double q) const {
+  if (count <= 0 || counts.empty() || bounds.empty()) return 0.0;
+  q = std::max(0.0, std::min(1.0, q));
+  const double target = q * static_cast<double>(count);
+  std::int64_t cum = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const std::int64_t prev = cum;
+    cum += counts[i];
+    if (static_cast<double>(cum) < target) continue;
+    if (i >= bounds.size()) return bounds.back();  // overflow bucket: clamp
+    const double lo = (i == 0) ? 0.0 : bounds[i - 1];
+    const double hi = bounds[i];
+    if (counts[i] <= 0) return hi;
+    const double frac = (target - static_cast<double>(prev)) / static_cast<double>(counts[i]);
+    return lo + frac * (hi - lo);
+  }
+  return bounds.back();
+}
+
 // --- MetricsRegistry --------------------------------------------------------
 
 MetricsRegistry& MetricsRegistry::instance() {
@@ -82,12 +102,30 @@ std::map<std::string, std::int64_t> MetricsRegistry::counter_values() const {
   return out;
 }
 
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  MetricsSnapshot out;
+  for (const auto& [name, c] : counters_) out.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) out.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.bounds = h->upper_bounds();
+    hs.counts = h->bucket_counts();
+    hs.count = h->count();
+    hs.sum = h->sum();
+    out.histograms.emplace(name, std::move(hs));
+  }
+  return out;
+}
+
 // Keys emit in sorted order (the maps are ordered) and numbers through
 // append_json_number — snapshots of equal state are byte-identical across
 // runs, platforms, and process locales.
 std::string MetricsRegistry::snapshot_json() const {
   std::lock_guard<std::mutex> lk(mu_);
-  std::string out = "{\"counters\":{";
+  std::string out = "{\"build_info\":";
+  append_build_info_json(out);
+  out += ",\"counters\":{";
   bool first = true;
   for (const auto& [name, c] : counters_) {
     if (!first) out += ',';

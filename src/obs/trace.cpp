@@ -120,19 +120,61 @@ JsonlSink::~JsonlSink() {
   }
 }
 
+// Shared append path (callers hold mu_): writes one line, then applies the
+// automatic flush policy so long-running producers never sit on an
+// arbitrarily stale stream.
+void JsonlSink::append_locked(const char* data, std::size_t n) {
+  os_->write(data, static_cast<std::streamsize>(n));
+  ++lines_;
+  ++lines_since_flush_;
+  bool do_flush = false;
+  switch (policy_.mode) {
+    case FlushPolicy::Mode::kManual:
+      break;
+    case FlushPolicy::Mode::kEveryN:
+      do_flush = policy_.every_n > 0 && lines_since_flush_ >= policy_.every_n;
+      break;
+    case FlushPolicy::Mode::kTimed:
+      do_flush = std::chrono::steady_clock::now() - last_flush_ >= policy_.interval;
+      break;
+  }
+  if (do_flush) {
+    os_->flush();
+    lines_since_flush_ = 0;
+    last_flush_ = std::chrono::steady_clock::now();
+  }
+}
+
 void JsonlSink::on_event(const TraceEvent& ev) {
   std::lock_guard<std::mutex> lk(mu_);
   if (os_ == nullptr) return;  // closed path-mode sink
   scratch_.clear();
   append_event_json(scratch_, ev);
   scratch_ += '\n';
-  *os_ << scratch_;
-  ++lines_;
+  append_locked(scratch_.data(), scratch_.size());
+}
+
+void JsonlSink::write_line(const std::string& json_line) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (os_ == nullptr) return;  // closed path-mode sink
+  scratch_.clear();
+  scratch_ = json_line;
+  scratch_ += '\n';
+  append_locked(scratch_.data(), scratch_.size());
 }
 
 void JsonlSink::flush() {
   std::lock_guard<std::mutex> lk(mu_);
   if (os_ != nullptr) os_->flush();
+  lines_since_flush_ = 0;
+  last_flush_ = std::chrono::steady_clock::now();
+}
+
+void JsonlSink::set_flush_policy(FlushPolicy policy) {
+  std::lock_guard<std::mutex> lk(mu_);
+  policy_ = policy;
+  lines_since_flush_ = 0;
+  last_flush_ = std::chrono::steady_clock::now();
 }
 
 void JsonlSink::close() {

@@ -14,6 +14,8 @@ const char* fault_site_name(FaultSite site) {
       return "trace_line";
     case FaultSite::kPoolTask:
       return "pool_task";
+    case FaultSite::kSweepItemStall:
+      return "sweep_item_stall";
     case FaultSite::kSiteCount:
       break;
   }

@@ -1,0 +1,536 @@
+// Live telemetry plane (src/obs/live/): hub sampling, ring wraparound,
+// sampler thread-safety under concurrent OBS_COUNT, the byte-stable
+// Prometheus exposition golden, scrape-while-sweeping integration, straggler
+// detection (synthetic heartbeats + a fault-injected stalled shard), and the
+// JsonlSink flush policies the telemetry sink rides on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/analysis/sweep.h"
+#include "src/obs/build_info.h"
+#include "src/obs/json_min.h"
+#include "src/obs/live/straggler.h"
+#include "src/obs/live/telemetry_hub.h"
+#include "src/obs/live/telemetry_server.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/trace.h"
+#include "src/robust/atomic_io.h"
+#include "src/robust/fault_injection.h"
+#include "src/workload/generators.h"
+
+namespace speedscale {
+namespace {
+
+using obs::live::HeartbeatSnapshot;
+using obs::live::ShardBeat;
+using obs::live::StragglerOptions;
+
+std::string read_file(const std::string& path) {
+  std::ifstream f(path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+/// Restores the metrics gate (tests flip it on) and drops any leftover sweep
+/// heartbeat ownership a failed test could leak.
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = obs::metrics_enabled();
+    obs::set_metrics_enabled(true);
+  }
+  void TearDown() override { obs::set_metrics_enabled(was_enabled_); }
+
+ private:
+  bool was_enabled_ = false;
+};
+
+// --- Prometheus exposition --------------------------------------------------
+
+TEST(PrometheusExposition, NameSanitization) {
+  EXPECT_EQ(obs::live::prometheus_name("sim.nc_uniform.speed_changes"),
+            "speedscale_sim_nc_uniform_speed_changes");
+  EXPECT_EQ(obs::live::prometheus_name("weird-name/x:y"), "speedscale_weird_name_x:y");
+}
+
+/// The golden snapshot: one of each metric kind plus the serialization edge
+/// cases (name sanitization, non-finite gauges, histogram bucket cumsum).
+obs::MetricsSnapshot golden_snapshot() {
+  obs::MetricsSnapshot snap;
+  snap.counters["sim.alpha.steps"] = 42;
+  snap.counters["weird-name/x"] = 7;
+  snap.gauges["queue.depth"] = 3.5;
+  snap.gauges["sweep.eta_seconds"] = -1.0;
+  snap.gauges["edge.infinite"] = std::numeric_limits<double>::infinity();
+  snap.gauges["edge.nan"] = std::numeric_limits<double>::quiet_NaN();
+  obs::HistogramSnapshot hist;
+  hist.bounds = {1.0, 10.0, 100.0};
+  hist.counts = {5, 3, 1, 2};
+  hist.count = 11;
+  hist.sum = 123.456;
+  snap.histograms["lat.us"] = hist;
+  return snap;
+}
+
+obs::BuildInfo golden_build_info() {
+  obs::BuildInfo info;
+  info.git_hash = "deadbeefcafe";
+  info.compiler = "testcc 1.2.3";
+  info.build_type = "Golden";
+  info.cxx_standard = "202002";
+  info.alpha_config = "runtime";
+  return info;
+}
+
+TEST(PrometheusExposition, GoldenByteStable) {
+  const std::string actual =
+      obs::live::prometheus_exposition(golden_snapshot(), golden_build_info());
+
+  const std::string golden_path =
+      std::string(SPEEDSCALE_TEST_DATA_DIR) + "/golden/exposition_golden.txt";
+  std::ifstream f(golden_path);
+  ASSERT_TRUE(f.is_open()) << "missing golden file " << golden_path;
+  std::stringstream ss;
+  ss << f.rdbuf();
+  const std::string expected = ss.str();
+
+  if (actual != expected) {
+    const std::string dump = ::testing::TempDir() + "exposition_actual.txt";
+    std::ofstream(dump) << actual;
+    FAIL() << "Prometheus exposition drifted from " << golden_path
+           << "\nactual written to " << dump
+           << "\nif the change is intentional, update the golden file to match";
+  }
+}
+
+TEST(PrometheusExposition, CumulativeBucketsAndNonFiniteTokens) {
+  const std::string text =
+      obs::live::prometheus_exposition(golden_snapshot(), golden_build_info());
+  // Histogram buckets are cumulative, capped by the +Inf bucket = count.
+  EXPECT_NE(text.find("speedscale_lat_us_bucket{le=\"1\"} 5\n"), std::string::npos);
+  EXPECT_NE(text.find("speedscale_lat_us_bucket{le=\"10\"} 8\n"), std::string::npos);
+  EXPECT_NE(text.find("speedscale_lat_us_bucket{le=\"100\"} 9\n"), std::string::npos);
+  EXPECT_NE(text.find("speedscale_lat_us_bucket{le=\"+Inf\"} 11\n"), std::string::npos);
+  EXPECT_NE(text.find("speedscale_lat_us_count 11\n"), std::string::npos);
+  // Prometheus non-finite tokens, not the JSON quoted strings.
+  EXPECT_NE(text.find("speedscale_edge_infinite +Inf\n"), std::string::npos);
+  EXPECT_NE(text.find("speedscale_edge_nan NaN\n"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, RegistryExpositionCarriesBuildInfo) {
+  obs::registry().counter("telemetry.test.exposed").add(3);
+  const std::string text = obs::live::prometheus_exposition();
+  EXPECT_NE(text.find("# TYPE speedscale_build_info gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("speedscale_build_info{alpha_config=\"runtime\""), std::string::npos);
+  EXPECT_NE(text.find("git_hash=\"" + obs::build_info().git_hash + "\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("speedscale_telemetry_test_exposed"), std::string::npos);
+}
+
+TEST(BuildInfo, SnapshotJsonIsSelfIdentifying) {
+  const obs::JsonValue doc = obs::parse_json(obs::registry().snapshot_json());
+  const obs::JsonValue& info = doc.at("build_info");
+  EXPECT_EQ(info.at("git_hash").string, obs::build_info().git_hash);
+  EXPECT_EQ(info.at("compiler").string, obs::build_info().compiler);
+  EXPECT_EQ(info.at("alpha_config").string, "runtime");
+  EXPECT_FALSE(info.at("cxx_standard").string.empty());
+}
+
+// --- Histogram quantiles ----------------------------------------------------
+
+TEST(HistogramQuantile, LinearBucketInterpolation) {
+  obs::HistogramSnapshot h;
+  h.bounds = {1.0, 2.0, 4.0};
+  h.counts = {2, 2, 0, 0};
+  h.count = 4;
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.0);   // target 2 lands at bucket 0's top
+  EXPECT_DOUBLE_EQ(h.quantile(0.75), 1.5);  // halfway through bucket [1, 2]
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);  // empty target: bottom of bucket 0
+
+  obs::HistogramSnapshot overflow;
+  overflow.bounds = {1.0, 2.0};
+  overflow.counts = {0, 0, 5};
+  overflow.count = 5;
+  EXPECT_DOUBLE_EQ(overflow.quantile(0.5), 2.0);  // overflow clamps to last bound
+
+  obs::HistogramSnapshot empty;
+  empty.bounds = {1.0};
+  empty.counts = {0, 0};
+  EXPECT_DOUBLE_EQ(empty.quantile(0.99), 0.0);
+}
+
+// --- TelemetryHub -----------------------------------------------------------
+
+TEST_F(TelemetryTest, RingBufferWraparound) {
+  obs::live::TelemetryOptions options;
+  options.ring_capacity = 4;
+  options.publish_sweep_gauges = false;
+  obs::live::TelemetryHub hub(options);
+
+  obs::Counter& c = obs::registry().counter("telemetry.test.wrap");
+  c.reset();
+  for (int i = 0; i < 10; ++i) {
+    c.add(1);
+    hub.sample_now();
+  }
+  EXPECT_EQ(hub.samples(), 10u);
+
+  const obs::live::SeriesView view = hub.series("telemetry.test.wrap");
+  ASSERT_EQ(view.kind, "counter");
+  ASSERT_EQ(view.t.size(), 4u);  // capacity, not sample count
+  ASSERT_EQ(view.v.size(), 4u);
+  for (std::size_t i = 1; i < view.t.size(); ++i) {
+    EXPECT_GT(view.t[i], view.t[i - 1]) << "ring must return oldest-first";
+  }
+  // The last 4 of 10 samples survive: values 7, 8, 9, 10.
+  EXPECT_DOUBLE_EQ(view.v[0], 7.0);
+  EXPECT_DOUBLE_EQ(view.v[3], 10.0);
+  EXPECT_DOUBLE_EQ(view.last, 10.0);
+}
+
+TEST_F(TelemetryTest, SamplerHammerConcurrentCounts) {
+  obs::live::TelemetryOptions options;
+  options.period = std::chrono::milliseconds(1);
+  options.publish_sweep_gauges = false;
+  obs::live::TelemetryHub hub(options);
+
+  obs::Counter& c = obs::registry().counter("telemetry.test.hammer");
+  c.reset();
+  hub.start();
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([] {
+      for (int i = 0; i < kPerThread; ++i) OBS_COUNT("telemetry.test.hammer", 1);
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  hub.stop();  // takes the final sample
+
+  EXPECT_EQ(c.value(), static_cast<std::int64_t>(kThreads) * kPerThread);
+  const obs::live::SeriesView view = hub.series("telemetry.test.hammer");
+  ASSERT_FALSE(view.v.empty());
+  EXPECT_DOUBLE_EQ(view.v.back(), static_cast<double>(kThreads) * kPerThread);
+  for (std::size_t i = 1; i < view.v.size(); ++i) {
+    EXPECT_GE(view.v[i], view.v[i - 1]) << "sampled counter must be monotone";
+  }
+  EXPECT_GE(hub.samples(), 2u);  // initial + final at minimum
+}
+
+TEST_F(TelemetryTest, SeriesJsonSchemaAndIdempotentStop) {
+  obs::live::TelemetryOptions options;
+  options.publish_sweep_gauges = false;
+  obs::live::TelemetryHub hub(options);
+  obs::registry().counter("telemetry.test.series").add(5);
+  hub.sample_now();
+  hub.sample_now();
+
+  const obs::JsonValue doc = obs::parse_json(hub.series_json());
+  EXPECT_EQ(doc.at("schema").string, "speedscale.telemetry_series/1");
+  EXPECT_EQ(doc.at("samples").number, 2.0);
+  const obs::JsonValue& series = doc.at("series").at("telemetry.test.series");
+  EXPECT_EQ(series.at("kind").string, "counter");
+  EXPECT_EQ(series.at("points").array.size(), 2u);
+
+  hub.stop();
+  hub.stop();  // idempotent without start
+}
+
+TEST_F(TelemetryTest, JsonlSinkWritesHeaderAndCommitsOnStop) {
+  const std::string path = ::testing::TempDir() + "telemetry_stream.jsonl";
+  std::remove(path.c_str());
+  {
+    obs::live::TelemetryOptions options;
+    options.period = std::chrono::milliseconds(5);
+    options.jsonl_path = path;
+    options.publish_sweep_gauges = false;
+    obs::live::TelemetryHub hub(options);
+    hub.start();
+    obs::registry().counter("telemetry.test.jsonl").add(1);
+    hub.sample_now();
+    hub.stop();
+  }
+  const std::string content = read_file(path);
+  ASSERT_FALSE(content.empty()) << "stop() must commit the JSONL artifact";
+  EXPECT_FALSE(std::ifstream(robust::tmp_sibling(path)).is_open())
+      << "no .tmp sibling after a clean close";
+
+  std::stringstream lines(content);
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  const obs::JsonValue header = obs::parse_json(line);
+  EXPECT_EQ(header.at("schema").string, "speedscale.telemetry_jsonl/1");
+  EXPECT_EQ(header.at("kind").string, "telemetry_header");
+  EXPECT_EQ(header.at("build_info").at("git_hash").string, obs::build_info().git_hash);
+
+  std::size_t samples = 0;
+  while (std::getline(lines, line)) {
+    const obs::JsonValue sample = obs::parse_json(line);
+    EXPECT_TRUE(sample.at("counters").is_object());
+    EXPECT_TRUE(sample.at("t").is_number());
+    ++samples;
+  }
+  EXPECT_GE(samples, 2u);  // initial + explicit + final
+  std::remove(path.c_str());
+}
+
+// --- JsonlSink flush policies -----------------------------------------------
+
+TEST(JsonlFlushPolicy, EveryNFlushesWithoutClose) {
+  const std::string path = ::testing::TempDir() + "flush_every_n.jsonl";
+  std::remove(path.c_str());
+  obs::JsonlSink sink(path);
+  obs::JsonlSink::FlushPolicy policy;
+  policy.mode = obs::JsonlSink::FlushPolicy::Mode::kEveryN;
+  policy.every_n = 2;
+  sink.set_flush_policy(policy);
+
+  sink.write_line("{\"n\":1}");
+  sink.write_line("{\"n\":2}");
+  sink.write_line("{\"n\":3}");
+  // No close(): the crash-survival contract — flushed lines must already be
+  // readable in the ".tmp" sibling.
+  const std::string tmp = read_file(robust::tmp_sibling(path));
+  std::size_t lines = 0;
+  for (const char c : tmp) lines += (c == '\n');
+  EXPECT_GE(lines, 2u) << "every-2 policy must have flushed the first two lines";
+  sink.close();
+  EXPECT_EQ(sink.lines(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(JsonlFlushPolicy, TimedFlushesOnceIntervalElapses) {
+  const std::string path = ::testing::TempDir() + "flush_timed.jsonl";
+  std::remove(path.c_str());
+  obs::JsonlSink sink(path);
+  obs::JsonlSink::FlushPolicy policy;
+  policy.mode = obs::JsonlSink::FlushPolicy::Mode::kTimed;
+  policy.interval = std::chrono::milliseconds(5);
+  sink.set_flush_policy(policy);
+
+  sink.write_line("{\"n\":1}");
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  sink.write_line("{\"n\":2}");  // interval elapsed: this write flushes
+  const std::string tmp = read_file(robust::tmp_sibling(path));
+  std::size_t lines = 0;
+  for (const char c : tmp) lines += (c == '\n');
+  EXPECT_GE(lines, 2u);
+  sink.close();
+  std::remove(path.c_str());
+}
+
+// --- Straggler detector -----------------------------------------------------
+
+HeartbeatSnapshot synthetic_heartbeats() {
+  HeartbeatSnapshot hb;
+  hb.active = true;
+  hb.workers = 4;
+  hb.items_total = 100;
+  hb.items_started = 54;
+  hb.items_completed = 50;
+  hb.queue_depth = 46;
+  hb.elapsed_seconds = 2.0;
+  hb.mean_item_seconds = 0.1;
+  hb.shards.resize(4);
+  for (ShardBeat& b : hb.shards) {
+    b.busy = true;
+    b.items_started = 14;
+    b.items_completed = 13;
+    b.inflight_seconds = 0.05;
+  }
+  return hb;
+}
+
+TEST(StragglerDetector, FlagsShardsBeyondFactorTimesMean) {
+  HeartbeatSnapshot hb = synthetic_heartbeats();
+  hb.shards[2].inflight_seconds = 10.0;  // 100x the mean item
+  const obs::live::StragglerReport report =
+      obs::live::detect_stragglers(hb, {.factor = 4.0, .min_seconds = 0.05});
+  ASSERT_EQ(report.stragglers.size(), 1u);
+  EXPECT_EQ(report.stragglers[0], 2u);
+  // ETA: (100 - 50) items x 0.1 s / 4 workers.
+  EXPECT_DOUBLE_EQ(report.eta_seconds, 50.0 * 0.1 / 4.0);
+}
+
+TEST(StragglerDetector, QuietBelowThresholdAndWhenInactive) {
+  const HeartbeatSnapshot hb = synthetic_heartbeats();
+  EXPECT_TRUE(obs::live::detect_stragglers(hb, {.factor = 4.0, .min_seconds = 0.05})
+                  .stragglers.empty());
+
+  HeartbeatSnapshot inactive = synthetic_heartbeats();
+  inactive.active = false;
+  inactive.shards[0].inflight_seconds = 100.0;
+  const obs::live::StragglerReport report = obs::live::detect_stragglers(inactive);
+  EXPECT_TRUE(report.stragglers.empty());
+  EXPECT_DOUBLE_EQ(report.eta_seconds, -1.0);
+}
+
+TEST(StragglerDetector, MinSecondsGovernsBeforeAnyCompletion) {
+  HeartbeatSnapshot hb = synthetic_heartbeats();
+  hb.items_completed = 0;
+  hb.mean_item_seconds = 0.0;
+  hb.shards[1].inflight_seconds = 0.2;  // > min_seconds, no mean yet
+  const obs::live::StragglerReport report =
+      obs::live::detect_stragglers(hb, {.factor = 4.0, .min_seconds = 0.05});
+  ASSERT_EQ(report.stragglers.size(), 1u);
+  EXPECT_EQ(report.stragglers[0], 1u);
+  EXPECT_DOUBLE_EQ(report.eta_seconds, -1.0);  // no mean: unknown
+}
+
+TEST_F(TelemetryTest, HeartbeatOwnershipAndGauges) {
+  obs::live::SweepHeartbeats& hb = obs::live::SweepHeartbeats::instance();
+  ASSERT_TRUE(hb.begin_sweep(4, 2));
+  EXPECT_FALSE(hb.begin_sweep(8, 2)) << "a nested sweep must not claim the plane";
+
+  const std::size_t slot = hb.item_started(0);
+  obs::live::publish_sweep_gauges();
+  EXPECT_DOUBLE_EQ(obs::registry().gauge("sweep.active").value(), 1.0);
+  EXPECT_DOUBLE_EQ(obs::registry().gauge("sweep.items_total").value(), 4.0);
+  EXPECT_DOUBLE_EQ(obs::registry().gauge("sweep.items_started").value(), 1.0);
+  EXPECT_DOUBLE_EQ(obs::registry().gauge("sweep.queue_depth").value(), 3.0);
+  EXPECT_DOUBLE_EQ(
+      obs::registry().gauge("sweep.shard." + std::to_string(slot) + ".busy").value(), 1.0);
+
+  hb.item_finished(slot);
+  hb.end_sweep();
+  obs::live::publish_sweep_gauges();
+  EXPECT_DOUBLE_EQ(obs::registry().gauge("sweep.active").value(), 0.0);
+}
+
+TEST_F(TelemetryTest, InjectedStallIsDetectedAsStraggler) {
+  robust::FaultPlan plan;
+  plan.fire(robust::FaultSite::kSweepItemStall, {0});  // stall the first item started
+  robust::ScopedFaultPlan scoped(std::move(plan));
+
+  analysis::SweepOptions options;
+  options.jobs = 4;
+  analysis::SweepScheduler scheduler(options);
+  std::thread sweep([&] {
+    scheduler.run(8, [](std::size_t) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    });
+  });
+
+  const StragglerOptions detect{.factor = 2.0, .min_seconds = 0.05};
+  bool found = false;
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < deadline) {
+    const obs::live::StragglerReport report =
+        obs::live::detect_stragglers(obs::live::SweepHeartbeats::instance().snapshot(), detect);
+    if (!report.stragglers.empty()) {
+      found = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  sweep.join();
+  EXPECT_TRUE(found) << "the 250 ms injected stall was never flagged";
+  EXPECT_EQ(robust::FaultInjector::instance().fired(robust::FaultSite::kSweepItemStall), 1u);
+}
+
+// --- Scrape-while-sweeping integration --------------------------------------
+
+TEST_F(TelemetryTest, ScrapeWhileSweepingServesHeartbeatsMidRun) {
+  obs::live::TelemetryOptions topts;
+  topts.period = std::chrono::milliseconds(5);
+  obs::live::TelemetryHub hub(topts);
+  hub.start();
+  obs::live::TelemetryServer server(hub);
+  server.start();
+  ASSERT_GT(server.port(), 0);
+
+  // Items park until the main thread has scraped the sweep mid-run (capped
+  // so a scrape failure cannot hang the pool), making "mid-run" a
+  // deterministic rendezvous, not a timing race.
+  std::atomic<bool> scraped{false};
+  analysis::SweepOptions options;
+  options.jobs = 4;
+  analysis::SweepScheduler scheduler(options);
+  std::thread sweep([&] {
+    scheduler.run(16, [&](std::size_t) {
+      const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+      while (!scraped.load() && std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    });
+  });
+
+  std::string exposition;
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < deadline) {
+    exposition = obs::live::scrape(server.address(), "/metrics");
+    if (exposition.find("speedscale_sweep_active 1\n") != std::string::npos) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  scraped.store(true);
+  sweep.join();
+
+  // Mid-run exposition: sweep heartbeat gauges AND registry counters.
+  EXPECT_NE(exposition.find("speedscale_sweep_active 1\n"), std::string::npos);
+  EXPECT_NE(exposition.find("speedscale_sweep_items_total 16\n"), std::string::npos);
+  EXPECT_NE(exposition.find("speedscale_sweep_shard_0_items_started"), std::string::npos);
+  EXPECT_NE(exposition.find("speedscale_sweep_queue_depth"), std::string::npos);
+  EXPECT_NE(exposition.find("speedscale_build_info{"), std::string::npos);
+  EXPECT_NE(exposition.find(" counter\n"), std::string::npos);
+
+  // The JSON snapshot endpoint parses and self-identifies.
+  const obs::JsonValue snap = obs::parse_json(obs::live::scrape(server.address(), "/snapshot.json"));
+  EXPECT_EQ(snap.at("build_info").at("git_hash").string, obs::build_info().git_hash);
+  EXPECT_TRUE(snap.at("gauges").is_object());
+
+  // /series.json is live too, and the server counted our scrapes.
+  const obs::JsonValue series = obs::parse_json(obs::live::scrape(server.address(), "/series.json"));
+  EXPECT_EQ(series.at("schema").string, "speedscale.telemetry_series/1");
+  EXPECT_GE(server.requests(), 3u);
+
+  server.stop();
+  hub.stop();
+}
+
+// --- PR 5 determinism contract with telemetry enabled -----------------------
+
+TEST_F(TelemetryTest, SweepArtifactsByteIdenticalAcrossJobsWithHubRunning) {
+  obs::live::TelemetryOptions topts;
+  topts.period = std::chrono::milliseconds(1);
+  obs::live::TelemetryHub hub(topts);
+  hub.start();
+
+  const auto run_at = [](std::size_t jobs) {
+    std::vector<analysis::SuitePoint> points;
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      points.push_back(
+          {workload::generate({.n_jobs = 12, .arrival_rate = 2.0, .seed = seed}), 2.0});
+    }
+    analysis::SuiteOptions suite;
+    suite.include_nonuniform = false;
+    suite.certify = true;
+    analysis::SweepOptions sweep;
+    sweep.jobs = jobs;
+    const analysis::SuiteSweepResult result = analysis::run_suite_sweep(points, suite, sweep);
+    return std::make_pair(result.suite_json(), result.cert_jsonl());
+  };
+
+  const auto serial = run_at(1);
+  const auto parallel = run_at(4);
+  hub.stop();
+  EXPECT_EQ(serial.first, parallel.first)
+      << "suite JSON must not depend on --jobs, telemetry hub running or not";
+  EXPECT_EQ(serial.second, parallel.second);
+}
+
+}  // namespace
+}  // namespace speedscale
