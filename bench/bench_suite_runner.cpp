@@ -1,7 +1,7 @@
 // Bench suite runner: the pinned, deterministic half of the bench ledger.
 //
-// Runs a fixed set of simulator/engine/solver workloads with pinned seeds
-// and configurations, `--reps` times each, and emits a
+// Runs the fixed workload set of src/analysis/pinned_suite.h — pinned seeds
+// and configurations — `--reps` times each, and emits a
 // speedscale.bench_ledger/1 JSON document (src/obs/perf/bench_ledger.h):
 //
 //   * per repetition, the wall time of the workload body;
@@ -16,178 +16,52 @@
 // committed artifact (BENCH_PR3.json).  scripts/bench_compare.py is the
 // regression gate over two such ledgers.
 //
-// The (bench x repetition) grid itself is sharded across the sweep
-// scheduler (src/analysis/sweep.h): each repetition runs inside its own
-// metrics shard, so its counter snapshot is exactly what the body recorded
-// no matter which worker ran it or what ran beside it — the ledger is
-// byte-identical for --jobs 1 and --jobs N.
+// Execution backends for the (bench x repetition) grid:
+//
+//   --jobs N   shards across the in-process sweep scheduler
+//              (src/analysis/sweep.h) — each repetition runs inside its own
+//              metrics shard, so its counter snapshot is exactly what the
+//              body recorded no matter which worker ran it;
+//   --fleet N  shards across N supervised worker *processes*
+//              (src/robust/supervisor/supervisor.h): workers checkpoint
+//              every repetition to per-shard JSONL logs, crashed or hung
+//              workers are restarted from their last valid line, and the
+//              merged ledger is byte-identical to --jobs 1 — the crash-
+//              tolerance contract the chaos harness asserts.  SIGTERM/SIGINT
+//              stop the fleet cleanly (exit 75); rerunning with the same
+//              --fleet-dir resumes instead of recomputing.
 //
 // Usage:
 //   bench_suite_runner [--out ledger.json] [--reps N] [--quick] [--jobs N]
 //                      [--filter SUBSTR] [--exclude SUBSTR] [--list]
-//                      [--suite NAME]
+//                      [--suite NAME] [--fleet N] [--fleet-dir DIR]
+//                      [--worker PATH] [--metrics-out FILE] [--state-file FILE]
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
-#include <functional>
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
 
-#include "src/algo/algorithm_c.h"
-#include "src/algo/algorithm_nc_nonuniform.h"
-#include "src/algo/algorithm_nc_uniform.h"
+#include "src/analysis/pinned_suite.h"
 #include "src/analysis/sweep.h"
-#include "src/core/power.h"
-#include "src/numerics/roots.h"
 #include "src/obs/build_info.h"
-#include "src/obs/cert/potential_tracker.h"
-#include "src/obs/live/telemetry_hub.h"
 #include "src/obs/metrics_registry.h"
 #include "src/obs/perf/bench_ledger.h"
-#include "src/obs/trace.h"
-#include "src/robust/guarded_engine.h"
-#include "src/sim/numeric_engine.h"
-#include "src/workload/generators.h"
+#include "src/robust/supervisor/supervisor.h"
 
 using namespace speedscale;
 
 namespace {
 
-constexpr double kAlpha = 2.0;
-constexpr int kEngineSubsteps = 512;
+std::atomic<bool> g_stop{false};
 
-struct PinnedBench {
-  const char* name;
-  std::function<void()> body;
-};
-
-Instance make_uniform(int n, std::uint64_t seed, double rate = 2.0) {
-  return workload::generate({.n_jobs = n, .arrival_rate = rate, .seed = seed});
-}
-
-NumericConfig engine_config() {
-  NumericConfig cfg;
-  cfg.substeps_per_interval = kEngineSubsteps;
-  return cfg;
-}
-
-/// One sweep-suite workload: the full ratio-harness suite (with certificate
-/// capture) over 8 pinned uniform instances, sharded across `jobs` inner
-/// workers.  The /8x1 and /8x8 entries run the *same* points, so their
-/// counter snapshots must be identical — the committed proof that the sweep
-/// engine's parallelism is unobservable — while their wall times expose the
-/// speedup (tracked in BENCH_PR5.json; wall is advisory in the gate).
-void run_sweep_suite_bench(std::size_t jobs) {
-  std::vector<analysis::SuitePoint> points;
-  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
-    points.push_back({make_uniform(20, seed), kAlpha});
-  }
-  analysis::SuiteOptions suite;
-  suite.include_nonuniform = false;
-  suite.certify = true;
-  suite.opt_slots = 200;
-  analysis::SweepOptions sweep;
-  sweep.jobs = jobs;
-  (void)analysis::run_suite_sweep(points, suite, sweep);
-}
-
-/// The pinned suite.  Changing a seed, size, or config here invalidates the
-/// committed baseline — regenerate BENCH_PR3.json in the same change.
-std::vector<PinnedBench> pinned_suite() {
-  return {
-      {"sim.algorithm_c/1024",
-       [] { (void)run_algorithm_c(make_uniform(1024, 1), kAlpha); }},
-      {"sim.algorithm_c/4096",
-       [] { (void)run_algorithm_c(make_uniform(4096, 1), kAlpha); }},
-      {"sim.nc_uniform/1024", [] { (void)run_nc_uniform(make_uniform(1024, 1), kAlpha); }},
-      {"sim.nc_nonuniform/8",
-       [] {
-         const Instance inst = workload::generate(
-             {.n_jobs = 8, .density_mode = workload::DensityMode::kClasses, .seed = 2});
-         (void)run_nc_nonuniform(inst, kAlpha);
-       }},
-      {"sim.preemption_burst/256",
-       [] {
-         // Bursty arrivals with mixed densities: later, denser jobs displace
-         // the running one, so this pins the preemption counter.
-         const Instance inst = workload::generate({.n_jobs = 256,
-                                                   .arrival_rate = 4.0,
-                                                   .density_mode = workload::DensityMode::kClasses,
-                                                   .seed = 6});
-         (void)run_algorithm_c(inst, kAlpha);
-       }},
-      {"engine.numeric_c/16",
-       [] {
-         const PowerLaw p(kAlpha);
-         (void)run_generic_c(make_uniform(16, 3, 1.5), p, engine_config());
-       }},
-      {"engine.numeric_nc/12",
-       [] {
-         const PowerLaw p(kAlpha);
-         (void)run_generic_nc_uniform(make_uniform(12, 4, 1.5), p, engine_config());
-       }},
-      {"robust.guarded_nc/8",
-       [] {
-         const PowerLaw p(kAlpha);
-         robust::GuardedNumericOptions options;
-         options.base.substeps_per_interval = 256;
-         options.alpha = kAlpha;
-         (void)robust::run_generic_nc_uniform_guarded(make_uniform(8, 5, 1.5), p, options);
-       }},
-      {"cert.nc_uniform/24",
-       [] {
-         // Certificate ledger over a captured NC run.  Single-job OPT mode:
-         // closed-form, so obs.cert.records / obs.cert.opt_lb_updates are
-         // deterministic work counters — the convex-solve mode would add
-         // iteration counts that drift with solver tuning.  The capture is
-         // thread-exclusive (ScopedThreadCapture): global ScopedTracing
-         // would interleave sibling benches' events at --jobs > 1.
-         obs::RingBufferSink ring(1 << 16);
-         {
-           obs::ScopedThreadCapture capture(&ring);
-           (void)run_nc_uniform(make_uniform(24, 7), kAlpha);
-         }
-         obs::cert::CertOptions copts;
-         copts.opt_lb = obs::cert::OptLbMode::kSingleJob;
-         (void)obs::cert::certify_events(ring.events(), kAlpha, copts);
-       }},
-      {"numerics.roots/sweep",
-       [] {
-         // 48 bracketing root solves: pins brent/bisect iteration counts and
-         // the geometric bracket-expansion tally.
-         for (int k = 1; k <= 48; ++k) {
-           const double target = static_cast<double>(k);
-           (void)numerics::find_root_increasing(
-               [target](double x) { return x * x * x - target; }, 0.0, 0.5, 1e-12);
-         }
-       }},
-      {"live.nc_uniform_sampled/256",
-       [] {
-         // NC-uniform with the live telemetry sampler scraping the registry
-         // at 1 ms (src/obs/live/).  The hub writes gauges only, so the
-         // shard's counter delta must pin exactly the same work counters as
-         // an unsampled run — the committed proof that live telemetry is
-         // unobservable in the deterministic half of the ledger.
-         obs::live::TelemetryOptions topts;
-         topts.period = std::chrono::milliseconds(1);
-         topts.publish_sweep_gauges = false;
-         obs::live::TelemetryHub hub(topts);
-         hub.start();
-         (void)run_nc_uniform(make_uniform(256, 9), kAlpha);
-         hub.stop();
-       }},
-      // The sweep-engine determinism pair: same 8-point suite grid at inner
-      // jobs 1 and 8.  Identical counters (incl. opt.cache.hits/misses from
-      // the per-point memoized OPT solves), different wall — the committed
-      // speedup evidence.  Heavier than the rest; run_bench_suite.py keeps
-      // them in their own ledger (--exclude / --filter analysis.sweep_suite).
-      {"analysis.sweep_suite/8x1", [] { run_sweep_suite_bench(1); }},
-      {"analysis.sweep_suite/8x8", [] { run_sweep_suite_bench(8); }},
-  };
-}
+void handle_signal(int) { g_stop.store(true, std::memory_order_relaxed); }
 
 /// Zero-valued names filtered out of a shard's counter delta: a shard scope
 /// records OBS_COUNT(name, 0) as an explicit 0 entry, but the ledger pins
@@ -201,11 +75,22 @@ std::map<std::string, std::int64_t> nonzero(const std::map<std::string, std::int
   return out;
 }
 
+/// Default sweep_worker location: sibling "examples" directory of this
+/// binary's "bench" directory (the build-tree layout).
+std::string default_worker_path(const char* argv0) {
+  const std::string self(argv0);
+  const std::size_t slash = self.rfind('/');
+  const std::string dir = slash == std::string::npos ? "." : self.substr(0, slash);
+  return dir + "/../examples/sweep_worker";
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: bench_suite_runner [--out ledger.json] [--reps N] [--quick]\n"
                "                          [--jobs N] [--filter SUBSTR] [--exclude SUBSTR]\n"
-               "                          [--list] [--suite NAME]\n");
+               "                          [--list] [--suite NAME]\n"
+               "                          [--fleet N] [--fleet-dir DIR] [--worker PATH]\n"
+               "                          [--metrics-out FILE] [--state-file FILE]\n");
   return 2;
 }
 
@@ -213,9 +98,10 @@ int usage() {
 
 int main(int argc, char** argv) {
   std::string out_path, suite_name = "pr3-pinned";
+  std::string fleet_dir = "fleet_work", worker_path, metrics_out, state_file;
   std::vector<std::string> filters, excludes;  // repeatable; substring match
   int reps = 5;
-  std::size_t jobs = 1;
+  std::size_t jobs = 1, fleet = 0;
   bool quick = false, list = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -225,6 +111,16 @@ int main(int argc, char** argv) {
       reps = std::atoi(argv[++i]);
     } else if (arg == "--jobs" && i + 1 < argc) {
       jobs = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--fleet" && i + 1 < argc) {
+      fleet = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--fleet-dir" && i + 1 < argc) {
+      fleet_dir = argv[++i];
+    } else if (arg == "--worker" && i + 1 < argc) {
+      worker_path = argv[++i];
+    } else if (arg == "--metrics-out" && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else if (arg == "--state-file" && i + 1 < argc) {
+      state_file = argv[++i];
     } else if (arg == "--quick") {
       quick = true;
     } else if (arg == "--filter" && i + 1 < argc) {
@@ -242,17 +138,16 @@ int main(int argc, char** argv) {
   if (quick) reps = std::min(reps, 2);
   if (reps < 1) return usage();
 
-  const std::vector<PinnedBench> suite = pinned_suite();
+  const std::vector<analysis::PinnedBench>& suite = analysis::pinned_bench_suite();
   if (list) {
-    for (const PinnedBench& b : suite) std::printf("%s\n", b.name);
+    for (const analysis::PinnedBench& b : suite) std::printf("%s\n", b.name.c_str());
     return 0;
   }
 
-  std::vector<const PinnedBench*> selected;
-  for (const PinnedBench& b : suite) {
-    const std::string name(b.name);
-    const auto matches = [&name](const std::string& s) {
-      return name.find(s) != std::string::npos;
+  std::vector<const analysis::PinnedBench*> selected;
+  for (const analysis::PinnedBench& b : suite) {
+    const auto matches = [&b](const std::string& s) {
+      return b.name.find(s) != std::string::npos;
     };
     if (!filters.empty() && std::none_of(filters.begin(), filters.end(), matches)) continue;
     if (std::any_of(excludes.begin(), excludes.end(), matches)) continue;
@@ -270,7 +165,7 @@ int main(int argc, char** argv) {
   // config, so committed baselines predating these keys stay comparable.
   ledger.set_config("build_type", obs::build_info().build_type);
   ledger.set_config("compiler", obs::build_info().compiler);
-  ledger.set_config("engine_substeps", std::to_string(kEngineSubsteps));
+  ledger.set_config("engine_substeps", std::to_string(analysis::kPinnedBenchEngineSubsteps));
   ledger.set_config("git_hash", obs::build_info().git_hash);
   ledger.set_config("mode", quick ? "quick" : "full");
   ledger.set_config("repetitions", std::to_string(reps));
@@ -278,29 +173,70 @@ int main(int argc, char** argv) {
   obs::set_metrics_enabled(true);
   obs::registry().reset_all();
 
-  // The (bench x rep) grid through the sweep scheduler.  Each repetition's
-  // counters are its shard delta — exactly what the body recorded, wherever
-  // it ran — so the ledger does not depend on --jobs.  No outer OPT cache:
-  // memoizing across repetitions would make rep 1 cheaper than rep 0 and
-  // trip the determinism check (workloads that want caching install their
-  // own, e.g. the sweep-suite points).
+  // The (bench x rep) grid, item idx = bench * reps + rep.  Each
+  // repetition's counters are its shard delta — exactly what the body
+  // recorded, wherever it ran — so the ledger does not depend on --jobs or
+  // --fleet.  No outer OPT cache: memoizing across repetitions would make
+  // rep 1 cheaper than rep 0 and trip the determinism check (workloads that
+  // want caching install their own, e.g. the sweep-suite points).
   const std::size_t n_items = selected.size() * static_cast<std::size_t>(reps);
   std::vector<double> wall_ns(n_items, 0.0);
-  analysis::SweepOptions sweep_options;
-  sweep_options.jobs = jobs;
-  sweep_options.opt_cache_capacity = 0;
-  analysis::SweepScheduler scheduler(sweep_options);
-  const auto deltas = scheduler.run(n_items, [&](std::size_t idx) {
-    const PinnedBench& b = *selected[idx / static_cast<std::size_t>(reps)];
-    const auto t0 = std::chrono::steady_clock::now();
-    b.body();
-    const auto t1 = std::chrono::steady_clock::now();
-    wall_ns[idx] = static_cast<double>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
-  });
+  std::vector<std::map<std::string, std::int64_t>> deltas;
+
+  if (fleet > 0) {
+    // Multi-process backend: a supervised crash-tolerant worker fleet.
+    std::signal(SIGTERM, handle_signal);
+    std::signal(SIGINT, handle_signal);
+    robust::supervisor::FleetWorkSpec spec;
+    spec.kind = robust::supervisor::FleetWorkKind::kPinnedBench;
+    spec.shards = fleet;
+    spec.opt_cache_capacity = 0;
+    spec.bench_reps = reps;
+    for (const analysis::PinnedBench* b : selected) spec.bench_names.push_back(b->name);
+    robust::supervisor::FleetOptions fopts;
+    fopts.worker_binary = worker_path.empty() ? default_worker_path(argv[0]) : worker_path;
+    fopts.work_dir = fleet_dir;
+    fopts.state_path = state_file;
+    fopts.stop_flag = &g_stop;
+    robust::supervisor::Supervisor supervisor(std::move(spec), fopts);
+    robust::supervisor::FleetResult result;
+    try {
+      result = supervisor.run();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "FATAL: fleet failed: %s\n", e.what());
+      return 1;
+    }
+    if (!metrics_out.empty()) {
+      std::ofstream mf(metrics_out);
+      mf << obs::registry().snapshot_json() << '\n';
+    }
+    if (result.interrupted) {
+      std::fprintf(stderr,
+                   "fleet interrupted; shard logs in %s resume on the next run\n",
+                   fleet_dir.c_str());
+      return robust::supervisor::kWorkerExitInterrupted;
+    }
+    for (std::size_t idx = 0; idx < n_items; ++idx) {
+      wall_ns[idx] = result.items[idx].wall_ns;
+      deltas.push_back(result.items[idx].counters);
+    }
+  } else {
+    analysis::SweepOptions sweep_options;
+    sweep_options.jobs = jobs;
+    sweep_options.opt_cache_capacity = 0;
+    analysis::SweepScheduler scheduler(sweep_options);
+    deltas = scheduler.run(n_items, [&](std::size_t idx) {
+      const analysis::PinnedBench& b = *selected[idx / static_cast<std::size_t>(reps)];
+      const auto t0 = std::chrono::steady_clock::now();
+      b.body();
+      const auto t1 = std::chrono::steady_clock::now();
+      wall_ns[idx] = static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+    });
+  }
 
   for (std::size_t bi = 0; bi < selected.size(); ++bi) {
-    const PinnedBench& b = *selected[bi];
+    const analysis::PinnedBench& b = *selected[bi];
     obs::perf::BenchEntry& entry = ledger.entry(b.name);
     entry.source = "runner";
     entry.repetitions = reps;
@@ -315,14 +251,14 @@ int main(int argc, char** argv) {
         std::fprintf(stderr,
                      "FATAL: %s: work counters differ between repetition 0 and %d — "
                      "the workload is not deterministic\n",
-                     b.name, rep);
+                     b.name.c_str(), rep);
         return 1;
       }
     }
     std::int64_t work = 0;
     for (const auto& [name, v] : entry.counters) work += v;
-    std::printf("%-28s reps=%d  wall_med=%.3f ms  counters=%zu  total_work=%lld\n", b.name,
-                reps, entry.wall_median_ns() * 1e-6, entry.counters.size(),
+    std::printf("%-28s reps=%d  wall_med=%.3f ms  counters=%zu  total_work=%lld\n",
+                b.name.c_str(), reps, entry.wall_median_ns() * 1e-6, entry.counters.size(),
                 static_cast<long long>(work));
   }
 

@@ -1,0 +1,209 @@
+// Fleet worker: one shard of a supervised multi-process sweep.
+//
+// Spawned by robust::supervisor::Supervisor (or by hand, for debugging) as
+//
+//   sweep_worker --spec spec.json --shard S --out shard_S.jsonl
+//                --heartbeat heartbeat_S.json [--fault SITE@INDEX]...
+//
+// The worker re-reads the fleet spec, resumes from its own shard log (items
+// already logged by a previous incarnation are skipped), and then runs its
+// statically-owned items — index i belongs to shard i % shards — appending
+// one flushed JSONL line per completed item and rewriting its heartbeat file
+// atomically at every item boundary.  All crash-recovery intelligence lives
+// in the supervisor; the worker's only contract is "log each finished item
+// before starting the next, and pulse".
+//
+// Signals: SIGTERM/SIGINT finish the in-flight item, flush its line, and
+// exit kWorkerExitInterrupted (75) — a cancelled fleet resumes instead of
+// recomputing (same clean-shutdown contract as datacenter_cluster
+// --serve-metrics).  Exit codes are the protocol of
+// src/robust/supervisor/shard_log.h: 64 bad spec/arguments, 65 deterministic
+// item failure, 70 transient I/O trouble (supervisor restarts), 0 done.
+//
+// --fault installs a deterministic chaos plan (src/robust/fault_injection.h)
+// by site name and 0-based call index, e.g. "worker_crash_mid_shard@1":
+// compute the incarnation's second item, then SIGKILL yourself before
+// committing it.  The supervisor passes these only on a shard's first
+// incarnation, so injected crashes fire once and the respawn runs clean.
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "src/obs/metrics_registry.h"
+#include "src/robust/fault_injection.h"
+#include "src/robust/supervisor/item_runner.h"
+#include "src/robust/supervisor/shard_log.h"
+#include "src/robust/supervisor/work_spec.h"
+
+using namespace speedscale;
+using namespace speedscale::robust::supervisor;
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void handle_signal(int) { g_stop.store(true, std::memory_order_relaxed); }
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: sweep_worker --spec FILE --shard N --out FILE --heartbeat FILE\n"
+               "                    [--fault SITE@INDEX]...\n");
+  return kWorkerExitSpecError;
+}
+
+/// "site_name@index" -> one fired call index in `plan`.
+bool add_fault_arg(robust::FaultPlan& plan, const std::string& arg) {
+  const std::size_t at = arg.find('@');
+  if (at == std::string::npos || at == 0 || at + 1 >= arg.size()) return false;
+  const auto site = robust::fault_site_by_name(arg.substr(0, at));
+  if (!site) return false;
+  char* end = nullptr;
+  const unsigned long long index = std::strtoull(arg.c_str() + at + 1, &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  plan.fire_at[static_cast<std::size_t>(*site)].insert(index);
+  return true;
+}
+
+/// Min gap between heartbeat writes.  A pulse is an atomic tmp+rename, and
+/// items can be sub-millisecond; per-item pulses would dominate the fleet's
+/// wall overhead (E24).  Liveness only needs the seq to advance well inside
+/// the watchdog deadline (heartbeat_min_seconds floor: 5 s by default), so
+/// 50 ms of staleness is invisible to the supervisor.
+constexpr std::chrono::milliseconds kPulseInterval{50};
+
+void pulse(const std::string& path, WorkerHeartbeat& hb, bool force = false) {
+  static std::chrono::steady_clock::time_point last_write{};  // epoch: 1st fires
+  const auto now = std::chrono::steady_clock::now();
+  if (!force && now - last_write < kPulseInterval) return;
+  last_write = now;
+  hb.seq += 1;
+  try {
+    write_heartbeat(path, hb);
+  } catch (const std::exception&) {
+    // Heartbeats are liveness, not state — a failed pulse just looks like a
+    // stall to the supervisor, which is the correct degraded behavior.
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string spec_path, out_path, heartbeat_path;
+  std::size_t shard = 0;
+  bool have_shard = false;
+  robust::FaultPlan plan;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--spec" && i + 1 < argc) {
+      spec_path = argv[++i];
+    } else if (arg == "--shard" && i + 1 < argc) {
+      shard = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+      have_shard = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--heartbeat" && i + 1 < argc) {
+      heartbeat_path = argv[++i];
+    } else if (arg == "--fault" && i + 1 < argc) {
+      if (!add_fault_arg(plan, argv[++i])) return usage();
+    } else {
+      return usage();
+    }
+  }
+  if (spec_path.empty() || out_path.empty() || heartbeat_path.empty() || !have_shard) {
+    return usage();
+  }
+
+  std::signal(SIGTERM, handle_signal);
+  std::signal(SIGINT, handle_signal);
+  obs::set_metrics_enabled(true);
+  if (!plan.empty()) robust::FaultInjector::instance().install(std::move(plan));
+
+  FleetWorkSpec spec;
+  try {
+    spec = load_work_spec(spec_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[sweep_worker] bad spec: %s\n", e.what());
+    return kWorkerExitSpecError;
+  }
+  if (shard >= spec.shards) {
+    std::fprintf(stderr, "[sweep_worker] shard %zu out of range (spec has %zu)\n", shard,
+                 spec.shards);
+    return kWorkerExitSpecError;
+  }
+
+  // Resume: whatever a previous incarnation already logged stays done.
+  const auto done = load_shard_log(out_path);
+
+  // One open log for the whole incarnation (an open/close per item would
+  // blow the E24 overhead budget).
+  std::unique_ptr<ShardLogWriter> log;
+  try {
+    log = std::make_unique<ShardLogWriter>(out_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[sweep_worker] cannot open shard log: %s\n", e.what());
+    return 70;  // transient I/O: supervisor restarts
+  }
+
+  WorkerHeartbeat hb;
+  hb.pid = static_cast<long>(::getpid());
+  bool stalled = false;  // kHeartbeatStall fired: pulse no more
+
+  for (std::size_t i = shard; i < spec.n_items(); i += spec.shards) {
+    if (done.find(i) != done.end()) continue;
+    if (g_stop.load(std::memory_order_relaxed)) {
+      hb.current_item = -1;
+      if (!stalled) pulse(heartbeat_path, hb, /*force=*/true);
+      return kWorkerExitInterrupted;
+    }
+    hb.current_item = static_cast<std::int64_t>(i);
+    if (robust::fault_fire(robust::FaultSite::kHeartbeatStall)) stalled = true;
+    if (!stalled) pulse(heartbeat_path, hb);
+    if (stalled) {
+      // Chaos: the hung-worker case.  Stop pulsing and stop progressing —
+      // the supervisor's watchdog must SIGKILL and restart us.  SIGTERM
+      // still exits cleanly so an interrupted chaos run tears down fast.
+      while (!g_stop.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+      return kWorkerExitInterrupted;
+    }
+
+    ItemResult item;
+    try {
+      item = run_fleet_item(spec, i);
+    } catch (const std::exception& e) {
+      // Deterministic failure: a restart (or the serial run) would fail the
+      // same way, so tell the supervisor not to bother.
+      std::fprintf(stderr, "[sweep_worker] item %zu failed: %s\n", i, e.what());
+      return kWorkerExitItemFailed;
+    }
+    if (robust::fault_fire(robust::FaultSite::kWorkerCrashMidShard)) {
+      // Chaos: die with the item computed but never committed — the restart
+      // must recompute it and produce the same bytes.
+      std::raise(SIGKILL);
+    }
+    try {
+      log->append(item);
+    } catch (const std::exception& e) {
+      // I/O trouble is not the item's fault; exit restartable.
+      std::fprintf(stderr, "[sweep_worker] shard log append failed: %s\n", e.what());
+      return 70;  // EX_SOFTWARE-ish: supervisor routes unknown codes to restart
+    }
+    hb.items_done += 1;
+    hb.busy_seconds += item.wall_ns / 1e9;
+    hb.current_item = -1;
+    pulse(heartbeat_path, hb);
+  }
+
+  hb.current_item = -1;
+  hb.done = true;
+  pulse(heartbeat_path, hb, /*force=*/true);
+  return kWorkerExitOk;
+}

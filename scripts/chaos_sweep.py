@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Chaos smoke for the multi-process sweep fleet (docs/robustness.md).
+
+Runs the pinned bench suite twice:
+
+1. serially (--jobs 1) — the reference execution;
+2. as a supervised worker fleet (--fleet N), while this script SIGKILLs
+   random live workers mid-sweep, reading their pids from the supervisor's
+   atomically-written fleet state file.
+
+Then asserts the crash-tolerance contract:
+
+* the fleet run exits 0 — the supervisor restarted every murdered worker
+  from its shard-log checkpoint (or finished the shard in-process on the
+  degradation ladder) and the run completed;
+* the deterministic half of the fleet ledger — every entry's work-counter
+  snapshot — is identical to the serial ledger's, i.e. the kills are
+  unobservable in the merged artifact;
+* the supervisor's own accounting saw the chaos: the supervisor.restarts
+  gauge in the post-run registry snapshot (--metrics-out) is >= the number
+  of kills that landed.
+
+Exit 0 on success, 1 with a diagnostic on any violation.
+
+    scripts/chaos_sweep.py build [--fleet 3] [--kills 2] [--reps 40]
+"""
+import argparse
+import json
+import os
+import random
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+
+def read_worker_pids(state_path):
+    """Live worker pids from the supervisor's fleet state (atomic writes, so
+    the file is always whole; it may just not exist yet)."""
+    try:
+        with open(state_path) as f:
+            state = json.load(f)
+    except (OSError, json.JSONDecodeError):
+        return []
+    return [w["pid"] for w in state.get("workers", [])
+            if w.get("state") == "running" and w.get("pid", -1) > 0]
+
+
+def run_serial(runner, out_path, reps):
+    cmd = [runner, "--out", out_path, "--reps", str(reps),
+           "--exclude", "analysis.sweep_suite", "--exclude", "live."]
+    print("+", " ".join(cmd), flush=True)
+    subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
+
+
+def run_fleet_with_kills(runner, worker, out_path, reps, fleet, kills, workdir, rng):
+    state_path = os.path.join(workdir, "fleet_state.json")
+    metrics_path = os.path.join(workdir, "metrics.json")
+    cmd = [runner, "--out", out_path, "--reps", str(reps),
+           "--exclude", "analysis.sweep_suite", "--exclude", "live.",
+           "--fleet", str(fleet), "--fleet-dir", os.path.join(workdir, "fw"),
+           "--worker", worker, "--state-file", state_path,
+           "--metrics-out", metrics_path]
+    print("+", " ".join(cmd), flush=True)
+    proc = subprocess.Popen(cmd, stdout=subprocess.DEVNULL)
+    killed = 0
+    murdered = set()  # never re-kill a zombie: SIGKILL to one "succeeds" silently
+    try:
+        while proc.poll() is None and killed < kills:
+            pids = [p for p in read_worker_pids(state_path) if p not in murdered]
+            if pids:
+                victim = rng.choice(pids)
+                try:
+                    os.kill(victim, signal.SIGKILL)
+                except ProcessLookupError:
+                    murdered.add(victim)
+                    continue  # raced a natural exit; pick again
+                murdered.add(victim)
+                killed += 1
+                print(f"chaos: SIGKILLed worker pid {victim} ({killed}/{kills})",
+                      flush=True)
+                time.sleep(0.1)  # let the supervisor reap + respawn a new victim
+            else:
+                time.sleep(0.01)
+        returncode = proc.wait(timeout=600)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+    if returncode != 0:
+        sys.exit(f"FAIL: fleet run exited {returncode} — the supervisor did not "
+                 f"survive the chaos")
+    if killed == 0:
+        sys.exit("FAIL: the fleet finished before any kill landed — grow the "
+                 "workload (--reps) so the chaos window exists")
+    return killed, metrics_path
+
+
+def compare_ledgers(serial_path, fleet_path):
+    with open(serial_path) as f:
+        serial = json.load(f)
+    with open(fleet_path) as f:
+        fleet = json.load(f)
+    if set(serial["entries"]) != set(fleet["entries"]):
+        sys.exit(f"FAIL: entry sets differ: serial={sorted(serial['entries'])} "
+                 f"fleet={sorted(fleet['entries'])}")
+    bad = [name for name in serial["entries"]
+           if serial["entries"][name]["counters"] != fleet["entries"][name]["counters"]]
+    if bad:
+        for name in bad:
+            print(f"FAIL: {name}: counters diverged under chaos", file=sys.stderr)
+            print(f"  serial: {serial['entries'][name]['counters']}", file=sys.stderr)
+            print(f"  fleet : {fleet['entries'][name]['counters']}", file=sys.stderr)
+        sys.exit(1)
+    print(f"ok: {len(serial['entries'])} entries, counter-identical under chaos")
+
+
+def check_restarts(metrics_path, killed):
+    with open(metrics_path) as f:
+        snapshot = json.load(f)
+    restarts = snapshot.get("gauges", {}).get("supervisor.restarts")
+    if restarts is None:
+        sys.exit("FAIL: supervisor.restarts gauge missing from the registry snapshot")
+    if restarts < killed:
+        sys.exit(f"FAIL: supervisor.restarts={restarts} < kills landed={killed}")
+    print(f"ok: supervisor.restarts={restarts:g} >= {killed} kills")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("build_dir", help="CMake build tree (Release)")
+    ap.add_argument("--fleet", type=int, default=3, help="worker processes")
+    ap.add_argument("--kills", type=int, default=2, help="workers to SIGKILL")
+    ap.add_argument("--reps", type=int, default=40,
+                    help="runner repetitions — sized so the fleet runs long "
+                         "enough for every kill to land (the suite is ~25 ms "
+                         "per repetition serially)")
+    ap.add_argument("--seed", type=int, default=0, help="victim-choice seed")
+    args = ap.parse_args()
+
+    runner = os.path.join(args.build_dir, "bench", "bench_suite_runner")
+    worker = os.path.join(args.build_dir, "examples", "sweep_worker")
+    for path in (runner, worker):
+        if not os.path.exists(path):
+            sys.exit(f"error: {path} not found — build the tree first")
+
+    rng = random.Random(args.seed)
+    with tempfile.TemporaryDirectory(prefix="speedscale_chaos_") as workdir:
+        serial_path = os.path.join(workdir, "serial.json")
+        fleet_path = os.path.join(workdir, "fleet.json")
+        run_serial(runner, serial_path, args.reps)
+        killed, metrics_path = run_fleet_with_kills(
+            runner, worker, fleet_path, args.reps, args.fleet, args.kills,
+            workdir, rng)
+        compare_ledgers(serial_path, fleet_path)
+        check_restarts(metrics_path, killed)
+    print("chaos smoke passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -19,7 +19,7 @@ separators), so regenerating on the same machine/toolchain is byte-stable in
 the counter half.  Refresh the committed baselines with:
 
     scripts/run_bench_suite.py --build-dir build --out BENCH_PR3.json \
-        --pr5-out BENCH_PR5.json --pr6-out BENCH_PR6.json
+        --pr5-out BENCH_PR5.json --pr6-out BENCH_PR6.json --pr7-out BENCH_PR7.json
 
 `--jobs N` shards the runner's (bench x repetition) grid across N workers;
 the counter half of the ledger is byte-identical at any N (the sweep
@@ -141,6 +141,10 @@ def main():
     ap.add_argument("--pr6-out", default=None,
                     help="also write the live-telemetry ledger (live.* pinned counters "
                          "under a running sampler + E23 overhead wall rows) here")
+    ap.add_argument("--pr7-out", default=None,
+                    help="also write the supervised-fleet ledger (same pinned benches "
+                         "sharded across --fleet worker processes; counters must match "
+                         "the serial ledger entry-for-entry) here")
     ap.add_argument("--quick", action="store_true",
                     help="CI mode: 2 runner repetitions, short gbench min-times")
     ap.add_argument("--skip-gbench", action="store_true",
@@ -162,6 +166,10 @@ def main():
                                           "--exclude", "live."])
     if args.suite:
         ledger["suite"] = args.suite
+    # Snapshot the runner's counter half before gbench rows are merged in:
+    # the fleet cross-check below compares against exactly these entries.
+    serial_counters = {name: entry["counters"]
+                       for name, entry in ledger["entries"].items()}
 
     if not args.skip_gbench:
         reps = 1 if args.quick else 3
@@ -198,6 +206,34 @@ def main():
                                           1 if args.quick else 3).items():
                 pr6["entries"][name] = entry
         write_ledger(args.pr6_out, pr6)
+
+    if args.pr7_out:
+        # Supervised fleet (ISSUE 7 / E24): the same pinned benches, but
+        # sharded across supervised worker *processes* through the shard-log
+        # checkpoint path (src/robust/supervisor/).  The process boundary,
+        # like --jobs' thread boundary, must be unobservable in the
+        # deterministic half, so the fleet ledger's counters are cross-checked
+        # entry-for-entry against the serial run above before being written.
+        worker = os.path.join(args.build_dir, "examples", "sweep_worker")
+        if not os.path.exists(worker):
+            sys.exit(f"error: {worker} not found — build the Release tree first")
+        with tempfile.TemporaryDirectory(prefix="speedscale_fleet_") as fleet_dir:
+            pr7 = run_suite_runner(
+                args.build_dir, args.quick, jobs=1,
+                extra_args=["--exclude", "analysis.sweep_suite",
+                            "--exclude", "live.",
+                            "--fleet", "2",
+                            "--fleet-dir", os.path.join(fleet_dir, "work"),
+                            "--worker", worker,
+                            "--suite", "pr7-fleet"])
+        if set(pr7["entries"]) != set(serial_counters):
+            sys.exit("error: fleet ledger entry set differs from the serial run: "
+                     f"{sorted(set(pr7['entries']) ^ set(serial_counters))}")
+        for name, entry in pr7["entries"].items():
+            if entry["counters"] != serial_counters[name]:
+                sys.exit(f"error: {name}: fleet counters diverge from the serial "
+                         f"run — the process boundary leaked into the deterministic half")
+        write_ledger(args.pr7_out, pr7)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,165 @@
+#include "src/analysis/pinned_suite.h"
+
+#include <chrono>
+#include <cstdint>
+
+#include "src/algo/algorithm_c.h"
+#include "src/algo/algorithm_nc_nonuniform.h"
+#include "src/algo/algorithm_nc_uniform.h"
+#include "src/analysis/sweep.h"
+#include "src/core/power.h"
+#include "src/numerics/roots.h"
+#include "src/obs/cert/potential_tracker.h"
+#include "src/obs/live/telemetry_hub.h"
+#include "src/obs/trace.h"
+#include "src/robust/guarded_engine.h"
+#include "src/sim/numeric_engine.h"
+#include "src/workload/generators.h"
+
+namespace speedscale::analysis {
+
+namespace {
+
+constexpr double kAlpha = kPinnedBenchAlpha;
+constexpr int kEngineSubsteps = kPinnedBenchEngineSubsteps;
+
+Instance make_uniform(int n, std::uint64_t seed, double rate = 2.0) {
+  return workload::generate({.n_jobs = n, .arrival_rate = rate, .seed = seed});
+}
+
+NumericConfig engine_config() {
+  NumericConfig cfg;
+  cfg.substeps_per_interval = kEngineSubsteps;
+  return cfg;
+}
+
+/// One sweep-suite workload: the full ratio-harness suite (with certificate
+/// capture) over 8 pinned uniform instances, sharded across `jobs` inner
+/// workers.  The /8x1 and /8x8 entries run the *same* points, so their
+/// counter snapshots must be identical — the committed proof that the sweep
+/// engine's parallelism is unobservable — while their wall times expose the
+/// speedup (tracked in BENCH_PR5.json; wall is advisory in the gate).
+void run_sweep_suite_bench(std::size_t jobs) {
+  std::vector<analysis::SuitePoint> points;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    points.push_back({make_uniform(20, seed), kAlpha});
+  }
+  analysis::SuiteOptions suite;
+  suite.include_nonuniform = false;
+  suite.certify = true;
+  suite.opt_slots = 200;
+  analysis::SweepOptions sweep;
+  sweep.jobs = jobs;
+  (void)analysis::run_suite_sweep(points, suite, sweep);
+}
+
+/// The pinned suite.  Changing a seed, size, or config here invalidates the
+/// committed baseline — regenerate BENCH_PR3.json in the same change.
+std::vector<PinnedBench> build_pinned_suite() {
+  return {
+      {"sim.algorithm_c/1024",
+       [] { (void)run_algorithm_c(make_uniform(1024, 1), kAlpha); }},
+      {"sim.algorithm_c/4096",
+       [] { (void)run_algorithm_c(make_uniform(4096, 1), kAlpha); }},
+      {"sim.nc_uniform/1024", [] { (void)run_nc_uniform(make_uniform(1024, 1), kAlpha); }},
+      {"sim.nc_nonuniform/8",
+       [] {
+         const Instance inst = workload::generate(
+             {.n_jobs = 8, .density_mode = workload::DensityMode::kClasses, .seed = 2});
+         (void)run_nc_nonuniform(inst, kAlpha);
+       }},
+      {"sim.preemption_burst/256",
+       [] {
+         // Bursty arrivals with mixed densities: later, denser jobs displace
+         // the running one, so this pins the preemption counter.
+         const Instance inst = workload::generate({.n_jobs = 256,
+                                                   .arrival_rate = 4.0,
+                                                   .density_mode = workload::DensityMode::kClasses,
+                                                   .seed = 6});
+         (void)run_algorithm_c(inst, kAlpha);
+       }},
+      {"engine.numeric_c/16",
+       [] {
+         const PowerLaw p(kAlpha);
+         (void)run_generic_c(make_uniform(16, 3, 1.5), p, engine_config());
+       }},
+      {"engine.numeric_nc/12",
+       [] {
+         const PowerLaw p(kAlpha);
+         (void)run_generic_nc_uniform(make_uniform(12, 4, 1.5), p, engine_config());
+       }},
+      {"robust.guarded_nc/8",
+       [] {
+         const PowerLaw p(kAlpha);
+         robust::GuardedNumericOptions options;
+         options.base.substeps_per_interval = 256;
+         options.alpha = kAlpha;
+         (void)robust::run_generic_nc_uniform_guarded(make_uniform(8, 5, 1.5), p, options);
+       }},
+      {"cert.nc_uniform/24",
+       [] {
+         // Certificate ledger over a captured NC run.  Single-job OPT mode:
+         // closed-form, so obs.cert.records / obs.cert.opt_lb_updates are
+         // deterministic work counters — the convex-solve mode would add
+         // iteration counts that drift with solver tuning.  The capture is
+         // thread-exclusive (ScopedThreadCapture): global ScopedTracing
+         // would interleave sibling benches' events at --jobs > 1.
+         obs::RingBufferSink ring(1 << 16);
+         {
+           obs::ScopedThreadCapture capture(&ring);
+           (void)run_nc_uniform(make_uniform(24, 7), kAlpha);
+         }
+         obs::cert::CertOptions copts;
+         copts.opt_lb = obs::cert::OptLbMode::kSingleJob;
+         (void)obs::cert::certify_events(ring.events(), kAlpha, copts);
+       }},
+      {"numerics.roots/sweep",
+       [] {
+         // 48 bracketing root solves: pins brent/bisect iteration counts and
+         // the geometric bracket-expansion tally.
+         for (int k = 1; k <= 48; ++k) {
+           const double target = static_cast<double>(k);
+           (void)numerics::find_root_increasing(
+               [target](double x) { return x * x * x - target; }, 0.0, 0.5, 1e-12);
+         }
+       }},
+      {"live.nc_uniform_sampled/256",
+       [] {
+         // NC-uniform with the live telemetry sampler scraping the registry
+         // at 1 ms (src/obs/live/).  The hub writes gauges only, so the
+         // shard's counter delta must pin exactly the same work counters as
+         // an unsampled run — the committed proof that live telemetry is
+         // unobservable in the deterministic half of the ledger.
+         obs::live::TelemetryOptions topts;
+         topts.period = std::chrono::milliseconds(1);
+         topts.publish_sweep_gauges = false;
+         obs::live::TelemetryHub hub(topts);
+         hub.start();
+         (void)run_nc_uniform(make_uniform(256, 9), kAlpha);
+         hub.stop();
+       }},
+      // The sweep-engine determinism pair: same 8-point suite grid at inner
+      // jobs 1 and 8.  Identical counters (incl. opt.cache.hits/misses from
+      // the per-point memoized OPT solves), different wall — the committed
+      // speedup evidence.  Heavier than the rest; run_bench_suite.py keeps
+      // them in their own ledger (--exclude / --filter analysis.sweep_suite).
+      {"analysis.sweep_suite/8x1", [] { run_sweep_suite_bench(1); }},
+      {"analysis.sweep_suite/8x8", [] { run_sweep_suite_bench(8); }},
+  };
+}
+
+}  // namespace
+
+const std::vector<PinnedBench>& pinned_bench_suite() {
+  static const std::vector<PinnedBench> suite = build_pinned_suite();
+  return suite;
+}
+
+const PinnedBench* find_pinned_bench(const std::string& name) {
+  for (const PinnedBench& b : pinned_bench_suite()) {
+    if (b.name == name) return &b;
+  }
+  return nullptr;
+}
+
+}  // namespace speedscale::analysis

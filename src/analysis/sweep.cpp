@@ -113,26 +113,45 @@ void append_outcome_json(std::string& out, const SuiteResult& suite, const AlgoO
 
 }  // namespace
 
-std::string SuiteSweepResult::suite_json() const {
+std::string suite_point_json(std::size_t index, const SuiteSweepResult::PointInfo& info,
+                             const SuiteResult& suite) {
+  std::string out = "{\"point\":" + std::to_string(index);
+  out += ",\"alpha\":";
+  obs::append_json_number(out, info.alpha);
+  out += ",\"n_jobs\":" + std::to_string(info.n_jobs);
+  out += ",\"opt_fractional\":";
+  if (suite.opt_fractional) {
+    obs::append_json_number(out, *suite.opt_fractional);
+  } else {
+    out += "null";
+  }
+  out += ",\"outcomes\":[";
+  for (std::size_t k = 0; k < suite.outcomes.size(); ++k) {
+    if (k > 0) out += ',';
+    append_outcome_json(out, suite, suite.outcomes[k]);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string suite_point_cert_jsonl(std::size_t index, const SuiteResult& suite) {
+  std::string out;
+  for (const AlgoOutcome& o : suite.outcomes) {
+    if (!o.certified) continue;
+    out += "{\"kind\":\"cert_stream\",\"point\":" + std::to_string(index) + ",\"algo\":";
+    obs::append_json_string(out, o.name);
+    out += "}\n";
+    out += o.cert_jsonl;
+  }
+  return out;
+}
+
+std::string assemble_suite_sweep_json(const std::vector<std::string>& point_fragments,
+                                      const std::map<std::string, std::int64_t>& merged_counters) {
   std::string out = "{\"schema\":\"speedscale.suite_sweep/1\",\"points\":[";
-  for (std::size_t i = 0; i < suites.size(); ++i) {
+  for (std::size_t i = 0; i < point_fragments.size(); ++i) {
     if (i > 0) out += ',';
-    out += "{\"point\":" + std::to_string(i);
-    out += ",\"alpha\":";
-    obs::append_json_number(out, info[i].alpha);
-    out += ",\"n_jobs\":" + std::to_string(info[i].n_jobs);
-    out += ",\"opt_fractional\":";
-    if (suites[i].opt_fractional) {
-      obs::append_json_number(out, *suites[i].opt_fractional);
-    } else {
-      out += "null";
-    }
-    out += ",\"outcomes\":[";
-    for (std::size_t k = 0; k < suites[i].outcomes.size(); ++k) {
-      if (k > 0) out += ',';
-      append_outcome_json(out, suites[i], suites[i].outcomes[k]);
-    }
-    out += "]}";
+    out += point_fragments[i];
   }
   out += "],\"counters\":{";
   bool first = true;
@@ -146,16 +165,19 @@ std::string SuiteSweepResult::suite_json() const {
   return out;
 }
 
+std::string SuiteSweepResult::suite_json() const {
+  std::vector<std::string> fragments;
+  fragments.reserve(suites.size());
+  for (std::size_t i = 0; i < suites.size(); ++i) {
+    fragments.push_back(suite_point_json(i, info[i], suites[i]));
+  }
+  return assemble_suite_sweep_json(fragments, merged_counters);
+}
+
 std::string SuiteSweepResult::cert_jsonl() const {
   std::string out;
   for (std::size_t i = 0; i < suites.size(); ++i) {
-    for (const AlgoOutcome& o : suites[i].outcomes) {
-      if (!o.certified) continue;
-      out += "{\"kind\":\"cert_stream\",\"point\":" + std::to_string(i) + ",\"algo\":";
-      obs::append_json_string(out, o.name);
-      out += "}\n";
-      out += o.cert_jsonl;
-    }
+    out += suite_point_cert_jsonl(i, suites[i]);
   }
   return out;
 }

@@ -1,11 +1,13 @@
 #include "src/robust/checkpoint.h"
 
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
 
+#include "src/obs/metrics_registry.h"
 #include "src/robust/diagnostics.h"
 
 namespace speedscale::robust {
@@ -80,15 +82,31 @@ std::optional<SearchCheckpoint> load_search_checkpoint(const std::string& path,
   if (!f) return std::nullopt;
   std::optional<SearchCheckpoint> best;
   std::string line;
+  std::size_t skipped = 0;
   while (std::getline(f, line)) {
     if (line.empty()) continue;
     SearchCheckpoint cp;
     if (parse_line(line, cp)) {
       best = std::move(cp);
-    } else if (skipped_lines) {
-      ++*skipped_lines;
+    } else {
+      ++skipped;
     }
   }
+  if (skipped > 0) {
+    // Torn/corrupt lines are expected after a crash (the append is flushed
+    // per line, so at most the tail is torn) but must never be *silent*: a
+    // resumed run surfaces how much it discarded, both as a counter and on
+    // stderr, so a checkpoint file rotting line-by-line is visible long
+    // before the search itself misbehaves.  The count goes straight to the
+    // registry (not OBS_COUNT): recovery bookkeeping must not divert into an
+    // active shard scope and perturb per-item counter deltas.
+    obs::registry().counter("robust.checkpoint.torn_lines").add(
+        static_cast<std::int64_t>(skipped));
+    const Diagnostic warn(ErrorCode::kIoMalformed, "skipped torn checkpoint line(s)",
+                          std::to_string(skipped) + " line(s) in " + path);
+    std::fprintf(stderr, "[robust] WARN: %s\n", warn.to_string().c_str());
+  }
+  if (skipped_lines) *skipped_lines = skipped;
   return best;
 }
 

@@ -1,0 +1,63 @@
+#include "src/robust/supervisor/item_runner.h"
+
+#include <chrono>
+#include <optional>
+#include <stdexcept>
+
+#include "src/analysis/pinned_suite.h"
+#include "src/obs/shard_scope.h"
+#include "src/opt/opt_cache.h"
+#include "src/robust/diagnostics.h"
+
+namespace speedscale::robust::supervisor {
+
+ItemResult run_fleet_item(const FleetWorkSpec& spec, std::size_t index) {
+  if (index >= spec.n_items()) {
+    throw RobustError(ErrorCode::kIoMalformed, "fleet item index out of range",
+                      std::to_string(index) + " of " + std::to_string(spec.n_items()));
+  }
+  ItemResult out;
+  out.index = index;
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Identical shard isolation to SweepScheduler::run: counters divert into
+  // this item's private scope, OPT solves memoize in this item's private
+  // cache — what the item records depends only on the item.
+  obs::ShardMetricsScope scope;
+  std::optional<OptSolveCache> cache;
+  std::optional<ScopedOptSolveCache> bind;
+  if (spec.opt_cache_capacity > 0) {
+    cache.emplace(spec.opt_cache_capacity);
+    bind.emplace(&*cache);
+  }
+
+  if (spec.kind == FleetWorkKind::kSuitePoints) {
+    const analysis::SuitePoint& p = spec.points[index];
+    const analysis::SuiteSweepResult::PointInfo info{p.alpha, p.instance.size()};
+    const analysis::SuiteResult suite =
+        analysis::run_suite(p.instance, p.alpha, spec.suite_options);
+    bind.reset();
+    scope.stop();
+    out.payload_json = analysis::suite_point_json(index, info, suite);
+    out.cert_jsonl = analysis::suite_point_cert_jsonl(index, suite);
+  } else {
+    const std::size_t bench_index = index / static_cast<std::size_t>(spec.bench_reps);
+    const analysis::PinnedBench* bench =
+        analysis::find_pinned_bench(spec.bench_names.at(bench_index));
+    if (bench == nullptr) {
+      throw RobustError(ErrorCode::kIoMalformed, "unknown pinned bench in fleet spec",
+                        spec.bench_names.at(bench_index));
+    }
+    bench->body();
+    bind.reset();
+    scope.stop();
+  }
+
+  out.counters = scope.counters();
+  const auto t1 = std::chrono::steady_clock::now();
+  out.wall_ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+  return out;
+}
+
+}  // namespace speedscale::robust::supervisor

@@ -1,0 +1,25 @@
+// Executes one fleet work item, wherever it runs.
+//
+// The chaos contract (docs/robustness.md) hinges on one function: a work
+// item must produce identical bytes whether it runs in a worker process, in
+// a restarted worker after a crash, or in the supervisor's own process on
+// the degradation ladder.  run_fleet_item is that function — it mirrors the
+// per-item setup of analysis::SweepScheduler exactly (private shard metric
+// scope, private OPT solve cache) and serializes through the same
+// analysis::suite_point_json / suite_point_cert_jsonl primitives the serial
+// sweep uses.
+#pragma once
+
+#include <cstddef>
+
+#include "src/robust/supervisor/shard_log.h"
+#include "src/robust/supervisor/work_spec.h"
+
+namespace speedscale::robust::supervisor {
+
+/// Runs item `index` of `spec` and returns its logged form.  Throws (the
+/// item's own exception) on deterministic failure — the caller decides
+/// whether that aborts a worker (kWorkerExitItemFailed) or the whole fleet.
+[[nodiscard]] ItemResult run_fleet_item(const FleetWorkSpec& spec, std::size_t index);
+
+}  // namespace speedscale::robust::supervisor

@@ -1,0 +1,179 @@
+#include "src/robust/supervisor/shard_log.h"
+
+#include <cmath>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/obs/json_min.h"
+#include "src/obs/json_util.h"
+#include "src/obs/metrics_registry.h"
+#include "src/robust/atomic_io.h"
+#include "src/robust/diagnostics.h"
+#include "src/robust/fault_injection.h"
+
+namespace speedscale::robust::supervisor {
+
+namespace {
+
+std::string item_result_line(const ItemResult& r) {
+  std::string out = "{\"kind\":\"item\",\"index\":" + std::to_string(r.index);
+  out += ",\"wall_ns\":";
+  obs::append_json_number(out, r.wall_ns);
+  out += ",\"payload\":";
+  obs::append_json_string(out, r.payload_json);
+  out += ",\"cert\":";
+  obs::append_json_string(out, r.cert_jsonl);
+  out += ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : r.counters) {
+    if (!first) out += ',';
+    first = false;
+    obs::append_json_string(out, name);
+    out += ':' + std::to_string(v);
+  }
+  out += "}}";
+  return out;
+}
+
+bool parse_item_line(const std::string& line, ItemResult& out) {
+  obs::JsonValue root;
+  try {
+    root = obs::parse_json(line);
+  } catch (const std::exception&) {
+    return false;  // torn tail / corrupt line
+  }
+  if (!root.is_object()) return false;
+  const obs::JsonValue* kind = root.find("kind");
+  if (kind == nullptr || !kind->is_string() || kind->string != "item") return false;
+  const obs::JsonValue* index = root.find("index");
+  const obs::JsonValue* wall = root.find("wall_ns");
+  const obs::JsonValue* payload = root.find("payload");
+  const obs::JsonValue* cert = root.find("cert");
+  const obs::JsonValue* counters = root.find("counters");
+  if (index == nullptr || !index->is_number() || index->number < 0.0 ||
+      index->number != std::floor(index->number)) {
+    return false;
+  }
+  if (wall == nullptr || !wall->is_number() || !std::isfinite(wall->number)) return false;
+  if (payload == nullptr || !payload->is_string()) return false;
+  if (cert == nullptr || !cert->is_string()) return false;
+  if (counters == nullptr || !counters->is_object()) return false;
+  out.index = static_cast<std::size_t>(index->number);
+  out.wall_ns = wall->number;
+  out.payload_json = payload->string;
+  out.cert_jsonl = cert->string;
+  out.counters.clear();
+  for (const auto& [name, v] : counters->object) {
+    if (!v.is_number() || v.number != std::floor(v.number)) return false;
+    out.counters[name] = static_cast<std::int64_t>(v.number);
+  }
+  return true;
+}
+
+}  // namespace
+
+ShardLogWriter::ShardLogWriter(std::string path)
+    : path_(std::move(path)), file_(path_, std::ios::app) {
+  if (!file_) throw RobustError(ErrorCode::kIoMalformed, "cannot open shard log", path_);
+}
+
+void ShardLogWriter::append(const ItemResult& result) {
+  const std::string line = item_result_line(result);
+  if (fault_fire(FaultSite::kCheckpointTornTail)) {
+    // Chaos: the crash-mid-write case.  Flush a torn prefix (no newline) and
+    // die the way a power cut would — the loader must skip this tail and the
+    // restarted worker must recompute the item.
+    file_ << line.substr(0, line.size() / 2);
+    file_.flush();
+    std::raise(SIGKILL);
+  }
+  file_ << line << '\n';
+  file_.flush();
+  if (!file_) throw RobustError(ErrorCode::kIoMalformed, "shard log write failed", path_);
+}
+
+void append_item_result(const std::string& path, const ItemResult& result) {
+  ShardLogWriter(path).append(result);
+}
+
+std::map<std::size_t, ItemResult> load_shard_log(const std::string& path,
+                                                 std::size_t* skipped_lines) {
+  if (skipped_lines) *skipped_lines = 0;
+  std::map<std::size_t, ItemResult> out;
+  std::ifstream f(path);
+  if (!f) return out;
+  std::string line;
+  std::size_t skipped = 0;
+  while (std::getline(f, line)) {
+    if (line.empty()) continue;
+    ItemResult r;
+    if (parse_item_line(line, r)) {
+      out[r.index] = std::move(r);
+    } else {
+      ++skipped;
+    }
+  }
+  if (skipped > 0) {
+    // Same visibility contract as load_search_checkpoint: torn tails are
+    // survivable but never silent.  Straight to the registry (not
+    // OBS_COUNT) so recovery bookkeeping cannot leak into an item delta.
+    obs::registry().counter("robust.checkpoint.torn_lines").add(
+        static_cast<std::int64_t>(skipped));
+    const Diagnostic warn(ErrorCode::kIoMalformed, "skipped torn shard-log line(s)",
+                          std::to_string(skipped) + " line(s) in " + path);
+    std::fprintf(stderr, "[robust] WARN: %s\n", warn.to_string().c_str());
+  }
+  if (skipped_lines) *skipped_lines = skipped;
+  return out;
+}
+
+void write_heartbeat(const std::string& path, const WorkerHeartbeat& hb) {
+  std::string doc = "{\"busy_seconds\":";
+  obs::append_json_number(doc, hb.busy_seconds);
+  doc += ",\"current_item\":" + std::to_string(hb.current_item);
+  doc += ",\"done\":";
+  doc += hb.done ? "true" : "false";
+  doc += ",\"items_done\":" + std::to_string(hb.items_done);
+  doc += ",\"pid\":" + std::to_string(hb.pid);
+  doc += ",\"seq\":" + std::to_string(hb.seq);
+  doc += '}';
+  atomic_write_file(path, [&](std::ostream& os) { os << doc << '\n'; });
+}
+
+std::optional<WorkerHeartbeat> read_heartbeat(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return std::nullopt;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  obs::JsonValue root;
+  try {
+    root = obs::parse_json(ss.str());
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  if (!root.is_object()) return std::nullopt;
+  const obs::JsonValue* pid = root.find("pid");
+  const obs::JsonValue* seq = root.find("seq");
+  const obs::JsonValue* done_items = root.find("items_done");
+  const obs::JsonValue* current = root.find("current_item");
+  const obs::JsonValue* busy = root.find("busy_seconds");
+  const obs::JsonValue* done = root.find("done");
+  if (pid == nullptr || !pid->is_number() || seq == nullptr || !seq->is_number() ||
+      done_items == nullptr || !done_items->is_number() || current == nullptr ||
+      !current->is_number() || busy == nullptr || !busy->is_number() || done == nullptr ||
+      !done->is_bool()) {
+    return std::nullopt;
+  }
+  WorkerHeartbeat hb;
+  hb.pid = static_cast<long>(pid->number);
+  hb.seq = static_cast<std::uint64_t>(seq->number);
+  hb.items_done = static_cast<std::int64_t>(done_items->number);
+  hb.current_item = static_cast<std::int64_t>(current->number);
+  hb.busy_seconds = busy->number;
+  hb.done = done->boolean;
+  return hb;
+}
+
+}  // namespace speedscale::robust::supervisor

@@ -1,0 +1,96 @@
+// Per-shard result logs and heartbeat files: the fleet's coordination
+// substrate.
+//
+// A worker owns one append-only JSONL log.  Each completed item appends one
+// self-contained line — item index, wall time, the point's serialized
+// artifact fragments, and the item's private counter delta — flushed before
+// the next item starts, so a SIGKILL loses at most the line being written.
+// The loader is lenient in exactly the robust::checkpoint way: torn/corrupt
+// lines are skipped *and counted* (surfaced as robust.checkpoint.torn_lines
+// plus a stderr WARN), valid lines win by item index.  Resume is therefore
+// "read own log, skip done items" — no supervisor round-trip needed.
+//
+// Heartbeat files are whole-file atomic writes (tmp + rename): the
+// supervisor polls them for liveness and never reads a torn heartbeat.  The
+// watchdog deadline applied to a stale heartbeat reuses the straggler math
+// from src/obs/live/straggler.h.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace speedscale::robust::supervisor {
+
+// Worker exit codes (distinct so the supervisor can tell a crash from a
+// clean interruption from a permanent failure):
+inline constexpr int kWorkerExitOk = 0;
+/// Bad spec/arguments — retrying can never help; the supervisor aborts.
+inline constexpr int kWorkerExitSpecError = 64;
+/// An item failed deterministically (the serial run would fail too).
+inline constexpr int kWorkerExitItemFailed = 65;
+/// SIGTERM/SIGINT honored: the current item's line was flushed and the
+/// shard is resumable.  (EX_TEMPFAIL: try again.)
+inline constexpr int kWorkerExitInterrupted = 75;
+
+/// One completed work item, as logged by a worker and merged by the
+/// supervisor.
+struct ItemResult {
+  std::size_t index = 0;
+  double wall_ns = 0.0;
+  /// Suite-point JSON fragment (analysis::suite_point_json); empty for
+  /// pinned-bench items.
+  std::string payload_json;
+  /// The point's certificate stream slice (analysis::suite_point_cert_jsonl).
+  std::string cert_jsonl;
+  /// The item's private counter delta (obs::ShardMetricsScope capture).
+  std::map<std::string, std::int64_t> counters;
+};
+
+/// Keeps a shard log open in append mode and writes one flushed line per
+/// item.  Holding the stream across items matters for throughput: the fleet
+/// overhead budget (EXPERIMENTS.md E24) does not allow an open/close per
+/// item.  Honors the kCheckpointTornTail chaos site: when it fires, a prefix
+/// of the line is written (no newline) and the process SIGKILLs itself — the
+/// torn-tail crash the loader must survive.  Throws RobustError
+/// (kIoMalformed) on open or write failure.
+class ShardLogWriter {
+ public:
+  explicit ShardLogWriter(std::string path);
+  void append(const ItemResult& result);
+
+ private:
+  std::string path_;
+  std::ofstream file_;
+};
+
+/// One-shot convenience over ShardLogWriter (open, append, flush, close).
+void append_item_result(const std::string& path, const ItemResult& result);
+
+/// Loads every valid result line, keyed by item index (later lines win).
+/// Missing file = empty map.  `skipped_lines`, when given, receives the
+/// torn/corrupt line count (also counted as robust.checkpoint.torn_lines
+/// and WARNed to stderr, mirroring load_search_checkpoint).
+[[nodiscard]] std::map<std::size_t, ItemResult> load_shard_log(
+    const std::string& path, std::size_t* skipped_lines = nullptr);
+
+/// A worker's liveness beacon, rewritten atomically at every item boundary.
+struct WorkerHeartbeat {
+  long pid = 0;
+  std::uint64_t seq = 0;           ///< bumps on every write
+  std::int64_t items_done = 0;     ///< completed by this incarnation
+  std::int64_t current_item = -1;  ///< in-flight item index; -1 when idle
+  double busy_seconds = 0.0;       ///< summed completed-item wall time
+  bool done = false;               ///< shard finished cleanly
+};
+
+/// Atomic heartbeat write (readers never see a torn file).
+void write_heartbeat(const std::string& path, const WorkerHeartbeat& hb);
+/// nullopt when the file is missing or malformed (a write was never
+/// completed); malformed heartbeats are not an error — the supervisor just
+/// sees "no progress yet".
+[[nodiscard]] std::optional<WorkerHeartbeat> read_heartbeat(const std::string& path);
+
+}  // namespace speedscale::robust::supervisor

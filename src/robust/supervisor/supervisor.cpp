@@ -1,0 +1,452 @@
+#include "src/robust/supervisor/supervisor.h"
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <thread>
+
+#include "src/obs/live/straggler.h"
+#include "src/obs/metrics_registry.h"
+#include "src/robust/atomic_io.h"
+#include "src/robust/diagnostics.h"
+#include "src/robust/supervisor/item_runner.h"
+
+namespace speedscale::robust::supervisor {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point then, Clock::time_point now) {
+  return std::chrono::duration<double>(now - then).count();
+}
+
+/// fork + execv.  The child calls only async-signal-safe functions between
+/// fork and exec (the supervisor may be running with sampler threads —
+/// TelemetryHub — so the child's view of the heap is not trustworthy).
+long spawn_process(std::vector<std::string> argv_strings) {
+  std::vector<char*> argv;
+  argv.reserve(argv_strings.size() + 1);
+  for (std::string& s : argv_strings) argv.push_back(s.data());
+  argv.push_back(nullptr);
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    throw RobustError(ErrorCode::kTaskFailed, "fork failed", std::strerror(errno));
+  }
+  if (pid == 0) {
+    ::execv(argv[0], argv.data());
+    ::_exit(127);  // exec failure: reported to the supervisor as exit 127
+  }
+  return static_cast<long>(pid);
+}
+
+}  // namespace
+
+Supervisor::Supervisor(FleetWorkSpec spec, FleetOptions options)
+    : spec_(std::move(spec)), options_(std::move(options)) {
+  if (options_.worker_binary.empty()) {
+    throw RobustError(ErrorCode::kIoMalformed, "fleet: worker_binary is required");
+  }
+  if (options_.work_dir.empty()) {
+    throw RobustError(ErrorCode::kIoMalformed, "fleet: work_dir is required");
+  }
+  if (spec_.shards == 0) spec_.shards = 1;
+  spec_path_ = options_.work_dir + "/spec.json";
+  state_path_ =
+      options_.state_path.empty() ? options_.work_dir + "/fleet_state.json" : options_.state_path;
+}
+
+Supervisor::~Supervisor() { kill_all(); }
+
+std::string Supervisor::shard_log_path(std::size_t shard) const {
+  return options_.work_dir + "/shard_" + std::to_string(shard) + ".jsonl";
+}
+
+std::string Supervisor::heartbeat_path(std::size_t shard) const {
+  return options_.work_dir + "/heartbeat_" + std::to_string(shard) + ".json";
+}
+
+void Supervisor::spawn(Worker& w) {
+  std::vector<std::string> argv;
+  argv.push_back(options_.worker_binary);
+  argv.push_back("--spec");
+  argv.push_back(spec_path_);
+  argv.push_back("--shard");
+  argv.push_back(std::to_string(w.shard));
+  argv.push_back("--out");
+  argv.push_back(shard_log_path(w.shard));
+  argv.push_back("--heartbeat");
+  argv.push_back(heartbeat_path(w.shard));
+  argv.insert(argv.end(), options_.worker_args.begin(), options_.worker_args.end());
+  if (w.restarts == 0) {
+    // Chaos hook: injected faults ride only the first incarnation, so a
+    // crash plan fires once and the respawned worker runs clean.
+    argv.insert(argv.end(), options_.first_spawn_args.begin(), options_.first_spawn_args.end());
+  }
+  w.pid = spawn_process(std::move(argv));
+  w.state = Worker::State::kRunning;
+  w.spawned_at = w.last_progress = Clock::now();
+  w.last_seq = 0;
+  w.hb_seen = false;
+  w.hb_busy = false;
+  w.hb_items_done = 0;
+  w.hb_busy_seconds = 0.0;
+}
+
+void Supervisor::reap(FleetResult& result) {
+  for (Worker& w : workers_) {
+    if (w.state != Worker::State::kRunning) continue;
+    int status = 0;
+    const pid_t r = ::waitpid(static_cast<pid_t>(w.pid), &status, WNOHANG);
+    if (r == 0) continue;
+    // The incarnation is gone either way; fold its heartbeat progress into
+    // the history that feeds the mean-item-time estimate.  Read the file
+    // once more first: a short-lived worker can exit between watchdog
+    // polls, and its final (forced) pulse carries the true tallies.
+    if (const auto beat = read_heartbeat(heartbeat_path(w.shard));
+        beat && beat->pid == w.pid) {
+      w.hb_items_done = beat->items_done;
+      w.hb_busy_seconds = beat->busy_seconds;
+    }
+    w.pid = -1;
+    w.hist_items_done += w.hb_items_done;
+    w.hist_busy_seconds += w.hb_busy_seconds;
+    w.hb_items_done = 0;
+    w.hb_busy_seconds = 0.0;
+    w.hb_seen = false;
+    w.hb_busy = false;
+    if (r < 0) {
+      // ECHILD etc.: we lost track of the child — treat as a crash.
+      schedule_restart(w, result);
+      continue;
+    }
+    if (WIFEXITED(status)) {
+      const int code = WEXITSTATUS(status);
+      if (code == kWorkerExitOk) {
+        // Trust but verify: a worker claiming success with an incomplete
+        // log (truncated filesystem, wrong binary, ...) goes back through
+        // the restart ladder instead of failing the merge later.
+        std::size_t done_owned = 0;
+        for (const auto& [i, item] : load_shard_log(shard_log_path(w.shard))) {
+          if (i < spec_.n_items() && spec_.owns(w.shard, i)) ++done_owned;
+        }
+        if (done_owned >= spec_.items_in_shard(w.shard)) {
+          w.state = Worker::State::kDone;
+        } else {
+          schedule_restart(w, result);
+        }
+        continue;
+      }
+      if (code == kWorkerExitSpecError || code == kWorkerExitItemFailed || code == 127) {
+        // Permanent: a retry would fail identically (bad spec, deterministic
+        // item failure, or the worker binary itself failed to exec).
+        kill_all();
+        throw RobustError(ErrorCode::kTaskFailed,
+                          "fleet worker failed permanently (exit " + std::to_string(code) + ")",
+                          "shard " + std::to_string(w.shard));
+      }
+      if (code == kWorkerExitInterrupted && stopping_) {
+        w.state = Worker::State::kIdle;  // resumable, by design
+        continue;
+      }
+      // Interrupted from outside (or an unknown exit code): resume it.
+      schedule_restart(w, result);
+      continue;
+    }
+    // Killed by signal — the chaos case.
+    if (stopping_) {
+      w.state = Worker::State::kIdle;
+      continue;
+    }
+    schedule_restart(w, result);
+  }
+}
+
+void Supervisor::schedule_restart(Worker& w, FleetResult& result) {
+  result.restarts += 1;
+  w.restarts += 1;
+  // Everything not yet in the shard log is back in the queue.
+  std::size_t done_owned = 0;
+  for (const auto& [i, item] : load_shard_log(shard_log_path(w.shard))) {
+    if (i < spec_.n_items() && spec_.owns(w.shard, i)) ++done_owned;
+  }
+  const std::size_t owned = spec_.items_in_shard(w.shard);
+  result.requeued_items += static_cast<std::int64_t>(owned - std::min(owned, done_owned));
+  if (w.restarts > options_.max_restarts_per_shard) {
+    run_degraded_shard(w, result);
+    return;
+  }
+  const int shift = std::min(w.restarts - 1, 20);
+  const long delay =
+      std::min(options_.backoff_cap_ms, options_.backoff_base_ms << shift);
+  w.state = Worker::State::kBackoff;
+  w.restart_due = Clock::now() + std::chrono::milliseconds(delay);
+  std::fprintf(stderr,
+               "[supervisor] WARN: shard %zu worker died; restart %d/%d in %ld ms\n",
+               w.shard, w.restarts, options_.max_restarts_per_shard, delay);
+}
+
+void Supervisor::run_degraded_shard(Worker& w, FleetResult& result) {
+  // Last ladder rung: the shard keeps crashing, so finish its remaining
+  // items serially in this process.  run_fleet_item produces the same bytes
+  // a worker would have logged (that equivalence is the chaos contract), so
+  // the merge cannot tell the difference; the run completes, just slower.
+  std::fprintf(stderr,
+               "[supervisor] WARN: shard %zu exceeded %d restarts; finishing in-process\n",
+               w.shard, options_.max_restarts_per_shard);
+  const auto done = load_shard_log(shard_log_path(w.shard));
+  for (std::size_t i = w.shard; i < spec_.n_items(); i += spec_.shards) {
+    if (done.find(i) != done.end()) continue;
+    const ItemResult item = run_fleet_item(spec_, i);
+    append_item_result(shard_log_path(w.shard), item);
+    w.hist_items_done += 1;
+    w.hist_busy_seconds += item.wall_ns / 1e9;
+  }
+  w.state = Worker::State::kDegraded;
+  result.degraded_shards.push_back(w.shard);
+}
+
+void Supervisor::run_watchdog(FleetResult& result) {
+  const auto now = Clock::now();
+  obs::live::HeartbeatSnapshot hb;
+  hb.active = true;
+  hb.items_total = static_cast<std::int64_t>(spec_.n_items());
+  std::int64_t done = 0;
+  double busy_seconds = 0.0;
+  std::vector<Worker*> slots;  // hb.shards[k] describes *slots[k]
+  for (Worker& w : workers_) {
+    done += w.hist_items_done + w.resumed_items;
+    busy_seconds += w.hist_busy_seconds;
+    if (w.state != Worker::State::kRunning) continue;
+    const auto beat = read_heartbeat(heartbeat_path(w.shard));
+    // Heartbeats from a previous incarnation carry a stale pid; only a
+    // matching pid counts as this worker's pulse.
+    if (beat && beat->pid == w.pid) {
+      if (!w.hb_seen || beat->seq != w.last_seq) {
+        w.last_seq = beat->seq;
+        w.last_progress = now;
+        w.hb_seen = true;
+      }
+      w.hb_items_done = beat->items_done;
+      w.hb_busy_seconds = beat->busy_seconds;
+      w.hb_busy = !beat->done;
+    }
+    done += w.hb_items_done;
+    busy_seconds += w.hb_busy_seconds;
+    obs::live::ShardBeat shard_beat;
+    // A running worker that has not pulsed lately is exactly what the
+    // watchdog hunts, so it counts as busy until its heartbeat says "done".
+    shard_beat.busy = w.hb_seen ? w.hb_busy : true;
+    shard_beat.items_completed = w.hb_items_done;
+    shard_beat.inflight_seconds = seconds_since(w.last_progress, now);
+    shard_beat.last_progress_seconds = 0.0;
+    hb.shards.push_back(shard_beat);
+    slots.push_back(&w);
+  }
+  hb.workers = slots.size();
+  hb.items_completed = done;
+  hb.mean_item_seconds = done > 0 ? busy_seconds / static_cast<double>(done) : 0.0;
+  items_done_estimate_ = done;
+
+  const obs::live::StragglerReport report = obs::live::detect_stragglers(
+      hb, {options_.heartbeat_factor, options_.heartbeat_min_seconds});
+  for (const std::size_t slot : report.stragglers) {
+    Worker& w = *slots[slot];
+    std::fprintf(stderr,
+                 "[supervisor] WARN: shard %zu heartbeat stale for %.1fs; killing pid %ld\n",
+                 w.shard, seconds_since(w.last_progress, now), w.pid);
+    ::kill(static_cast<pid_t>(w.pid), SIGKILL);
+    // reap() picks up the corpse next poll and routes it through the normal
+    // restart ladder; resetting last_progress avoids a double kill meanwhile.
+    w.last_progress = now;
+    result.hung_kills += 1;
+  }
+}
+
+void Supervisor::request_stop(FleetResult& result) {
+  stopping_ = true;
+  result.interrupted = true;
+  for (Worker& w : workers_) {
+    if (w.state == Worker::State::kRunning) ::kill(static_cast<pid_t>(w.pid), SIGTERM);
+  }
+  const auto deadline = Clock::now() + std::chrono::milliseconds(options_.stop_grace_ms);
+  while (Clock::now() < deadline) {
+    reap(result);
+    bool any_running = false;
+    for (const Worker& w : workers_) {
+      any_running = any_running || w.state == Worker::State::kRunning;
+    }
+    if (!any_running) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(options_.poll_ms));
+  }
+  kill_all();  // whatever ignored SIGTERM past the grace period
+}
+
+void Supervisor::publish_gauges(const FleetResult& result) const {
+  if (!options_.publish_gauges) return;
+  std::size_t alive = 0;
+  bool active = false;
+  for (const Worker& w : workers_) {
+    if (w.state == Worker::State::kRunning) ++alive;
+    active = active || (w.state != Worker::State::kDone && w.state != Worker::State::kDegraded);
+  }
+  auto& reg = obs::registry();
+  reg.gauge("supervisor.active").set(active ? 1.0 : 0.0);
+  reg.gauge("supervisor.shards").set(static_cast<double>(spec_.shards));
+  reg.gauge("supervisor.workers_alive").set(static_cast<double>(alive));
+  reg.gauge("supervisor.restarts").set(static_cast<double>(result.restarts));
+  reg.gauge("supervisor.hung_kills").set(static_cast<double>(result.hung_kills));
+  reg.gauge("supervisor.requeued_items").set(static_cast<double>(result.requeued_items));
+  reg.gauge("supervisor.degraded_shards").set(static_cast<double>(result.degraded_shards.size()));
+  reg.gauge("supervisor.items_total").set(static_cast<double>(spec_.n_items()));
+  reg.gauge("supervisor.items_done").set(static_cast<double>(items_done_estimate_));
+}
+
+void Supervisor::write_state(const FleetResult& result) const {
+  std::string doc = "{\"schema\":\"speedscale.fleet_state/1\",\"restarts\":" +
+                    std::to_string(result.restarts) +
+                    ",\"shards\":" + std::to_string(spec_.shards) + ",\"workers\":[";
+  bool first = true;
+  for (const Worker& w : workers_) {
+    if (!first) doc += ',';
+    first = false;
+    const char* state = "idle";
+    switch (w.state) {
+      case Worker::State::kIdle: state = "idle"; break;
+      case Worker::State::kRunning: state = "running"; break;
+      case Worker::State::kBackoff: state = "backoff"; break;
+      case Worker::State::kDone: state = "done"; break;
+      case Worker::State::kDegraded: state = "degraded"; break;
+    }
+    doc += "{\"pid\":" + std::to_string(w.pid) + ",\"restarts\":" + std::to_string(w.restarts) +
+           ",\"shard\":" + std::to_string(w.shard) + ",\"state\":\"" + state + "\"}";
+  }
+  doc += "]}";
+  if (doc == last_state_doc_) return;
+  last_state_doc_ = doc;
+  atomic_write_file(state_path_, [&](std::ostream& os) { os << doc << '\n'; });
+}
+
+void Supervisor::kill_all() {
+  for (Worker& w : workers_) {
+    if (w.state != Worker::State::kRunning || w.pid <= 0) continue;
+    ::kill(static_cast<pid_t>(w.pid), SIGKILL);
+    ::waitpid(static_cast<pid_t>(w.pid), nullptr, 0);
+    w.pid = -1;
+    w.state = Worker::State::kIdle;
+  }
+}
+
+FleetResult Supervisor::run() {
+  FleetResult result;
+  std::filesystem::create_directories(options_.work_dir);
+  write_work_spec(spec_path_, spec_);
+
+  workers_.clear();
+  workers_.resize(spec_.shards);
+  for (std::size_t s = 0; s < spec_.shards; ++s) {
+    Worker& w = workers_[s];
+    w.shard = s;
+    // Resume: items already in the shard log (a previous interrupted or
+    // crashed fleet) stay done; a fully-logged shard never spawns at all.
+    std::size_t done_owned = 0;
+    for (const auto& [i, item] : load_shard_log(shard_log_path(s))) {
+      if (i < spec_.n_items() && spec_.owns(s, i)) ++done_owned;
+    }
+    w.resumed_items = static_cast<std::int64_t>(done_owned);
+    if (done_owned >= spec_.items_in_shard(s)) {
+      w.state = Worker::State::kDone;
+    } else {
+      spawn(w);
+    }
+  }
+
+  while (true) {
+    reap(result);
+    const auto now = Clock::now();
+    for (Worker& w : workers_) {
+      if (w.state == Worker::State::kBackoff && now >= w.restart_due) spawn(w);
+    }
+    run_watchdog(result);
+    publish_gauges(result);
+    write_state(result);
+    if (options_.stop_flag != nullptr &&
+        options_.stop_flag->load(std::memory_order_relaxed)) {
+      request_stop(result);
+      break;
+    }
+    bool all_settled = true;
+    for (const Worker& w : workers_) {
+      all_settled = all_settled && (w.state == Worker::State::kDone ||
+                                    w.state == Worker::State::kDegraded);
+    }
+    if (all_settled) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(options_.poll_ms));
+  }
+
+  // Merge.  Index order over item results — the exact reduction
+  // SweepScheduler::run performs, so the fleet's artifacts and counter
+  // routing are byte-identical to a serial sweep's.
+  const std::size_t n = spec_.n_items();
+  std::vector<ItemResult> items(n);
+  std::vector<char> have(n, 0);
+  std::size_t torn = 0;
+  for (std::size_t s = 0; s < spec_.shards; ++s) {
+    std::size_t skipped = 0;
+    for (auto& [i, item] : load_shard_log(shard_log_path(s), &skipped)) {
+      if (i < n && spec_.owns(s, i)) {
+        items[i] = std::move(item);
+        have[i] = 1;
+      }
+    }
+    torn += skipped;
+  }
+  result.torn_lines = torn;
+  if (!result.interrupted) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!have[i]) {
+        throw RobustError(ErrorCode::kTaskFailed, "fleet finished with a missing item",
+                          "item " + std::to_string(i));
+      }
+    }
+    result.completed = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (const auto& [name, v] : items[i].counters) {
+        obs::shard_aware_add(name, v);
+        result.merged_counters[name] += v;
+      }
+    }
+    if (spec_.kind == FleetWorkKind::kSuitePoints) {
+      std::vector<std::string> fragments;
+      fragments.reserve(n);
+      for (const ItemResult& item : items) fragments.push_back(item.payload_json);
+      result.suite_json = analysis::assemble_suite_sweep_json(fragments, result.merged_counters);
+      for (const ItemResult& item : items) result.cert_jsonl += item.cert_jsonl;
+    }
+  }
+  result.items = std::move(items);
+  publish_gauges(result);
+  write_state(result);
+  return result;
+}
+
+FleetResult run_suite_sweep_fleet(const std::vector<analysis::SuitePoint>& points,
+                                  const analysis::SuiteOptions& suite_options,
+                                  std::size_t workers, const FleetOptions& options) {
+  FleetWorkSpec spec;
+  spec.kind = FleetWorkKind::kSuitePoints;
+  spec.shards = std::max<std::size_t>(1, workers);
+  spec.points = points;
+  spec.suite_options = suite_options;
+  Supervisor sup(std::move(spec), options);
+  return sup.run();
+}
+
+}  // namespace speedscale::robust::supervisor

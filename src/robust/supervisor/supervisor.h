@@ -1,0 +1,178 @@
+// Crash-tolerant multi-process sweep supervisor.
+//
+// Extends the PR 5 determinism contract — parallelism unobservable in every
+// recorded artifact — from a thread pool to a fleet of worker *processes*,
+// where the failure modes are the ones processes actually have: SIGKILLed
+// workers, torn checkpoint tails, hung shards.  The design is
+// state-on-disk, supervisor-as-policy:
+//
+//   * the work-list crosses the process boundary as a FleetWorkSpec file
+//     (work_spec.h), so item ownership is a pure function of (spec, shard)
+//     and survives any crash without coordination state;
+//   * each worker appends completed items to its own shard log (shard_log.h),
+//     flushed per line through the robust::checkpoint discipline — a killed
+//     worker resumes from its last valid line, recomputing at most the item
+//     that was in flight;
+//   * liveness is heartbeat files (atomic writes, never torn) plus the
+//     PR 6 straggler math: a worker whose heartbeat is older than
+//     max(min_seconds, factor x mean completed-item time) is declared hung,
+//     SIGKILLed, and restarted;
+//   * restarts back off exponentially (base * 2^restarts, capped) up to a
+//     per-shard cap, after which the degradation ladder takes over: the
+//     supervisor runs the shard's remaining items serially in-process and
+//     marks the shard degraded — the run completes either way;
+//   * the merge is index-ordered over item results, byte-identical to a
+//     serial --jobs 1 run (suite JSON, certificate JSONL, merged counters),
+//     which the chaos harness (tests/test_supervisor.cpp,
+//     scripts/chaos_sweep.py) proves under seeded fault injection and real
+//     random SIGKILLs.
+//
+// Fleet health publishes as supervisor.* *gauges* only (never counters), so
+// a TelemetryHub + telemetry_tool --watch sees workers alive / restarts /
+// re-queued items live without perturbing any deterministic artifact.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/robust/supervisor/shard_log.h"
+#include "src/robust/supervisor/work_spec.h"
+
+namespace speedscale::robust::supervisor {
+
+struct FleetOptions {
+  /// Path of the sweep_worker binary to spawn (required).
+  std::string worker_binary;
+  /// Directory holding the spec, shard logs, heartbeats, and fleet state.
+  /// Reusing a directory resumes its logs (the crash-recovery path).
+  std::string work_dir;
+
+  /// Watchdog deadline = max(heartbeat_min_seconds, factor x mean
+  /// completed-item seconds) — the straggler policy of
+  /// src/obs/live/straggler.h applied to heartbeat age.
+  double heartbeat_factor = 8.0;
+  double heartbeat_min_seconds = 5.0;
+
+  /// Crash restarts allowed per shard before the degradation ladder runs
+  /// the shard's remainder in-process.
+  int max_restarts_per_shard = 4;
+  /// Restart delay = backoff_base_ms * 2^(restarts-1), capped.
+  long backoff_base_ms = 50;
+  long backoff_cap_ms = 2000;
+  /// Supervisor poll period (reap, heartbeats, gauges).
+  long poll_ms = 20;
+  /// Grace between SIGTERM and SIGKILL on an interrupted run.
+  long stop_grace_ms = 5000;
+
+  /// Extra argv appended to every worker spawn.
+  std::vector<std::string> worker_args;
+  /// Extra argv appended only to a shard's *first* incarnation — the chaos
+  /// hook: inject a crash plan that dies once, then restart clean.
+  std::vector<std::string> first_spawn_args;
+
+  /// Fleet state JSON (worker pids/states/restarts), written atomically on
+  /// every transition; empty = "<work_dir>/fleet_state.json".  The external
+  /// chaos harness reads worker pids here.
+  std::string state_path;
+
+  /// When set, a true load makes the supervisor SIGTERM the fleet, wait for
+  /// clean per-item flushes, and return interrupted (resumable) — the
+  /// SIGTERM/SIGINT contract of bench_suite_runner --fleet.
+  const std::atomic<bool>* stop_flag = nullptr;
+
+  /// Publish supervisor.* gauges (gauges only — never counters).
+  bool publish_gauges = true;
+};
+
+struct FleetResult {
+  bool completed = false;    ///< every item present and merged
+  bool interrupted = false;  ///< stopped via stop_flag; logs are resumable
+  int restarts = 0;          ///< worker respawns (crashes + hangs + interrupts)
+  int hung_kills = 0;        ///< watchdog SIGKILLs
+  std::int64_t requeued_items = 0;  ///< items re-queued across all restarts
+  std::size_t torn_lines = 0;       ///< shard-log lines discarded on loads
+  std::vector<std::size_t> degraded_shards;  ///< finished on the ladder
+
+  /// Index-ordered item results (size n_items when completed).
+  std::vector<ItemResult> items;
+
+  /// Assembled artifacts for FleetWorkKind::kSuitePoints (empty otherwise
+  /// or when interrupted) — byte-identical to the serial run's.
+  std::string suite_json;
+  std::string cert_jsonl;
+  std::map<std::string, std::int64_t> merged_counters;
+};
+
+class Supervisor {
+ public:
+  Supervisor(FleetWorkSpec spec, FleetOptions options);
+  /// Kills and reaps any still-running workers (abnormal-exit safety).
+  ~Supervisor();
+
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  /// Runs the fleet to completion (or interruption) and merges.  Throws
+  /// RobustError on unrecoverable failure: missing worker binary, a worker
+  /// reporting a permanent error (bad spec / deterministic item failure),
+  /// or items still missing after every ladder rung.
+  FleetResult run();
+
+ private:
+  struct Worker {
+    std::size_t shard = 0;
+    long pid = -1;
+    int restarts = 0;
+    enum class State { kIdle, kRunning, kBackoff, kDone, kDegraded } state = State::kIdle;
+    std::chrono::steady_clock::time_point restart_due{};
+    std::chrono::steady_clock::time_point spawned_at{};
+    std::chrono::steady_clock::time_point last_progress{};
+    std::uint64_t last_seq = 0;
+    bool hb_seen = false;
+    bool hb_busy = false;
+    std::int64_t hb_items_done = 0;
+    double hb_busy_seconds = 0.0;
+    /// Completed-incarnation history (feeds the mean-item-time estimate).
+    std::int64_t hist_items_done = 0;
+    double hist_busy_seconds = 0.0;
+    /// Items found already logged when the fleet started (resume).
+    std::int64_t resumed_items = 0;
+  };
+
+  [[nodiscard]] std::string shard_log_path(std::size_t shard) const;
+  [[nodiscard]] std::string heartbeat_path(std::size_t shard) const;
+  void spawn(Worker& w);
+  void reap(FleetResult& result);
+  void schedule_restart(Worker& w, FleetResult& result);
+  void run_watchdog(FleetResult& result);
+  void run_degraded_shard(Worker& w, FleetResult& result);
+  void request_stop(FleetResult& result);
+  void publish_gauges(const FleetResult& result) const;
+  void write_state(const FleetResult& result) const;
+  void kill_all();
+
+  FleetWorkSpec spec_;
+  FleetOptions options_;
+  std::string spec_path_;
+  std::string state_path_;
+  std::vector<Worker> workers_;
+  bool stopping_ = false;
+  std::int64_t items_done_estimate_ = 0;
+  mutable std::string last_state_doc_;
+};
+
+/// Fleet counterpart of analysis::run_suite_sweep: shards `points` over
+/// `workers` supervised processes and returns artifacts byte-identical to
+/// run_suite_sweep(points, suite_options, {.jobs = 1}).  The merged counter
+/// deltas are routed toward the caller exactly like a thread sweep's
+/// (index-ordered obs::shard_aware_add).
+[[nodiscard]] FleetResult run_suite_sweep_fleet(const std::vector<analysis::SuitePoint>& points,
+                                                const analysis::SuiteOptions& suite_options,
+                                                std::size_t workers,
+                                                const FleetOptions& options);
+
+}  // namespace speedscale::robust::supervisor

@@ -1,0 +1,208 @@
+#include "src/robust/supervisor/work_spec.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "src/obs/json_min.h"
+#include "src/obs/json_util.h"
+#include "src/robust/atomic_io.h"
+#include "src/robust/diagnostics.h"
+
+namespace speedscale::robust::supervisor {
+
+const char* fleet_work_kind_name(FleetWorkKind kind) {
+  switch (kind) {
+    case FleetWorkKind::kSuitePoints:
+      return "suite_points";
+    case FleetWorkKind::kPinnedBench:
+      return "pinned_bench";
+  }
+  return "unknown";
+}
+
+std::size_t FleetWorkSpec::n_items() const {
+  if (kind == FleetWorkKind::kSuitePoints) return points.size();
+  return bench_names.size() * static_cast<std::size_t>(bench_reps > 0 ? bench_reps : 0);
+}
+
+std::size_t FleetWorkSpec::items_in_shard(std::size_t shard) const {
+  const std::size_t n = n_items();
+  if (shards == 0 || shard >= shards) return 0;
+  return n / shards + (shard < n % shards ? 1 : 0);
+}
+
+std::string FleetWorkSpec::to_json() const {
+  std::string out = "{\"schema\":\"speedscale.fleet_spec/1\",\"kind\":";
+  obs::append_json_string(out, fleet_work_kind_name(kind));
+  out += ",\"shards\":" + std::to_string(shards);
+  out += ",\"opt_cache_capacity\":" + std::to_string(opt_cache_capacity);
+  if (kind == FleetWorkKind::kSuitePoints) {
+    const analysis::SuiteOptions& so = suite_options;
+    out += ",\"suite_options\":{\"certify\":";
+    out += so.certify ? "true" : "false";
+    out += ",\"include_nonuniform\":";
+    out += so.include_nonuniform ? "true" : "false";
+    out += ",\"include_opt\":";
+    out += so.include_opt ? "true" : "false";
+    out += ",\"opt_slots\":" + std::to_string(so.opt_slots);
+    out += ",\"reduction_eps\":";
+    obs::append_json_number(out, so.reduction_eps);
+    out += "}";
+    out += ",\"points\":[";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (i > 0) out += ',';
+      out += "{\"alpha\":";
+      obs::append_json_number(out, points[i].alpha);
+      out += ",\"jobs\":[";
+      const auto& jobs = points[i].instance.jobs();
+      for (std::size_t j = 0; j < jobs.size(); ++j) {
+        if (j > 0) out += ',';
+        out += '[';
+        obs::append_json_number(out, jobs[j].release);
+        out += ',';
+        obs::append_json_number(out, jobs[j].volume);
+        out += ',';
+        obs::append_json_number(out, jobs[j].density);
+        out += ']';
+      }
+      out += "]}";
+    }
+    out += ']';
+  } else {
+    out += ",\"bench_reps\":" + std::to_string(bench_reps);
+    out += ",\"benches\":[";
+    for (std::size_t i = 0; i < bench_names.size(); ++i) {
+      if (i > 0) out += ',';
+      obs::append_json_string(out, bench_names[i]);
+    }
+    out += ']';
+  }
+  out += '}';
+  return out;
+}
+
+namespace {
+
+[[noreturn]] void malformed(const std::string& what, const std::string& context = {}) {
+  throw RobustError(ErrorCode::kIoMalformed, "fleet spec: " + what, context);
+}
+
+const obs::JsonValue& require(const obs::JsonValue& obj, const char* key) {
+  const obs::JsonValue* v = obj.find(key);
+  if (v == nullptr) malformed("missing key", key);
+  return *v;
+}
+
+double require_number(const obs::JsonValue& obj, const char* key) {
+  const obs::JsonValue& v = require(obj, key);
+  if (!v.is_number() || !std::isfinite(v.number)) malformed("non-finite number", key);
+  return v.number;
+}
+
+bool require_bool(const obs::JsonValue& obj, const char* key) {
+  const obs::JsonValue& v = require(obj, key);
+  if (!v.is_bool()) malformed("expected bool", key);
+  return v.boolean;
+}
+
+std::size_t require_size(const obs::JsonValue& obj, const char* key) {
+  const double d = require_number(obj, key);
+  if (d < 0.0 || d != std::floor(d)) malformed("expected non-negative integer", key);
+  return static_cast<std::size_t>(d);
+}
+
+}  // namespace
+
+FleetWorkSpec parse_work_spec(const std::string& text) {
+  obs::JsonValue root;
+  try {
+    root = obs::parse_json(text);
+  } catch (const std::exception& e) {
+    malformed(std::string("unparseable JSON: ") + e.what());
+  }
+  if (!root.is_object()) malformed("document is not an object");
+  const obs::JsonValue* schema = root.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->string != "speedscale.fleet_spec/1") {
+    malformed("unknown schema");
+  }
+
+  FleetWorkSpec spec;
+  const obs::JsonValue& kind = require(root, "kind");
+  if (!kind.is_string()) malformed("expected string", "kind");
+  if (kind.string == "suite_points") {
+    spec.kind = FleetWorkKind::kSuitePoints;
+  } else if (kind.string == "pinned_bench") {
+    spec.kind = FleetWorkKind::kPinnedBench;
+  } else {
+    malformed("unknown kind", kind.string);
+  }
+  spec.shards = require_size(root, "shards");
+  if (spec.shards == 0) malformed("shards must be positive");
+  spec.opt_cache_capacity = require_size(root, "opt_cache_capacity");
+
+  if (spec.kind == FleetWorkKind::kSuitePoints) {
+    const obs::JsonValue& so = require(root, "suite_options");
+    if (!so.is_object()) malformed("expected object", "suite_options");
+    spec.suite_options.certify = require_bool(so, "certify");
+    spec.suite_options.include_nonuniform = require_bool(so, "include_nonuniform");
+    spec.suite_options.include_opt = require_bool(so, "include_opt");
+    spec.suite_options.opt_slots = static_cast<int>(require_size(so, "opt_slots"));
+    spec.suite_options.reduction_eps = require_number(so, "reduction_eps");
+
+    const obs::JsonValue& points = require(root, "points");
+    if (!points.is_array()) malformed("expected array", "points");
+    spec.points.reserve(points.array.size());
+    for (const obs::JsonValue& p : points.array) {
+      if (!p.is_object()) malformed("point is not an object");
+      analysis::SuitePoint point;
+      point.alpha = require_number(p, "alpha");
+      const obs::JsonValue& jobs = require(p, "jobs");
+      if (!jobs.is_array()) malformed("expected array", "jobs");
+      std::vector<Job> js;
+      js.reserve(jobs.array.size());
+      for (const obs::JsonValue& j : jobs.array) {
+        if (!j.is_array() || j.array.size() != 3) malformed("job is not a [r,v,d] triple");
+        for (const obs::JsonValue& field : j.array) {
+          if (!field.is_number() || !std::isfinite(field.number)) {
+            malformed("non-finite job field");
+          }
+        }
+        js.push_back(Job{kNoJob, j.array[0].number, j.array[1].number, j.array[2].number});
+      }
+      try {
+        point.instance = Instance(std::move(js));
+      } catch (const std::exception& e) {
+        malformed(std::string("invalid instance: ") + e.what());
+      }
+      spec.points.push_back(std::move(point));
+    }
+  } else {
+    spec.bench_reps = static_cast<int>(require_size(root, "bench_reps"));
+    if (spec.bench_reps < 1) malformed("bench_reps must be positive");
+    const obs::JsonValue& benches = require(root, "benches");
+    if (!benches.is_array()) malformed("expected array", "benches");
+    for (const obs::JsonValue& b : benches.array) {
+      if (!b.is_string()) malformed("bench name is not a string");
+      spec.bench_names.push_back(b.string);
+    }
+  }
+  return spec;
+}
+
+void write_work_spec(const std::string& path, const FleetWorkSpec& spec) {
+  const std::string doc = spec.to_json();
+  atomic_write_file(path, [&](std::ostream& os) { os << doc << '\n'; });
+}
+
+FleetWorkSpec load_work_spec(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw RobustError(ErrorCode::kIoMalformed, "cannot open fleet spec", path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return parse_work_spec(ss.str());
+}
+
+}  // namespace speedscale::robust::supervisor

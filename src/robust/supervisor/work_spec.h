@@ -1,0 +1,70 @@
+// Fleet work specs: the serialized work-list a supervised worker executes.
+//
+// The multi-process sweep fleet (src/robust/supervisor/supervisor.h) shards
+// a sweep work-list across *processes*, so the work-list itself must cross a
+// process boundary.  A FleetWorkSpec is the self-contained description the
+// supervisor writes once (crash-safely, via robust::atomic_io) and every
+// worker incarnation re-reads: either a grid of ratio-harness suite points
+// (instances serialized job-by-job at 17 significant digits, so a worker
+// reconstructs bit-identical doubles) or the pinned bench grid
+// (src/analysis/pinned_suite.h benches by name, times repetitions).
+//
+// Sharding is positional and static — item i belongs to shard i % shards —
+// so ownership is a pure function of the spec and survives any number of
+// worker crashes/restarts without coordination state.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/analysis/ratio_harness.h"
+#include "src/analysis/sweep.h"
+
+namespace speedscale::robust::supervisor {
+
+/// What kind of work-list the spec carries.
+enum class FleetWorkKind : std::uint8_t {
+  kSuitePoints,  ///< analysis::run_suite per point (run_suite_sweep's items)
+  kPinnedBench,  ///< pinned bench bodies by name x repetitions (bench ledger)
+};
+
+[[nodiscard]] const char* fleet_work_kind_name(FleetWorkKind kind);
+
+struct FleetWorkSpec {
+  FleetWorkKind kind = FleetWorkKind::kSuitePoints;
+  /// Number of shards the item space is split over (= worker processes).
+  std::size_t shards = 1;
+  /// Per-item private OPT solve cache capacity; 0 disables caching.  Must
+  /// match the serial SweepOptions the fleet output is compared against.
+  std::size_t opt_cache_capacity = 256;
+
+  // kSuitePoints
+  std::vector<analysis::SuitePoint> points;
+  analysis::SuiteOptions suite_options;
+
+  // kPinnedBench: item index = bench_index * bench_reps + repetition.
+  std::vector<std::string> bench_names;
+  int bench_reps = 1;
+
+  [[nodiscard]] std::size_t n_items() const;
+  /// Static ownership: item i belongs to shard i % shards.
+  [[nodiscard]] bool owns(std::size_t shard, std::size_t item) const {
+    return shards > 0 && item % shards == shard;
+  }
+  [[nodiscard]] std::size_t items_in_shard(std::size_t shard) const;
+
+  /// One sorted-structure JSON object (speedscale.fleet_spec/1); doubles at
+  /// 17 significant digits so instances round-trip bit-exactly.
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Parses a spec document.  Throws RobustError (ErrorCode::kIoMalformed)
+/// with the offending key in the context on any structural mismatch.
+[[nodiscard]] FleetWorkSpec parse_work_spec(const std::string& text);
+
+/// Crash-safe spec file round-trip (atomic write; strict read).
+void write_work_spec(const std::string& path, const FleetWorkSpec& spec);
+[[nodiscard]] FleetWorkSpec load_work_spec(const std::string& path);
+
+}  // namespace speedscale::robust::supervisor

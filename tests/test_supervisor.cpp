@@ -1,0 +1,368 @@
+// Multi-process sweep fleet: supervisor, worker checkpoints, chaos harness
+// (PR 7).
+//
+// The load-bearing property: the fleet's artifacts — suite JSON, certificate
+// JSONL, merged counters — are byte-identical to a serial --jobs 1 sweep,
+// *including under injected failure*: workers SIGKILLed mid-shard, shard-log
+// tails torn mid-append, workers hung without heartbeats, and shards so
+// crashy they finish on the supervisor's in-process degradation ladder.
+// These tests spawn the real sweep_worker binary (SPEEDSCALE_SWEEP_WORKER,
+// set by CMake) and drive real fork/exec/waitpid supervision.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/analysis/sweep.h"
+#include "src/obs/metrics_registry.h"
+#include "src/robust/diagnostics.h"
+#include "src/robust/supervisor/item_runner.h"
+#include "src/robust/supervisor/shard_log.h"
+#include "src/robust/supervisor/supervisor.h"
+#include "src/robust/supervisor/work_spec.h"
+#include "src/workload/generators.h"
+
+namespace speedscale {
+namespace {
+
+namespace rs = robust::supervisor;
+
+/// The pinned grid every test sweeps: same shape as test_sweep's determinism
+/// fixture (4 uniform instances, certificates on, no nonuniform pass).
+std::vector<analysis::SuitePoint> pinned_grid() {
+  std::vector<analysis::SuitePoint> points;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    points.push_back(
+        {workload::generate({.n_jobs = 6, .arrival_rate = 2.0, .seed = seed}), 2.0});
+  }
+  return points;
+}
+
+analysis::SuiteOptions pinned_suite_options() {
+  analysis::SuiteOptions suite;
+  suite.include_nonuniform = false;
+  suite.certify = true;
+  suite.opt_slots = 120;
+  return suite;
+}
+
+std::map<std::string, std::int64_t> nonzero_counters() {
+  std::map<std::string, std::int64_t> out;
+  for (const auto& [name, v] : obs::registry().counter_values()) {
+    if (v != 0) out[name] = v;
+  }
+  return out;
+}
+
+struct Artifacts {
+  std::string suite_json;
+  std::string cert_jsonl;
+  std::map<std::string, std::int64_t> counters;
+};
+
+/// The reference execution the fleet must reproduce byte-for-byte.
+Artifacts serial_reference() {
+  obs::set_metrics_enabled(true);
+  obs::registry().reset_all();
+  analysis::SweepOptions sweep;
+  sweep.jobs = 1;
+  const analysis::SuiteSweepResult r =
+      analysis::run_suite_sweep(pinned_grid(), pinned_suite_options(), sweep);
+  return {r.suite_json(), r.cert_jsonl(), nonzero_counters()};
+}
+
+/// A scratch fleet directory under the test temp root.
+std::string fresh_dir(const std::string& tag) {
+  const std::string dir = ::testing::TempDir() + "speedscale_fleet_" + tag;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+rs::FleetOptions base_options(const std::string& dir) {
+  rs::FleetOptions options;
+  options.worker_binary = SPEEDSCALE_SWEEP_WORKER;
+  options.work_dir = dir;
+  options.poll_ms = 5;
+  options.backoff_base_ms = 5;
+  options.backoff_cap_ms = 50;
+  return options;
+}
+
+struct FleetRun {
+  rs::FleetResult result;
+  std::map<std::string, std::int64_t> counters;  // supervisor-process registry
+};
+
+FleetRun run_fleet(const rs::FleetOptions& options, std::size_t workers = 2) {
+  obs::set_metrics_enabled(true);
+  obs::registry().reset_all();
+  FleetRun run;
+  run.result =
+      rs::run_suite_sweep_fleet(pinned_grid(), pinned_suite_options(), workers, options);
+  run.counters = nonzero_counters();
+  return run;
+}
+
+void expect_matches_serial(const FleetRun& fleet, const Artifacts& serial) {
+  EXPECT_TRUE(fleet.result.completed);
+  EXPECT_FALSE(fleet.result.interrupted);
+  EXPECT_EQ(fleet.result.suite_json, serial.suite_json);
+  EXPECT_EQ(fleet.result.cert_jsonl, serial.cert_jsonl);
+  // Work counters merged toward the supervisor must match the serial run's.
+  // Two deliberate exclusions: robust.checkpoint.torn_lines is recovery
+  // diagnostics (visible by design, never part of the work), and
+  // analysis.thread_pool.tasks counts how the serial backend executed —
+  // a pool task per item — where the fleet uses processes.  Neither enters
+  // any artifact (the suite JSON's merged counters already compared equal).
+  auto fleet_counters = fleet.counters;
+  fleet_counters.erase("robust.checkpoint.torn_lines");
+  auto serial_counters = serial.counters;
+  serial_counters.erase("analysis.thread_pool.tasks");
+  EXPECT_EQ(fleet_counters, serial_counters);
+}
+
+// --- Work specs ----------------------------------------------------------
+
+TEST(FleetWorkSpec, SuitePointsRoundTripBitExactly) {
+  rs::FleetWorkSpec spec;
+  spec.kind = rs::FleetWorkKind::kSuitePoints;
+  spec.shards = 3;
+  spec.points = pinned_grid();
+  spec.suite_options = pinned_suite_options();
+  const rs::FleetWorkSpec back = rs::parse_work_spec(spec.to_json());
+  // Instances hold generator-produced doubles; "%.17g" must round-trip them
+  // to the last bit, so the reserialization is byte-identical.
+  EXPECT_EQ(back.to_json(), spec.to_json());
+  ASSERT_EQ(back.points.size(), spec.points.size());
+  EXPECT_EQ(back.points[2].instance.jobs()[3].volume,
+            spec.points[2].instance.jobs()[3].volume);
+  EXPECT_EQ(back.n_items(), spec.n_items());
+}
+
+TEST(FleetWorkSpec, PinnedBenchRoundTrip) {
+  rs::FleetWorkSpec spec;
+  spec.kind = rs::FleetWorkKind::kPinnedBench;
+  spec.shards = 2;
+  spec.opt_cache_capacity = 0;
+  spec.bench_names = {"numerics.roots/sweep", "sim.nc_uniform/1024"};
+  spec.bench_reps = 3;
+  const rs::FleetWorkSpec back = rs::parse_work_spec(spec.to_json());
+  EXPECT_EQ(back.to_json(), spec.to_json());
+  EXPECT_EQ(back.n_items(), 6u);
+  // Static ownership: item i belongs to shard i % shards, split 3/3 here.
+  EXPECT_EQ(back.items_in_shard(0), 3u);
+  EXPECT_EQ(back.items_in_shard(1), 3u);
+  EXPECT_TRUE(back.owns(1, 3));
+  EXPECT_FALSE(back.owns(0, 3));
+}
+
+TEST(FleetWorkSpec, MalformedDocumentsThrowTyped) {
+  EXPECT_THROW((void)rs::parse_work_spec("not json"), robust::RobustError);
+  EXPECT_THROW((void)rs::parse_work_spec("{\"schema\":\"nope\"}"), robust::RobustError);
+  // Structurally valid JSON, missing the work-list.
+  EXPECT_THROW((void)rs::parse_work_spec("{\"schema\":\"speedscale.fleet_spec/1\","
+                                         "\"kind\":\"suite_points\",\"shards\":2,"
+                                         "\"opt_cache_capacity\":0}"),
+               robust::RobustError);
+}
+
+// --- Shard logs and heartbeats -------------------------------------------
+
+TEST(ShardLog, RoundTripsEmbeddedArtifacts) {
+  const std::string dir = fresh_dir("shardlog");
+  const std::string path = dir + "/shard_0.jsonl";
+  rs::ItemResult a;
+  a.index = 0;
+  a.wall_ns = 123456.0;
+  a.payload_json = "{\"point\":0,\"quote\":\"\\\"\"}";
+  a.cert_jsonl = "line one\nline two\n\ttabbed\n";  // newlines must survive
+  a.counters = {{"sim.segments", 42}, {"opt.cache.hits", 0}};
+  rs::ItemResult b;
+  b.index = 2;
+  b.wall_ns = 1.5;
+  rs::append_item_result(path, a);
+  rs::append_item_result(path, b);
+  std::size_t skipped = 99;
+  const auto loaded = rs::load_shard_log(path, &skipped);
+  EXPECT_EQ(skipped, 0u);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded.at(0).payload_json, a.payload_json);
+  EXPECT_EQ(loaded.at(0).cert_jsonl, a.cert_jsonl);
+  EXPECT_EQ(loaded.at(0).counters, a.counters);
+  EXPECT_EQ(loaded.at(0).wall_ns, a.wall_ns);
+  EXPECT_EQ(loaded.at(2).counters, b.counters);
+}
+
+TEST(ShardLog, TornTailSkippedCountedAndSurfaced) {
+  const std::string dir = fresh_dir("torn");
+  const std::string path = dir + "/shard_0.jsonl";
+  rs::ItemResult a;
+  a.index = 4;
+  a.counters = {{"x", 1}};
+  rs::append_item_result(path, a);
+  {
+    // A crash mid-append: half a line, no newline.
+    std::ofstream f(path, std::ios::app);
+    f << "{\"kind\":\"item\",\"index\":6,\"wall";
+  }
+  obs::Counter& torn = obs::registry().counter("robust.checkpoint.torn_lines");
+  const std::int64_t before = torn.value();
+  std::size_t skipped = 0;
+  const auto loaded = rs::load_shard_log(path, &skipped);
+  EXPECT_EQ(skipped, 1u);
+  EXPECT_EQ(torn.value(), before + 1);  // satellite: torn tails are never silent
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded.count(4), 1u);
+}
+
+TEST(Heartbeat, RoundTripsAndToleratesAbsence) {
+  const std::string dir = fresh_dir("heartbeat");
+  const std::string path = dir + "/hb.json";
+  EXPECT_FALSE(rs::read_heartbeat(path).has_value());
+  rs::WorkerHeartbeat hb;
+  hb.pid = 4242;
+  hb.seq = 7;
+  hb.items_done = 3;
+  hb.current_item = 11;
+  hb.busy_seconds = 0.25;
+  rs::write_heartbeat(path, hb);
+  const auto back = rs::read_heartbeat(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->pid, 4242);
+  EXPECT_EQ(back->seq, 7u);
+  EXPECT_EQ(back->items_done, 3);
+  EXPECT_EQ(back->current_item, 11);
+  EXPECT_EQ(back->busy_seconds, 0.25);
+  EXPECT_FALSE(back->done);
+}
+
+// --- The item runner: one item, same bytes anywhere ----------------------
+
+TEST(ItemRunner, ReproducesSerialFragmentsAndDeltas) {
+  obs::set_metrics_enabled(true);
+  obs::registry().reset_all();
+  analysis::SweepOptions sweep;
+  sweep.jobs = 1;
+  const analysis::SuiteSweepResult serial =
+      analysis::run_suite_sweep(pinned_grid(), pinned_suite_options(), sweep);
+
+  rs::FleetWorkSpec spec;
+  spec.kind = rs::FleetWorkKind::kSuitePoints;
+  spec.shards = 2;
+  spec.points = pinned_grid();
+  spec.suite_options = pinned_suite_options();
+  for (std::size_t i = 0; i < spec.n_items(); ++i) {
+    const rs::ItemResult item = rs::run_fleet_item(spec, i);
+    EXPECT_EQ(item.payload_json,
+              analysis::suite_point_json(i, serial.info[i], serial.suites[i]));
+    EXPECT_EQ(item.cert_jsonl, analysis::suite_point_cert_jsonl(i, serial.suites[i]));
+    EXPECT_EQ(item.counters, serial.point_counters[i]);
+  }
+  EXPECT_THROW((void)rs::run_fleet_item(spec, spec.n_items()), robust::RobustError);
+}
+
+// --- The fleet, clean and under chaos ------------------------------------
+
+TEST(Fleet, CleanRunByteIdenticalToSerial) {
+  const Artifacts serial = serial_reference();
+  const FleetRun fleet = run_fleet(base_options(fresh_dir("clean")));
+  expect_matches_serial(fleet, serial);
+  EXPECT_EQ(fleet.result.restarts, 0);
+  EXPECT_EQ(fleet.result.hung_kills, 0);
+  EXPECT_TRUE(fleet.result.degraded_shards.empty());
+  EXPECT_EQ(fleet.result.torn_lines, 0u);
+}
+
+TEST(Fleet, WorkerCrashMidShardRestartsAndMatchesSerial) {
+  const Artifacts serial = serial_reference();
+  rs::FleetOptions options = base_options(fresh_dir("crash"));
+  // Both first incarnations compute their first item, then SIGKILL
+  // themselves before committing it; the respawns run clean.
+  options.first_spawn_args = {"--fault", "worker_crash_mid_shard@0"};
+  const FleetRun fleet = run_fleet(options);
+  expect_matches_serial(fleet, serial);
+  EXPECT_GE(fleet.result.restarts, 2);
+  EXPECT_GE(fleet.result.requeued_items, 2);
+  // Fleet health is published as supervisor.* gauges (never counters).
+  EXPECT_EQ(obs::registry().gauge("supervisor.restarts").value(),
+            static_cast<double>(fleet.result.restarts));
+  EXPECT_EQ(obs::registry().gauge("supervisor.active").value(), 0.0);
+}
+
+TEST(Fleet, TornCheckpointTailRecoveredAndMatchesSerial) {
+  const Artifacts serial = serial_reference();
+  rs::FleetOptions options = base_options(fresh_dir("torn_tail"));
+  // First incarnations die mid-append, leaving half a line without a
+  // newline; the loader must skip-and-count it and the respawn recomputes
+  // exactly the torn item.
+  options.first_spawn_args = {"--fault", "checkpoint_torn_tail@0"};
+  const FleetRun fleet = run_fleet(options);
+  expect_matches_serial(fleet, serial);
+  EXPECT_GE(fleet.result.restarts, 2);
+  EXPECT_GE(fleet.result.torn_lines, 1u);
+  EXPECT_GE(fleet.counters.count("robust.checkpoint.torn_lines"), 1u);
+}
+
+TEST(Fleet, WatchdogKillsHungWorkerAndMatchesSerial) {
+  const Artifacts serial = serial_reference();
+  rs::FleetOptions options = base_options(fresh_dir("hung"));
+  // First incarnations stop heartbeating before their first item; the
+  // watchdog must declare them hung, SIGKILL, and restart.
+  options.first_spawn_args = {"--fault", "heartbeat_stall@0"};
+  options.heartbeat_factor = 1.0;
+  options.heartbeat_min_seconds = 0.3;
+  const FleetRun fleet = run_fleet(options);
+  expect_matches_serial(fleet, serial);
+  EXPECT_GE(fleet.result.hung_kills, 2);
+  EXPECT_GE(fleet.result.restarts, 2);
+}
+
+TEST(Fleet, DegradationLadderFinishesInProcess) {
+  const Artifacts serial = serial_reference();
+  rs::FleetOptions options = base_options(fresh_dir("ladder"));
+  // A worker that always exits 0 with an empty shard log: the lying-worker
+  // guard routes it through the restart ladder, the restart cap trips
+  // immediately, and the supervisor finishes every item in-process.
+  options.worker_binary = "/bin/true";
+  options.max_restarts_per_shard = 0;
+  const FleetRun fleet = run_fleet(options);
+  expect_matches_serial(fleet, serial);
+  ASSERT_EQ(fleet.result.degraded_shards.size(), 2u);
+  EXPECT_GE(fleet.result.restarts, 2);
+}
+
+TEST(Fleet, StopFlagInterruptsResumablyThenResumeCompletes) {
+  const Artifacts serial = serial_reference();
+  const std::string dir = fresh_dir("resume");
+  std::atomic<bool> stop{true};  // stop before the first poll
+  rs::FleetOptions options = base_options(dir);
+  options.stop_flag = &stop;
+  const FleetRun interrupted = run_fleet(options);
+  EXPECT_TRUE(interrupted.result.interrupted);
+  EXPECT_FALSE(interrupted.result.completed);
+  EXPECT_TRUE(interrupted.result.suite_json.empty());  // nothing merged
+
+  // Same work_dir, no stop flag: the fleet resumes whatever the interrupted
+  // run already logged and completes identically.
+  options.stop_flag = nullptr;
+  const FleetRun resumed = run_fleet(options);
+  expect_matches_serial(resumed, serial);
+}
+
+TEST(Fleet, PermanentWorkerFailureThrowsTyped) {
+  rs::FleetOptions options = base_options(fresh_dir("permanent"));
+  options.worker_binary = "/nonexistent/sweep_worker";  // exec fails: exit 127
+  obs::set_metrics_enabled(true);
+  EXPECT_THROW((void)rs::run_suite_sweep_fleet(pinned_grid(), pinned_suite_options(), 2,
+                                               options),
+               robust::RobustError);
+}
+
+}  // namespace
+}  // namespace speedscale
