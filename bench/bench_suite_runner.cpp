@@ -45,14 +45,18 @@
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/analysis/pinned_suite.h"
 #include "src/analysis/sweep.h"
 #include "src/obs/build_info.h"
+#include "src/obs/live/telemetry_hub.h"
+#include "src/obs/live/telemetry_server.h"
 #include "src/obs/metrics_registry.h"
 #include "src/obs/perf/bench_ledger.h"
+#include "src/robust/atomic_io.h"
 #include "src/robust/supervisor/supervisor.h"
 
 using namespace speedscale;
@@ -90,7 +94,10 @@ int usage() {
                "                          [--jobs N] [--filter SUBSTR] [--exclude SUBSTR]\n"
                "                          [--list] [--suite NAME]\n"
                "                          [--fleet N] [--fleet-dir DIR] [--worker PATH]\n"
-               "                          [--metrics-out FILE] [--state-file FILE]\n");
+               "                          [--metrics-out FILE] [--state-file FILE]\n"
+               "                          [--run-id ID] [--no-fleet-obs] [--fleet-report]\n"
+               "                          [--fleet-trace FILE] [--fleet-log FILE]\n"
+               "                          [--serve-metrics [BIND]] [--port-file FILE]\n");
   return 2;
 }
 
@@ -99,10 +106,12 @@ int usage() {
 int main(int argc, char** argv) {
   std::string out_path, suite_name = "pr3-pinned";
   std::string fleet_dir = "fleet_work", worker_path, metrics_out, state_file;
+  std::string run_id, fleet_trace, fleet_log, serve_bind, port_file;
   std::vector<std::string> filters, excludes;  // repeatable; substring match
   int reps = 5;
   std::size_t jobs = 1, fleet = 0;
   bool quick = false, list = false;
+  bool fleet_obs = true, fleet_report = false, serve_metrics = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--out" && i + 1 < argc) {
@@ -121,6 +130,21 @@ int main(int argc, char** argv) {
       metrics_out = argv[++i];
     } else if (arg == "--state-file" && i + 1 < argc) {
       state_file = argv[++i];
+    } else if (arg == "--run-id" && i + 1 < argc) {
+      run_id = argv[++i];
+    } else if (arg == "--no-fleet-obs") {
+      fleet_obs = false;
+    } else if (arg == "--fleet-report") {
+      fleet_report = true;
+    } else if (arg == "--fleet-trace" && i + 1 < argc) {
+      fleet_trace = argv[++i];
+    } else if (arg == "--fleet-log" && i + 1 < argc) {
+      fleet_log = argv[++i];
+    } else if (arg == "--serve-metrics" && i + 1 < argc) {
+      serve_metrics = true;
+      serve_bind = argv[++i];
+    } else if (arg == "--port-file" && i + 1 < argc) {
+      port_file = argv[++i];
     } else if (arg == "--quick") {
       quick = true;
     } else if (arg == "--filter" && i + 1 < argc) {
@@ -198,6 +222,38 @@ int main(int argc, char** argv) {
     fopts.work_dir = fleet_dir;
     fopts.state_path = state_file;
     fopts.stop_flag = &g_stop;
+    fopts.obs.enabled = fleet_obs;
+    fopts.obs.run_id = run_id;
+    fopts.obs.trace_path = fleet_trace;
+    fopts.obs.log_path = fleet_log;
+
+    // Live roll-up (PR 8): with --serve-metrics the runner samples fleet.*
+    // gauges into a TelemetryHub and serves /metrics mid-run — the scrape
+    // surface the chaos smoke hits while workers are being killed.  The
+    // hub reads counters and writes gauges only, so the ledger is
+    // byte-identical with or without it.
+    std::unique_ptr<obs::live::TelemetryHub> hub;
+    std::unique_ptr<obs::live::TelemetryServer> server;
+    if (serve_metrics) {
+      hub = std::make_unique<obs::live::TelemetryHub>();
+      hub->start();
+      obs::live::TelemetryServerOptions sopts;
+      sopts.bind = serve_bind;
+      server = std::make_unique<obs::live::TelemetryServer>(*hub, sopts);
+      try {
+        server->start();
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "FATAL: cannot serve metrics: %s\n", e.what());
+        return 1;
+      }
+      std::printf("serving telemetry at %s\n", server->address().c_str());
+      std::fflush(stdout);
+      if (!port_file.empty()) {
+        robust::atomic_write_file(port_file,
+                                  [&](std::ostream& os) { os << server->address() << '\n'; });
+      }
+    }
+
     robust::supervisor::Supervisor supervisor(std::move(spec), fopts);
     robust::supervisor::FleetResult result;
     try {
@@ -206,6 +262,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "FATAL: fleet failed: %s\n", e.what());
       return 1;
     }
+    if (server) server->stop();
+    if (hub) hub->stop();
     if (!metrics_out.empty()) {
       std::ofstream mf(metrics_out);
       mf << obs::registry().snapshot_json() << '\n';
@@ -215,6 +273,9 @@ int main(int argc, char** argv) {
                    "fleet interrupted; shard logs in %s resume on the next run\n",
                    fleet_dir.c_str());
       return robust::supervisor::kWorkerExitInterrupted;
+    }
+    if (fleet_report && result.cost.items > 0) {
+      std::fputs(result.cost.table().c_str(), stdout);
     }
     for (std::size_t idx = 0; idx < n_items; ++idx) {
       wall_ns[idx] = result.items[idx].wall_ns;

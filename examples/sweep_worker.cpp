@@ -3,7 +3,15 @@
 // Spawned by robust::supervisor::Supervisor (or by hand, for debugging) as
 //
 //   sweep_worker --spec spec.json --shard S --out shard_S.jsonl
-//                --heartbeat heartbeat_S.json [--fault SITE@INDEX]...
+//                --heartbeat heartbeat_S.json [--run-id ID] [--incarnation N]
+//                [--events events_S.jsonl] [--log log_S.jsonl]
+//                [--fault SITE@INDEX]...
+//
+// With the observability flags (passed by the supervisor when its
+// FleetObsOptions plane is on), the worker stamps every structured log
+// record and shard-log line with (run_id, shard, incarnation) and journals
+// worker_start / item_begin / item_end / worker_exit fleet events — the raw
+// material of the supervisor's merged Perfetto trace and cost ledger.
 //
 // The worker re-reads the fleet spec, resumes from its own shard log (items
 // already logged by a previous incarnation are skipped), and then runs its
@@ -36,6 +44,8 @@
 #include <string>
 #include <thread>
 
+#include "src/obs/fleet/fleet_events.h"
+#include "src/obs/log/logger.h"
 #include "src/obs/metrics_registry.h"
 #include "src/robust/fault_injection.h"
 #include "src/robust/supervisor/item_runner.h"
@@ -54,7 +64,8 @@ void handle_signal(int) { g_stop.store(true, std::memory_order_relaxed); }
 int usage() {
   std::fprintf(stderr,
                "usage: sweep_worker --spec FILE --shard N --out FILE --heartbeat FILE\n"
-               "                    [--fault SITE@INDEX]...\n");
+               "                    [--run-id ID] [--incarnation N] [--events FILE]\n"
+               "                    [--log FILE] [--fault SITE@INDEX]...\n");
   return kWorkerExitSpecError;
 }
 
@@ -95,8 +106,9 @@ void pulse(const std::string& path, WorkerHeartbeat& hb, bool force = false) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string spec_path, out_path, heartbeat_path;
+  std::string spec_path, out_path, heartbeat_path, run_id, events_path, log_path;
   std::size_t shard = 0;
+  long incarnation = 0;
   bool have_shard = false;
   robust::FaultPlan plan;
   for (int i = 1; i < argc; ++i) {
@@ -110,6 +122,14 @@ int main(int argc, char** argv) {
       out_path = argv[++i];
     } else if (arg == "--heartbeat" && i + 1 < argc) {
       heartbeat_path = argv[++i];
+    } else if (arg == "--run-id" && i + 1 < argc) {
+      run_id = argv[++i];
+    } else if (arg == "--incarnation" && i + 1 < argc) {
+      incarnation = std::strtol(argv[++i], nullptr, 10);
+    } else if (arg == "--events" && i + 1 < argc) {
+      events_path = argv[++i];
+    } else if (arg == "--log" && i + 1 < argc) {
+      log_path = argv[++i];
     } else if (arg == "--fault" && i + 1 < argc) {
       if (!add_fault_arg(plan, argv[++i])) return usage();
     } else {
@@ -124,6 +144,44 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, handle_signal);
   obs::set_metrics_enabled(true);
   if (!plan.empty()) robust::FaultInjector::instance().install(std::move(plan));
+
+  // Correlation tags (PR 8): every log record, journal event, and shard-log
+  // line this process writes is attributable to (run_id, shard,
+  // incarnation) after the fact — that is the whole cross-process story.
+  obs::log::Logger::instance().set_tags({run_id, static_cast<long>(shard), incarnation});
+  if (!log_path.empty()) {
+    try {
+      obs::log::Logger::instance().open(log_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "[sweep_worker] cannot open log: %s\n", e.what());
+      // Observability, not state: run anyway, mirror-only.
+    }
+  }
+  std::unique_ptr<obs::fleet::FleetEventLog> events;
+  obs::fleet::EventClock event_clock;
+  if (!events_path.empty()) {
+    try {
+      events = std::make_unique<obs::fleet::FleetEventLog>(events_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "[sweep_worker] cannot open event journal: %s\n", e.what());
+    }
+  }
+  const auto journal = [&](obs::fleet::FleetEventKind kind, std::int64_t item, double wall_ms,
+                           const std::string& detail) {
+    if (!events) return;
+    obs::fleet::FleetEvent ev;
+    ev.kind = kind;
+    ev.ts = event_clock.next();
+    ev.run_id = run_id;
+    ev.shard = static_cast<long>(shard);
+    ev.incarnation = incarnation;
+    ev.item = item;
+    // Golden-run determinism: under the fixed clock, measured durations
+    // would be the one nondeterministic byte left in the journal.
+    ev.wall_ms = obs::log::Logger::instance().fixed_clock() ? 0.0 : wall_ms;
+    ev.detail = detail;
+    events->append(ev);
+  };
 
   FleetWorkSpec spec;
   try {
@@ -140,6 +198,11 @@ int main(int argc, char** argv) {
 
   // Resume: whatever a previous incarnation already logged stays done.
   const auto done = load_shard_log(out_path);
+  journal(obs::fleet::FleetEventKind::kWorkerStart, -1, 0.0,
+          "resumed=" + std::to_string(done.size()));
+  obs::log::info("sweep_worker", "incarnation started",
+                 {obs::log::kv("resumed", static_cast<std::int64_t>(done.size())),
+                  obs::log::kv("owned", static_cast<std::int64_t>(spec.items_in_shard(shard)))});
 
   // One open log for the whole incarnation (an open/close per item would
   // blow the E24 overhead budget).
@@ -160,11 +223,13 @@ int main(int argc, char** argv) {
     if (g_stop.load(std::memory_order_relaxed)) {
       hb.current_item = -1;
       if (!stalled) pulse(heartbeat_path, hb, /*force=*/true);
+      journal(obs::fleet::FleetEventKind::kWorkerExit, -1, 0.0, "interrupted");
       return kWorkerExitInterrupted;
     }
     hb.current_item = static_cast<std::int64_t>(i);
     if (robust::fault_fire(robust::FaultSite::kHeartbeatStall)) stalled = true;
     if (!stalled) pulse(heartbeat_path, hb);
+    journal(obs::fleet::FleetEventKind::kItemBegin, static_cast<std::int64_t>(i), 0.0, {});
     if (stalled) {
       // Chaos: the hung-worker case.  Stop pulsing and stop progressing —
       // the supervisor's watchdog must SIGKILL and restart us.  SIGTERM
@@ -172,6 +237,7 @@ int main(int argc, char** argv) {
       while (!g_stop.load(std::memory_order_relaxed)) {
         std::this_thread::sleep_for(std::chrono::milliseconds(50));
       }
+      journal(obs::fleet::FleetEventKind::kWorkerExit, -1, 0.0, "interrupted");
       return kWorkerExitInterrupted;
     }
 
@@ -181,9 +247,13 @@ int main(int argc, char** argv) {
     } catch (const std::exception& e) {
       // Deterministic failure: a restart (or the serial run) would fail the
       // same way, so tell the supervisor not to bother.
-      std::fprintf(stderr, "[sweep_worker] item %zu failed: %s\n", i, e.what());
+      obs::log::error("sweep_worker", "item failed deterministically",
+                      {obs::log::kv("item", static_cast<std::int64_t>(i)),
+                       obs::log::kv("error", std::string(e.what()))});
       return kWorkerExitItemFailed;
     }
+    item.shard = static_cast<long>(shard);
+    item.incarnation = incarnation;
     if (robust::fault_fire(robust::FaultSite::kWorkerCrashMidShard)) {
       // Chaos: die with the item computed but never committed — the restart
       // must recompute it and produce the same bytes.
@@ -193,11 +263,16 @@ int main(int argc, char** argv) {
       log->append(item);
     } catch (const std::exception& e) {
       // I/O trouble is not the item's fault; exit restartable.
-      std::fprintf(stderr, "[sweep_worker] shard log append failed: %s\n", e.what());
+      obs::log::error("sweep_worker", "shard log append failed",
+                      {obs::log::kv("item", static_cast<std::int64_t>(i)),
+                       obs::log::kv("error", std::string(e.what()))});
       return 70;  // EX_SOFTWARE-ish: supervisor routes unknown codes to restart
     }
+    journal(obs::fleet::FleetEventKind::kItemEnd, static_cast<std::int64_t>(i),
+            item.wall_ns / 1e6, {});
     hb.items_done += 1;
     hb.busy_seconds += item.wall_ns / 1e9;
+    hb.last_wall_ms = item.wall_ns / 1e6;
     hb.current_item = -1;
     pulse(heartbeat_path, hb);
   }
@@ -205,5 +280,8 @@ int main(int argc, char** argv) {
   hb.current_item = -1;
   hb.done = true;
   pulse(heartbeat_path, hb, /*force=*/true);
+  journal(obs::fleet::FleetEventKind::kWorkerExit, -1, 0.0, "ok");
+  obs::log::info("sweep_worker", "shard complete",
+                 {obs::log::kv("items_done", hb.items_done)});
   return kWorkerExitOk;
 }

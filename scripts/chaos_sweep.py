@@ -18,7 +18,14 @@ Then asserts the crash-tolerance contract:
   unobservable in the merged artifact;
 * the supervisor's own accounting saw the chaos: the supervisor.restarts
   gauge in the post-run registry snapshot (--metrics-out) is >= the number
-  of kills that landed.
+  of kills that landed;
+* the fleet observability plane (PR 8) told the same story *live and after
+  the fact*: mid-run /metrics scrapes (the runner serves a TelemetryServer
+  via --serve-metrics) show fleet.restarts_total >= kills and per-shard
+  fleet.shard.<S>.items_done strictly monotone across scrapes; the merged
+  Perfetto trace renders >= 2 process tracks (incarnations) for a killed
+  shard; and fleet_state.json embeds a per-item cost ledger row for every
+  item, tagged with the committing (shard, incarnation).
 
 Exit 0 on success, 1 with a diagnostic on any violation.
 
@@ -33,6 +40,7 @@ import subprocess
 import sys
 import tempfile
 import time
+import urllib.request
 
 
 def read_worker_pids(state_path):
@@ -47,6 +55,33 @@ def read_worker_pids(state_path):
             if w.get("state") == "running" and w.get("pid", -1) > 0]
 
 
+def scrape_metrics(port_file, samples):
+    """One /metrics scrape into `samples` (name -> [values in scrape order]).
+
+    Prometheus 0.0.4 text: "speedscale_fleet_restarts_total 2".  A scrape
+    that races the server's startup or shutdown is simply skipped — the
+    assertions below only need *some* mid-run samples, not every poll.
+    """
+    try:
+        with open(port_file) as f:
+            address = f.read().strip()
+        if not address:
+            return False
+        with urllib.request.urlopen(f"http://{address}/metrics", timeout=2) as r:
+            body = r.read().decode()
+    except (OSError, ValueError):
+        return False
+    for line in body.splitlines():
+        if line.startswith("#") or " " not in line:
+            continue
+        name, _, value = line.rpartition(" ")
+        try:
+            samples.setdefault(name, []).append(float(value))
+        except ValueError:
+            continue
+    return True
+
+
 def run_serial(runner, out_path, reps):
     cmd = [runner, "--out", out_path, "--reps", str(reps),
            "--exclude", "analysis.sweep_suite", "--exclude", "live."]
@@ -57,15 +92,20 @@ def run_serial(runner, out_path, reps):
 def run_fleet_with_kills(runner, worker, out_path, reps, fleet, kills, workdir, rng):
     state_path = os.path.join(workdir, "fleet_state.json")
     metrics_path = os.path.join(workdir, "metrics.json")
+    port_file = os.path.join(workdir, "metrics.port")
     cmd = [runner, "--out", out_path, "--reps", str(reps),
            "--exclude", "analysis.sweep_suite", "--exclude", "live.",
            "--fleet", str(fleet), "--fleet-dir", os.path.join(workdir, "fw"),
            "--worker", worker, "--state-file", state_path,
-           "--metrics-out", metrics_path]
+           "--metrics-out", metrics_path,
+           "--run-id", "chaos",
+           "--serve-metrics", "127.0.0.1:0", "--port-file", port_file]
     print("+", " ".join(cmd), flush=True)
     proc = subprocess.Popen(cmd, stdout=subprocess.DEVNULL)
     killed = 0
     murdered = set()  # never re-kill a zombie: SIGKILL to one "succeeds" silently
+    samples = {}  # live /metrics scrapes, name -> values in scrape order
+    scrapes = 0
     try:
         while proc.poll() is None and killed < kills:
             pids = [p for p in read_worker_pids(state_path) if p not in murdered]
@@ -83,6 +123,12 @@ def run_fleet_with_kills(runner, worker, out_path, reps, fleet, kills, workdir, 
                 time.sleep(0.1)  # let the supervisor reap + respawn a new victim
             else:
                 time.sleep(0.01)
+            scrapes += scrape_metrics(port_file, samples)
+        # Keep scraping until the run ends so the samples see the last
+        # restart's gauge publish, not just the chaos window.
+        while proc.poll() is None:
+            scrapes += scrape_metrics(port_file, samples)
+            time.sleep(0.05)
         returncode = proc.wait(timeout=600)
     finally:
         if proc.poll() is None:
@@ -94,7 +140,7 @@ def run_fleet_with_kills(runner, worker, out_path, reps, fleet, kills, workdir, 
     if killed == 0:
         sys.exit("FAIL: the fleet finished before any kill landed — grow the "
                  "workload (--reps) so the chaos window exists")
-    return killed, metrics_path
+    return killed, metrics_path, samples, scrapes
 
 
 def compare_ledgers(serial_path, fleet_path):
@@ -127,6 +173,66 @@ def check_restarts(metrics_path, killed):
     print(f"ok: supervisor.restarts={restarts:g} >= {killed} kills")
 
 
+def check_live_scrape(samples, scrapes, killed):
+    if scrapes == 0:
+        sys.exit("FAIL: no mid-run /metrics scrape succeeded — the telemetry "
+                 "server never came up inside the chaos window")
+    restarts = samples.get("speedscale_fleet_restarts_total", [])
+    if not restarts or max(restarts) < killed:
+        peak = max(restarts) if restarts else "absent"
+        sys.exit(f"FAIL: live fleet.restarts_total peaked at {peak} "
+                 f"< kills landed={killed}")
+    shard_series = {name: vals for name, vals in samples.items()
+                    if name.startswith("speedscale_fleet_shard_")
+                    and name.endswith("_items_done")}
+    if not shard_series:
+        sys.exit("FAIL: no fleet.shard.<S>.items_done gauges in the live scrapes")
+    for name, vals in sorted(shard_series.items()):
+        if any(b < a for a, b in zip(vals, vals[1:])):
+            sys.exit(f"FAIL: {name} went backwards across scrapes: {vals}")
+    print(f"ok: {scrapes} live scrapes; fleet.restarts_total peaked at "
+          f"{max(restarts):g} >= {killed} kills; "
+          f"{len(shard_series)} per-shard progress gauges monotone")
+
+
+def check_fleet_plane(state_path, fw_dir, killed):
+    """Post-run artifacts of the observability plane: the cost ledger is
+    attributed per (shard, incarnation), and a killed shard's crash-recovery
+    renders as multiple incarnation tracks in the merged trace."""
+    with open(state_path) as f:
+        state = json.load(f)
+    rows = state.get("cost", {}).get("rows", [])
+    if not rows:
+        sys.exit("FAIL: fleet_state.json carries no per-item cost ledger rows")
+    bad = [r for r in rows if "shard" not in r or "incarnation" not in r]
+    if bad:
+        sys.exit(f"FAIL: {len(bad)} cost rows lack (shard, incarnation) attribution")
+    restarted = [w for w in state.get("workers", []) if w.get("restarts", 0) > 0]
+    if not restarted:
+        sys.exit(f"FAIL: no worker shows restarts > 0 in fleet_state.json "
+                 f"after {killed} kills")
+    with open(os.path.join(fw_dir, "fleet_trace.json")) as f:
+        trace = f.read()
+    # At least one killed shard must render its whole recovery: a track for
+    # the murdered incarnation and one for its replacement.  (Not *every*
+    # one: a SIGKILL can land before the victim journals its first event.)
+    multi_track = [
+        w for w in restarted
+        if sum(1 for inc in range(w["restarts"] + 1)
+               if f'"worker shard {w["shard"]} inc {inc}"' in trace) >= 2
+    ]
+    if not multi_track:
+        sys.exit("FAIL: no killed shard renders >= 2 incarnation tracks in "
+                 "the merged fleet trace")
+    with open(os.path.join(fw_dir, "fleet_log.jsonl")) as f:
+        header = f.readline().strip()
+    if header != '{"schema":"speedscale.log/1"}':
+        sys.exit(f"FAIL: merged fleet log header is {header!r}")
+    print(f"ok: cost ledger has {len(rows)} attributed rows; "
+          f"{len(multi_track)}/{len(restarted)} killed shard(s) render >= 2 "
+          f"incarnation tracks; merged log intact")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__,
                                  formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -151,11 +257,14 @@ def main():
         serial_path = os.path.join(workdir, "serial.json")
         fleet_path = os.path.join(workdir, "fleet.json")
         run_serial(runner, serial_path, args.reps)
-        killed, metrics_path = run_fleet_with_kills(
+        killed, metrics_path, samples, scrapes = run_fleet_with_kills(
             runner, worker, fleet_path, args.reps, args.fleet, args.kills,
             workdir, rng)
         compare_ledgers(serial_path, fleet_path)
         check_restarts(metrics_path, killed)
+        check_live_scrape(samples, scrapes, killed)
+        check_fleet_plane(os.path.join(workdir, "fleet_state.json"),
+                          os.path.join(workdir, "fw"), killed)
     print("chaos smoke passed")
 
 

@@ -19,7 +19,8 @@ separators), so regenerating on the same machine/toolchain is byte-stable in
 the counter half.  Refresh the committed baselines with:
 
     scripts/run_bench_suite.py --build-dir build --out BENCH_PR3.json \
-        --pr5-out BENCH_PR5.json --pr6-out BENCH_PR6.json --pr7-out BENCH_PR7.json
+        --pr5-out BENCH_PR5.json --pr6-out BENCH_PR6.json \
+        --pr7-out BENCH_PR7.json --pr8-out BENCH_PR8.json
 
 `--jobs N` shards the runner's (bench x repetition) grid across N workers;
 the counter half of the ledger is byte-identical at any N (the sweep
@@ -41,6 +42,7 @@ import os
 import subprocess
 import sys
 import tempfile
+import time
 
 SCHEMA = "speedscale.bench_ledger/1"
 
@@ -145,6 +147,10 @@ def main():
                     help="also write the supervised-fleet ledger (same pinned benches "
                          "sharded across --fleet worker processes; counters must match "
                          "the serial ledger entry-for-entry) here")
+    ap.add_argument("--pr8-out", default=None,
+                    help="also write the fleet-observability ledger (obs.fleet_* wire-"
+                         "format byte tallies + plane-on vs plane-off fleet wall rows, "
+                         "the E25 overhead evidence) here")
     ap.add_argument("--quick", action="store_true",
                     help="CI mode: 2 runner repetitions, short gbench min-times")
     ap.add_argument("--skip-gbench", action="store_true",
@@ -161,9 +167,13 @@ def main():
         print(f"wrote {path}: {len(ledger['entries'])} entries "
               f"({n_counted} with deterministic work counters)")
 
+    # The obs.fleet_* family lives in its own PR8 ledger (like live.* and the
+    # sweep-suite pair before it), so the older committed baselines keep
+    # their entry sets.
     ledger = run_suite_runner(args.build_dir, args.quick, jobs=args.jobs,
                               extra_args=["--exclude", "analysis.sweep_suite",
-                                          "--exclude", "live."])
+                                          "--exclude", "live.",
+                                          "--exclude", "obs.fleet"])
     if args.suite:
         ledger["suite"] = args.suite
     # Snapshot the runner's counter half before gbench rows are merged in:
@@ -222,6 +232,7 @@ def main():
                 args.build_dir, args.quick, jobs=1,
                 extra_args=["--exclude", "analysis.sweep_suite",
                             "--exclude", "live.",
+                            "--exclude", "obs.fleet",
                             "--fleet", "2",
                             "--fleet-dir", os.path.join(fleet_dir, "work"),
                             "--worker", worker,
@@ -234,6 +245,47 @@ def main():
                 sys.exit(f"error: {name}: fleet counters diverge from the serial "
                          f"run — the process boundary leaked into the deterministic half")
         write_ledger(args.pr7_out, pr7)
+
+    if args.pr8_out:
+        # Fleet observability plane (ISSUE 8 / E25).  Two halves:
+        #
+        # * the obs.fleet_* pinned benches — serialize/parse round-trips of
+        #   the plane's wire formats (speedscale.log/1, fleet events/trace,
+        #   the cost ledger), whose byte tallies sit under the hard counter
+        #   gate: a format drift must be a conscious baseline refresh;
+        # * a plane-on vs plane-off fleet run of the same pinned suite,
+        #   recorded as advisory whole-run wall rows — the E25 overhead
+        #   evidence.  Both runs' counters are cross-checked against the
+        #   serial run above: the plane must stay unobservable in the
+        #   deterministic half.
+        pr8 = run_suite_runner(args.build_dir, args.quick, jobs=1,
+                               extra_args=["--filter", "obs.fleet",
+                                           "--suite", "pr8-observability"])
+        worker = os.path.join(args.build_dir, "examples", "sweep_worker")
+        if not os.path.exists(worker):
+            sys.exit(f"error: {worker} not found — build the Release tree first")
+        for label, extra in (("plane_on", []), ("plane_off", ["--no-fleet-obs"])):
+            with tempfile.TemporaryDirectory(prefix="speedscale_fleet_") as fleet_dir:
+                t0 = time.monotonic()
+                run = run_suite_runner(
+                    args.build_dir, args.quick, jobs=1,
+                    extra_args=["--exclude", "analysis.sweep_suite",
+                                "--exclude", "live.",
+                                "--exclude", "obs.fleet",
+                                "--fleet", "2",
+                                "--fleet-dir", os.path.join(fleet_dir, "work"),
+                                "--worker", worker,
+                                "--suite", f"pr8-{label}"] + extra)
+                wall_ns = (time.monotonic() - t0) * 1e9
+            for name, entry in run["entries"].items():
+                if entry["counters"] != serial_counters.get(name):
+                    sys.exit(f"error: {name}: fleet ({label}) counters diverge from "
+                             f"the serial run — the observability plane leaked into "
+                             f"the deterministic half")
+            pr8["entries"][f"fleet.e25_{label}"] = {
+                "counters": {}, "repetitions": 1, "source": "fleet_run",
+                "wall_ns": [wall_ns]}
+        write_ledger(args.pr8_out, pr8)
 
 
 if __name__ == "__main__":

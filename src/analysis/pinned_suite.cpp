@@ -10,7 +10,11 @@
 #include "src/core/power.h"
 #include "src/numerics/roots.h"
 #include "src/obs/cert/potential_tracker.h"
+#include "src/obs/fleet/cost_ledger.h"
+#include "src/obs/fleet/fleet_trace.h"
 #include "src/obs/live/telemetry_hub.h"
+#include "src/obs/log/logger.h"
+#include "src/obs/metrics_registry.h"
 #include "src/obs/trace.h"
 #include "src/robust/guarded_engine.h"
 #include "src/sim/numeric_engine.h"
@@ -137,6 +141,111 @@ std::vector<PinnedBench> build_pinned_suite() {
          hub.start();
          (void)run_nc_uniform(make_uniform(256, 9), kAlpha);
          hub.stop();
+       }},
+      // The fleet observability plane (PR 8): serialize/parse round-trips of
+      // its three wire formats over fixed corpora, pinning the byte and
+      // record tallies.  The formats are byte-diffability contracts (golden
+      // fleet artifacts, merged logs), so a drift in encoded size is a drift
+      // in the contract — the gate forces it to be a conscious change.  The
+      // tallies are counted here in the bench body: the plane's library code
+      // deliberately never touches the registry (log volume must not perturb
+      // per-item counter deltas).
+      {"obs.fleet_log/512",
+       [] {
+         std::int64_t bytes = 0;
+         for (int i = 0; i < 512; ++i) {
+           obs::log::LogRecord record;
+           record.ts = static_cast<double>(i) / 1000.0;
+           record.seq = static_cast<std::uint64_t>(i);
+           record.level = (i % 3 == 0) ? obs::log::Level::kWarn : obs::log::Level::kInfo;
+           record.component = (i % 2 == 0) ? "supervisor" : "sweep_worker";
+           record.message = "pinned fleet log record";
+           record.fields = {obs::log::kv("item", static_cast<std::int64_t>(i)),
+                            obs::log::kv("path", "/tmp/shard_0.jsonl"),
+                            obs::log::kv("ratio", 1.0 + static_cast<double>(i % 7))};
+           record.tags = {"bench", i % 4, i % 2};
+           const std::string line = obs::log::record_json(record);
+           obs::log::LogRecord back;
+           if (!obs::log::parse_record(line, back) || obs::log::record_json(back) != line) {
+             throw ModelError("obs.fleet_log bench: record round-trip drifted");
+           }
+           bytes += static_cast<std::int64_t>(line.size());
+         }
+         OBS_COUNT("obs.fleet.log_records", 512);
+         OBS_COUNT("obs.fleet.log_bytes", bytes);
+       }},
+      {"obs.fleet_trace/64",
+       [] {
+         // A synthetic chaos run: 4 shards, 2 incarnations each, 8 items per
+         // shard with the crash landing mid-item — every renderer feature
+         // (process tracks, slices, lost-item instants) on a fixed input.
+         obs::fleet::FleetTraceInput input;
+         input.run_id = "bench";
+         double ts = 0.0;
+         auto ev = [&ts, &input](std::size_t shard) {
+           obs::fleet::FleetEvent e;
+           e.run_id = "bench";
+           e.ts = ts;
+           ts += 0.001;
+           e.shard = static_cast<long>(shard);
+           return e;
+         };
+         for (std::size_t shard = 0; shard < 4; ++shard) {
+           std::vector<obs::fleet::FleetEvent> events;
+           for (long inc = 0; inc < 2; ++inc) {
+             obs::fleet::FleetEvent start = ev(shard);
+             start.kind = obs::fleet::FleetEventKind::kWorkerStart;
+             start.incarnation = inc;
+             events.push_back(start);
+             for (std::int64_t item = inc * 4; item < inc * 4 + 4; ++item) {
+               obs::fleet::FleetEvent begin = ev(shard);
+               begin.kind = obs::fleet::FleetEventKind::kItemBegin;
+               begin.incarnation = inc;
+               begin.item = item;
+               events.push_back(begin);
+               if (inc == 0 && item == 3) break;  // the crash: begun, never ended
+               obs::fleet::FleetEvent end = begin;
+               end.kind = obs::fleet::FleetEventKind::kItemEnd;
+               end.ts = ts;
+               ts += 0.001;
+               end.wall_ms = 1.5;
+               events.push_back(end);
+             }
+           }
+           input.worker_events.push_back(std::move(events));
+           obs::fleet::FleetEvent spawn = ev(shard);
+           spawn.kind = obs::fleet::FleetEventKind::kSpawn;
+           spawn.incarnation = 0;
+           spawn.detail = "pid 1";
+           input.supervisor_events.push_back(spawn);
+         }
+         const std::string trace = obs::fleet::fleet_chrome_trace_json(input);
+         if (trace != obs::fleet::fleet_chrome_trace_json(input)) {
+           throw ModelError("obs.fleet_trace bench: trace serialization unstable");
+         }
+         OBS_COUNT("obs.fleet.trace_bytes", static_cast<std::int64_t>(trace.size()));
+       }},
+      {"obs.fleet_cost/256",
+       [] {
+         std::vector<obs::fleet::CostRow> rows;
+         for (std::int64_t i = 0; i < 256; ++i) {
+           obs::fleet::CostRow row;
+           row.index = i;
+           row.shard = i % 8;
+           row.incarnation = (i % 16 == 0) ? 1 : 0;
+           row.wall_ms = 0.5 + static_cast<double>(i % 11);
+           row.work = {{"sim.segments", 10 + i % 5}, {"opt.cache.hits", i % 3}};
+           rows.push_back(std::move(row));
+         }
+         const obs::fleet::FleetCostReport report =
+             obs::fleet::build_cost_report(std::move(rows), "bench");
+         const std::string doc = report.to_json();
+         if (obs::fleet::parse_cost_report(doc).to_json() != doc) {
+           throw ModelError("obs.fleet_cost bench: ledger round-trip drifted");
+         }
+         OBS_COUNT("obs.fleet.cost_bytes", static_cast<std::int64_t>(doc.size()));
+         OBS_COUNT("obs.fleet.cost_table_bytes",
+                   static_cast<std::int64_t>(report.table().size()));
        }},
       // The sweep-engine determinism pair: same 8-point suite grid at inner
       // jobs 1 and 8.  Identical counters (incl. opt.cache.hits/misses from

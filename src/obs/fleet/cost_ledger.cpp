@@ -1,0 +1,236 @@
+#include "src/obs/fleet/cost_ledger.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "src/obs/json_min.h"
+#include "src/obs/json_util.h"
+#include "src/robust/diagnostics.h"
+
+namespace speedscale::obs::fleet {
+
+namespace {
+
+void append_counters(std::string& out, const std::map<std::string, std::int64_t>& counters) {
+  out += '{';
+  bool first = true;
+  for (const auto& [name, count] : counters) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, name);
+    out += ':' + std::to_string(count);
+  }
+  out += '}';
+}
+
+std::map<std::string, std::int64_t> parse_counters(const JsonValue& v, const char* what) {
+  if (!v.is_object()) {
+    throw robust::RobustError(robust::ErrorCode::kIoMalformed, "fleet_cost: bad counter map",
+                              what);
+  }
+  std::map<std::string, std::int64_t> out;
+  for (const auto& [name, count] : v.object) {
+    if (!count.is_number()) {
+      throw robust::RobustError(robust::ErrorCode::kIoMalformed, "fleet_cost: bad counter value",
+                                name);
+    }
+    out[name] = static_cast<std::int64_t>(count.number);
+  }
+  return out;
+}
+
+double number_at(const JsonValue& obj, const char* key) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || !v->is_number()) {
+    throw robust::RobustError(robust::ErrorCode::kIoMalformed, "fleet_cost: missing number", key);
+  }
+  return v->number;
+}
+
+}  // namespace
+
+std::int64_t CostRow::work_units() const {
+  std::int64_t total = 0;
+  for (const auto& [name, count] : work) total += count;
+  return total;
+}
+
+std::string FleetCostReport::to_json() const {
+  std::string out = "{\"counters\":";
+  append_counters(out, counters);
+  out += ",\"items\":" + std::to_string(items);
+  out += ",\"rows\":[";
+  bool first = true;
+  for (const CostRow& row : rows) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"incarnation\":" + std::to_string(row.incarnation);
+    out += ",\"index\":" + std::to_string(row.index);
+    out += ",\"shard\":" + std::to_string(row.shard);
+    out += ",\"wall_ms\":";
+    append_json_number(out, row.wall_ms);
+    out += ",\"work\":";
+    append_counters(out, row.work);
+    out += '}';
+  }
+  out += "],\"run_id\":";
+  append_json_string(out, run_id);
+  out += ",\"schema\":\"";
+  out += kFleetCostSchema;
+  out += "\",\"shards\":[";
+  first = true;
+  for (const ShardCostSummary& s : shards) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"items\":" + std::to_string(s.items);
+    out += ",\"max_item\":" + std::to_string(s.max_item);
+    out += ",\"max_item_wall_ms\":";
+    append_json_number(out, s.max_item_wall_ms);
+    out += ",\"restarts\":" + std::to_string(s.restarts);
+    out += ",\"shard\":" + std::to_string(s.shard);
+    out += ",\"wall_ms\":";
+    append_json_number(out, s.wall_ms);
+    out += ",\"work_units\":" + std::to_string(s.work_units);
+    out += '}';
+  }
+  out += "],\"wall_ms\":";
+  append_json_number(out, wall_ms);
+  out += ",\"work_units\":" + std::to_string(work_units);
+  out += '}';
+  return out;
+}
+
+std::string FleetCostReport::table(std::size_t top) const {
+  std::string out = "fleet cost report";
+  if (!run_id.empty()) out += " (run " + run_id + ")";
+  out += '\n';
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "  %-6s %8s %12s %12s %9s %16s\n", "shard", "items", "wall_ms",
+                "work", "restarts", "costliest item");
+  out += buf;
+  for (const ShardCostSummary& s : shards) {
+    std::string costliest = "-";
+    if (s.max_item >= 0) {
+      char ibuf[64];
+      std::snprintf(ibuf, sizeof(ibuf), "#%lld (%.3f ms)", static_cast<long long>(s.max_item),
+                    s.max_item_wall_ms);
+      costliest = ibuf;
+    }
+    std::snprintf(buf, sizeof(buf), "  %-6ld %8lld %12.3f %12lld %9lld %16s\n", s.shard,
+                  static_cast<long long>(s.items), s.wall_ms, static_cast<long long>(s.work_units),
+                  static_cast<long long>(s.restarts), costliest.c_str());
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), "  total: %lld items, %.3f ms wall, %lld work units\n",
+                static_cast<long long>(items), wall_ms, static_cast<long long>(work_units));
+  out += buf;
+  if (top > 0 && !rows.empty()) {
+    std::vector<const CostRow*> by_wall;
+    by_wall.reserve(rows.size());
+    for (const CostRow& row : rows) by_wall.push_back(&row);
+    std::stable_sort(by_wall.begin(), by_wall.end(), [](const CostRow* a, const CostRow* b) {
+      if (a->wall_ms != b->wall_ms) return a->wall_ms > b->wall_ms;
+      return a->index < b->index;  // deterministic tie-break (fixed clock zeroes walls)
+    });
+    out += "  top items by wall:\n";
+    for (std::size_t i = 0; i < by_wall.size() && i < top; ++i) {
+      const CostRow& row = *by_wall[i];
+      std::snprintf(buf, sizeof(buf), "    item %-5lld shard %ld inc %ld  %10.3f ms  %lld work\n",
+                    static_cast<long long>(row.index), row.shard, row.incarnation, row.wall_ms,
+                    static_cast<long long>(row.work_units()));
+      out += buf;
+    }
+  }
+  return out;
+}
+
+FleetCostReport build_cost_report(std::vector<CostRow> rows, std::string run_id) {
+  FleetCostReport report;
+  report.run_id = std::move(run_id);
+  std::stable_sort(rows.begin(), rows.end(), [](const CostRow& a, const CostRow& b) {
+    if (a.index != b.index) return a.index < b.index;
+    return a.incarnation < b.incarnation;
+  });
+  std::map<long, ShardCostSummary> shards;
+  std::map<long, std::map<long, bool>> incarnations_seen;
+  for (const CostRow& row : rows) {
+    ShardCostSummary& s = shards[row.shard];
+    s.shard = row.shard;
+    ++s.items;
+    s.wall_ms += row.wall_ms;
+    const std::int64_t work = row.work_units();
+    s.work_units += work;
+    if (s.max_item < 0 || row.wall_ms > s.max_item_wall_ms) {
+      s.max_item = row.index;
+      s.max_item_wall_ms = row.wall_ms;
+    }
+    incarnations_seen[row.shard][row.incarnation] = true;
+    ++report.items;
+    report.wall_ms += row.wall_ms;
+    report.work_units += work;
+    for (const auto& [name, count] : row.work) report.counters[name] += count;
+  }
+  for (auto& [shard, s] : shards) {
+    const auto& incs = incarnations_seen[shard];
+    s.restarts = static_cast<std::int64_t>(incs.size()) - 1;
+    report.shards.push_back(s);
+  }
+  report.rows = std::move(rows);
+  return report;
+}
+
+FleetCostReport parse_cost_report(const std::string& json) {
+  JsonValue root;
+  try {
+    root = parse_json(json);
+  } catch (const std::exception& e) {
+    throw robust::RobustError(robust::ErrorCode::kIoMalformed, "fleet_cost: malformed JSON",
+                              e.what());
+  }
+  const JsonValue* schema = root.find("schema");
+  if (schema == nullptr || !schema->is_string() || schema->string != kFleetCostSchema) {
+    throw robust::RobustError(robust::ErrorCode::kIoMalformed, "fleet_cost: schema mismatch",
+                              schema != nullptr && schema->is_string() ? schema->string : "");
+  }
+  FleetCostReport report;
+  const JsonValue* run_id = root.find("run_id");
+  if (run_id != nullptr && run_id->is_string()) report.run_id = run_id->string;
+  report.items = static_cast<std::int64_t>(number_at(root, "items"));
+  report.wall_ms = number_at(root, "wall_ms");
+  report.work_units = static_cast<std::int64_t>(number_at(root, "work_units"));
+  const JsonValue* counters = root.find("counters");
+  if (counters != nullptr) report.counters = parse_counters(*counters, "counters");
+  const JsonValue* shards = root.find("shards");
+  if (shards == nullptr || !shards->is_array()) {
+    throw robust::RobustError(robust::ErrorCode::kIoMalformed, "fleet_cost: missing shards", "");
+  }
+  for (const JsonValue& sv : shards->array) {
+    ShardCostSummary s;
+    s.shard = static_cast<long>(number_at(sv, "shard"));
+    s.items = static_cast<std::int64_t>(number_at(sv, "items"));
+    s.restarts = static_cast<std::int64_t>(number_at(sv, "restarts"));
+    s.wall_ms = number_at(sv, "wall_ms");
+    s.work_units = static_cast<std::int64_t>(number_at(sv, "work_units"));
+    s.max_item = static_cast<std::int64_t>(number_at(sv, "max_item"));
+    s.max_item_wall_ms = number_at(sv, "max_item_wall_ms");
+    report.shards.push_back(std::move(s));
+  }
+  const JsonValue* rows = root.find("rows");
+  if (rows == nullptr || !rows->is_array()) {
+    throw robust::RobustError(robust::ErrorCode::kIoMalformed, "fleet_cost: missing rows", "");
+  }
+  for (const JsonValue& rv : rows->array) {
+    CostRow row;
+    row.index = static_cast<std::int64_t>(number_at(rv, "index"));
+    row.shard = static_cast<long>(number_at(rv, "shard"));
+    row.incarnation = static_cast<long>(number_at(rv, "incarnation"));
+    row.wall_ms = number_at(rv, "wall_ms");
+    const JsonValue* work = rv.find("work");
+    if (work != nullptr) row.work = parse_counters(*work, "work");
+    report.rows.push_back(std::move(row));
+  }
+  return report;
+}
+
+}  // namespace speedscale::obs::fleet

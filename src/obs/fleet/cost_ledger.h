@@ -1,0 +1,88 @@
+// Per-item cost ledger: where did the fleet's wall clock and work go?
+//
+// Every shard-log line already records what an item *produced*; the ledger
+// records what it *cost* — measured wall time plus the item's private
+// work-counter delta (the ShardMetricsScope capture) — attributed to the
+// (shard, incarnation) that actually computed it.  The supervisor builds one
+// ledger from the merged shard logs after a run and
+//
+//   * embeds it (speedscale.fleet_cost/1, sorted keys, byte-diffable) in
+//     fleet_state.json, so the ledger survives next to the run it explains;
+//   * prints it as the --fleet-report table: per-shard wall / work / costliest
+//     item, then the fleet totals and the top items by wall time — the
+//     "which shard is slow and why" answer without opening a trace.
+//
+// Deliberately decoupled from robust/supervisor types: the caller converts
+// its item records to CostRow, so the ledger also prices serial runs, and
+// the obs layer keeps its no-upward-dependency rule.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace speedscale::obs::fleet {
+
+inline constexpr const char* kFleetCostSchema = "speedscale.fleet_cost/1";
+
+/// One item's cost, attributed to the incarnation that committed it.
+struct CostRow {
+  std::int64_t index = -1;
+  long shard = -1;
+  long incarnation = -1;
+  double wall_ms = 0.0;
+  /// The item's private counter delta (name -> count), as captured by
+  /// ShardMetricsScope around the item's computation.
+  std::map<std::string, std::int64_t> work;
+
+  /// Scalar work proxy: the sum of all counter deltas.  Coarse by design —
+  /// it ranks items within one run, where every item increments the same
+  /// counter families.
+  [[nodiscard]] std::int64_t work_units() const;
+};
+
+/// Per-shard aggregate.
+struct ShardCostSummary {
+  long shard = -1;
+  std::int64_t items = 0;
+  std::int64_t restarts = 0;  ///< incarnations beyond the first seen
+  double wall_ms = 0.0;
+  std::int64_t work_units = 0;
+  std::int64_t max_item = -1;    ///< costliest item by wall
+  double max_item_wall_ms = 0.0;
+};
+
+struct FleetCostReport {
+  std::string run_id;
+  std::int64_t items = 0;
+  double wall_ms = 0.0;
+  std::int64_t work_units = 0;
+  /// Fleet-wide per-counter totals (union over all rows).
+  std::map<std::string, std::int64_t> counters;
+  std::vector<ShardCostSummary> shards;  ///< sorted by shard
+  std::vector<CostRow> rows;             ///< sorted by item index
+
+  /// speedscale.fleet_cost/1 document (sorted keys, byte-diffable).  Row
+  /// `work` maps are included in full — the grids this repo sweeps are small
+  /// enough that fidelity beats compression.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Human-readable --fleet-report table: shard summaries, fleet totals,
+  /// and the `top` costliest items by wall time.
+  [[nodiscard]] std::string table(std::size_t top = 5) const;
+};
+
+/// Aggregates rows (any order) into a report: rows are sorted by index,
+/// shard summaries derived, totals summed.  `restarts` per shard counts
+/// distinct incarnations beyond the smallest seen — an item-producing
+/// incarnation ladder, not the supervisor's spawn count (which also counts
+/// incarnations that died before committing anything).
+[[nodiscard]] FleetCostReport build_cost_report(std::vector<CostRow> rows, std::string run_id);
+
+/// Parses a speedscale.fleet_cost/1 document back into a report (used by the
+/// round-trip tests and the fleet_state.json reader).  Throws RobustError
+/// (kIoMalformed) on schema mismatch or malformed structure.
+[[nodiscard]] FleetCostReport parse_cost_report(const std::string& json);
+
+}  // namespace speedscale::obs::fleet

@@ -1,0 +1,140 @@
+#include "src/obs/fleet/fleet_events.h"
+
+#include <chrono>
+#include <cmath>
+
+#include "src/obs/json_min.h"
+#include "src/obs/json_util.h"
+#include "src/obs/log/logger.h"
+#include "src/robust/diagnostics.h"
+
+namespace speedscale::obs::fleet {
+
+namespace {
+
+constexpr const char* kKindNames[] = {
+    "worker_start", "item_begin", "item_end", "worker_exit", "spawn",    "exit",
+    "restart",      "hung_kill",  "degraded", "interrupt",   "merge",
+};
+constexpr std::size_t kKindCount = sizeof(kKindNames) / sizeof(kKindNames[0]);
+
+}  // namespace
+
+const char* fleet_event_kind_name(FleetEventKind kind) {
+  const auto i = static_cast<std::size_t>(kind);
+  return i < kKindCount ? kKindNames[i] : "unknown";
+}
+
+std::string fleet_event_json(const FleetEvent& ev) {
+  std::string out = "{\"detail\":";
+  append_json_string(out, ev.detail);
+  out += ",\"incarnation\":" + std::to_string(ev.incarnation);
+  out += ",\"item\":" + std::to_string(ev.item);
+  out += ",\"kind\":\"";
+  out += fleet_event_kind_name(ev.kind);
+  out += "\",\"run_id\":";
+  append_json_string(out, ev.run_id);
+  out += ",\"shard\":" + std::to_string(ev.shard);
+  out += ",\"ts\":";
+  append_json_number(out, ev.ts);
+  out += ",\"wall_ms\":";
+  append_json_number(out, ev.wall_ms);
+  out += '}';
+  return out;
+}
+
+bool parse_fleet_event(const std::string& line, FleetEvent& out) {
+  JsonValue root;
+  try {
+    root = parse_json(line);
+  } catch (const std::exception&) {
+    return false;  // torn tail / corrupt line
+  }
+  if (!root.is_object()) return false;
+  if (root.find("schema") != nullptr) return false;  // header line
+  const JsonValue* detail = root.find("detail");
+  const JsonValue* incarnation = root.find("incarnation");
+  const JsonValue* item = root.find("item");
+  const JsonValue* kind = root.find("kind");
+  const JsonValue* run_id = root.find("run_id");
+  const JsonValue* shard = root.find("shard");
+  const JsonValue* ts = root.find("ts");
+  const JsonValue* wall = root.find("wall_ms");
+  if (detail == nullptr || !detail->is_string() || incarnation == nullptr ||
+      !incarnation->is_number() || item == nullptr || !item->is_number() || kind == nullptr ||
+      !kind->is_string() || run_id == nullptr || !run_id->is_string() || shard == nullptr ||
+      !shard->is_number() || ts == nullptr || !ts->is_number() || wall == nullptr ||
+      !wall->is_number() || !std::isfinite(wall->number)) {
+    return false;
+  }
+  bool known = false;
+  for (std::size_t i = 0; i < kKindCount; ++i) {
+    if (kind->string == kKindNames[i]) {
+      out.kind = static_cast<FleetEventKind>(i);
+      known = true;
+      break;
+    }
+  }
+  if (!known) return false;
+  out.detail = detail->string;
+  out.incarnation = static_cast<long>(incarnation->number);
+  out.item = static_cast<std::int64_t>(item->number);
+  out.run_id = run_id->string;
+  out.shard = static_cast<long>(shard->number);
+  out.ts = ts->number;
+  out.wall_ms = wall->number;
+  return true;
+}
+
+FleetEventLog::FleetEventLog(std::string path)
+    : path_(std::move(path)), file_(path_, std::ios::app) {
+  if (!file_) {
+    throw robust::RobustError(robust::ErrorCode::kIoMalformed, "cannot open fleet event log",
+                              path_);
+  }
+  if (file_.tellp() == std::streampos(0)) {
+    file_ << "{\"schema\":\"" << kFleetEventsSchema << "\"}\n";
+    file_.flush();
+  }
+}
+
+void FleetEventLog::append(const FleetEvent& ev) {
+  // Best-effort by design: events are observability, never coordination
+  // state, so an append failure degrades to a gap in the timeline rather
+  // than a dead worker.
+  if (!file_) return;
+  file_ << fleet_event_json(ev) << '\n';
+  file_.flush();
+}
+
+std::vector<FleetEvent> load_fleet_events(const std::string& path, std::size_t* skipped_lines) {
+  if (skipped_lines) *skipped_lines = 0;
+  std::vector<FleetEvent> out;
+  std::ifstream f(path);
+  if (!f) return out;
+  std::string line;
+  std::size_t skipped = 0;
+  bool saw_header = false;
+  while (std::getline(f, line)) {
+    if (line.empty()) continue;
+    FleetEvent ev;
+    if (parse_fleet_event(line, ev)) {
+      out.push_back(std::move(ev));
+    } else if (!saw_header && line.find(kFleetEventsSchema) != std::string::npos) {
+      saw_header = true;  // the (repeatable) header line is not a torn line
+    } else {
+      ++skipped;
+    }
+  }
+  if (skipped_lines) *skipped_lines = skipped;
+  return out;
+}
+
+double EventClock::next() {
+  const std::uint64_t seq = seq_++;
+  if (log::Logger::instance().fixed_clock()) return static_cast<double>(seq) / 1000.0;
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(now).count();
+}
+
+}  // namespace speedscale::obs::fleet

@@ -1,0 +1,107 @@
+// Cross-process fleet trace events: the correlation substrate of the
+// fleet observability plane.
+//
+// A fleet run spans one supervisor process and N worker processes, each
+// possibly reincarnated several times.  No single process sees the whole
+// timeline, so every process *journals* what it did as self-contained JSONL
+// events (schema speedscale.fleet_events/1), stamped with the run's
+// correlation tags:
+//
+//   {"detail":"","incarnation":1,"item":5,"kind":"item_end","run_id":"r1",
+//    "shard":0,"ts":0.004,"wall_ms":1.25}
+//
+// Workers journal worker_start / item_begin / item_end / worker_exit into a
+// per-shard event file (append + flush per line — the shard-log durability
+// discipline, so a SIGKILLed worker's events survive to the exact item it
+// died in).  The supervisor journals its policy decisions — spawn / exit /
+// restart / hung_kill / degraded / interrupt / merge — into its own file.
+// After the run, the supervisor ingests every file and emits one merged
+// Perfetto trace (src/obs/fleet/fleet_trace.h) with a process track per
+// worker *incarnation*, so a chaos run renders as a single timeline.
+//
+// Timestamps come from the logger clock domain (src/obs/log/logger.h): unix
+// seconds normally, deterministic per-process sequence time under
+// SPEEDSCALE_LOG_FIXED_CLOCK=1 — which is what lets golden tests pin a
+// merged chaos trace byte-for-byte.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace speedscale::obs::fleet {
+
+inline constexpr const char* kFleetEventsSchema = "speedscale.fleet_events/1";
+
+/// What happened.  Worker kinds first, then supervisor kinds.
+enum class FleetEventKind : std::uint8_t {
+  kWorkerStart,   ///< incarnation began (detail = "resumed=N")
+  kItemBegin,     ///< item computation started
+  kItemEnd,       ///< item committed to the shard log (wall_ms set)
+  kWorkerExit,    ///< clean exit (detail = "ok" | "interrupted")
+  kSpawn,         ///< supervisor forked an incarnation
+  kExit,          ///< supervisor reaped a worker (detail = "exit N"|"signal")
+  kRestart,       ///< restart scheduled (detail = "backoff N ms")
+  kHungKill,      ///< watchdog SIGKILLed a stale worker
+  kDegraded,      ///< shard fell to the in-process ladder
+  kInterrupt,     ///< stop_flag honored; fleet stopping
+  kMerge,         ///< index-ordered merge ran
+};
+
+/// Stable lower-case name ("worker_start", ..., "merge").
+[[nodiscard]] const char* fleet_event_kind_name(FleetEventKind kind);
+
+struct FleetEvent {
+  FleetEventKind kind = FleetEventKind::kWorkerStart;
+  double ts = 0.0;
+  std::string run_id;
+  long shard = -1;        ///< -1 = the supervisor itself
+  long incarnation = -1;  ///< worker incarnation the event describes
+  std::int64_t item = -1;
+  double wall_ms = 0.0;
+  std::string detail;
+};
+
+/// One speedscale.fleet_events/1 line (no trailing newline); keys sorted,
+/// byte-stable for equal events.
+[[nodiscard]] std::string fleet_event_json(const FleetEvent& ev);
+
+/// Parses one event line.  False on the header line or a torn/corrupt line.
+[[nodiscard]] bool parse_fleet_event(const std::string& line, FleetEvent& out);
+
+/// Append-mode event journal: one flushed line per event, header on a fresh
+/// file.  Same durability stance as ShardLogWriter — hold it open for the
+/// incarnation, lose at most the line being written.  Throws RobustError
+/// (kIoMalformed) on open failure; append failures are swallowed (events are
+/// observability, never state — losing one must not kill a worker).
+class FleetEventLog {
+ public:
+  explicit FleetEventLog(std::string path);
+  void append(const FleetEvent& ev);
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream file_;
+};
+
+/// Loads every valid event line, in file order.  Missing file = empty.
+/// Torn/corrupt lines are skipped and counted into `skipped_lines` — the
+/// lenient loader contract of load_shard_log.
+[[nodiscard]] std::vector<FleetEvent> load_fleet_events(const std::string& path,
+                                                        std::size_t* skipped_lines = nullptr);
+
+/// Event timestamp source in the logger's clock domain: unix seconds
+/// normally, seq/1000.0 per process when the fixed clock is installed
+/// (Logger::fixed_clock()) — same rule, separate sequence, so log records
+/// and journal events stay independently deterministic.
+class EventClock {
+ public:
+  [[nodiscard]] double next();
+
+ private:
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace speedscale::obs::fleet

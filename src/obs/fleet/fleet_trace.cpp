@@ -1,0 +1,234 @@
+#include "src/obs/fleet/fleet_trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <utility>
+
+#include "src/obs/json_util.h"
+#include "src/obs/log/logger.h"
+#include "src/robust/atomic_io.h"
+#include "src/robust/diagnostics.h"
+
+namespace speedscale::obs::fleet {
+
+namespace {
+
+/// One trace-event record with keys in sorted order (args, dur, name, ph,
+/// pid, s, tid, ts) — the same byte-diffable emission idiom as
+/// src/obs/perf/chrome_trace.cpp.
+struct RecordWriter {
+  std::string& out;
+  bool& first;
+
+  void begin() {
+    if (!first) out += ',';
+    first = false;
+    out += '{';
+  }
+
+  void field_args_open() { out += "\"args\":{"; }
+  void field_args_close() { out += "},"; }
+
+  void finish(const std::string& name, char ph, std::int64_t pid, std::int64_t tid, double ts,
+              double dur = -1.0, const char* scope = nullptr) {
+    if (dur >= 0.0) {
+      out += "\"dur\":";
+      append_json_number(out, dur);
+      out += ',';
+    }
+    out += "\"name\":";
+    append_json_string(out, name);
+    out += ",\"ph\":\"";
+    out += ph;
+    out += "\",\"pid\":";
+    out += std::to_string(pid);
+    if (scope != nullptr) {
+      out += ",\"s\":\"";
+      out += scope;
+      out += '"';
+    }
+    out += ",\"tid\":";
+    out += std::to_string(tid);
+    out += ",\"ts\":";
+    append_json_number(out, ts);
+    out += '}';
+  }
+};
+
+void append_arg(std::string& out, bool& first, const char* key, double v) {
+  if (!first) out += ',';
+  first = false;
+  append_json_string(out, key);
+  out += ':';
+  append_json_number(out, v);
+}
+
+void append_arg(std::string& out, bool& first, const char* key, const std::string& v) {
+  if (!first) out += ',';
+  first = false;
+  append_json_string(out, key);
+  out += ':';
+  append_json_string(out, v);
+}
+
+void append_metadata(std::string& out, bool& first, std::int64_t pid, const std::string& name) {
+  RecordWriter rec{out, first};
+  rec.begin();
+  rec.field_args_open();
+  out += "\"name\":";
+  append_json_string(out, name);
+  rec.field_args_close();
+  rec.finish("process_name", 'M', pid, 0, 0.0);
+}
+
+/// µs since the earliest event across every journal.  Fleet journals span
+/// clock domains (each fixed-clock process restarts at seq 0), so the
+/// normalization is cosmetic alignment, not cross-process ordering — ordering
+/// in the merged document comes from journal grouping, which is causal.
+double to_us(double ts, double t0) { return (ts - t0) * 1e6; }
+
+}  // namespace
+
+std::string fleet_chrome_trace_json(const FleetTraceInput& input) {
+  double t0 = 0.0;
+  bool have_t0 = false;
+  auto consider = [&](const FleetEvent& ev) {
+    if (!have_t0 || ev.ts < t0) {
+      t0 = ev.ts;
+      have_t0 = true;
+    }
+  };
+  for (const FleetEvent& ev : input.supervisor_events) consider(ev);
+  for (const auto& shard : input.worker_events)
+    for (const FleetEvent& ev : shard) consider(ev);
+
+  // Process tracks: pid 1 = supervisor, then one per (shard, incarnation)
+  // in sorted order — stable regardless of the order incarnations died in.
+  std::map<std::pair<long, long>, std::int64_t> pids;
+  for (const auto& shard : input.worker_events) {
+    for (const FleetEvent& ev : shard) pids.emplace(std::make_pair(ev.shard, ev.incarnation), 0);
+  }
+  std::int64_t next_pid = 2;
+  for (auto& [key, pid] : pids) pid = next_pid++;
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+
+  append_metadata(out, first, 1, "supervisor");
+  for (const auto& [key, pid] : pids) {
+    append_metadata(out, first, pid,
+                    "worker shard " + std::to_string(key.first) + " inc " +
+                        std::to_string(key.second));
+  }
+
+  // Supervisor policy instants, in journal order.
+  for (const FleetEvent& ev : input.supervisor_events) {
+    RecordWriter rec{out, first};
+    rec.begin();
+    rec.field_args_open();
+    bool afirst = true;
+    append_arg(out, afirst, "detail", ev.detail);
+    append_arg(out, afirst, "incarnation", static_cast<double>(ev.incarnation));
+    append_arg(out, afirst, "shard", static_cast<double>(ev.shard));
+    rec.field_args_close();
+    rec.finish(fleet_event_kind_name(ev.kind), 'i', 1, 0, to_us(ev.ts, t0), -1.0, "p");
+  }
+
+  // Worker tracks: item slices ('X', dur from the committed wall), lifecycle
+  // instants, and an explicit "(lost)" instant for an item_begin that never
+  // saw its item_end — the exact item a SIGKILL landed in.
+  for (const auto& shard_events : input.worker_events) {
+    std::map<std::pair<std::int64_t, long>, const FleetEvent*> open_items;  // (item, inc)
+    for (const FleetEvent& ev : shard_events) {
+      const auto it = pids.find(std::make_pair(ev.shard, ev.incarnation));
+      if (it == pids.end()) continue;
+      const std::int64_t pid = it->second;
+      switch (ev.kind) {
+        case FleetEventKind::kItemBegin:
+          open_items[std::make_pair(ev.item, ev.incarnation)] = &ev;
+          break;
+        case FleetEventKind::kItemEnd: {
+          open_items.erase(std::make_pair(ev.item, ev.incarnation));
+          RecordWriter rec{out, first};
+          rec.begin();
+          rec.field_args_open();
+          bool afirst = true;
+          append_arg(out, afirst, "item", static_cast<double>(ev.item));
+          append_arg(out, afirst, "wall_ms", ev.wall_ms);
+          rec.field_args_close();
+          // The slice ends at the commit timestamp; with the measured wall
+          // as dur it starts wall_ms earlier, matching the begin instant up
+          // to journaling overhead.
+          const double dur_us = ev.wall_ms * 1e3;
+          rec.finish("item " + std::to_string(ev.item), 'X', pid, 0,
+                     to_us(ev.ts, t0) - dur_us, dur_us);
+          break;
+        }
+        case FleetEventKind::kWorkerStart:
+        case FleetEventKind::kWorkerExit: {
+          RecordWriter rec{out, first};
+          rec.begin();
+          rec.field_args_open();
+          bool afirst = true;
+          append_arg(out, afirst, "detail", ev.detail);
+          rec.field_args_close();
+          rec.finish(fleet_event_kind_name(ev.kind), 'i', pid, 0, to_us(ev.ts, t0), -1.0, "p");
+          break;
+        }
+        default:
+          break;  // supervisor kinds never appear in worker journals
+      }
+    }
+    for (const auto& [key, begin] : open_items) {
+      const auto it = pids.find(std::make_pair(begin->shard, begin->incarnation));
+      if (it == pids.end()) continue;
+      RecordWriter rec{out, first};
+      rec.begin();
+      rec.field_args_open();
+      bool afirst = true;
+      append_arg(out, afirst, "item", static_cast<double>(begin->item));
+      rec.field_args_close();
+      rec.finish("item " + std::to_string(begin->item) + " (lost)", 'i', it->second, 0,
+                 to_us(begin->ts, t0), -1.0, "p");
+    }
+  }
+
+  out += "]}";
+  return out;
+}
+
+void write_fleet_trace_file(const std::string& path, const FleetTraceInput& input) {
+  robust::atomic_write_file(path, [&](std::ostream& os) {
+    os << fleet_chrome_trace_json(input) << '\n';
+  });
+}
+
+std::size_t merge_fleet_logs(const std::string& out_path, const std::string& supervisor_log,
+                             const std::vector<std::string>& shard_logs) {
+  std::size_t written = 0;
+  robust::atomic_write_file(out_path, [&](std::ostream& os) {
+    os << "{\"schema\":\"" << log::kLogSchema << "\"}\n";
+    auto copy_records = [&](const std::string& path) {
+      std::ifstream f(path);
+      if (!f) return;  // a shard that never spawned has no log — fine
+      std::string line;
+      while (std::getline(f, line)) {
+        if (line.empty()) continue;
+        log::LogRecord record;
+        if (!log::parse_record(line, record)) continue;  // header / torn tail
+        // Re-emit through the serializer, not verbatim: the merged artifact
+        // is then canonical even if a source line used equivalent-but-
+        // different encodings.
+        os << log::record_json(record) << '\n';
+        ++written;
+      }
+    };
+    copy_records(supervisor_log);
+    for (const std::string& path : shard_logs) copy_records(path);
+  });
+  return written;
+}
+
+}  // namespace speedscale::obs::fleet

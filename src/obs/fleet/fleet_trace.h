@@ -1,0 +1,60 @@
+// Merged fleet Perfetto trace and merged fleet log: one timeline for a
+// multi-process run.
+//
+// The supervisor ingests every per-process journal — its own policy events
+// plus each shard's worker events (src/obs/fleet/fleet_events.h) — and emits
+// one Chrome Trace Event Format document:
+//
+//   * pid 1, "supervisor" — spawn / exit / restart / hung_kill / degraded /
+//     interrupt / merge as instant events, each carrying the shard and
+//     incarnation it describes in args;
+//   * one process per worker *incarnation* (pid 2, 3, ... over sorted
+//     (shard, incarnation)), named "worker shard S inc I" — items as
+//     complete ("X") slices (dur = the item's measured wall), worker_start /
+//     worker_exit as instants, and an item that began but never committed
+//     (the SIGKILL case) as an explicit "item N (lost)" instant.
+//
+// A chaos run therefore renders as a single timeline in ui.perfetto.dev:
+// the killed incarnation's track ends at its lost item, the supervisor's
+// restart instant follows, and the next incarnation's track picks the item
+// back up — the whole crash-recovery story in one view.  Deterministic:
+// equal inputs serialize byte-identically (the golden-test contract), with
+// timestamps normalized to the earliest event across all journals.
+//
+// The log half is simpler: merge_fleet_logs re-emits every valid
+// speedscale.log/1 record from the supervisor's and each shard's log file
+// under one header, supervisor first, then shards in order — each record
+// already carries its (run_id, shard, incarnation) tags, so grouping by
+// source loses nothing and keeps the merge byte-deterministic.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/obs/fleet/fleet_events.h"
+
+namespace speedscale::obs::fleet {
+
+struct FleetTraceInput {
+  std::string run_id;
+  /// The supervisor's journal, in file order.
+  std::vector<FleetEvent> supervisor_events;
+  /// Each shard's journal (all incarnations interleaved), in file order.
+  std::vector<std::vector<FleetEvent>> worker_events;
+};
+
+/// One Trace Event Format document ({"displayTimeUnit":"ms",...}).
+[[nodiscard]] std::string fleet_chrome_trace_json(const FleetTraceInput& input);
+
+/// Crash-safe file variant (tmp + atomic rename).
+void write_fleet_trace_file(const std::string& path, const FleetTraceInput& input);
+
+/// Merges per-process speedscale.log/1 files into `out_path` (atomic write):
+/// one header line, then every valid record of `supervisor_log`, then of
+/// each `shard_logs` entry, in file order.  Missing files are skipped;
+/// returns the number of records written.
+std::size_t merge_fleet_logs(const std::string& out_path, const std::string& supervisor_log,
+                             const std::vector<std::string>& shard_logs);
+
+}  // namespace speedscale::obs::fleet

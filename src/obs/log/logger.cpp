@@ -1,0 +1,300 @@
+#include "src/obs/log/logger.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/obs/json_min.h"
+#include "src/obs/json_util.h"
+#include "src/robust/diagnostics.h"
+
+namespace speedscale::obs::log {
+
+namespace {
+
+double wall_clock_seconds() {
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(now).count();
+}
+
+/// "k=v k2=v2" suffix for the stderr mirror; empty when there are no fields.
+std::string mirror_fields(const std::vector<Field>& fields) {
+  if (fields.empty()) return {};
+  std::string out = " (";
+  bool first = true;
+  for (const Field& f : fields) {
+    if (!first) out += ' ';
+    first = false;
+    out += f.key + '=' + f.value;
+  }
+  out += ')';
+  return out;
+}
+
+const char* mirror_level_name(Level level) {
+  switch (level) {
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO";
+    case Level::kWarn: return "WARN";
+    case Level::kError: return "ERROR";
+    case Level::kOff: break;
+  }
+  return "LOG";
+}
+
+}  // namespace
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kDebug: return "debug";
+    case Level::kInfo: return "info";
+    case Level::kWarn: return "warn";
+    case Level::kError: return "error";
+    case Level::kOff: break;
+  }
+  return "off";
+}
+
+Level level_by_name(const std::string& name) {
+  if (name == "debug") return Level::kDebug;
+  if (name == "info") return Level::kInfo;
+  if (name == "warn") return Level::kWarn;
+  if (name == "error") return Level::kError;
+  if (name == "off") return Level::kOff;
+  return Level::kWarn;
+}
+
+Field kv(std::string key, std::string value) { return {std::move(key), std::move(value), false}; }
+Field kv(std::string key, const char* value) { return {std::move(key), value, false}; }
+Field kv(std::string key, std::int64_t value) {
+  return {std::move(key), std::to_string(value), true};
+}
+Field kv(std::string key, std::uint64_t value) {
+  return {std::move(key), std::to_string(value), true};
+}
+Field kv(std::string key, int value) { return {std::move(key), std::to_string(value), true}; }
+Field kv(std::string key, double value) {
+  Field f{std::move(key), {}, true};
+  append_json_number(f.value, value);
+  return f;
+}
+
+std::string record_json(const LogRecord& record) {
+  // Keys in sorted order — the byte-diffability contract every obs artifact
+  // honors (json_util.h).
+  std::string out = "{\"component\":";
+  append_json_string(out, record.component);
+  out += ",\"fields\":{";
+  bool first = true;
+  for (const Field& f : record.fields) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, f.key);
+    out += ':';
+    if (f.raw) {
+      out += f.value;
+    } else {
+      append_json_string(out, f.value);
+    }
+  }
+  out += "},\"incarnation\":" + std::to_string(record.tags.incarnation);
+  out += ",\"level\":\"";
+  out += level_name(record.level);
+  out += "\",\"message\":";
+  append_json_string(out, record.message);
+  out += ",\"run_id\":";
+  append_json_string(out, record.tags.run_id);
+  out += ",\"seq\":" + std::to_string(record.seq);
+  out += ",\"shard\":" + std::to_string(record.tags.shard);
+  out += ",\"ts\":";
+  append_json_number(out, record.ts);
+  out += '}';
+  return out;
+}
+
+bool parse_record(const std::string& line, LogRecord& out) {
+  JsonValue root;
+  try {
+    root = parse_json(line);
+  } catch (const std::exception&) {
+    return false;  // torn tail / corrupt line
+  }
+  if (!root.is_object()) return false;
+  if (root.find("schema") != nullptr) return false;  // header line
+  const JsonValue* component = root.find("component");
+  const JsonValue* fields = root.find("fields");
+  const JsonValue* incarnation = root.find("incarnation");
+  const JsonValue* level = root.find("level");
+  const JsonValue* message = root.find("message");
+  const JsonValue* run_id = root.find("run_id");
+  const JsonValue* seq = root.find("seq");
+  const JsonValue* shard = root.find("shard");
+  const JsonValue* ts = root.find("ts");
+  if (component == nullptr || !component->is_string() || fields == nullptr ||
+      !fields->is_object() || incarnation == nullptr || !incarnation->is_number() ||
+      level == nullptr || !level->is_string() || message == nullptr || !message->is_string() ||
+      run_id == nullptr || !run_id->is_string() || seq == nullptr || !seq->is_number() ||
+      shard == nullptr || !shard->is_number() || ts == nullptr || !ts->is_number()) {
+    return false;
+  }
+  out.component = component->string;
+  out.level = level_by_name(level->string);
+  out.message = message->string;
+  out.tags.run_id = run_id->string;
+  out.tags.shard = static_cast<long>(shard->number);
+  out.tags.incarnation = static_cast<long>(incarnation->number);
+  out.seq = static_cast<std::uint64_t>(seq->number);
+  out.ts = ts->number;
+  out.fields.clear();
+  for (const auto& [key, v] : fields->object) {
+    if (v.is_string()) {
+      out.fields.push_back(kv(key, v.string));
+    } else if (v.is_number()) {
+      // Integers re-encode as integers (the kv(int64) path); everything else
+      // through the canonical double encoder — round-trip stable either way.
+      if (v.number == std::floor(v.number) && std::abs(v.number) < 9.007199254740992e15) {
+        out.fields.push_back(kv(key, static_cast<std::int64_t>(v.number)));
+      } else {
+        out.fields.push_back(kv(key, v.number));
+      }
+    } else if (v.is_bool()) {
+      Field f{key, v.boolean ? "true" : "false", true};
+      out.fields.push_back(std::move(f));
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+Logger::Logger() {
+  if (const char* fixed = std::getenv("SPEEDSCALE_LOG_FIXED_CLOCK");
+      fixed != nullptr && fixed[0] == '1') {
+    fixed_clock_ = true;
+  }
+  if (const char* mirror = std::getenv("SPEEDSCALE_LOG_STDERR"); mirror != nullptr) {
+    stderr_level_ = level_by_name(mirror);
+  }
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto file = std::make_unique<std::ofstream>(path, std::ios::app);
+  if (!*file) {
+    throw robust::RobustError(robust::ErrorCode::kIoMalformed, "cannot open log file", path);
+  }
+  // Header only on a fresh file: a resumed worker incarnation appends to its
+  // shard's existing log, and the merged artifact wants exactly one header.
+  if (file->tellp() == std::streampos(0)) {
+    *file << "{\"schema\":\"" << kLogSchema << "\"}\n";
+    file->flush();
+  }
+  file_ = std::move(file);
+  path_ = path;
+}
+
+void Logger::close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_) {
+    file_->flush();
+    file_.reset();
+  }
+  path_.clear();
+}
+
+bool Logger::is_open() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return file_ != nullptr;
+}
+
+void Logger::set_tags(const LogTags& tags) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tags_ = tags;
+}
+
+LogTags Logger::tags() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tags_;
+}
+
+void Logger::set_stderr_level(Level level) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stderr_level_ = level;
+}
+
+Level Logger::stderr_level() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stderr_level_;
+}
+
+void Logger::set_fixed_clock(bool on) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Installing the deterministic clock restarts the deterministic timeline:
+  // ts/seq become a pure function of records-since-install, so an in-process
+  // golden run (the supervisor in a test binary) doesn't depend on how much
+  // was logged before the clock went in.  Spawned workers install via the
+  // environment before their first record, where this is a no-op.
+  if (on && !fixed_clock_) seq_ = 0;
+  fixed_clock_ = on;
+}
+
+bool Logger::fixed_clock() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fixed_clock_;
+}
+
+void Logger::log(Level level, const char* component, std::string message,
+                 std::vector<Field> fields) {
+  LogRecord record;
+  std::string line;
+  bool mirror = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    record.seq = seq_++;
+    record.ts = fixed_clock_ ? static_cast<double>(record.seq) / 1000.0 : wall_clock_seconds();
+    record.level = level;
+    record.component = component;
+    record.message = std::move(message);
+    record.fields = std::move(fields);
+    record.tags = tags_;
+    if (file_) {
+      line = record_json(record);
+      *file_ << line << '\n';
+      // Flush per record: a SIGKILLed worker leaves everything it logged
+      // (the shard-log durability argument applied to logs).
+      file_->flush();
+    }
+    mirror = stderr_level_ != Level::kOff && level >= stderr_level_;
+  }
+  if (mirror) {
+    std::fprintf(stderr, "[%s] %s: %s%s\n", record.component.c_str(),
+                 mirror_level_name(record.level), record.message.c_str(),
+                 mirror_fields(record.fields).c_str());
+  }
+}
+
+std::uint64_t Logger::records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seq_;
+}
+
+void debug(const char* component, std::string message, std::vector<Field> fields) {
+  Logger::instance().log(Level::kDebug, component, std::move(message), std::move(fields));
+}
+void info(const char* component, std::string message, std::vector<Field> fields) {
+  Logger::instance().log(Level::kInfo, component, std::move(message), std::move(fields));
+}
+void warn(const char* component, std::string message, std::vector<Field> fields) {
+  Logger::instance().log(Level::kWarn, component, std::move(message), std::move(fields));
+}
+void error(const char* component, std::string message, std::vector<Field> fields) {
+  Logger::instance().log(Level::kError, component, std::move(message), std::move(fields));
+}
+
+}  // namespace speedscale::obs::log

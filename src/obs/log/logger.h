@@ -1,0 +1,159 @@
+// Structured logging: the fleet-wide replacement for ad-hoc stderr WARNs.
+//
+// Every process in a fleet run (supervisor, worker incarnations, the
+// degraded-ladder fallback) speaks one JSONL log schema, speedscale.log/1:
+//
+//   {"component":"supervisor","fields":{"delay_ms":5,...},"incarnation":-1,
+//    "level":"warn","message":"...","run_id":"r1","seq":3,"shard":-1,
+//    "ts":0.003}
+//
+// one object per line, keys sorted, numbers via the byte-diffable
+// json_util.h encoders.  The first line of every log file is a header
+// ({"schema":"speedscale.log/1"}), so a merged fleet log is just header +
+// concatenated records — each record is self-contained, carrying the
+// process's correlation tags (run_id / shard / incarnation, set once per
+// process from the supervisor's spawn arguments).
+//
+// Design points, in the repo's house discipline:
+//
+//   * *Append + flush per record.*  A SIGKILLed worker must leave every
+//     record it wrote (the same durability argument as the shard log) — so
+//     no tmp+rename here, and no buffering beyond one line.
+//   * *Deterministic under clock injection.*  With the fixed clock installed
+//     (set_fixed_clock, or SPEEDSCALE_LOG_FIXED_CLOCK=1 in a spawned
+//     worker's environment), ts is seq/1000.0 — a pure function of the
+//     record sequence — so golden tests can pin merged fleet logs
+//     byte-for-byte under chaos.
+//   * *Human-readable stderr mirror behind a verbosity flag.*  Records at or
+//     above the mirror level also print as the classic one-line
+//     "[component] WARN: message (k=v ...)" — default kWarn, so existing
+//     tooling that greps stderr keeps working; SPEEDSCALE_LOG_STDERR
+//     (debug|info|warn|error|off) or set_stderr_level adjusts it.
+//   * *No metrics coupling.*  The logger never touches the MetricsRegistry:
+//     log volume must not perturb per-item counter deltas or the pinned
+//     bench ledger (the same reasoning that keeps torn-line recovery
+//     bookkeeping out of OBS_COUNT).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace speedscale::obs::log {
+
+inline constexpr const char* kLogSchema = "speedscale.log/1";
+
+enum class Level : std::uint8_t { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Stable lower-case name ("debug", "info", "warn", "error").
+[[nodiscard]] const char* level_name(Level level);
+/// Inverse of level_name; also accepts "off".  Returns kWarn for unknown
+/// strings (the conservative mirror default).
+[[nodiscard]] Level level_by_name(const std::string& name);
+
+/// One key/value field.  `raw` values are emitted verbatim (pre-encoded
+/// numbers); otherwise the value is a JSON string.  Build via kv().
+struct Field {
+  std::string key;
+  std::string value;
+  bool raw = false;
+};
+
+[[nodiscard]] Field kv(std::string key, std::string value);
+[[nodiscard]] Field kv(std::string key, const char* value);
+[[nodiscard]] Field kv(std::string key, std::int64_t value);
+[[nodiscard]] Field kv(std::string key, std::uint64_t value);
+[[nodiscard]] Field kv(std::string key, int value);
+[[nodiscard]] Field kv(std::string key, double value);
+
+/// Per-process correlation tags, stamped into every record.  The supervisor
+/// runs with shard = incarnation = -1; workers set all three from their
+/// spawn arguments, so a record is attributable across process boundaries.
+struct LogTags {
+  std::string run_id;
+  long shard = -1;
+  long incarnation = -1;
+};
+
+/// One structured record (the parsed form; used by the fleet log merger and
+/// round-trip tests).
+struct LogRecord {
+  double ts = 0.0;
+  std::uint64_t seq = 0;
+  Level level = Level::kInfo;
+  std::string component;
+  std::string message;
+  std::vector<Field> fields;
+  LogTags tags;
+};
+
+/// Serializes one record as a speedscale.log/1 line (no trailing newline).
+/// Pure and byte-stable: equal records serialize identically.
+[[nodiscard]] std::string record_json(const LogRecord& record);
+
+/// Parses one speedscale.log/1 line.  Returns false on the header line or a
+/// torn/corrupt line (the caller counts those; same leniency contract as
+/// load_shard_log).
+[[nodiscard]] bool parse_record(const std::string& line, LogRecord& out);
+
+/// The process-wide logger.  All methods are thread-safe.
+class Logger {
+ public:
+  static Logger& instance();
+
+  /// Opens (append mode) the JSONL sink and writes the schema header when
+  /// the file is new/empty.  Records before open() go to the mirror only.
+  /// Throws RobustError(kIoMalformed) when the file cannot be opened.
+  void open(const std::string& path);
+  /// Flushes and detaches the sink.  Idempotent.
+  void close();
+  [[nodiscard]] bool is_open() const;
+
+  void set_tags(const LogTags& tags);
+  [[nodiscard]] LogTags tags() const;
+
+  /// Mirror threshold: records at or above it also print to stderr as
+  /// "[component] LEVEL: message (k=v ...)".  Level::kOff silences the
+  /// mirror entirely.
+  void set_stderr_level(Level level);
+  [[nodiscard]] Level stderr_level() const;
+
+  /// Installs the deterministic clock: ts = seq / 1000.0, with the sequence
+  /// restarted at install so the timeline is a pure function of
+  /// records-since-install.  Also installed lazily when
+  /// SPEEDSCALE_LOG_FIXED_CLOCK=1 is in the environment (the cross-process
+  /// hook for golden fleet runs).
+  void set_fixed_clock(bool on);
+  /// True when the deterministic clock is installed.  Producers of other
+  /// timed fleet artifacts (event journals, item walls in cost rows) zero
+  /// their measured durations under it so golden runs stay byte-stable.
+  [[nodiscard]] bool fixed_clock() const;
+
+  void log(Level level, const char* component, std::string message,
+           std::vector<Field> fields = {});
+
+  /// Records emitted since process start (any destination).
+  [[nodiscard]] std::uint64_t records() const;
+
+ private:
+  Logger();
+
+  mutable std::mutex mu_;
+  std::unique_ptr<std::ofstream> file_;
+  std::string path_;
+  LogTags tags_;
+  Level stderr_level_ = Level::kWarn;
+  bool fixed_clock_ = false;
+  std::uint64_t seq_ = 0;
+};
+
+// Convenience wrappers over Logger::instance().
+void debug(const char* component, std::string message, std::vector<Field> fields = {});
+void info(const char* component, std::string message, std::vector<Field> fields = {});
+void warn(const char* component, std::string message, std::vector<Field> fields = {});
+void error(const char* component, std::string message, std::vector<Field> fields = {});
+
+}  // namespace speedscale::obs::log

@@ -8,6 +8,7 @@
 
 #include "src/obs/json_min.h"
 #include "src/obs/json_util.h"
+#include "src/obs/log/logger.h"
 #include "src/obs/metrics_registry.h"
 #include "src/robust/atomic_io.h"
 #include "src/robust/diagnostics.h"
@@ -19,6 +20,8 @@ namespace {
 
 std::string item_result_line(const ItemResult& r) {
   std::string out = "{\"kind\":\"item\",\"index\":" + std::to_string(r.index);
+  out += ",\"shard\":" + std::to_string(r.shard);
+  out += ",\"inc\":" + std::to_string(r.incarnation);
   out += ",\"wall_ns\":";
   obs::append_json_number(out, r.wall_ns);
   out += ",\"payload\":";
@@ -62,6 +65,13 @@ bool parse_item_line(const std::string& line, ItemResult& out) {
   if (counters == nullptr || !counters->is_object()) return false;
   out.index = static_cast<std::size_t>(index->number);
   out.wall_ns = wall->number;
+  // Attribution tags arrived in PR 8; lines without them (older logs, or
+  // in-process degraded-ladder appends predating the caller's tagging) keep
+  // the -1 defaults and the resume path works unchanged.
+  const obs::JsonValue* shard = root.find("shard");
+  const obs::JsonValue* inc = root.find("inc");
+  out.shard = shard != nullptr && shard->is_number() ? static_cast<long>(shard->number) : -1;
+  out.incarnation = inc != nullptr && inc->is_number() ? static_cast<long>(inc->number) : -1;
   out.payload_json = payload->string;
   out.cert_jsonl = cert->string;
   out.counters.clear();
@@ -121,9 +131,11 @@ std::map<std::size_t, ItemResult> load_shard_log(const std::string& path,
     // OBS_COUNT) so recovery bookkeeping cannot leak into an item delta.
     obs::registry().counter("robust.checkpoint.torn_lines").add(
         static_cast<std::int64_t>(skipped));
-    const Diagnostic warn(ErrorCode::kIoMalformed, "skipped torn shard-log line(s)",
-                          std::to_string(skipped) + " line(s) in " + path);
-    std::fprintf(stderr, "[robust] WARN: %s\n", warn.to_string().c_str());
+    // Through the structured logger: the record lands in the process's
+    // speedscale.log/1 stream (tagged with run/shard/incarnation) and the
+    // stderr mirror keeps the human-readable WARN line.
+    obs::log::warn("robust", "skipped torn shard-log line(s)",
+                   {obs::log::kv("lines", skipped), obs::log::kv("path", path)});
   }
   if (skipped_lines) *skipped_lines = skipped;
   return out;
@@ -136,6 +148,8 @@ void write_heartbeat(const std::string& path, const WorkerHeartbeat& hb) {
   doc += ",\"done\":";
   doc += hb.done ? "true" : "false";
   doc += ",\"items_done\":" + std::to_string(hb.items_done);
+  doc += ",\"last_wall_ms\":";
+  obs::append_json_number(doc, hb.last_wall_ms);
   doc += ",\"pid\":" + std::to_string(hb.pid);
   doc += ",\"seq\":" + std::to_string(hb.seq);
   doc += '}';
@@ -172,6 +186,9 @@ std::optional<WorkerHeartbeat> read_heartbeat(const std::string& path) {
   hb.items_done = static_cast<std::int64_t>(done_items->number);
   hb.current_item = static_cast<std::int64_t>(current->number);
   hb.busy_seconds = busy->number;
+  // Optional (PR 8): heartbeats from an older worker binary lack it.
+  const obs::JsonValue* last_wall = root.find("last_wall_ms");
+  hb.last_wall_ms = last_wall != nullptr && last_wall->is_number() ? last_wall->number : 0.0;
   hb.done = done->boolean;
   return hb;
 }

@@ -40,6 +40,13 @@ inline constexpr int kWorkerExitInterrupted = 75;
 struct ItemResult {
   std::size_t index = 0;
   double wall_ns = 0.0;
+  /// Cost-ledger attribution (PR 8): which (shard, incarnation) actually
+  /// computed this item.  -1 on lines written before the fields existed —
+  /// the loader defaults them, so old shard logs still resume.  Excluded
+  /// from the merged suite artifacts, so the fleet-vs-serial byte-identity
+  /// contract is untouched.
+  long shard = -1;
+  long incarnation = -1;
   /// Suite-point JSON fragment (analysis::suite_point_json); empty for
   /// pinned-bench items.
   std::string payload_json;
@@ -83,7 +90,12 @@ struct WorkerHeartbeat {
   std::int64_t items_done = 0;     ///< completed by this incarnation
   std::int64_t current_item = -1;  ///< in-flight item index; -1 when idle
   double busy_seconds = 0.0;       ///< summed completed-item wall time
-  bool done = false;               ///< shard finished cleanly
+  /// Wall time of the most recently completed item (ms); 0 before the
+  /// first.  Feeds the supervisor's fleet.item_wall_ms latency histogram —
+  /// one observation per heartbeat seq advance, so the fleet's p50/p95/p99
+  /// are scrapeable mid-run without touching any deterministic artifact.
+  double last_wall_ms = 0.0;
+  bool done = false;  ///< shard finished cleanly
 };
 
 /// Atomic heartbeat write (readers never see a torn file).

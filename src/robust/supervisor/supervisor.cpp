@@ -12,7 +12,9 @@
 #include <filesystem>
 #include <thread>
 
+#include "src/obs/fleet/fleet_trace.h"
 #include "src/obs/live/straggler.h"
+#include "src/obs/log/logger.h"
 #include "src/obs/metrics_registry.h"
 #include "src/robust/atomic_io.h"
 #include "src/robust/diagnostics.h"
@@ -61,6 +63,7 @@ Supervisor::Supervisor(FleetWorkSpec spec, FleetOptions options)
   spec_path_ = options_.work_dir + "/spec.json";
   state_path_ =
       options_.state_path.empty() ? options_.work_dir + "/fleet_state.json" : options_.state_path;
+  run_id_ = options_.obs.run_id.empty() ? "fleet" : options_.obs.run_id;
 }
 
 Supervisor::~Supervisor() { kill_all(); }
@@ -71,6 +74,57 @@ std::string Supervisor::shard_log_path(std::size_t shard) const {
 
 std::string Supervisor::heartbeat_path(std::size_t shard) const {
   return options_.work_dir + "/heartbeat_" + std::to_string(shard) + ".json";
+}
+
+std::string Supervisor::events_path(std::size_t shard) const {
+  return options_.work_dir + "/events_" + std::to_string(shard) + ".jsonl";
+}
+
+std::string Supervisor::worker_log_path(std::size_t shard) const {
+  return options_.work_dir + "/log_" + std::to_string(shard) + ".jsonl";
+}
+
+void Supervisor::journal(obs::fleet::FleetEventKind kind, long shard, long incarnation,
+                         const std::string& detail) {
+  if (!events_) return;
+  obs::fleet::FleetEvent ev;
+  ev.kind = kind;
+  ev.ts = event_clock_.next();
+  ev.run_id = run_id_;
+  ev.shard = shard;
+  ev.incarnation = incarnation;
+  ev.detail = detail;
+  events_->append(ev);
+}
+
+void Supervisor::merge_observability(FleetResult& result) {
+  if (!options_.obs.enabled) return;
+  const std::string trace_path = options_.obs.trace_path.empty()
+                                     ? options_.work_dir + "/fleet_trace.json"
+                                     : options_.obs.trace_path;
+  const std::string log_path = options_.obs.log_path.empty()
+                                   ? options_.work_dir + "/fleet_log.jsonl"
+                                   : options_.obs.log_path;
+  obs::fleet::FleetTraceInput input;
+  input.run_id = run_id_;
+  input.supervisor_events =
+      obs::fleet::load_fleet_events(options_.work_dir + "/events_supervisor.jsonl");
+  std::vector<std::string> shard_logs;
+  for (std::size_t s = 0; s < spec_.shards; ++s) {
+    input.worker_events.push_back(obs::fleet::load_fleet_events(events_path(s)));
+    shard_logs.push_back(worker_log_path(s));
+  }
+  try {
+    obs::fleet::write_fleet_trace_file(trace_path, input);
+    obs::fleet::merge_fleet_logs(log_path, options_.work_dir + "/log_supervisor.jsonl",
+                                 shard_logs);
+  } catch (const std::exception& e) {
+    // Observability merge failures degrade, never fail the run: the sweep
+    // artifacts are already safe on disk.
+    obs::log::warn("supervisor", "fleet observability merge failed",
+                   {obs::log::kv("error", std::string(e.what()))});
+  }
+  (void)result;
 }
 
 void Supervisor::spawn(Worker& w) {
@@ -84,6 +138,19 @@ void Supervisor::spawn(Worker& w) {
   argv.push_back(shard_log_path(w.shard));
   argv.push_back("--heartbeat");
   argv.push_back(heartbeat_path(w.shard));
+  if (options_.obs.enabled) {
+    // Correlation tags cross the process boundary as plain argv: the worker
+    // stamps (run_id, shard, incarnation) into its log records, journal
+    // events, and shard-log lines.
+    argv.push_back("--run-id");
+    argv.push_back(run_id_);
+    argv.push_back("--incarnation");
+    argv.push_back(std::to_string(w.restarts));
+    argv.push_back("--events");
+    argv.push_back(events_path(w.shard));
+    argv.push_back("--log");
+    argv.push_back(worker_log_path(w.shard));
+  }
   argv.insert(argv.end(), options_.worker_args.begin(), options_.worker_args.end());
   if (w.restarts == 0) {
     // Chaos hook: injected faults ride only the first incarnation, so a
@@ -91,6 +158,8 @@ void Supervisor::spawn(Worker& w) {
     argv.insert(argv.end(), options_.first_spawn_args.begin(), options_.first_spawn_args.end());
   }
   w.pid = spawn_process(std::move(argv));
+  journal(obs::fleet::FleetEventKind::kSpawn, static_cast<long>(w.shard), w.restarts,
+          "pid " + std::to_string(w.pid));
   w.state = Worker::State::kRunning;
   w.spawned_at = w.last_progress = Clock::now();
   w.last_seq = 0;
@@ -124,9 +193,13 @@ void Supervisor::reap(FleetResult& result) {
     w.hb_busy = false;
     if (r < 0) {
       // ECHILD etc.: we lost track of the child — treat as a crash.
+      journal(obs::fleet::FleetEventKind::kExit, static_cast<long>(w.shard), w.restarts, "lost");
       schedule_restart(w, result);
       continue;
     }
+    journal(obs::fleet::FleetEventKind::kExit, static_cast<long>(w.shard), w.restarts,
+            WIFEXITED(status) ? "exit " + std::to_string(WEXITSTATUS(status))
+                              : "signal " + std::to_string(WTERMSIG(status)));
     if (WIFEXITED(status)) {
       const int code = WEXITSTATUS(status);
       if (code == kWorkerExitOk) {
@@ -188,9 +261,13 @@ void Supervisor::schedule_restart(Worker& w, FleetResult& result) {
       std::min(options_.backoff_cap_ms, options_.backoff_base_ms << shift);
   w.state = Worker::State::kBackoff;
   w.restart_due = Clock::now() + std::chrono::milliseconds(delay);
-  std::fprintf(stderr,
-               "[supervisor] WARN: shard %zu worker died; restart %d/%d in %ld ms\n",
-               w.shard, w.restarts, options_.max_restarts_per_shard, delay);
+  journal(obs::fleet::FleetEventKind::kRestart, static_cast<long>(w.shard), w.restarts,
+          "backoff " + std::to_string(delay) + " ms");
+  obs::log::warn("supervisor", "shard worker died; restarting",
+                 {obs::log::kv("shard", static_cast<std::int64_t>(w.shard)),
+                  obs::log::kv("restart", w.restarts),
+                  obs::log::kv("max_restarts", options_.max_restarts_per_shard),
+                  obs::log::kv("delay_ms", static_cast<std::int64_t>(delay))});
 }
 
 void Supervisor::run_degraded_shard(Worker& w, FleetResult& result) {
@@ -198,13 +275,18 @@ void Supervisor::run_degraded_shard(Worker& w, FleetResult& result) {
   // items serially in this process.  run_fleet_item produces the same bytes
   // a worker would have logged (that equivalence is the chaos contract), so
   // the merge cannot tell the difference; the run completes, just slower.
-  std::fprintf(stderr,
-               "[supervisor] WARN: shard %zu exceeded %d restarts; finishing in-process\n",
-               w.shard, options_.max_restarts_per_shard);
+  journal(obs::fleet::FleetEventKind::kDegraded, static_cast<long>(w.shard), w.restarts);
+  obs::log::warn("supervisor", "shard exceeded restart cap; finishing in-process",
+                 {obs::log::kv("shard", static_cast<std::int64_t>(w.shard)),
+                  obs::log::kv("max_restarts", options_.max_restarts_per_shard)});
   const auto done = load_shard_log(shard_log_path(w.shard));
   for (std::size_t i = w.shard; i < spec_.n_items(); i += spec_.shards) {
     if (done.find(i) != done.end()) continue;
-    const ItemResult item = run_fleet_item(spec_, i);
+    ItemResult item = run_fleet_item(spec_, i);
+    // Ledger attribution: the degraded ladder is one more "incarnation" of
+    // the shard, running inside the supervisor.
+    item.shard = static_cast<long>(w.shard);
+    item.incarnation = w.restarts;
     append_item_result(shard_log_path(w.shard), item);
     w.hist_items_done += 1;
     w.hist_busy_seconds += item.wall_ns / 1e9;
@@ -233,6 +315,18 @@ void Supervisor::run_watchdog(FleetResult& result) {
         w.last_seq = beat->seq;
         w.last_progress = now;
         w.hb_seen = true;
+        // One latency observation per heartbeat advance.  Sampled (a fast
+        // shard can commit several items between polls), which is exactly
+        // what a live histogram is for; the exhaustive record is the cost
+        // ledger.  Histograms are gauge-domain: never counters, never in
+        // any deterministic artifact.
+        if (options_.publish_gauges && beat->last_wall_ms > 0.0) {
+          obs::registry()
+              .histogram("fleet.item_wall_ms",
+                         {0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0,
+                          5000.0})
+              .observe(beat->last_wall_ms);
+        }
       }
       w.hb_items_done = beat->items_done;
       w.hb_busy_seconds = beat->busy_seconds;
@@ -257,11 +351,15 @@ void Supervisor::run_watchdog(FleetResult& result) {
 
   const obs::live::StragglerReport report = obs::live::detect_stragglers(
       hb, {options_.heartbeat_factor, options_.heartbeat_min_seconds});
+  eta_seconds_ = report.eta_seconds;
   for (const std::size_t slot : report.stragglers) {
     Worker& w = *slots[slot];
-    std::fprintf(stderr,
-                 "[supervisor] WARN: shard %zu heartbeat stale for %.1fs; killing pid %ld\n",
-                 w.shard, seconds_since(w.last_progress, now), w.pid);
+    journal(obs::fleet::FleetEventKind::kHungKill, static_cast<long>(w.shard), w.restarts,
+            "stale " + std::to_string(seconds_since(w.last_progress, now)) + " s");
+    obs::log::warn("supervisor", "heartbeat stale; killing worker",
+                   {obs::log::kv("shard", static_cast<std::int64_t>(w.shard)),
+                    obs::log::kv("stale_seconds", seconds_since(w.last_progress, now)),
+                    obs::log::kv("pid", static_cast<std::int64_t>(w.pid))});
     ::kill(static_cast<pid_t>(w.pid), SIGKILL);
     // reap() picks up the corpse next poll and routes it through the normal
     // restart ladder; resetting last_progress avoids a double kill meanwhile.
@@ -273,6 +371,7 @@ void Supervisor::run_watchdog(FleetResult& result) {
 void Supervisor::request_stop(FleetResult& result) {
   stopping_ = true;
   result.interrupted = true;
+  journal(obs::fleet::FleetEventKind::kInterrupt, -1, -1);
   for (Worker& w : workers_) {
     if (w.state == Worker::State::kRunning) ::kill(static_cast<pid_t>(w.pid), SIGTERM);
   }
@@ -307,12 +406,43 @@ void Supervisor::publish_gauges(const FleetResult& result) const {
   reg.gauge("supervisor.degraded_shards").set(static_cast<double>(result.degraded_shards.size()));
   reg.gauge("supervisor.items_total").set(static_cast<double>(spec_.n_items()));
   reg.gauge("supervisor.items_done").set(static_cast<double>(items_done_estimate_));
+
+  // The fleet.* roll-up (PR 8): the scrapeable mid-run health surface that
+  // telemetry_tool --fleet renders and CI's chaos smoke asserts against.
+  // Gauges only — the determinism contract of the header comment.  "_total"
+  // names are Prometheus idiom; they are still gauges here.
+  reg.gauge("fleet.active").set(active ? 1.0 : 0.0);
+  reg.gauge("fleet.shards").set(static_cast<double>(spec_.shards));
+  reg.gauge("fleet.workers_alive").set(static_cast<double>(alive));
+  reg.gauge("fleet.restarts_total").set(static_cast<double>(result.restarts));
+  reg.gauge("fleet.hung_kills_total").set(static_cast<double>(result.hung_kills));
+  reg.gauge("fleet.items_total").set(static_cast<double>(spec_.n_items()));
+  reg.gauge("fleet.items_done").set(static_cast<double>(items_done_estimate_));
+  reg.gauge("fleet.eta_seconds").set(eta_seconds_);
+  const auto now = Clock::now();
+  for (const Worker& w : workers_) {
+    const std::string prefix = "fleet.shard." + std::to_string(w.shard) + '.';
+    // Monotone per-shard progress: resumed + completed-incarnation history
+    // + the live incarnation's tally.  None of those terms ever decreases,
+    // which is exactly what the chaos smoke asserts across a kill/restart.
+    reg.gauge(prefix + "items_done")
+        .set(static_cast<double>(w.resumed_items + w.hist_items_done + w.hb_items_done));
+    reg.gauge(prefix + "restarts").set(static_cast<double>(w.restarts));
+    reg.gauge(prefix + "heartbeat_age_seconds")
+        .set(w.state == Worker::State::kRunning ? seconds_since(w.last_progress, now) : 0.0);
+  }
 }
 
 void Supervisor::write_state(const FleetResult& result) const {
-  std::string doc = "{\"schema\":\"speedscale.fleet_state/1\",\"restarts\":" +
-                    std::to_string(result.restarts) +
-                    ",\"shards\":" + std::to_string(spec_.shards) + ",\"workers\":[";
+  std::string doc = "{\"schema\":\"speedscale.fleet_state/1\",";
+  if (result.cost.items > 0) {
+    // The per-item cost ledger rides in the final state document (it only
+    // exists after the merge), so the run's cost record survives next to
+    // its pids/restarts without a separate artifact.
+    doc += "\"cost\":" + result.cost.to_json() + ',';
+  }
+  doc += "\"restarts\":" + std::to_string(result.restarts) +
+         ",\"shards\":" + std::to_string(spec_.shards) + ",\"workers\":[";
   bool first = true;
   for (const Worker& w : workers_) {
     if (!first) doc += ',';
@@ -348,6 +478,26 @@ FleetResult Supervisor::run() {
   FleetResult result;
   std::filesystem::create_directories(options_.work_dir);
   write_work_spec(spec_path_, spec_);
+
+  if (options_.obs.enabled) {
+    // The supervisor's half of the plane: its own structured log (tagged
+    // run_id, shard -1) and its own policy-event journal.  Workers get
+    // their halves through spawn argv.
+    auto& logger = obs::log::Logger::instance();
+    logger.set_tags({run_id_, -1, -1});
+    try {
+      if (!logger.is_open()) logger.open(options_.work_dir + "/log_supervisor.jsonl");
+      events_ = std::make_unique<obs::fleet::FleetEventLog>(options_.work_dir +
+                                                            "/events_supervisor.jsonl");
+    } catch (const std::exception& e) {
+      obs::log::warn("supervisor", "fleet observability plane disabled",
+                     {obs::log::kv("error", std::string(e.what()))});
+      events_.reset();
+    }
+    obs::log::info("supervisor", "fleet starting",
+                   {obs::log::kv("shards", static_cast<std::int64_t>(spec_.shards)),
+                    obs::log::kv("items", static_cast<std::int64_t>(spec_.n_items()))});
+  }
 
   workers_.clear();
   workers_.resize(spec_.shards);
@@ -394,6 +544,8 @@ FleetResult Supervisor::run() {
   // Merge.  Index order over item results — the exact reduction
   // SweepScheduler::run performs, so the fleet's artifacts and counter
   // routing are byte-identical to a serial sweep's.
+  journal(obs::fleet::FleetEventKind::kMerge, -1, -1,
+          "items " + std::to_string(spec_.n_items()));
   const std::size_t n = spec_.n_items();
   std::vector<ItemResult> items(n);
   std::vector<char> have(n, 0);
@@ -430,10 +582,35 @@ FleetResult Supervisor::run() {
       result.suite_json = analysis::assemble_suite_sweep_json(fragments, result.merged_counters);
       for (const ItemResult& item : items) result.cert_jsonl += item.cert_jsonl;
     }
+    if (options_.obs.enabled) {
+      // Per-item cost ledger: wall + work per item, attributed to whichever
+      // incarnation's line won the merge.  Untagged lines (pre-PR 8 logs)
+      // still get their owning shard from the spec.
+      std::vector<obs::fleet::CostRow> rows;
+      rows.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        obs::fleet::CostRow row;
+        row.index = static_cast<std::int64_t>(i);
+        row.shard = items[i].shard >= 0 ? items[i].shard
+                                        : static_cast<long>(i % spec_.shards);
+        row.incarnation = items[i].incarnation;
+        row.wall_ms = items[i].wall_ns / 1e6;
+        row.work = items[i].counters;
+        rows.push_back(std::move(row));
+      }
+      result.cost = obs::fleet::build_cost_report(std::move(rows), run_id_);
+    }
+  }
+  if (options_.obs.enabled && result.completed) {
+    obs::log::info("supervisor", "merge complete",
+                   {obs::log::kv("items", static_cast<std::int64_t>(n)),
+                    obs::log::kv("restarts", result.restarts),
+                    obs::log::kv("torn_lines", static_cast<std::int64_t>(result.torn_lines))});
   }
   result.items = std::move(items);
   publish_gauges(result);
   write_state(result);
+  merge_observability(result);
   return result;
 }
 

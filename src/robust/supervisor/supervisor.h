@@ -36,13 +36,43 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "src/obs/fleet/cost_ledger.h"
+#include "src/obs/fleet/fleet_events.h"
 #include "src/robust/supervisor/shard_log.h"
 #include "src/robust/supervisor/work_spec.h"
 
 namespace speedscale::robust::supervisor {
+
+/// The fleet observability plane (PR 8).  When enabled, every process in
+/// the run journals correlation-tagged events and structured log records,
+/// and the supervisor merges them after the run:
+///
+///   <work_dir>/events_supervisor.jsonl   supervisor policy events
+///   <work_dir>/events_<S>.jsonl          shard S's worker events (all
+///                                        incarnations append)
+///   <work_dir>/log_supervisor.jsonl      supervisor speedscale.log/1
+///   <work_dir>/log_<S>.jsonl             shard S's speedscale.log/1
+///   trace_path                           merged Perfetto trace, one process
+///                                        track per worker incarnation
+///   log_path                             merged speedscale.log/1
+///
+/// plus fleet.* gauges (gauges only — the determinism contract) and a
+/// per-item cost ledger embedded in fleet_state.json.  Everything here is
+/// observability: disabling the plane changes no recorded sweep artifact.
+struct FleetObsOptions {
+  bool enabled = false;
+  /// Correlation tag stamped into every record and event; defaults to
+  /// "fleet" when empty.
+  std::string run_id;
+  /// Merged Perfetto trace; empty = "<work_dir>/fleet_trace.json".
+  std::string trace_path;
+  /// Merged structured log; empty = "<work_dir>/fleet_log.jsonl".
+  std::string log_path;
+};
 
 struct FleetOptions {
   /// Path of the sweep_worker binary to spawn (required).
@@ -84,8 +114,12 @@ struct FleetOptions {
   /// SIGTERM/SIGINT contract of bench_suite_runner --fleet.
   const std::atomic<bool>* stop_flag = nullptr;
 
-  /// Publish supervisor.* gauges (gauges only — never counters).
+  /// Publish supervisor.* and fleet.* gauges (gauges only — never counters).
   bool publish_gauges = true;
+
+  /// Fleet observability plane (trace correlation, merged logs, cost
+  /// ledger).  Off by default: a bare fleet run costs nothing new.
+  FleetObsOptions obs;
 };
 
 struct FleetResult {
@@ -105,6 +139,12 @@ struct FleetResult {
   std::string suite_json;
   std::string cert_jsonl;
   std::map<std::string, std::int64_t> merged_counters;
+
+  /// Per-item cost ledger (FleetObsOptions::enabled and completed runs
+  /// only): wall + work per item, attributed to the incarnation that
+  /// committed it.  Also embedded in fleet_state.json and printed by
+  /// bench_suite_runner --fleet-report.
+  obs::fleet::FleetCostReport cost;
 };
 
 class Supervisor {
@@ -145,6 +185,13 @@ class Supervisor {
 
   [[nodiscard]] std::string shard_log_path(std::size_t shard) const;
   [[nodiscard]] std::string heartbeat_path(std::size_t shard) const;
+  [[nodiscard]] std::string events_path(std::size_t shard) const;
+  [[nodiscard]] std::string worker_log_path(std::size_t shard) const;
+  /// Appends one event to the supervisor's journal (no-op with the plane
+  /// off).  `shard`/`incarnation` describe the worker the decision is about.
+  void journal(obs::fleet::FleetEventKind kind, long shard, long incarnation,
+               const std::string& detail = {});
+  void merge_observability(FleetResult& result);
   void spawn(Worker& w);
   void reap(FleetResult& result);
   void schedule_restart(Worker& w, FleetResult& result);
@@ -159,9 +206,13 @@ class Supervisor {
   FleetOptions options_;
   std::string spec_path_;
   std::string state_path_;
+  std::string run_id_;
   std::vector<Worker> workers_;
   bool stopping_ = false;
   std::int64_t items_done_estimate_ = 0;
+  double eta_seconds_ = -1.0;  ///< last straggler-report ETA (fleet.eta_seconds)
+  obs::fleet::EventClock event_clock_;
+  std::unique_ptr<obs::fleet::FleetEventLog> events_;
   mutable std::string last_state_doc_;
 };
 

@@ -1,0 +1,466 @@
+// Fleet observability plane (PR 8): structured logs, cross-process trace
+// correlation, merged artifacts, and the per-item cost ledger.
+//
+// Two layers of coverage:
+//
+//   * Unit: speedscale.log/1 and speedscale.fleet_events/1 lines round-trip
+//     byte-stably; merge_fleet_logs re-emits records under one header;
+//     fleet_chrome_trace_json renders one process track per worker
+//     incarnation (including the lost-item instant of a killed one); the
+//     cost ledger aggregates and round-trips its JSON document.
+//
+//   * Live: a real single-shard fleet with an injected
+//     worker_crash_mid_shard fault, run under the deterministic clock
+//     (SPEEDSCALE_LOG_FIXED_CLOCK), must produce a merged trace and merged
+//     log byte-identical to committed goldens — the whole plane pinned,
+//     crash included — and the correlation tags (run_id, shard, incarnation)
+//     must survive the worker's death: items committed before the crash
+//     carry incarnation 0, items recomputed after it carry incarnation 1,
+//     in the shard log, the cost ledger, and the trace alike.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/analysis/sweep.h"
+#include "src/obs/fleet/cost_ledger.h"
+#include "src/obs/fleet/fleet_events.h"
+#include "src/obs/fleet/fleet_trace.h"
+#include "src/obs/log/logger.h"
+#include "src/obs/metrics_registry.h"
+#include "src/robust/supervisor/shard_log.h"
+#include "src/robust/supervisor/supervisor.h"
+#include "src/workload/generators.h"
+
+namespace speedscale {
+namespace {
+
+namespace rs = robust::supervisor;
+namespace ol = obs::log;
+namespace of = obs::fleet;
+
+std::string read_file(const std::string& path) {
+  std::ifstream f(path);
+  EXPECT_TRUE(f.is_open()) << "missing file " << path;
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+std::string fresh_dir(const std::string& tag) {
+  const std::string dir = ::testing::TempDir() + "speedscale_fleet_obs_" + tag;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+// --- speedscale.log/1 ----------------------------------------------------
+
+TEST(LogSchema, RecordJsonRoundTripsByteStably) {
+  ol::LogRecord record;
+  record.ts = 0.003;
+  record.seq = 3;
+  record.level = ol::Level::kWarn;
+  record.component = "robust";
+  record.message = "skipped torn shard-log line(s) \"quoted\"";
+  record.fields = {ol::kv("lines", std::int64_t{2}), ol::kv("path", "/tmp/a b.jsonl"),
+                   ol::kv("ratio", 2.5)};
+  record.tags = {"run-1", 0, 1};
+  const std::string line = ol::record_json(record);
+  ol::LogRecord back;
+  ASSERT_TRUE(ol::parse_record(line, back));
+  EXPECT_EQ(ol::record_json(back), line);  // parse inverts serialize, byte for byte
+  EXPECT_EQ(back.tags.run_id, "run-1");
+  EXPECT_EQ(back.tags.shard, 0);
+  EXPECT_EQ(back.tags.incarnation, 1);
+  EXPECT_EQ(back.level, ol::Level::kWarn);
+  ASSERT_EQ(back.fields.size(), 3u);
+}
+
+TEST(LogSchema, HeaderAndTornLinesRejected) {
+  ol::LogRecord out;
+  EXPECT_FALSE(ol::parse_record("{\"schema\":\"speedscale.log/1\"}", out));
+  EXPECT_FALSE(ol::parse_record("{\"ts\":0.001,\"level\":\"wa", out));
+  EXPECT_FALSE(ol::parse_record("not json at all", out));
+  EXPECT_FALSE(ol::parse_record("", out));
+}
+
+TEST(LogSchema, LevelNamesRoundTrip) {
+  for (const ol::Level level : {ol::Level::kDebug, ol::Level::kInfo, ol::Level::kWarn,
+                                ol::Level::kError}) {
+    EXPECT_EQ(ol::level_by_name(ol::level_name(level)), level);
+  }
+  EXPECT_EQ(ol::level_by_name("off"), ol::Level::kOff);
+  EXPECT_EQ(ol::level_by_name("no-such-level"), ol::Level::kWarn);  // conservative default
+}
+
+// --- speedscale.fleet_events/1 -------------------------------------------
+
+TEST(FleetEvents, EventJsonRoundTripsByteStably) {
+  of::FleetEvent ev;
+  ev.kind = of::FleetEventKind::kItemEnd;
+  ev.ts = 0.004;
+  ev.run_id = "run-1";
+  ev.shard = 0;
+  ev.incarnation = 1;
+  ev.item = 5;
+  ev.wall_ms = 1.25;
+  ev.detail = "resumed=2";
+  const std::string line = of::fleet_event_json(ev);
+  of::FleetEvent back;
+  ASSERT_TRUE(of::parse_fleet_event(line, back));
+  EXPECT_EQ(of::fleet_event_json(back), line);
+  EXPECT_EQ(back.kind, of::FleetEventKind::kItemEnd);
+  EXPECT_EQ(back.item, 5);
+  EXPECT_EQ(back.detail, "resumed=2");
+
+  of::FleetEvent none;
+  EXPECT_FALSE(of::parse_fleet_event("{\"schema\":\"speedscale.fleet_events/1\"}", none));
+  EXPECT_FALSE(of::parse_fleet_event("{\"detail\":\"\",\"incarn", none));
+}
+
+TEST(FleetEvents, KindNamesAreStable) {
+  EXPECT_STREQ(of::fleet_event_kind_name(of::FleetEventKind::kWorkerStart), "worker_start");
+  EXPECT_STREQ(of::fleet_event_kind_name(of::FleetEventKind::kHungKill), "hung_kill");
+  EXPECT_STREQ(of::fleet_event_kind_name(of::FleetEventKind::kMerge), "merge");
+}
+
+TEST(FleetEvents, JournalSurvivesAppendAndLenientlyLoads) {
+  const std::string dir = fresh_dir("journal");
+  const std::string path = dir + "/events.jsonl";
+  of::FleetEvent ev;
+  ev.kind = of::FleetEventKind::kWorkerStart;
+  ev.run_id = "r";
+  ev.shard = 0;
+  {
+    of::FleetEventLog journal(path);
+    journal.append(ev);
+    ev.kind = of::FleetEventKind::kItemBegin;
+    ev.item = 0;
+    journal.append(ev);
+  }
+  {
+    // A torn tail, as a SIGKILL mid-append would leave.
+    std::ofstream f(path, std::ios::app);
+    f << "{\"detail\":\"\",\"incarn";
+  }
+  std::size_t skipped = 0;
+  const std::vector<of::FleetEvent> events = of::load_fleet_events(path, &skipped);
+  EXPECT_EQ(skipped, 1u);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, of::FleetEventKind::kWorkerStart);
+  EXPECT_EQ(events[1].item, 0);
+  EXPECT_TRUE(of::load_fleet_events(dir + "/absent.jsonl").empty());
+}
+
+// --- Merged trace and merged log (synthetic) ------------------------------
+
+/// A hand-built chaos shape: incarnation 0 commits item 0, begins item 1,
+/// dies; incarnation 1 finishes items 1 and 3.
+of::FleetTraceInput synthetic_chaos_input() {
+  of::FleetTraceInput input;
+  input.run_id = "syn";
+  auto ev = [](of::FleetEventKind kind, double ts, long shard, long inc, std::int64_t item,
+               double wall_ms, const char* detail) {
+    of::FleetEvent e;
+    e.kind = kind;
+    e.ts = ts;
+    e.run_id = "syn";
+    e.shard = shard;
+    e.incarnation = inc;
+    e.item = item;
+    e.wall_ms = wall_ms;
+    e.detail = detail;
+    return e;
+  };
+  input.supervisor_events = {
+      ev(of::FleetEventKind::kSpawn, 0.000, 0, 0, -1, 0.0, "pid 100"),
+      ev(of::FleetEventKind::kExit, 0.001, 0, 0, -1, 0.0, "signal 9"),
+      ev(of::FleetEventKind::kRestart, 0.002, 0, 1, -1, 0.0, "backoff 5 ms"),
+      ev(of::FleetEventKind::kSpawn, 0.003, 0, 1, -1, 0.0, "pid 101"),
+      ev(of::FleetEventKind::kMerge, 0.004, -1, -1, 2, 0.0, "items 2"),
+  };
+  input.worker_events = {{
+      ev(of::FleetEventKind::kWorkerStart, 0.000, 0, 0, -1, 0.0, "resumed=0"),
+      ev(of::FleetEventKind::kItemBegin, 0.001, 0, 0, 0, 0.0, ""),
+      ev(of::FleetEventKind::kItemEnd, 0.002, 0, 0, 0, 1.5, ""),
+      ev(of::FleetEventKind::kItemBegin, 0.003, 0, 0, 1, 0.0, ""),
+      // SIGKILL here: no item_end, no worker_exit.
+      ev(of::FleetEventKind::kWorkerStart, 0.000, 0, 1, -1, 0.0, "resumed=1"),
+      ev(of::FleetEventKind::kItemBegin, 0.001, 0, 1, 1, 0.0, ""),
+      ev(of::FleetEventKind::kItemEnd, 0.002, 0, 1, 1, 2.0, ""),
+      ev(of::FleetEventKind::kWorkerExit, 0.003, 0, 1, -1, 0.0, "ok"),
+  }};
+  return input;
+}
+
+TEST(FleetTrace, RendersOneProcessTrackPerIncarnation) {
+  const std::string trace = of::fleet_chrome_trace_json(synthetic_chaos_input());
+  EXPECT_NE(trace.find("\"supervisor\""), std::string::npos);
+  EXPECT_NE(trace.find("\"worker shard 0 inc 0\""), std::string::npos);
+  EXPECT_NE(trace.find("\"worker shard 0 inc 1\""), std::string::npos);
+  // The killed incarnation's in-flight item renders as an explicit loss.
+  EXPECT_NE(trace.find("item 1 (lost)"), std::string::npos);
+  // The recomputed item is a complete slice on the second incarnation.
+  EXPECT_NE(trace.find("\"item 1\""), std::string::npos);
+  // Deterministic: equal inputs, equal bytes.
+  EXPECT_EQ(of::fleet_chrome_trace_json(synthetic_chaos_input()), trace);
+}
+
+TEST(FleetTrace, MergeFleetLogsKeepsOneHeaderAndAllRecords) {
+  const std::string dir = fresh_dir("merge");
+  auto write_log = [&](const std::string& name, long shard, const char* message) {
+    ol::LogRecord record;
+    record.level = ol::Level::kInfo;
+    record.component = "test";
+    record.message = message;
+    record.tags = {"m", shard, 0};
+    std::ofstream f(dir + "/" + name);
+    f << "{\"schema\":\"speedscale.log/1\"}\n" << ol::record_json(record) << "\n";
+    f << "{\"ts\":0.0,\"torn";  // torn tail must be dropped, not merged
+  };
+  write_log("sup.jsonl", -1, "supervisor record");
+  write_log("s0.jsonl", 0, "shard record");
+  const std::string out = dir + "/merged.jsonl";
+  const std::size_t n =
+      of::merge_fleet_logs(out, dir + "/sup.jsonl", {dir + "/s0.jsonl", dir + "/absent.jsonl"});
+  EXPECT_EQ(n, 2u);
+  const std::string merged = read_file(out);
+  std::istringstream lines(merged);
+  std::string line;
+  std::vector<std::string> all;
+  while (std::getline(lines, line)) all.push_back(line);
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0], "{\"schema\":\"speedscale.log/1\"}");
+  ol::LogRecord first, second;
+  ASSERT_TRUE(ol::parse_record(all[1], first));
+  ASSERT_TRUE(ol::parse_record(all[2], second));
+  EXPECT_EQ(first.message, "supervisor record");  // supervisor first, then shards
+  EXPECT_EQ(second.message, "shard record");
+  EXPECT_EQ(second.tags.shard, 0);
+}
+
+// --- Cost ledger ----------------------------------------------------------
+
+std::vector<of::CostRow> synthetic_rows() {
+  std::vector<of::CostRow> rows;
+  of::CostRow r;
+  r.index = 1;
+  r.shard = 0;
+  r.incarnation = 1;  // committed after a restart
+  r.wall_ms = 5.0;
+  r.work = {{"sim.segments", 4}, {"opt.cache.hits", 1}};
+  rows.push_back(r);
+  r = {};
+  r.index = 0;
+  r.shard = 0;
+  r.incarnation = 0;
+  r.wall_ms = 2.0;
+  r.work = {{"sim.segments", 3}};
+  rows.push_back(r);
+  r = {};
+  r.index = 2;
+  r.shard = 1;
+  r.incarnation = 0;
+  r.wall_ms = 1.0;
+  r.work = {{"sim.segments", 2}};
+  rows.push_back(r);
+  return rows;
+}
+
+TEST(CostLedger, AggregatesShardsAndAttributesRestarts) {
+  const of::FleetCostReport report = of::build_cost_report(synthetic_rows(), "run-1");
+  EXPECT_EQ(report.run_id, "run-1");
+  EXPECT_EQ(report.items, 3);
+  EXPECT_DOUBLE_EQ(report.wall_ms, 8.0);
+  EXPECT_EQ(report.work_units, 10);
+  EXPECT_EQ(report.counters.at("sim.segments"), 9);
+  EXPECT_EQ(report.counters.at("opt.cache.hits"), 1);
+  ASSERT_EQ(report.rows.size(), 3u);
+  EXPECT_EQ(report.rows[0].index, 0);  // sorted by index regardless of input order
+  ASSERT_EQ(report.shards.size(), 2u);
+  EXPECT_EQ(report.shards[0].shard, 0);
+  EXPECT_EQ(report.shards[0].items, 2);
+  EXPECT_EQ(report.shards[0].restarts, 1);  // incarnations {0,1} seen -> one restart
+  EXPECT_EQ(report.shards[0].max_item, 1);
+  EXPECT_DOUBLE_EQ(report.shards[0].max_item_wall_ms, 5.0);
+  EXPECT_EQ(report.shards[1].restarts, 0);
+}
+
+TEST(CostLedger, JsonRoundTripsByteStably) {
+  const of::FleetCostReport report = of::build_cost_report(synthetic_rows(), "run-1");
+  const std::string doc = report.to_json();
+  const of::FleetCostReport back = of::parse_cost_report(doc);
+  EXPECT_EQ(back.to_json(), doc);
+  EXPECT_EQ(back.items, report.items);
+  EXPECT_EQ(back.rows.size(), report.rows.size());
+  EXPECT_EQ(back.shards.size(), report.shards.size());
+  EXPECT_THROW((void)of::parse_cost_report("{\"schema\":\"nope\"}"), robust::RobustError);
+  EXPECT_THROW((void)of::parse_cost_report("not json"), robust::RobustError);
+}
+
+TEST(CostLedger, TableNamesTheCostliestItems) {
+  const std::string table = of::build_cost_report(synthetic_rows(), "run-1").table(2);
+  EXPECT_NE(table.find("shard"), std::string::npos);
+  EXPECT_NE(table.find("run-1"), std::string::npos);
+  // The top-items section leads with item 1 (5.0 ms), the costliest.
+  const std::size_t top = table.find("top items");
+  ASSERT_NE(top, std::string::npos);
+  EXPECT_NE(table.find("restarts"), std::string::npos);
+}
+
+// --- Live fleet: golden chaos artifacts and tag survival ------------------
+
+std::vector<analysis::SuitePoint> pinned_grid() {
+  std::vector<analysis::SuitePoint> points;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    points.push_back(
+        {workload::generate({.n_jobs = 6, .arrival_rate = 2.0, .seed = seed}), 2.0});
+  }
+  return points;
+}
+
+analysis::SuiteOptions pinned_suite_options() {
+  analysis::SuiteOptions suite;
+  suite.include_nonuniform = false;
+  suite.certify = true;
+  suite.opt_slots = 120;
+  return suite;
+}
+
+rs::FleetOptions chaos_options(const std::string& dir) {
+  rs::FleetOptions options;
+  options.worker_binary = SPEEDSCALE_SWEEP_WORKER;
+  options.work_dir = dir;
+  options.poll_ms = 5;
+  options.backoff_base_ms = 5;
+  options.backoff_cap_ms = 50;
+  // Crash the first incarnation at its third uncommitted item (item 2 of a
+  // single-shard run): items 0-1 commit under incarnation 0, items 2-3
+  // under incarnation 1.
+  options.first_spawn_args = {"--fault", "worker_crash_mid_shard@2"};
+  options.obs.enabled = true;
+  return options;
+}
+
+/// Pids vary per run; everything else in the plane's artifacts must not.
+std::string normalize_pids(std::string s) {
+  std::size_t at = 0;
+  while ((at = s.find("pid ", at)) != std::string::npos) {
+    std::size_t digits = at + 4;
+    while (digits < s.size() && std::isdigit(static_cast<unsigned char>(s[digits]))) {
+      ++digits;
+    }
+    s.replace(at + 4, digits - (at + 4), "#");
+    at += 4;
+  }
+  return s;
+}
+
+void expect_matches_golden(const std::string& actual, const std::string& golden_name) {
+  const std::string golden_path =
+      std::string(SPEEDSCALE_TEST_DATA_DIR) + "/golden/" + golden_name;
+  const std::string expected = read_file(golden_path);
+  if (actual != expected) {
+    const std::string dump = ::testing::TempDir() + golden_name + ".actual";
+    std::ofstream(dump) << actual;
+    FAIL() << "fleet artifact drifted from " << golden_path << "\nactual written to " << dump;
+  }
+}
+
+/// Scoped deterministic-clock install: in-process (the supervisor side) and
+/// via the environment (inherited by fork/exec'd workers).
+struct FixedClockScope {
+  FixedClockScope() {
+    ::setenv("SPEEDSCALE_LOG_FIXED_CLOCK", "1", 1);
+    ol::Logger::instance().close();  // detach any sink a previous test opened
+    ol::Logger::instance().set_fixed_clock(true);
+  }
+  ~FixedClockScope() {
+    ol::Logger::instance().close();
+    ol::Logger::instance().set_fixed_clock(false);
+    ::unsetenv("SPEEDSCALE_LOG_FIXED_CLOCK");
+  }
+};
+
+TEST(FleetObs, GoldenChaosRunTraceAndLogByteStable) {
+  const FixedClockScope clock;
+  const std::string dir = fresh_dir("golden");
+  obs::set_metrics_enabled(true);
+  obs::registry().reset_all();
+  const rs::FleetResult result = rs::run_suite_sweep_fleet(
+      pinned_grid(), pinned_suite_options(), /*workers=*/1, chaos_options(dir));
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.restarts, 1);
+
+  expect_matches_golden(normalize_pids(read_file(dir + "/fleet_trace.json")),
+                        "fleet_trace_golden.json");
+  expect_matches_golden(normalize_pids(read_file(dir + "/fleet_log.jsonl")),
+                        "fleet_log_golden.jsonl");
+}
+
+TEST(FleetObs, TagsSurviveWorkerDeathAndRestart) {
+  ol::Logger::instance().close();  // own sink per live test
+  const std::string dir = fresh_dir("tags");
+  obs::set_metrics_enabled(true);
+  obs::registry().reset_all();
+  rs::FleetOptions options = chaos_options(dir);
+  options.obs.run_id = "tags-run";
+  const rs::FleetResult result = rs::run_suite_sweep_fleet(
+      pinned_grid(), pinned_suite_options(), /*workers=*/1, options);
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.restarts, 1);
+
+  // Shard-log lines carry the committing incarnation across the crash.
+  const auto logged = rs::load_shard_log(dir + "/shard_0.jsonl");
+  ASSERT_EQ(logged.size(), 4u);
+  EXPECT_EQ(logged.at(0).incarnation, 0);
+  EXPECT_EQ(logged.at(1).incarnation, 0);
+  EXPECT_EQ(logged.at(2).incarnation, 1);  // recomputed by the restart
+  EXPECT_EQ(logged.at(3).incarnation, 1);
+  for (const auto& [index, item] : logged) EXPECT_EQ(item.shard, 0) << "item " << index;
+
+  // ...into the cost ledger, attributed per incarnation.
+  ASSERT_EQ(result.cost.items, 4);
+  EXPECT_EQ(result.cost.run_id, "tags-run");
+  EXPECT_EQ(result.cost.rows[0].incarnation, 0);
+  EXPECT_EQ(result.cost.rows[3].incarnation, 1);
+  ASSERT_EQ(result.cost.shards.size(), 1u);
+  EXPECT_EQ(result.cost.shards[0].restarts, 1);
+  EXPECT_GT(result.cost.shards[0].wall_ms, 0.0);
+
+  // ...and into the merged trace: both incarnations render as tracks, and
+  // the crashed incarnation's in-flight item is explicitly lost.
+  const std::string trace = read_file(dir + "/fleet_trace.json");
+  EXPECT_NE(trace.find("\"worker shard 0 inc 0\""), std::string::npos);
+  EXPECT_NE(trace.find("\"worker shard 0 inc 1\""), std::string::npos);
+  EXPECT_NE(trace.find("item 2 (lost)"), std::string::npos);
+
+  // Every merged log record carries the run's correlation tags.
+  std::ifstream merged(dir + "/fleet_log.jsonl");
+  std::string line;
+  std::size_t records = 0, worker_records = 0;
+  while (std::getline(merged, line)) {
+    ol::LogRecord record;
+    if (!ol::parse_record(line, record)) continue;
+    ++records;
+    EXPECT_EQ(record.tags.run_id, "tags-run");
+    if (record.tags.shard == 0) ++worker_records;
+  }
+  EXPECT_GE(records, 4u);         // supervisor start/merge + two incarnations
+  EXPECT_GE(worker_records, 2u);  // both incarnations logged their start
+
+  // The cost ledger is embedded in fleet_state.json next to the run.
+  const std::string state = read_file(dir + "/fleet_state.json");
+  EXPECT_NE(state.find("\"cost\":"), std::string::npos);
+  EXPECT_NE(state.find("speedscale.fleet_cost/1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace speedscale
