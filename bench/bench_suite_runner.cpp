@@ -31,6 +31,12 @@
 //              stop the fleet cleanly (exit 75); rerunning with the same
 //              --fleet-dir resumes instead of recomputing.
 //
+// --balance HISTORY.jsonl (fleet only) prices every item from a
+// speedscale.history/1 trajectory's cost records (src/obs/history/) and
+// replaces the static i%N sharding with a deterministic LPT plan computed
+// before any worker spawns.  Balancing changes which shard computes an
+// item, never what it computes: the merged ledger stays byte-identical.
+//
 // Usage:
 //   bench_suite_runner [--out ledger.json] [--reps N] [--quick] [--jobs N]
 //                      [--filter SUBSTR] [--exclude SUBSTR] [--list]
@@ -52,6 +58,8 @@
 #include "src/analysis/pinned_suite.h"
 #include "src/analysis/sweep.h"
 #include "src/obs/build_info.h"
+#include "src/obs/history/cost_model.h"
+#include "src/obs/history/history_store.h"
 #include "src/obs/live/telemetry_hub.h"
 #include "src/obs/live/telemetry_server.h"
 #include "src/obs/metrics_registry.h"
@@ -97,6 +105,7 @@ int usage() {
                "                          [--metrics-out FILE] [--state-file FILE]\n"
                "                          [--run-id ID] [--no-fleet-obs] [--fleet-report]\n"
                "                          [--fleet-trace FILE] [--fleet-log FILE]\n"
+               "                          [--balance HISTORY.jsonl]\n"
                "                          [--serve-metrics [BIND]] [--port-file FILE]\n");
   return 2;
 }
@@ -106,7 +115,7 @@ int usage() {
 int main(int argc, char** argv) {
   std::string out_path, suite_name = "pr3-pinned";
   std::string fleet_dir = "fleet_work", worker_path, metrics_out, state_file;
-  std::string run_id, fleet_trace, fleet_log, serve_bind, port_file;
+  std::string run_id, fleet_trace, fleet_log, serve_bind, port_file, balance_path;
   std::vector<std::string> filters, excludes;  // repeatable; substring match
   int reps = 5;
   std::size_t jobs = 1, fleet = 0;
@@ -140,6 +149,8 @@ int main(int argc, char** argv) {
       fleet_trace = argv[++i];
     } else if (arg == "--fleet-log" && i + 1 < argc) {
       fleet_log = argv[++i];
+    } else if (arg == "--balance" && i + 1 < argc) {
+      balance_path = argv[++i];
     } else if (arg == "--serve-metrics" && i + 1 < argc) {
       serve_metrics = true;
       serve_bind = argv[++i];
@@ -217,6 +228,27 @@ int main(int argc, char** argv) {
     spec.opt_cache_capacity = 0;
     spec.bench_reps = reps;
     for (const analysis::PinnedBench* b : selected) spec.bench_names.push_back(b->name);
+    if (!balance_path.empty()) {
+      // Cost-model shard balancing (src/obs/history/cost_model.h): price
+      // each item from the trajectory's cost records and assign items to
+      // shards by deterministic LPT — all before any worker spawns, so the
+      // plan is part of the spec and the merge stays byte-identical to
+      // serial (docs/observability.md).
+      obs::history::LoadStats hstats;
+      const obs::history::HistoryStore history = obs::history::HistoryStore::load_file(
+          balance_path, obs::history::LoadMode::kLenient, &hstats);
+      history.publish_gauges(&hstats);
+      const obs::history::CostModel model = obs::history::CostModel::fit(history);
+      const obs::history::ShardPlan plan =
+          obs::history::plan_assignment(model.costs(spec.n_items()), spec.shards);
+      spec.assignment = plan.assignment;
+      std::fprintf(stderr,
+                   "[balance] %zu item(s), %zu with history (%s), moved %zu, expected "
+                   "makespan %.3f ms (static %.3f ms)\n",
+                   spec.n_items(), model.known_items(),
+                   model.uniform() ? "uniform fallback" : "cost model", plan.moved_items,
+                   plan.makespan, plan.static_makespan);
+    }
     robust::supervisor::FleetOptions fopts;
     fopts.worker_binary = worker_path.empty() ? default_worker_path(argv[0]) : worker_path;
     fopts.work_dir = fleet_dir;

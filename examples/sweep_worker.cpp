@@ -218,7 +218,11 @@ int main(int argc, char** argv) {
   hb.pid = static_cast<long>(::getpid());
   bool stalled = false;  // kHeartbeatStall fired: pulse no more
 
-  for (std::size_t i = shard; i < spec.n_items(); i += spec.shards) {
+  // Ownership comes from the spec (explicit cost-model assignment when
+  // present, static i % shards otherwise), so a balanced plan reaches every
+  // incarnation through the same file the work-list does.
+  for (std::size_t i = 0; i < spec.n_items(); ++i) {
+    if (!spec.owns(shard, i)) continue;
     if (done.find(i) != done.end()) continue;
     if (g_stop.load(std::memory_order_relaxed)) {
       hb.current_item = -1;

@@ -12,12 +12,18 @@ Noise-aware policy, per docs/observability.md:
   (EXPERIMENTS.md E19), so the gate only *warns* when the min-over-
   repetitions wall time moves more than --wall-tolerance (default 25%), and
   never fails on it.
-* A baseline entry with counters that is missing from the current ledger is
-  a hard failure (a pinned bench silently disappeared); a missing wall-only
-  entry, and any new entry, is advisory.
+* **Any baseline entry missing from the current ledger is a hard failure** —
+  counter-carrying or wall-only alike.  A bench that silently disappears is
+  indistinguishable from one that silently stopped being measured; shrinking
+  the baseline is an intentional change that must ship with a regenerated
+  ledger.  New entries (current-only) stay advisory.
 
 Exit status: 0 ok (possibly with warnings), 1 counter regression or missing
-pinned bench, 2 usage/schema error.
+baseline entry, 2 usage/schema error.
+
+`--manifest FILE` compares every (baseline, current) pair listed in a
+speedscale.bench_manifest/1 document in one invocation — the CI loop over
+all committed BENCH ledgers — failing if any pair fails.
 
 `--self-test` runs the gate against synthetic ledgers with an injected
 counter regression and verifies it trips; wired into ctest
@@ -52,8 +58,9 @@ def compare(baseline, current, wall_tolerance=0.25, out=sys.stdout):
     for name, base in sorted(base_entries.items()):
         cur = cur_entries.get(name)
         if cur is None:
-            msg = f"{name}: present in baseline, missing from current ledger"
-            (failures if base.get("counters") else warnings).append(msg)
+            # Hard failure even for wall-only entries: a vanished bench is a
+            # coverage regression regardless of what it recorded.
+            failures.append(f"{name}: present in baseline, missing from current ledger")
             continue
 
         base_counters = base.get("counters", {})
@@ -100,6 +107,36 @@ def make_ledger(entries):
     return {"schema": SCHEMA, "suite": "self-test", "config": {}, "entries": entries}
 
 
+MANIFEST_SCHEMA = "speedscale.bench_manifest/1"
+
+
+def run_manifest(path, wall_tolerance):
+    """Compares every (baseline, current) pair in the manifest; returns the
+    number of pairs with failures."""
+    try:
+        with open(path) as f:
+            manifest = json.load(f)
+    except OSError as e:
+        sys.exit(f"error: cannot read {path}: {e.strerror}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"error: {path} is not valid JSON: {e}")
+    if manifest.get("schema") != MANIFEST_SCHEMA:
+        sys.exit(f"error: {path}: schema {manifest.get('schema')!r}, "
+                 f"expected {MANIFEST_SCHEMA!r}")
+    pairs = manifest.get("pairs")
+    if not isinstance(pairs, list) or not pairs:
+        sys.exit(f"error: {path}: expected a non-empty 'pairs' list")
+    failed = 0
+    for pair in pairs:
+        label = pair.get("label", pair.get("baseline", "?"))
+        print(f"== {label}: {pair['baseline']} vs {pair['current']}")
+        failures, _ = compare(load_ledger(pair["baseline"]), load_ledger(pair["current"]),
+                              wall_tolerance=wall_tolerance)
+        failed += 1 if failures else 0
+    print(f"manifest: {len(pairs)} pair(s) compared, {failed} failed")
+    return failed
+
+
 def self_test():
     base = make_ledger({
         "sim.x/64": {"counters": {"sim.c_machine.segments": 100}, "repetitions": 2,
@@ -142,6 +179,13 @@ def self_test():
     f, _ = compare(base, gone, out=io.StringIO())
     assert f, "missing pinned bench was not detected"
 
+    # A vanished *wall-only* bench (empty counters — the google-benchmark
+    # rows) must hard-fail too: disappearing coverage is never advisory.
+    gone_wall = copy.deepcopy(base)
+    del gone_wall["entries"]["gbench.perf/BM_X"]
+    f, _ = compare(base, gone_wall, out=io.StringIO())
+    assert f, "missing wall-only bench was not detected"
+
     # A 2x wall-time delta alone only warns.
     slow = copy.deepcopy(base)
     slow["entries"]["sim.x/64"]["wall_ns"] = [2e6, 2.2e6]
@@ -163,6 +207,23 @@ def self_test():
                         capture_output=True).returncode
     assert rc == 0, f"CLI exit code for identical ledgers was {rc}, expected 0"
 
+    # Manifest mode: one clean pair and one regressed pair -> exit 1; two
+    # clean pairs -> exit 0.
+    with tempfile.NamedTemporaryFile("w", suffix=".json", delete=False) as fm:
+        json.dump({"schema": MANIFEST_SCHEMA,
+                   "pairs": [{"baseline": fb.name, "current": fb.name, "label": "clean"},
+                             {"baseline": fb.name, "current": fc.name, "label": "hot"}]}, fm)
+    rc = subprocess.run([sys.executable, __file__, "--manifest", fm.name],
+                        capture_output=True).returncode
+    assert rc == 1, f"manifest exit code with a regressed pair was {rc}, expected 1"
+    with tempfile.NamedTemporaryFile("w", suffix=".json", delete=False) as fm2:
+        json.dump({"schema": MANIFEST_SCHEMA,
+                   "pairs": [{"baseline": fb.name, "current": fb.name, "label": "clean"}]},
+                  fm2)
+    rc = subprocess.run([sys.executable, __file__, "--manifest", fm2.name],
+                        capture_output=True).returncode
+    assert rc == 0, f"manifest exit code for clean pairs was {rc}, expected 0"
+
     print("bench_compare self-test: ok")
 
 
@@ -173,6 +234,8 @@ def main():
     ap.add_argument("current", nargs="?", help="freshly generated ledger")
     ap.add_argument("--wall-tolerance", type=float, default=0.25,
                     help="advisory wall-time warning threshold (fraction, default 0.25)")
+    ap.add_argument("--manifest",
+                    help="compare every pair in a speedscale.bench_manifest/1 document")
     ap.add_argument("--self-test", action="store_true",
                     help="verify the gate trips on an injected counter regression")
     args = ap.parse_args()
@@ -181,8 +244,11 @@ def main():
         self_test()
         return
 
+    if args.manifest:
+        sys.exit(1 if run_manifest(args.manifest, args.wall_tolerance) else 0)
+
     if not args.baseline or not args.current:
-        ap.error("baseline and current ledger paths are required (or --self-test)")
+        ap.error("baseline and current ledger paths are required (or --self-test/--manifest)")
     failures, _ = compare(load_ledger(args.baseline), load_ledger(args.current),
                           wall_tolerance=args.wall_tolerance)
     sys.exit(1 if failures else 0)

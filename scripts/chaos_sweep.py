@@ -25,7 +25,14 @@ Then asserts the crash-tolerance contract:
   fleet.shard.<S>.items_done strictly monotone across scrapes; the merged
   Perfetto trace renders >= 2 process tracks (incarnations) for a killed
   shard; and fleet_state.json embeds a per-item cost ledger row for every
-  item, tagged with the committing (shard, incarnation).
+  item, tagged with the committing (shard, incarnation);
+* cost-model shard balancing (PR 9) is unobservable too: the chaos run's
+  cost ledger is ingested into a speedscale.history/1 trajectory
+  (perf_report --ingest), a third fleet run balances its shards with
+  --balance over that history, and its merged counters must STILL be
+  identical to the serial run's — plan-time balancing moves items between
+  shards, never into the artifacts — with the plan recorded in
+  fleet_state.json.
 
 Exit 0 on success, 1 with a diagnostic on any violation.
 
@@ -143,6 +150,35 @@ def run_fleet_with_kills(runner, worker, out_path, reps, fleet, kills, workdir, 
     return killed, metrics_path, samples, scrapes
 
 
+def run_fleet_balanced(runner, worker, perf_report, out_path, reps, fleet, workdir,
+                       prior_state):
+    """Re-runs the fleet with cost-model balancing fit from the chaos run's
+    measured per-item costs; returns the balanced run's state-file path."""
+    history = os.path.join(workdir, "history.jsonl")
+    cmd = [perf_report, "--store", history, "--ingest", prior_state]
+    print("+", " ".join(cmd), flush=True)
+    subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
+    state_path = os.path.join(workdir, "balanced_state.json")
+    cmd = [runner, "--out", out_path, "--reps", str(reps),
+           "--exclude", "analysis.sweep_suite", "--exclude", "live.",
+           "--fleet", str(fleet), "--fleet-dir", os.path.join(workdir, "fw_bal"),
+           "--worker", worker, "--state-file", state_path,
+           "--balance", history, "--run-id", "chaos-balanced"]
+    print("+", " ".join(cmd), flush=True)
+    subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
+    return state_path
+
+
+def check_plan(state_path):
+    with open(state_path) as f:
+        state = json.load(f)
+    plan = state.get("plan")
+    if not plan or plan.get("source") != "cost_model":
+        sys.exit("FAIL: balanced run's fleet_state.json records no cost_model plan")
+    print(f"ok: cost-model plan recorded (items_per_shard="
+          f"{plan.get('items_per_shard')}, moved_items={plan.get('moved_items')})")
+
+
 def compare_ledgers(serial_path, fleet_path):
     with open(serial_path) as f:
         serial = json.load(f)
@@ -248,7 +284,8 @@ def main():
 
     runner = os.path.join(args.build_dir, "bench", "bench_suite_runner")
     worker = os.path.join(args.build_dir, "examples", "sweep_worker")
-    for path in (runner, worker):
+    perf_report = os.path.join(args.build_dir, "examples", "perf_report")
+    for path in (runner, worker, perf_report):
         if not os.path.exists(path):
             sys.exit(f"error: {path} not found — build the tree first")
 
@@ -265,6 +302,14 @@ def main():
         check_live_scrape(samples, scrapes, killed)
         check_fleet_plane(os.path.join(workdir, "fleet_state.json"),
                           os.path.join(workdir, "fw"), killed)
+        # Phase 3 (PR 9): balance the shards from the chaos run's measured
+        # costs and prove the plan is unobservable in the merged artifacts.
+        balanced_path = os.path.join(workdir, "balanced.json")
+        balanced_state = run_fleet_balanced(
+            runner, worker, perf_report, balanced_path, args.reps, args.fleet,
+            workdir, os.path.join(workdir, "fleet_state.json"))
+        compare_ledgers(serial_path, balanced_path)
+        check_plan(balanced_state)
     print("chaos smoke passed")
 
 

@@ -20,7 +20,8 @@ the counter half.  Refresh the committed baselines with:
 
     scripts/run_bench_suite.py --build-dir build --out BENCH_PR3.json \
         --pr5-out BENCH_PR5.json --pr6-out BENCH_PR6.json \
-        --pr7-out BENCH_PR7.json --pr8-out BENCH_PR8.json
+        --pr7-out BENCH_PR7.json --pr8-out BENCH_PR8.json \
+        --pr9-out BENCH_PR9.json
 
 `--jobs N` shards the runner's (bench x repetition) grid across N workers;
 the counter half of the ledger is byte-identical at any N (the sweep
@@ -151,6 +152,10 @@ def main():
                     help="also write the fleet-observability ledger (obs.fleet_* wire-"
                          "format byte tallies + plane-on vs plane-off fleet wall rows, "
                          "the E25 overhead evidence) here")
+    ap.add_argument("--pr9-out", default=None,
+                    help="also write the perf-history ledger (obs.history_* trajectory "
+                         "store round-trip tallies + supervisor.plan_* LPT planner "
+                         "counters) here")
     ap.add_argument("--quick", action="store_true",
                     help="CI mode: 2 runner repetitions, short gbench min-times")
     ap.add_argument("--skip-gbench", action="store_true",
@@ -167,13 +172,17 @@ def main():
         print(f"wrote {path}: {len(ledger['entries'])} entries "
               f"({n_counted} with deterministic work counters)")
 
-    # The obs.fleet_* family lives in its own PR8 ledger (like live.* and the
+    # Each PR's bench family lives in its own ledger (like live.* and the
     # sweep-suite pair before it), so the older committed baselines keep
-    # their entry sets.
+    # their entry sets.  PINNED_EXCLUDES is the shared exclusion list every
+    # serial/fleet run of the common pinned suite uses.
+    PINNED_EXCLUDES = ["--exclude", "analysis.sweep_suite",
+                       "--exclude", "live.",
+                       "--exclude", "obs.fleet",
+                       "--exclude", "obs.history",
+                       "--exclude", "supervisor.plan"]
     ledger = run_suite_runner(args.build_dir, args.quick, jobs=args.jobs,
-                              extra_args=["--exclude", "analysis.sweep_suite",
-                                          "--exclude", "live.",
-                                          "--exclude", "obs.fleet"])
+                              extra_args=list(PINNED_EXCLUDES))
     if args.suite:
         ledger["suite"] = args.suite
     # Snapshot the runner's counter half before gbench rows are merged in:
@@ -230,10 +239,8 @@ def main():
         with tempfile.TemporaryDirectory(prefix="speedscale_fleet_") as fleet_dir:
             pr7 = run_suite_runner(
                 args.build_dir, args.quick, jobs=1,
-                extra_args=["--exclude", "analysis.sweep_suite",
-                            "--exclude", "live.",
-                            "--exclude", "obs.fleet",
-                            "--fleet", "2",
+                extra_args=PINNED_EXCLUDES +
+                           ["--fleet", "2",
                             "--fleet-dir", os.path.join(fleet_dir, "work"),
                             "--worker", worker,
                             "--suite", "pr7-fleet"])
@@ -264,28 +271,44 @@ def main():
         worker = os.path.join(args.build_dir, "examples", "sweep_worker")
         if not os.path.exists(worker):
             sys.exit(f"error: {worker} not found — build the Release tree first")
+        # Advisory wall rows need the same noise discipline as every other
+        # wall sample: >= 3 repetitions per label, so bench_compare's
+        # min-over-reps has something to minimize over.
+        E25_REPS = 3
         for label, extra in (("plane_on", []), ("plane_off", ["--no-fleet-obs"])):
-            with tempfile.TemporaryDirectory(prefix="speedscale_fleet_") as fleet_dir:
-                t0 = time.monotonic()
-                run = run_suite_runner(
-                    args.build_dir, args.quick, jobs=1,
-                    extra_args=["--exclude", "analysis.sweep_suite",
-                                "--exclude", "live.",
-                                "--exclude", "obs.fleet",
-                                "--fleet", "2",
-                                "--fleet-dir", os.path.join(fleet_dir, "work"),
-                                "--worker", worker,
-                                "--suite", f"pr8-{label}"] + extra)
-                wall_ns = (time.monotonic() - t0) * 1e9
-            for name, entry in run["entries"].items():
-                if entry["counters"] != serial_counters.get(name):
-                    sys.exit(f"error: {name}: fleet ({label}) counters diverge from "
-                             f"the serial run — the observability plane leaked into "
-                             f"the deterministic half")
+            walls = []
+            for _ in range(E25_REPS):
+                with tempfile.TemporaryDirectory(prefix="speedscale_fleet_") as fleet_dir:
+                    t0 = time.monotonic()
+                    run = run_suite_runner(
+                        args.build_dir, args.quick, jobs=1,
+                        extra_args=PINNED_EXCLUDES +
+                                   ["--fleet", "2",
+                                    "--fleet-dir", os.path.join(fleet_dir, "work"),
+                                    "--worker", worker,
+                                    "--suite", f"pr8-{label}"] + extra)
+                    walls.append((time.monotonic() - t0) * 1e9)
+                for name, entry in run["entries"].items():
+                    if entry["counters"] != serial_counters.get(name):
+                        sys.exit(f"error: {name}: fleet ({label}) counters diverge from "
+                                 f"the serial run — the observability plane leaked into "
+                                 f"the deterministic half")
             pr8["entries"][f"fleet.e25_{label}"] = {
-                "counters": {}, "repetitions": 1, "source": "fleet_run",
-                "wall_ns": [wall_ns]}
+                "counters": {}, "repetitions": len(walls), "source": "fleet_run",
+                "wall_ns": walls}
         write_ledger(args.pr8_out, pr8)
+
+    if args.pr9_out:
+        # Perf-history observatory (ISSUE 9): the obs.history_* pinned
+        # benches pin the speedscale.history/1 wire format (byte tallies,
+        # strict/lenient load accounting, sentinel verdict counts) and the
+        # supervisor.plan_* benches pin the LPT planner (items moved,
+        # makespans in milli-units) — all under the hard counter gate.
+        pr9 = run_suite_runner(args.build_dir, args.quick, jobs=1,
+                               extra_args=["--filter", "obs.history",
+                                           "--filter", "supervisor.plan",
+                                           "--suite", "pr9-history"])
+        write_ledger(args.pr9_out, pr9)
 
 
 if __name__ == "__main__":

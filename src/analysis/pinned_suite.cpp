@@ -1,6 +1,7 @@
 #include "src/analysis/pinned_suite.h"
 
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 
 #include "src/algo/algorithm_c.h"
@@ -12,7 +13,11 @@
 #include "src/obs/cert/potential_tracker.h"
 #include "src/obs/fleet/cost_ledger.h"
 #include "src/obs/fleet/fleet_trace.h"
+#include "src/obs/history/cost_model.h"
+#include "src/obs/history/history_store.h"
+#include "src/obs/history/sentinel.h"
 #include "src/obs/live/telemetry_hub.h"
+#include "src/obs/perf/bench_ledger.h"
 #include "src/obs/log/logger.h"
 #include "src/obs/metrics_registry.h"
 #include "src/obs/trace.h"
@@ -246,6 +251,96 @@ std::vector<PinnedBench> build_pinned_suite() {
          OBS_COUNT("obs.fleet.cost_bytes", static_cast<std::int64_t>(doc.size()));
          OBS_COUNT("obs.fleet.cost_table_bytes",
                    static_cast<std::int64_t>(report.table().size()));
+       }},
+      // The perf-history observatory (PR 9): a fixed synthetic trajectory —
+      // four bench-ledger runs (one injected counter regression in the last
+      // run) plus a cost-ledger run — pushed through the full stack: strict
+      // round-trip must be byte-stable, the lenient loader must count a torn
+      // line and a duplicate exactly, and the sentinel must flag exactly the
+      // injected regression.  The byte/record/verdict tallies pin the
+      // speedscale.history/1 wire format and the sentinel's policy.
+      {"obs.history_store/48",
+       [] {
+         obs::history::HistoryStore store;
+         for (int run = 0; run < 4; ++run) {
+           obs::perf::BenchLedger ledger("pinned-history");
+           ledger.set_config("git_hash", "deadbeefcafe");
+           ledger.set_config("mode", "pinned");
+           for (int b = 0; b < 6; ++b) {
+             auto& e = ledger.entry("pinned.series/" + std::to_string(b));
+             e.repetitions = 2;
+             e.wall_ns = {1000.0 + 10.0 * (run % 3) + b, 990.0 + b};
+             e.counters["sim.steps"] = 100 + b * 10 + (run == 3 && b == 5 ? 7 : 0);
+             e.counters["opt.iters"] = 40 + b;
+           }
+           store.ingest_bench_ledger(ledger.to_json());
+         }
+         std::vector<obs::fleet::CostRow> rows;
+         for (std::int64_t i = 0; i < 24; ++i) {
+           obs::fleet::CostRow row;
+           row.index = i;
+           row.shard = i % 3;
+           row.incarnation = 0;
+           row.wall_ms = 1.0 + static_cast<double>(i % 7);
+           row.work = {{"sim.segments", 5 + i % 4}};
+           rows.push_back(std::move(row));
+         }
+         store.ingest_cost_report(
+             obs::fleet::build_cost_report(std::move(rows), "pinned").to_json());
+
+         const std::string doc = store.to_jsonl();
+         const obs::history::HistoryStore reparsed =
+             obs::history::HistoryStore::parse(doc, obs::history::LoadMode::kStrict);
+         if (reparsed.to_jsonl() != doc) {
+           throw ModelError("obs.history_store bench: round-trip drifted");
+         }
+         // Lenient load over a corpus with one torn line and one duplicate.
+         obs::history::LoadStats stats;
+         const std::string corrupted =
+             doc + "{\"torn\n" + store.records()[4].to_json() + "\n";
+         const obs::history::HistoryStore lenient = obs::history::HistoryStore::parse(
+             corrupted, obs::history::LoadMode::kLenient, &stats);
+         if (stats.skipped_lines != 1 || stats.duplicates != 1 ||
+             lenient.to_jsonl() != doc) {
+           throw ModelError("obs.history_store bench: lenient load drifted");
+         }
+         const obs::history::SentinelReport report = obs::history::analyze(store);
+         if (report.n_regression != 1 ||
+             report.overall() != obs::history::Verdict::kRegression) {
+           throw ModelError("obs.history_store bench: sentinel missed the regression");
+         }
+         OBS_COUNT("obs.history.records", static_cast<std::int64_t>(store.records().size()));
+         OBS_COUNT("obs.history.bytes", static_cast<std::int64_t>(doc.size()));
+         OBS_COUNT("obs.history.sentinel_ok", static_cast<std::int64_t>(report.n_ok));
+         OBS_COUNT("obs.history.sentinel_advisory",
+                   static_cast<std::int64_t>(report.n_advisory));
+         OBS_COUNT("obs.history.sentinel_regression",
+                   static_cast<std::int64_t>(report.n_regression));
+       }},
+      // The cost-model shard planner (PR 9): a fixed skewed cost vector
+      // through deterministic LPT.  The moved-item and makespan tallies pin
+      // the plan — any change to the balancing policy must arrive with a
+      // baseline refresh, exactly like a wire-format drift.
+      {"supervisor.plan_balance/256",
+       [] {
+         std::vector<double> costs(256);
+         for (std::size_t i = 0; i < costs.size(); ++i) {
+           costs[i] = 1.0 + static_cast<double>(i % 17) + (i % 5 == 0 ? 9.0 : 0.0);
+         }
+         const obs::history::ShardPlan plan = obs::history::plan_assignment(costs, 8);
+         const obs::history::ShardPlan again = obs::history::plan_assignment(costs, 8);
+         if (plan.assignment != again.assignment) {
+           throw ModelError("supervisor.plan_balance bench: plan not deterministic");
+         }
+         if (plan.makespan > plan.static_makespan) {
+           throw ModelError("supervisor.plan_balance bench: LPT worse than static");
+         }
+         OBS_COUNT("supervisor.plan.items", static_cast<std::int64_t>(plan.assignment.size()));
+         OBS_COUNT("supervisor.plan.moved_items", static_cast<std::int64_t>(plan.moved_items));
+         OBS_COUNT("supervisor.plan.makespan_milli",
+                   static_cast<std::int64_t>(std::llround(plan.makespan * 1000.0)));
+         OBS_COUNT("supervisor.plan.static_makespan_milli",
+                   static_cast<std::int64_t>(std::llround(plan.static_makespan * 1000.0)));
        }},
       // The sweep-engine determinism pair: same 8-point suite grid at inner
       // jobs 1 and 8.  Identical counters (incl. opt.cache.hits/misses from

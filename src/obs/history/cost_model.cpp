@@ -1,0 +1,108 @@
+#include "src/obs/history/cost_model.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/obs/history/history_store.h"
+
+namespace speedscale::obs::history {
+
+namespace {
+
+double median_of(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid), v.end());
+  const double hi = v[mid];
+  if (v.size() % 2 == 1) return hi;
+  const double lo = *std::max_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+CostModel CostModel::fit(const HistoryStore& store) {
+  CostModel model;
+  std::map<std::int64_t, std::vector<double>> walls;
+  std::map<std::int64_t, std::vector<double>> works;
+  for (const HistoryRecord& r : store.records()) {
+    if (r.kind != "cost") continue;
+    // entry is "item/<index>" (history_store.cpp ingest_cost_report).
+    if (r.entry.rfind("item/", 0) != 0) continue;
+    std::int64_t index = -1;
+    try {
+      index = std::stoll(r.entry.substr(5));
+    } catch (...) {
+      continue;
+    }
+    if (index < 0) continue;
+    walls[index].push_back(r.wall_ms);
+    works[index].push_back(static_cast<double>(r.work_units));
+  }
+  std::vector<double> all_medians;
+  for (auto& [index, samples] : walls) {
+    const double med = median_of(std::move(samples));
+    model.wall_ms_[index] = med;
+    all_medians.push_back(med);
+  }
+  for (auto& [index, samples] : works) {
+    model.work_[index] = static_cast<std::int64_t>(median_of(std::move(samples)));
+  }
+  model.fallback_ = all_medians.empty() ? 1.0 : median_of(std::move(all_medians));
+  if (model.fallback_ <= 0.0) model.fallback_ = 1.0;
+  return model;
+}
+
+double CostModel::item_cost(std::size_t index) const {
+  const auto it = wall_ms_.find(static_cast<std::int64_t>(index));
+  if (it == wall_ms_.end() || it->second <= 0.0) return fallback_;
+  return it->second;
+}
+
+std::int64_t CostModel::item_work(std::size_t index) const {
+  const auto it = work_.find(static_cast<std::int64_t>(index));
+  return it == work_.end() ? 0 : it->second;
+}
+
+std::vector<double> CostModel::costs(std::size_t n) const {
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(item_cost(i));
+  return out;
+}
+
+ShardPlan plan_assignment(const std::vector<double>& costs, std::size_t shards) {
+  ShardPlan plan;
+  const std::size_t n = costs.size();
+  if (shards == 0) return plan;
+  plan.assignment.assign(n, 0);
+  plan.shard_cost.assign(shards, 0.0);
+
+  // LPT: descending cost, ties broken by ascending index so the order (and
+  // therefore the plan) is total and platform-independent.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (costs[a] != costs[b]) return costs[a] > costs[b];
+    return a < b;
+  });
+  for (std::size_t item : order) {
+    std::size_t best = 0;
+    for (std::size_t s = 1; s < shards; ++s) {
+      if (plan.shard_cost[s] < plan.shard_cost[best]) best = s;
+    }
+    plan.assignment[item] = static_cast<std::uint32_t>(best);
+    plan.shard_cost[best] += costs[item];
+  }
+
+  std::vector<double> static_cost(shards, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    static_cost[i % shards] += costs[i];
+    if (plan.assignment[i] != static_cast<std::uint32_t>(i % shards)) ++plan.moved_items;
+  }
+  plan.makespan = *std::max_element(plan.shard_cost.begin(), plan.shard_cost.end());
+  plan.static_makespan = *std::max_element(static_cost.begin(), static_cost.end());
+  return plan;
+}
+
+}  // namespace speedscale::obs::history

@@ -1,0 +1,75 @@
+// Cost model: per-item cost priors fit from fleet cost-ledger history, and
+// the deterministic shard plan the supervisor consumes.
+//
+// The PR 7 fleet shards items statically (item i -> shard i % N), which is
+// optimal only when items cost the same.  The PR 8 cost ledger measures what
+// each item actually cost; this model turns that history into priors and an
+// LPT (longest-processing-time-first) assignment that balances expected
+// shard makespans.
+//
+// Determinism contract (docs/observability.md, docs/performance.md): the
+// plan is computed BEFORE any worker spawns, from (history, spec) only, by a
+// pure function with total tie-breaking — so the assignment is a
+// deterministic input recorded in the work spec and fleet_state.json, and
+// balancing changes only WHICH shard computes an item, never what the item
+// computes.  The index-ordered merge makes that unobservable in the merged
+// artifacts: suite JSON, cert JSONL, and merged counters stay byte-identical
+// to a serial run.
+//
+// Priors are positional: cost history keys items as "item/<index>", so the
+// model prices item i by the median of its measured wall_ms across runs.
+// Items with no history fall back to the uniform prior (the median of all
+// known items, or 1.0 when the model is empty) — a mismatched or empty
+// history degrades gracefully to near-uniform balancing, never to an error.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace speedscale::obs::history {
+
+class HistoryStore;
+
+class CostModel {
+ public:
+  /// Fits per-item wall/work priors from every cost record in `store`.
+  [[nodiscard]] static CostModel fit(const HistoryStore& store);
+
+  /// True when no cost history was available (every item priced uniformly).
+  [[nodiscard]] bool uniform() const { return wall_ms_.empty(); }
+  /// Number of items with measured history.
+  [[nodiscard]] std::size_t known_items() const { return wall_ms_.size(); }
+
+  /// Expected cost of item `index`: median measured wall_ms, or the uniform
+  /// fallback prior when unmeasured.
+  [[nodiscard]] double item_cost(std::size_t index) const;
+  /// Work-unit prior for item `index` (0 when unmeasured).
+  [[nodiscard]] std::int64_t item_work(std::size_t index) const;
+
+  /// Expected per-item costs for items [0, n).
+  [[nodiscard]] std::vector<double> costs(std::size_t n) const;
+
+ private:
+  std::map<std::int64_t, double> wall_ms_;         ///< item index -> median wall
+  std::map<std::int64_t, std::int64_t> work_;      ///< item index -> median work units
+  double fallback_ = 1.0;                          ///< uniform prior
+};
+
+/// A computed shard plan.
+struct ShardPlan {
+  std::vector<std::uint32_t> assignment;  ///< item -> shard (size n_items)
+  std::vector<double> shard_cost;         ///< expected cost per shard
+  std::size_t moved_items = 0;            ///< items not on their static i%N shard
+  double makespan = 0.0;                  ///< max expected shard cost
+  double static_makespan = 0.0;           ///< makespan of the static i%N plan
+};
+
+/// Deterministic LPT balancing: items sorted by descending cost (ties by
+/// ascending index) are assigned greedily to the least-loaded shard (ties by
+/// lowest shard id).  Pure function of (costs, shards) — same inputs give
+/// the same plan on every platform.
+[[nodiscard]] ShardPlan plan_assignment(const std::vector<double>& costs, std::size_t shards);
+
+}  // namespace speedscale::obs::history

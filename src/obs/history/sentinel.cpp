@@ -1,0 +1,165 @@
+#include "src/obs/history/sentinel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "src/obs/metrics_registry.h"
+
+namespace speedscale::obs::history {
+
+namespace {
+
+double median_of(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid), v.end());
+  const double hi = v[mid];
+  if (v.size() % 2 == 1) return hi;
+  const double lo = *std::max_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lo + hi);
+}
+
+/// Robust band over `window` trailing values of v[0..end): center = median,
+/// half-width = max(z * 1.4826 * MAD, rel_floor * |median|).
+void fit_band(const std::vector<double>& values, std::size_t end, const SentinelOptions& opt,
+              double* center, double* half_width) {
+  const std::size_t lo = end > opt.window ? end - opt.window : 0;
+  std::vector<double> win(values.begin() + static_cast<std::ptrdiff_t>(lo),
+                          values.begin() + static_cast<std::ptrdiff_t>(end));
+  const double med = median_of(win);
+  std::vector<double> dev;
+  dev.reserve(win.size());
+  for (double x : win) dev.push_back(std::fabs(x - med));
+  const double mad = median_of(std::move(dev));
+  *center = med;
+  *half_width = std::max(opt.z * 1.4826 * mad, opt.rel_floor * std::fabs(med));
+}
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+SeriesVerdict judge(const std::string& entry, const std::string& metric,
+                    const std::vector<SeriesPoint>& points, const SentinelOptions& opt) {
+  SeriesVerdict sv;
+  sv.entry = entry;
+  sv.metric = metric;
+  sv.n_points = points.size();
+  sv.values.reserve(points.size());
+  for (const SeriesPoint& p : points) sv.values.push_back(p.value);
+  sv.latest = sv.values.empty() ? 0.0 : sv.values.back();
+  if (sv.values.size() < 2) {
+    sv.median = sv.latest;
+    return sv;  // one run: nothing to compare against
+  }
+
+  const bool is_counter = metric != "wall_min_ns";
+
+  // Changepoint: the last run whose value left the band fit over the runs
+  // before it.  For counters the band is exact (any change is a changepoint).
+  for (std::size_t i = sv.values.size(); i-- > 1;) {
+    if (is_counter) {
+      if (sv.values[i] != sv.values[i - 1]) {
+        sv.changepoint_run = points[i].run;
+        break;
+      }
+    } else {
+      double center = 0.0;
+      double half = 0.0;
+      fit_band(sv.values, i, opt, &center, &half);
+      if (std::fabs(sv.values[i] - center) > half) {
+        sv.changepoint_run = points[i].run;
+        break;
+      }
+    }
+  }
+
+  fit_band(sv.values, sv.values.size() - 1, opt, &sv.median, &sv.band);
+
+  if (is_counter) {
+    // Deterministic counters: the latest run must equal the run before it.
+    const double prev = sv.values[sv.values.size() - 2];
+    if (sv.latest != prev) {
+      sv.verdict = Verdict::kRegression;
+      sv.reason = "counter moved " + fmt(prev) + " -> " + fmt(sv.latest);
+    }
+    return sv;
+  }
+
+  // Wall series: band excursion is advisory.
+  if (std::fabs(sv.latest - sv.median) > sv.band) {
+    sv.verdict = Verdict::kAdvisory;
+    sv.reason = "wall " + fmt(sv.latest) + " outside " + fmt(sv.median) + " +/- " +
+                fmt(sv.band);
+  }
+
+  // Drift: last drift_runs samples strictly increasing with a total rise
+  // beyond the band width.
+  if (sv.values.size() >= opt.drift_runs && opt.drift_runs >= 2) {
+    bool rising = true;
+    const std::size_t start = sv.values.size() - opt.drift_runs;
+    for (std::size_t i = start + 1; i < sv.values.size(); ++i) {
+      if (sv.values[i] <= sv.values[i - 1]) {
+        rising = false;
+        break;
+      }
+    }
+    if (rising && sv.values.back() - sv.values[start] > sv.band) {
+      sv.drift = true;
+      if (sv.verdict == Verdict::kOk) {
+        sv.verdict = Verdict::kAdvisory;
+        sv.reason = "monotone drift over last " + std::to_string(opt.drift_runs) + " runs";
+      }
+    }
+  }
+  return sv;
+}
+
+}  // namespace
+
+const char* verdict_name(Verdict v) {
+  switch (v) {
+    case Verdict::kOk:
+      return "ok";
+    case Verdict::kAdvisory:
+      return "advisory";
+    case Verdict::kRegression:
+      return "regression";
+  }
+  return "unknown";
+}
+
+SentinelReport analyze(const HistoryStore& store, const SentinelOptions& options) {
+  SentinelReport report;
+  const auto series = bench_series(store);  // map: entry -> metric -> points (sorted)
+  for (const auto& [entry, metrics] : series) {
+    for (const auto& [metric, points] : metrics) {
+      SeriesVerdict sv = judge(entry, metric, points, options);
+      switch (sv.verdict) {
+        case Verdict::kOk:
+          ++report.n_ok;
+          break;
+        case Verdict::kAdvisory:
+          ++report.n_advisory;
+          break;
+        case Verdict::kRegression:
+          ++report.n_regression;
+          break;
+      }
+      report.series.push_back(std::move(sv));
+    }
+  }
+  return report;
+}
+
+void publish_sentinel_gauges(const SentinelReport& report) {
+  MetricsRegistry& reg = MetricsRegistry::instance();
+  reg.gauge("history.sentinel_ok").set(static_cast<double>(report.n_ok));
+  reg.gauge("history.sentinel_advisory").set(static_cast<double>(report.n_advisory));
+  reg.gauge("history.sentinel_regression").set(static_cast<double>(report.n_regression));
+}
+
+}  // namespace speedscale::obs::history

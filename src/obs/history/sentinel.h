@@ -1,0 +1,95 @@
+// Regression sentinel: typed verdicts over perf-history series.
+//
+// Replaces single-baseline pairwise comparison with longitudinal analysis of
+// each (entry, metric) series in a HistoryStore trajectory:
+//
+//   * counter metrics are deterministic by construction (the whole point of
+//     the work-counter ledger, docs/observability.md), so ANY change in the
+//     latest run relative to the preceding run is a kRegression verdict —
+//     exactly the bench_compare.py hard-fail policy, now with the full
+//     trajectory available to show WHEN the value moved (changepoint);
+//   * wall metrics are machine noise, so the sentinel fits a robust noise
+//     band — median +/- z * 1.4826 * MAD over the last `window` runs before
+//     the latest — and flags excursions as kAdvisory only (never a hard
+//     failure; the counters-hard/wall-advisory contract is unchanged);
+//   * monotone drift (the last `drift_runs` samples strictly increasing and
+//     the total rise exceeding the band width) is also kAdvisory: a slow
+//     leak that never trips the band on any single run still surfaces.
+//
+// Verdicts are pure functions of the trajectory: same history in, same
+// report out, on every platform — which is what lets perf_report --gate run
+// in CI (exit 3 on any kRegression, like trace_tool --certify).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/history/history_store.h"
+
+namespace speedscale::obs::history {
+
+enum class Verdict : std::uint8_t {
+  kOk,          ///< within band / unchanged
+  kAdvisory,    ///< wall excursion or drift — investigate, don't fail
+  kRegression,  ///< deterministic counter moved — hard failure
+};
+
+[[nodiscard]] const char* verdict_name(Verdict v);
+
+struct SentinelOptions {
+  /// Noise-band window: the band is fit over (up to) the last `window` runs
+  /// preceding the latest one.
+  std::size_t window = 8;
+  /// Band half-width in robust sigmas (1.4826 * MAD).
+  double z = 4.0;
+  /// Relative band floor: the half-width is at least `rel_floor` * |median|,
+  /// so a series with zero MAD (identical samples) still tolerates jitter.
+  double rel_floor = 0.10;
+  /// Minimum strictly-monotone run length that counts as drift.
+  std::size_t drift_runs = 4;
+};
+
+/// One series' verdict.
+struct SeriesVerdict {
+  std::string entry;
+  std::string metric;  ///< counter name or "wall_min_ns"
+  Verdict verdict = Verdict::kOk;
+  std::string reason;  ///< one-line human explanation ("" when kOk)
+
+  std::size_t n_points = 0;   ///< series length (runs with this metric)
+  double latest = 0.0;        ///< latest run's value
+  double median = 0.0;        ///< band center (previous `window` runs)
+  double band = 0.0;          ///< band half-width (0 when n_points < 2)
+  /// Run id where the series last left the band fit over the runs before it
+  /// (-1 when it never did) — the changepoint.
+  std::int64_t changepoint_run = -1;
+  bool drift = false;  ///< monotone-increase drift detected
+
+  /// Full series values, run-ordered (sparkline fodder).
+  std::vector<double> values;
+};
+
+struct SentinelReport {
+  std::vector<SeriesVerdict> series;  ///< sorted by (entry, metric)
+  std::size_t n_ok = 0;
+  std::size_t n_advisory = 0;
+  std::size_t n_regression = 0;
+
+  [[nodiscard]] Verdict overall() const {
+    if (n_regression > 0) return Verdict::kRegression;
+    if (n_advisory > 0) return Verdict::kAdvisory;
+    return Verdict::kOk;
+  }
+};
+
+/// Analyzes every bench series in `store`.  Deterministic: the report is a
+/// pure function of (store, options).
+[[nodiscard]] SentinelReport analyze(const HistoryStore& store,
+                                     const SentinelOptions& options = {});
+
+/// Publishes sentinel verdict tallies as history.sentinel_{ok,advisory,
+/// regression} gauges (gauges only).
+void publish_sentinel_gauges(const SentinelReport& report);
+
+}  // namespace speedscale::obs::history

@@ -280,7 +280,8 @@ void Supervisor::run_degraded_shard(Worker& w, FleetResult& result) {
                  {obs::log::kv("shard", static_cast<std::int64_t>(w.shard)),
                   obs::log::kv("max_restarts", options_.max_restarts_per_shard)});
   const auto done = load_shard_log(shard_log_path(w.shard));
-  for (std::size_t i = w.shard; i < spec_.n_items(); i += spec_.shards) {
+  for (std::size_t i = 0; i < spec_.n_items(); ++i) {
+    if (!spec_.owns(w.shard, i)) continue;
     if (done.find(i) != done.end()) continue;
     ItemResult item = run_fleet_item(spec_, i);
     // Ledger attribution: the degraded ladder is one more "incarnation" of
@@ -406,6 +407,14 @@ void Supervisor::publish_gauges(const FleetResult& result) const {
   reg.gauge("supervisor.degraded_shards").set(static_cast<double>(result.degraded_shards.size()));
   reg.gauge("supervisor.items_total").set(static_cast<double>(spec_.n_items()));
   reg.gauge("supervisor.items_done").set(static_cast<double>(items_done_estimate_));
+  if (spec_.assignment.size() == spec_.n_items() && !spec_.assignment.empty()) {
+    std::size_t moved = 0;
+    for (std::size_t i = 0; i < spec_.assignment.size(); ++i) {
+      if (spec_.assignment[i] != static_cast<std::uint32_t>(i % spec_.shards)) ++moved;
+    }
+    reg.gauge("supervisor.plan_balanced").set(1.0);
+    reg.gauge("supervisor.plan_moved_items").set(static_cast<double>(moved));
+  }
 
   // The fleet.* roll-up (PR 8): the scrapeable mid-run health surface that
   // telemetry_tool --fleet renders and CI's chaos smoke asserts against.
@@ -440,6 +449,22 @@ void Supervisor::write_state(const FleetResult& result) const {
     // exists after the merge), so the run's cost record survives next to
     // its pids/restarts without a separate artifact.
     doc += "\"cost\":" + result.cost.to_json() + ',';
+  }
+  if (spec_.assignment.size() == spec_.n_items() && !spec_.assignment.empty()) {
+    // A cost-model plan was active: record it so tooling (and the chaos
+    // harness) can see balancing was on and how far it moved from static.
+    std::size_t moved = 0;
+    std::string per_shard = "[";
+    for (std::size_t s = 0; s < spec_.shards; ++s) {
+      if (s > 0) per_shard += ',';
+      per_shard += std::to_string(spec_.items_in_shard(s));
+    }
+    per_shard += ']';
+    for (std::size_t i = 0; i < spec_.assignment.size(); ++i) {
+      if (spec_.assignment[i] != static_cast<std::uint32_t>(i % spec_.shards)) ++moved;
+    }
+    doc += "\"plan\":{\"items_per_shard\":" + per_shard +
+           ",\"moved_items\":" + std::to_string(moved) + ",\"source\":\"cost_model\"},";
   }
   doc += "\"restarts\":" + std::to_string(result.restarts) +
          ",\"shards\":" + std::to_string(spec_.shards) + ",\"workers\":[";

@@ -30,6 +30,11 @@ std::size_t FleetWorkSpec::n_items() const {
 std::size_t FleetWorkSpec::items_in_shard(std::size_t shard) const {
   const std::size_t n = n_items();
   if (shards == 0 || shard >= shards) return 0;
+  if (assignment.size() == n) {
+    std::size_t count = 0;
+    for (std::uint32_t s : assignment) count += s == shard ? 1 : 0;
+    return count;
+  }
   return n / shards + (shard < n % shards ? 1 : 0);
 }
 
@@ -38,6 +43,14 @@ std::string FleetWorkSpec::to_json() const {
   obs::append_json_string(out, fleet_work_kind_name(kind));
   out += ",\"shards\":" + std::to_string(shards);
   out += ",\"opt_cache_capacity\":" + std::to_string(opt_cache_capacity);
+  if (!assignment.empty()) {
+    out += ",\"assignment\":[";
+    for (std::size_t i = 0; i < assignment.size(); ++i) {
+      if (i > 0) out += ',';
+      out += std::to_string(assignment[i]);
+    }
+    out += ']';
+  }
   if (kind == FleetWorkKind::kSuitePoints) {
     const analysis::SuiteOptions& so = suite_options;
     out += ",\"suite_options\":{\"certify\":";
@@ -187,6 +200,20 @@ FleetWorkSpec parse_work_spec(const std::string& text) {
     for (const obs::JsonValue& b : benches.array) {
       if (!b.is_string()) malformed("bench name is not a string");
       spec.bench_names.push_back(b.string);
+    }
+  }
+  if (const obs::JsonValue* assignment = root.find("assignment"); assignment != nullptr) {
+    if (!assignment->is_array()) malformed("expected array", "assignment");
+    if (assignment->array.size() != spec.n_items()) {
+      malformed("assignment size does not match n_items", "assignment");
+    }
+    spec.assignment.reserve(assignment->array.size());
+    for (const obs::JsonValue& a : assignment->array) {
+      if (!a.is_number() || a.number < 0.0 || a.number != std::floor(a.number) ||
+          a.number >= static_cast<double>(spec.shards)) {
+        malformed("assignment entry is not a valid shard id", "assignment");
+      }
+      spec.assignment.push_back(static_cast<std::uint32_t>(a.number));
     }
   }
   return spec;

@@ -9,9 +9,13 @@
 // reconstructs bit-identical doubles) or the pinned bench grid
 // (src/analysis/pinned_suite.h benches by name, times repetitions).
 //
-// Sharding is positional and static — item i belongs to shard i % shards —
-// so ownership is a pure function of the spec and survives any number of
-// worker crashes/restarts without coordination state.
+// Sharding is a pure function of the spec, so ownership survives any number
+// of worker crashes/restarts without coordination state.  By default it is
+// positional and static — item i belongs to shard i % shards — but a spec
+// may carry an explicit per-item `assignment` (the cost-model balancer of
+// src/obs/history/cost_model.h writes one at plan time, before any worker
+// spawns).  Either way the index-ordered merge is unchanged, so WHICH shard
+// computes an item is unobservable in the merged artifacts.
 #pragma once
 
 #include <cstdint>
@@ -47,10 +51,19 @@ struct FleetWorkSpec {
   std::vector<std::string> bench_names;
   int bench_reps = 1;
 
+  /// Optional explicit item -> shard plan (cost-model balancing).  When its
+  /// size equals n_items() it overrides the static i % shards rule; empty
+  /// (the default) keeps the PR 7 static sharding.  Serialized in the spec,
+  /// so every worker incarnation sees the same plan.
+  std::vector<std::uint32_t> assignment;
+
   [[nodiscard]] std::size_t n_items() const;
-  /// Static ownership: item i belongs to shard i % shards.
+  /// Ownership: the explicit assignment when present, item % shards
+  /// otherwise.  Pure function of the spec either way.
   [[nodiscard]] bool owns(std::size_t shard, std::size_t item) const {
-    return shards > 0 && item % shards == shard;
+    if (shards == 0) return false;
+    if (item < assignment.size()) return assignment[item] == shard;
+    return item % shards == shard;
   }
   [[nodiscard]] std::size_t items_in_shard(std::size_t shard) const;
 

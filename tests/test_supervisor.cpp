@@ -15,10 +15,12 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "src/analysis/sweep.h"
+#include "src/obs/history/cost_model.h"
 #include "src/obs/metrics_registry.h"
 #include "src/robust/diagnostics.h"
 #include "src/robust/supervisor/item_runner.h"
@@ -172,6 +174,48 @@ TEST(FleetWorkSpec, MalformedDocumentsThrowTyped) {
                robust::RobustError);
 }
 
+TEST(FleetWorkSpec, AssignmentOverridesStaticOwnershipAndRoundTrips) {
+  rs::FleetWorkSpec spec;
+  spec.kind = rs::FleetWorkKind::kPinnedBench;
+  spec.shards = 2;
+  spec.opt_cache_capacity = 0;
+  spec.bench_names = {"numerics.roots/sweep", "sim.nc_uniform/1024"};
+  spec.bench_reps = 3;  // 6 items
+  spec.assignment = {1, 1, 1, 0, 0, 0};  // inverts the static i % 2 split
+  const rs::FleetWorkSpec back = rs::parse_work_spec(spec.to_json());
+  EXPECT_EQ(back.to_json(), spec.to_json());
+  ASSERT_EQ(back.assignment, spec.assignment);
+  EXPECT_EQ(back.items_in_shard(0), 3u);
+  EXPECT_EQ(back.items_in_shard(1), 3u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(back.owns(spec.assignment[i], i), true);
+    EXPECT_EQ(back.owns(1 - spec.assignment[i], i), false);
+  }
+  // An empty assignment keeps the static split (the seed behavior).
+  rs::FleetWorkSpec plain = spec;
+  plain.assignment.clear();
+  EXPECT_TRUE(plain.owns(0, 2));
+  EXPECT_FALSE(plain.owns(1, 2));
+}
+
+TEST(FleetWorkSpec, MalformedAssignmentRejectedTyped) {
+  rs::FleetWorkSpec spec;
+  spec.kind = rs::FleetWorkKind::kPinnedBench;
+  spec.shards = 2;
+  spec.opt_cache_capacity = 0;
+  spec.bench_names = {"numerics.roots/sweep"};
+  spec.bench_reps = 3;  // 3 items
+  // Wrong length: assignment must cover every item exactly.
+  spec.assignment = {0, 1};
+  EXPECT_THROW((void)rs::parse_work_spec(spec.to_json()), robust::RobustError);
+  // Shard id out of range.
+  spec.assignment = {0, 1, 2};
+  EXPECT_THROW((void)rs::parse_work_spec(spec.to_json()), robust::RobustError);
+  // Valid again after repair.
+  spec.assignment = {0, 1, 1};
+  EXPECT_NO_THROW((void)rs::parse_work_spec(spec.to_json()));
+}
+
 // --- Shard logs and heartbeats -------------------------------------------
 
 TEST(ShardLog, RoundTripsEmbeddedArtifacts) {
@@ -273,6 +317,41 @@ TEST(Fleet, CleanRunByteIdenticalToSerial) {
   const Artifacts serial = serial_reference();
   const FleetRun fleet = run_fleet(base_options(fresh_dir("clean")));
   expect_matches_serial(fleet, serial);
+}
+
+TEST(Fleet, CostBalancedPlanByteIdenticalToSerial) {
+  const Artifacts serial = serial_reference();
+  const std::string dir = fresh_dir("balanced");
+
+  // Same work-list as every other fleet test, but with a cost-model plan
+  // that moves items off their static i % N shard: the plan may change only
+  // WHERE an item runs, never any merged artifact.
+  rs::FleetWorkSpec spec;
+  spec.kind = rs::FleetWorkKind::kSuitePoints;
+  spec.shards = 2;
+  spec.points = pinned_grid();
+  spec.suite_options = pinned_suite_options();
+  const obs::history::ShardPlan plan =
+      obs::history::plan_assignment({9.0, 1.0, 1.0, 1.0}, spec.shards);
+  ASSERT_GT(plan.moved_items, 0u);
+  ASSERT_LT(plan.makespan, plan.static_makespan);
+  spec.assignment = plan.assignment;
+
+  obs::set_metrics_enabled(true);
+  obs::registry().reset_all();
+  rs::Supervisor sup(spec, base_options(dir));
+  FleetRun fleet;
+  fleet.result = sup.run();
+  fleet.counters = nonzero_counters();
+  expect_matches_serial(fleet, serial);
+
+  // The plan rides in fleet_state.json next to the run it shaped.
+  std::ifstream state(dir + "/fleet_state.json");
+  ASSERT_TRUE(static_cast<bool>(state));
+  std::ostringstream ss;
+  ss << state.rdbuf();
+  EXPECT_NE(ss.str().find("\"plan\":{\"items_per_shard\":"), std::string::npos);
+  EXPECT_NE(ss.str().find("\"source\":\"cost_model\""), std::string::npos);
   EXPECT_EQ(fleet.result.restarts, 0);
   EXPECT_EQ(fleet.result.hung_kills, 0);
   EXPECT_TRUE(fleet.result.degraded_shards.empty());
