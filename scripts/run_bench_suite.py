@@ -21,7 +21,7 @@ the counter half.  Refresh the committed baselines with:
     scripts/run_bench_suite.py --build-dir build --out BENCH_PR3.json \
         --pr5-out BENCH_PR5.json --pr6-out BENCH_PR6.json \
         --pr7-out BENCH_PR7.json --pr8-out BENCH_PR8.json \
-        --pr9-out BENCH_PR9.json
+        --pr9-out BENCH_PR9.json --pr10-out BENCH_PR10.json
 
 `--jobs N` shards the runner's (bench x repetition) grid across N workers;
 the counter half of the ledger is byte-identical at any N (the sweep
@@ -156,6 +156,14 @@ def main():
                     help="also write the perf-history ledger (obs.history_* trajectory "
                          "store round-trip tallies + supervisor.plan_* LPT planner "
                          "counters) here")
+    ap.add_argument("--pr10-out", default=None,
+                    help="also write the streaming-engine ledger (engine.stream pinned "
+                         "suite entries + the 10M-job bench_engine_stream run with its "
+                         "in-process RSS plateau assertion) here")
+    ap.add_argument("--stream-jobs", type=int, default=10_000_000,
+                    help="job count for the pr10 streaming harness run (default 10M; "
+                         "the entry name scales with it, so the committed baseline "
+                         "must be generated at the default)")
     ap.add_argument("--quick", action="store_true",
                     help="CI mode: 2 runner repetitions, short gbench min-times")
     ap.add_argument("--skip-gbench", action="store_true",
@@ -180,7 +188,8 @@ def main():
                        "--exclude", "live.",
                        "--exclude", "obs.fleet",
                        "--exclude", "obs.history",
-                       "--exclude", "supervisor.plan"]
+                       "--exclude", "supervisor.plan",
+                       "--exclude", "engine.stream"]
     ledger = run_suite_runner(args.build_dir, args.quick, jobs=args.jobs,
                               extra_args=list(PINNED_EXCLUDES))
     if args.suite:
@@ -309,6 +318,43 @@ def main():
                                            "--filter", "supervisor.plan",
                                            "--suite", "pr9-history"])
         write_ledger(args.pr9_out, pr9)
+
+    if args.pr10_out:
+        # Streaming engine (ISSUE 10 / E27).  Two halves:
+        #
+        # * the engine.stream pinned suite entries (100k online-only, 20k
+        #   ring on two machines) through the regular runner — the engine's
+        #   batched engine.stream.* tallies under the hard counter gate;
+        # * the 10M-job run through bench/bench_engine_stream, which asserts
+        #   the RSS plateau *in-process* (a breach is a nonzero exit, i.e. a
+        #   failed suite run, not a ledger diff: RSS is machine-dependent and
+        #   must stay out of the byte-stable counter half).  Its job/arena/
+        #   recorder tallies are deterministic at any scale, so the merged
+        #   engine.stream/10M entry still counter-gates against the baseline.
+        pr10 = run_suite_runner(args.build_dir, args.quick, jobs=1,
+                                extra_args=["--filter", "engine.stream",
+                                            "--suite", "pr10-stream"])
+        harness = os.path.join(args.build_dir, "bench", "bench_engine_stream")
+        if not os.path.exists(harness):
+            sys.exit(f"error: {harness} not found — build the Release tree first")
+        with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+            tmp_path = tmp.name
+        try:
+            cmd = [harness, "--jobs", str(args.stream_jobs),
+                   "--reps", "1" if args.quick else "2",
+                   "--rss-ceiling-mb", "512", "--json", tmp_path]
+            print("+", " ".join(cmd), flush=True)
+            subprocess.run(cmd, check=True)
+            with open(tmp_path) as f:
+                stream = json.load(f)
+        finally:
+            os.unlink(tmp_path)
+        if stream.get("schema") != SCHEMA:
+            sys.exit(f"error: {harness} emitted schema {stream.get('schema')!r}, "
+                     f"expected {SCHEMA!r}")
+        for name, entry in stream["entries"].items():
+            pr10["entries"][name] = entry
+        write_ledger(args.pr10_out, pr10)
 
 
 if __name__ == "__main__":

@@ -1,14 +1,19 @@
 #include "src/algo/algorithm_c.h"
 
 #include "src/core/power.h"
+#include "src/sim/c_machine.h"
 
 namespace speedscale {
 
 RunResult run_c(const Instance& instance, double alpha) {
-  Schedule sched = run_algorithm_c(instance, alpha);
+  CMachine m(alpha);
+  m.set_online_metrics(true);
+  for (const Job& j : instance.jobs()) m.add_job(j);
+  m.run_to_completion();
   const PowerLaw power(alpha);
-  Metrics m = compute_metrics(instance, sched, power);
-  return RunResult(std::move(sched), m);
+  RunResult out(m.schedule(), compute_metrics(instance, m.schedule(), power));
+  out.online = m.online_metrics();
+  return out;
 }
 
 }  // namespace speedscale

@@ -5,6 +5,7 @@
 
 #include "src/core/kinematics.h"
 #include "src/core/power.h"
+#include "src/engine/online_metrics.h"
 #include "src/obs/metrics_registry.h"
 #include "src/obs/trace.h"
 #include "src/sim/c_machine.h"
@@ -149,6 +150,7 @@ NCNonUniformRun run_nc_nonuniform(const Instance& instance, double alpha,
       params.round_densities ? instance.rounded_densities(params.beta) : instance;
   if (instance.empty()) {
     out.result.metrics = Metrics{};
+    out.result.online = Metrics{};
     return out;
   }
 
@@ -218,13 +220,13 @@ NCNonUniformRun run_nc_nonuniform(const Instance& instance, double alpha,
   std::size_t remaining_jobs = n;
   std::vector<double> p_mid(n, 0.0);
 
-  // Trace bookkeeping (only when tracing at run start): cumulative energy
-  // (sum of s^alpha dt over the piecewise-constant recording, exact) and
-  // cumulative *total* fractional flow via the active true-density weight.
+  // Online objective accumulation: cumulative energy (sum of s^alpha dt over
+  // the piecewise-constant recording, exact) and cumulative *total*
+  // fractional flow via the active true-density weight.  Always maintained —
+  // it feeds RunResult::online — with only the trace-event emission gated.
   const bool tracing = obs::tracing_enabled();
   OBS_COUNT("algo.nc_nonuniform.runs", 1);
-  double energy_acc = 0.0;
-  double flow_acc = 0.0;
+  engine::OnlineMetrics om;
   double active_weight = 0.0;  // sum of true rho * remaining volume, released jobs
   const std::vector<JobId> fifo = instance.fifo_order();
   std::size_t rel_idx = 0;
@@ -238,7 +240,7 @@ NCNonUniformRun run_nc_nonuniform(const Instance& instance, double alpha,
       ++rel_idx;
     }
   };
-  if (tracing) emit_releases_up_to(0.0);
+  emit_releases_up_to(0.0);
 
   while (remaining_jobs > 0) {
     if (out.steps > params.max_steps) {
@@ -255,7 +257,7 @@ NCNonUniformRun run_nc_nonuniform(const Instance& instance, double alpha,
       }
       t = next_rel;
       t_last_event = t;
-      if (tracing) emit_releases_up_to(t);
+      emit_releases_up_to(t);
       if (observer) observer(t, processed);
       continue;
     }
@@ -294,13 +296,13 @@ NCNonUniformRun run_nc_nonuniform(const Instance& instance, double alpha,
                     .aux = processed[idx]);
         traced_running = cur;
       }
-      // Exact accumulation over the constant-speed step (matches the replay
-      // in compute_metrics): the current job's volume shrinks linearly.
-      const double dv = completes ? vrem : s2 * dt;
-      energy_acc += std::pow(s2, alpha) * dt;
-      flow_acc += active_weight * dt - 0.5 * true_job.density * s2 * dt * dt;
-      active_weight = std::max(0.0, active_weight - true_job.density * dv);
     }
+    // Exact accumulation over the constant-speed step (matches the replay
+    // in compute_metrics): the current job's volume shrinks linearly.
+    const double dv = completes ? vrem : s2 * dt;
+    om.add_energy(std::pow(s2, alpha) * dt);
+    om.add_fractional_flow(active_weight * dt - 0.5 * true_job.density * s2 * dt * dt);
+    active_weight = std::max(0.0, active_weight - true_job.density * dv);
     processed[idx] = completes ? true_job.volume : processed[idx] + s2 * dt;
     t += dt;
     ++out.steps;
@@ -310,13 +312,14 @@ NCNonUniformRun run_nc_nonuniform(const Instance& instance, double alpha,
       --remaining_jobs;
       sched.set_completion(cur, t);
       t_last_event = t;
-      TRACE_EVENT(.kind = obs::EventKind::kJobComplete, .t = t, .job = cur, .value = energy_acc,
-                  .aux = flow_acc);
-      if (tracing) emit_releases_up_to(t);
+      om.add_integral_flow(true_job.weight() * (t - true_job.release));
+      TRACE_EVENT(.kind = obs::EventKind::kJobComplete, .t = t, .job = cur,
+                  .value = om.energy(), .aux = om.fractional_flow());
+      emit_releases_up_to(t);
       if (observer) observer(t, processed);
     } else if (next_rel < kInf && t >= next_rel - 1e-15 * std::max(1.0, next_rel)) {
       t_last_event = t;
-      if (tracing) emit_releases_up_to(t);
+      emit_releases_up_to(t);
       if (observer) observer(t, processed);
     }
   }
@@ -325,6 +328,7 @@ NCNonUniformRun run_nc_nonuniform(const Instance& instance, double alpha,
 
   const PowerLaw power(alpha);
   out.result.metrics = compute_metrics(instance, sched, power);
+  out.result.online = om.metrics();
   return out;
 }
 

@@ -4,6 +4,7 @@
 
 #include "src/core/kinematics.h"
 #include "src/core/power.h"
+#include "src/engine/online_metrics.h"
 #include "src/obs/metrics_registry.h"
 #include "src/obs/trace.h"
 #include "src/sim/c_machine.h"
@@ -17,7 +18,10 @@ NCUniformRun run_nc_uniform_detailed(const Instance& instance, double alpha) {
   NCUniformRun out(alpha);
   out.offsets.assign(instance.size(), 0.0);
   out.starts.assign(instance.size(), 0.0);
-  if (instance.empty()) return out;
+  if (instance.empty()) {
+    out.result.online = Metrics{};
+    return out;
+  }
 
   // Virtual clairvoyant run.  W^C(r[j]^-) only depends on jobs released
   // strictly before r[j], so running C on the full instance and taking left
@@ -36,13 +40,15 @@ NCUniformRun run_nc_uniform_detailed(const Instance& instance, double alpha) {
   double t = 0.0;
   const std::vector<JobId> fifo = instance.fifo_order();
 
-  // Trace bookkeeping, all closed-form: cumulative energy and cumulative
-  // fractional flow *attributed to completed jobs* (a waiting job's accrual
-  // is folded in at its own completion; see docs/observability.md).  Release
-  // events interleave in time order via `next_rel`.
+  // Online objective accumulation, all closed-form: cumulative energy and
+  // cumulative fractional flow *attributed to completed jobs* (a waiting
+  // job's accrual is folded in at its own completion; see
+  // docs/observability.md).  Always on — it feeds RunResult::online, the
+  // streaming-metrics contract — and shared with the trace events, whose
+  // emission stays tracing-gated.  Release events interleave in time order
+  // via `next_rel`.
   const bool tracing = obs::tracing_enabled();
-  double energy_acc = 0.0;
-  double flow_acc = 0.0;
+  engine::OnlineMetrics om;
   std::size_t next_rel = 0;
   const auto emit_releases_up_to = [&](double tau) {
     while (next_rel < fifo.size() && instance.job(fifo[next_rel]).release <= tau) {
@@ -79,27 +85,29 @@ NCUniformRun run_nc_uniform_detailed(const Instance& instance, double alpha) {
     t = t_start + dt;
     sched.set_completion(jid, t);
 
+    // Per-job closed forms: the energy of the growth segment is the C
+    // energy of the weight band it sweeps (Lemma 3, per job), and the
+    // job's whole-lifetime fractional flow is
+    //   W_j (t_start - r_j) + u1 * dt - E_j  ==  E_j / (1 - 1/alpha)
+    // (Lemma 4, per job) — the invariant tests replay exactly this.
+    const double e_j = kin.grow_integral(u0, u1, job.density);
+    om.add_energy(e_j);
+    om.add_fractional_flow(job.weight() * (t_start - job.release) + u1 * dt - e_j);
+    om.add_integral_flow(job.weight() * (t - job.release));
     if (tracing) {
       emit_releases_up_to(t_start);
       TRACE_EVENT(.kind = obs::EventKind::kSpeedChange, .t = t_start, .job = jid,
                   .value = kin.speed_at_weight(std::max(u0, 0.0)), .aux = u0);
       emit_releases_up_to(t);
-      // Per-job closed forms: the energy of the growth segment is the C
-      // energy of the weight band it sweeps (Lemma 3, per job), and the
-      // job's whole-lifetime fractional flow is
-      //   W_j (t_start - r_j) + u1 * dt - E_j  ==  E_j / (1 - 1/alpha)
-      // (Lemma 4, per job) — the invariant tests replay exactly this.
-      const double e_j = kin.grow_integral(u0, u1, job.density);
-      energy_acc += e_j;
-      flow_acc += job.weight() * (t_start - job.release) + u1 * dt - e_j;
       TRACE_EVENT(.kind = obs::EventKind::kJobComplete, .t = t, .job = jid,
-                  .value = energy_acc, .aux = flow_acc);
+                  .value = om.energy(), .aux = om.fractional_flow());
     }
   }
   if (tracing) emit_releases_up_to(kInf);
 
   const PowerLaw power(alpha);
   out.result.metrics = compute_metrics(instance, sched, power);
+  out.result.online = om.metrics();
   return out;
 }
 

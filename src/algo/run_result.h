@@ -1,6 +1,8 @@
 // Common result bundle returned by single-machine algorithm runs.
 #pragma once
 
+#include <optional>
+
 #include "src/core/metrics.h"
 #include "src/core/schedule.h"
 
@@ -10,6 +12,12 @@ namespace speedscale {
 struct RunResult {
   Schedule schedule;
   Metrics metrics;
+  /// Per-event (online) accumulation of the same objective, when the
+  /// algorithm maintains one — Kahan-compensated, never derived from the
+  /// recorded schedule.  Tier-1 tests hold it to `metrics` within
+  /// engine::kOnlineVsReplayRelTol (the streaming-metrics contract,
+  /// docs/performance.md).
+  std::optional<Metrics> online;
 
   explicit RunResult(double alpha) : schedule(alpha) {}
   RunResult(Schedule s, Metrics m) : schedule(std::move(s)), metrics(m) {}

@@ -8,6 +8,8 @@
 #include "src/algo/algorithm_nc_nonuniform.h"
 #include "src/algo/algorithm_nc_uniform.h"
 #include "src/analysis/sweep.h"
+#include "src/engine/job_source.h"
+#include "src/engine/stream_engine.h"
 #include "src/core/power.h"
 #include "src/numerics/roots.h"
 #include "src/obs/cert/potential_tracker.h"
@@ -146,6 +148,43 @@ std::vector<PinnedBench> build_pinned_suite() {
          hub.start();
          (void)run_nc_uniform(make_uniform(256, 9), kAlpha);
          hub.stop();
+       }},
+      // The streaming engine (PR 10): pinned synthetic streams through
+      // src/engine/.  The engine batches its engine.stream.* counters once
+      // at end of run (jobs, arena high-water/slots, recorder tallies), so
+      // backlog scale — the O(active) memory contract — and the ring-drop
+      // accounting sit under the hard counter gate.  Kept in their own
+      // ledger (BENCH_PR10.json) via run_bench_suite.py --filter/--exclude
+      // engine.stream; the 10M-job run with the RSS plateau assertion lives
+      // in bench/bench_engine_stream.cpp, merged into the same ledger.
+      {"engine.stream/100k",
+       [] {
+         // The 10M-run mode at smoke scale: recording off, metrics online-only.
+         engine::SyntheticJobSource::Params params;
+         params.n_jobs = 100'000;
+         params.seed = 21;
+         engine::SyntheticJobSource source(params);
+         engine::StreamOptions options;
+         options.alpha = kAlpha;
+         options.recorder.mode = engine::RecordMode::kOff;
+         engine::StreamEngine eng(options);
+         (void)eng.run(source);
+       }},
+      {"engine.stream_ring/20k",
+       [] {
+         // Ring recording over a deliberately undersized ring (drops pinned)
+         // on two round-robin machines (the dispatch path pinned too).
+         engine::SyntheticJobSource::Params params;
+         params.n_jobs = 20'000;
+         params.seed = 22;
+         engine::SyntheticJobSource source(params);
+         engine::StreamOptions options;
+         options.alpha = kAlpha;
+         options.machines = 2;
+         options.recorder.mode = engine::RecordMode::kRing;
+         options.recorder.ring_capacity = 1 << 10;
+         engine::StreamEngine eng(options);
+         (void)eng.run(source);
        }},
       // The fleet observability plane (PR 8): serialize/parse round-trips of
       // its three wire formats over fixed corpora, pinning the byte and

@@ -1,0 +1,54 @@
+#include "src/engine/job_arena.h"
+
+#include <algorithm>
+#include <string>
+
+namespace speedscale::engine {
+
+std::size_t JobArena::check(Slot s) const {
+  const auto i = static_cast<std::size_t>(s);
+  if (i >= id_.size() || !live_flag_[i]) {
+    throw ModelError("JobArena: access to a dead or out-of-range slot " + std::to_string(s));
+  }
+  return i;
+}
+
+JobArena::Slot JobArena::admit(JobId id, double release, double volume, double density) {
+  Slot s;
+  if (!free_.empty()) {
+    s = free_.back();
+    free_.pop_back();
+    const auto i = static_cast<std::size_t>(s);
+    id_[i] = id;
+    release_[i] = release;
+    volume_[i] = volume;
+    density_[i] = density;
+    remaining_[i] = volume;
+    live_flag_[i] = 1;
+  } else {
+    if (id_.size() >= static_cast<std::size_t>(kNoSlot)) {
+      throw ModelError("JobArena: slot space exhausted");
+    }
+    s = static_cast<Slot>(id_.size());
+    id_.push_back(id);
+    release_.push_back(release);
+    volume_.push_back(volume);
+    density_.push_back(density);
+    remaining_.push_back(volume);
+    live_flag_.push_back(1);
+  }
+  ++live_;
+  high_water_ = std::max(high_water_, live_);
+  ++admitted_;
+  return s;
+}
+
+void JobArena::retire(Slot slot) {
+  const std::size_t i = check(slot);
+  live_flag_[i] = 0;
+  free_.push_back(slot);
+  --live_;
+  ++retired_;
+}
+
+}  // namespace speedscale::engine

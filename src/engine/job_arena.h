@@ -1,0 +1,72 @@
+// SoA job storage with arena allocation for the streaming engine.
+//
+// The streaming engine's working set is the *active* jobs (released, not yet
+// completed), not the whole instance.  The arena keeps them in parallel
+// arrays (structure-of-arrays: id / release / volume / density / remaining)
+// and recycles completed slots through a free list, so resident memory is
+// O(max simultaneous active jobs) — the plateau the `engine.stream/10M`
+// bench asserts — no matter how many jobs stream through.
+//
+// Slots are stable: a slot index stays valid until `retire(slot)` returns it
+// to the free list.  Debug-friendly by construction: admitting never moves
+// existing entries (vectors only grow when the free list is empty), and
+// retire/access of a dead slot throws instead of corrupting a neighbor.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/types.h"
+
+namespace speedscale::engine {
+
+class JobArena {
+ public:
+  using Slot = std::uint32_t;
+  static constexpr Slot kNoSlot = static_cast<Slot>(-1);
+
+  /// Admits a job, reusing a retired slot when one is free.
+  Slot admit(JobId id, double release, double volume, double density);
+
+  /// Returns a completed job's slot to the free list.
+  void retire(Slot slot);
+
+  [[nodiscard]] JobId id(Slot s) const { return id_[check(s)]; }
+  [[nodiscard]] double release(Slot s) const { return release_[check(s)]; }
+  [[nodiscard]] double volume(Slot s) const { return volume_[check(s)]; }
+  [[nodiscard]] double density(Slot s) const { return density_[check(s)]; }
+  [[nodiscard]] double remaining(Slot s) const { return remaining_[check(s)]; }
+  void set_remaining(Slot s, double v) { remaining_[check(s)] = v; }
+
+  /// Weight of the job in `s` under the known-density model: rho * volume.
+  [[nodiscard]] double weight(Slot s) const {
+    const std::size_t i = check(s);
+    return density_[i] * volume_[i];
+  }
+
+  /// Currently-live (admitted, not retired) slots.
+  [[nodiscard]] std::size_t live() const { return live_; }
+  /// Peak simultaneous live slots — the memory plateau's witness.
+  [[nodiscard]] std::size_t high_water() const { return high_water_; }
+  /// Allocated slots (live + free-listed): the arena's actual footprint.
+  [[nodiscard]] std::size_t capacity() const { return id_.size(); }
+  [[nodiscard]] std::uint64_t admitted() const { return admitted_; }
+  [[nodiscard]] std::uint64_t retired() const { return retired_; }
+
+ private:
+  [[nodiscard]] std::size_t check(Slot s) const;
+
+  std::vector<JobId> id_;
+  std::vector<double> release_;
+  std::vector<double> volume_;
+  std::vector<double> density_;
+  std::vector<double> remaining_;
+  std::vector<std::uint8_t> live_flag_;
+  std::vector<Slot> free_;
+  std::size_t live_ = 0;
+  std::size_t high_water_ = 0;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t retired_ = 0;
+};
+
+}  // namespace speedscale::engine

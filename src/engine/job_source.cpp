@@ -1,0 +1,125 @@
+#include "src/engine/job_source.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace speedscale::engine {
+
+namespace {
+
+[[noreturn]] void malformed(std::string message, std::size_t line_no) {
+  throw workload::TraceIoError(robust::Diagnostic{robust::ErrorCode::kIoMalformed,
+                                                  std::move(message),
+                                                  "line " + std::to_string(line_no)});
+}
+
+}  // namespace
+
+// --- TraceJobSource ---------------------------------------------------------
+
+TraceJobSource::TraceJobSource(std::istream& is, workload::TraceReadMode mode)
+    : is_(is), mode_(mode) {}
+
+bool TraceJobSource::next(Job* out) {
+  if (!header_done_) {
+    ++line_no_;
+    if (!std::getline(is_, line_)) malformed("empty stream", 1);
+    if (line_.rfind("id,", 0) != 0) malformed("missing 'id,...' header", 1);
+    header_done_ = true;
+  }
+  while (std::getline(is_, line_)) {
+    ++line_no_;
+    // Same torn-tail rule as read_trace: a final line with no '\n' is a
+    // crash fragment, never data — even if it happens to parse.
+    const bool torn_tail = is_.eof();
+    if (line_.empty()) continue;
+    if (torn_tail) {
+      if (mode_ == workload::TraceReadMode::kStrict) {
+        malformed("unterminated final line (torn tail)", line_no_);
+      }
+      ++stats_.lines_skipped;
+      continue;
+    }
+    Job j;
+    std::string why;
+    if (!workload::parse_trace_job_line(line_, j, why)) {
+      if (mode_ == workload::TraceReadMode::kStrict) {
+        malformed("malformed trace line: " + why, line_no_);
+      }
+      ++stats_.lines_skipped;
+      continue;
+    }
+    // read_trace defers volume/density validation to the Instance
+    // constructor; a streaming ingest has no Instance, so the same
+    // constraint is enforced per line here.
+    if (j.volume <= 0.0 || j.density <= 0.0) {
+      if (mode_ == workload::TraceReadMode::kStrict) {
+        malformed("non-positive volume or density", line_no_);
+      }
+      ++stats_.lines_skipped;
+      continue;
+    }
+    // The engine admits jobs by release time as they arrive, so the stream
+    // must be release-ordered — the order write_trace emits.
+    if (j.release < last_release_) {
+      if (mode_ == workload::TraceReadMode::kStrict) {
+        malformed("release times not non-decreasing", line_no_);
+      }
+      ++stats_.lines_skipped;
+      continue;
+    }
+    last_release_ = j.release;
+    j.id = static_cast<JobId>(next_id_++);
+    ++stats_.lines_read;
+    *out = j;
+    return true;
+  }
+  return false;
+}
+
+// --- SyntheticJobSource -----------------------------------------------------
+
+SyntheticJobSource::SyntheticJobSource(const Params& params)
+    : params_(params), state_(params.seed) {
+  if (!(params_.arrival_rate > 0.0) || !(params_.volume_mean > 0.0) ||
+      !(params_.density > 0.0)) {
+    throw ModelError("SyntheticJobSource: rate, volume_mean, density must be positive");
+  }
+}
+
+double SyntheticJobSource::next_unit() {
+  // splitmix64: full-period, O(1) state, identical on every platform.
+  std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return (static_cast<double>(z >> 11) + 1.0) * 0x1.0p-53;  // uniform (0, 1]
+}
+
+bool SyntheticJobSource::next(Job* out) {
+  if (emitted_ >= params_.n_jobs) return false;
+  clock_ += -std::log(next_unit()) / params_.arrival_rate;
+  Job j;
+  j.id = static_cast<JobId>(emitted_);
+  j.release = clock_;
+  j.volume = std::max(-std::log(next_unit()) * params_.volume_mean,
+                      1e-9 * params_.volume_mean);
+  j.density = params_.density;
+  ++emitted_;
+  *out = j;
+  return true;
+}
+
+// --- InstanceJobSource ------------------------------------------------------
+
+InstanceJobSource::InstanceJobSource(const Instance& instance)
+    : instance_(instance), fifo_(instance.fifo_order()) {}
+
+bool InstanceJobSource::next(Job* out) {
+  if (pos_ >= fifo_.size()) return false;
+  *out = instance_.job(fifo_[pos_++]);
+  return true;
+}
+
+}  // namespace speedscale::engine

@@ -1,0 +1,41 @@
+#include "src/engine/online_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace speedscale::engine {
+
+namespace {
+
+bool component_ok(double online, double replayed, double rel_tol) {
+  if (!std::isfinite(online) || !std::isfinite(replayed)) return false;
+  return std::abs(online - replayed) <= rel_tol * std::max(1.0, std::abs(replayed));
+}
+
+}  // namespace
+
+bool metrics_within_tolerance(const Metrics& online, const Metrics& replayed, double rel_tol,
+                              std::string* why) {
+  struct Row {
+    const char* name;
+    double online;
+    double replayed;
+  };
+  const Row rows[] = {
+      {"energy", online.energy, replayed.energy},
+      {"fractional_flow", online.fractional_flow, replayed.fractional_flow},
+      {"integral_flow", online.integral_flow, replayed.integral_flow},
+  };
+  for (const Row& r : rows) {
+    if (!component_ok(r.online, r.replayed, rel_tol)) {
+      if (why) {
+        *why = std::string(r.name) + ": online " + std::to_string(r.online) + " vs replayed " +
+               std::to_string(r.replayed) + " (rel tol " + std::to_string(rel_tol) + ")";
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace speedscale::engine

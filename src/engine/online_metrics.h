@@ -1,0 +1,80 @@
+// Incremental (online) objective accumulation for streaming runs.
+//
+// The streaming engine (stream_engine.h) and the per-event accumulators in
+// the simulators cannot afford a post-hoc `compute_metrics` replay — for a
+// 10M-job run there is no recorded schedule to replay.  Instead every event
+// adds its closed-form contribution here.  Sums are Kahan-compensated (the
+// same discipline core/metrics.cpp uses for its active-weight sums), so a
+// 10M-term accumulation stays within a few ulp of the replayed value; the
+// documented contract is `kOnlineVsReplayRelTol` (docs/performance.md,
+// "Online vs recomputed metrics"), enforced by the tier-1 tests.
+#pragma once
+
+#include <cmath>
+#include <string>
+
+#include "src/core/metrics.h"
+
+namespace speedscale::engine {
+
+/// Relative tolerance of the online-vs-recomputed metrics contract: the
+/// closed-form simulators accumulate exactly the same per-segment integrals
+/// the replay evaluates, so the two differ only by summation order.
+inline constexpr double kOnlineVsReplayRelTol = 1e-7;
+
+/// Kahan–Neumaier compensated sum: the error term survives additions whose
+/// magnitude exceeds the running sum (early large terms, late small ones).
+class KahanSum {
+ public:
+  void add(double x) {
+    const double t = sum_ + x;
+    if (std::abs(sum_) >= std::abs(x)) {
+      comp_ += (sum_ - t) + x;
+    } else {
+      comp_ += (x - t) + sum_;
+    }
+    sum_ = t;
+  }
+  [[nodiscard]] double value() const { return sum_ + comp_; }
+
+ private:
+  double sum_ = 0.0;
+  double comp_ = 0.0;
+};
+
+/// Per-event objective accumulators: energy, fractional weighted flow,
+/// integral weighted flow.  Purely additive — callers supply the closed-form
+/// contribution of each segment/completion.
+class OnlineMetrics {
+ public:
+  void add_energy(double e) { energy_.add(e); }
+  void add_fractional_flow(double f) { fractional_.add(f); }
+  void add_integral_flow(double f) { integral_.add(f); }
+
+  [[nodiscard]] double energy() const { return energy_.value(); }
+  [[nodiscard]] double fractional_flow() const { return fractional_.value(); }
+  [[nodiscard]] double integral_flow() const { return integral_.value(); }
+
+  [[nodiscard]] Metrics metrics() const {
+    Metrics m;
+    m.energy = energy_.value();
+    m.fractional_flow = fractional_.value();
+    m.integral_flow = integral_.value();
+    return m;
+  }
+
+ private:
+  KahanSum energy_;
+  KahanSum fractional_;
+  KahanSum integral_;
+};
+
+/// Checks the online-vs-recomputed contract: every component of `online`
+/// must match `replayed` within `rel_tol`, relative to max(1, |replayed|).
+/// Returns false and fills `why` (when given) naming the first component out
+/// of tolerance.
+[[nodiscard]] bool metrics_within_tolerance(const Metrics& online, const Metrics& replayed,
+                                            double rel_tol = kOnlineVsReplayRelTol,
+                                            std::string* why = nullptr);
+
+}  // namespace speedscale::engine

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <string>
 
 #include "src/obs/metrics_registry.h"
@@ -129,16 +130,27 @@ HeartbeatSnapshot SweepHeartbeats::snapshot() const {
 StragglerReport detect_stragglers(const HeartbeatSnapshot& hb, const StragglerOptions& options) {
   StragglerReport out;
   if (!hb.active) return out;
-  const double threshold =
-      std::max(options.min_seconds, options.factor * hb.mean_item_seconds);
+  // Zero/one-sample guard: before the first completion the mean is 0, and a
+  // synthetic or torn snapshot can carry inf/NaN.  Only a finite positive
+  // mean may scale the threshold or back an ETA; otherwise min_seconds alone
+  // governs and eta_seconds stays at the "no estimate" sentinel (-1).
+  const bool mean_ok = std::isfinite(hb.mean_item_seconds) && hb.mean_item_seconds > 0.0;
+  double threshold = options.min_seconds;
+  if (mean_ok) {
+    const double scaled = options.factor * hb.mean_item_seconds;
+    if (std::isfinite(scaled)) threshold = std::max(threshold, scaled);
+  }
   for (std::size_t i = 0; i < hb.shards.size(); ++i) {
     if (hb.shards[i].busy && hb.shards[i].inflight_seconds > threshold) {
       out.stragglers.push_back(i);
     }
   }
-  if (hb.items_completed > 0 && hb.workers > 0 && hb.mean_item_seconds > 0.0) {
-    const double remaining = static_cast<double>(hb.items_total - hb.items_completed);
-    out.eta_seconds = remaining * hb.mean_item_seconds / static_cast<double>(hb.workers);
+  if (hb.items_completed > 0 && hb.workers > 0 && mean_ok) {
+    // A racing snapshot can observe completed > total; clamp, never negative.
+    const double remaining = static_cast<double>(
+        std::max<std::int64_t>(hb.items_total - hb.items_completed, 0));
+    const double eta = remaining * hb.mean_item_seconds / static_cast<double>(hb.workers);
+    if (std::isfinite(eta)) out.eta_seconds = eta;
   }
   return out;
 }

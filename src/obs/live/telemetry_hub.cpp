@@ -74,9 +74,15 @@ void TelemetryHub::sample_now() {
       push_series(name, "counter", t, static_cast<double>(v));
       Ring& ring = series_[name];
       const auto prev = prev_counters_.find(name);
-      ring.rate = (prev != prev_counters_.end() && dt > 0.0)
-                      ? static_cast<double>(v - prev->second) / dt
-                      : 0.0;
+      // One-sample / same-instant edge: no previous observation (or a tick so
+      // fast the clock did not move) yields rate 0, never inf/NaN — a
+      // denormal dt can still overflow the division, so the result is
+      // finiteness-checked too.
+      double rate = (prev != prev_counters_.end() && dt > 0.0)
+                        ? static_cast<double>(v - prev->second) / dt
+                        : 0.0;
+      if (!std::isfinite(rate)) rate = 0.0;
+      ring.rate = rate;
     }
     for (const auto& [name, v] : snap.gauges) push_series(name, "gauge", t, v);
     for (const auto& [name, h] : snap.histograms) {

@@ -54,11 +54,13 @@ double HistogramSnapshot::quantile(double q) const {
   for (std::size_t i = 0; i < counts.size(); ++i) {
     const std::int64_t prev = cum;
     cum += counts[i];
-    if (static_cast<double>(cum) < target) continue;
+    // Empty buckets carry no mass: skipping them keeps the interpolation
+    // inside a populated bucket (q = 0 against a single populated bucket used
+    // to report the *first* bucket's upper bound, below every observation).
+    if (counts[i] <= 0 || static_cast<double>(cum) < target) continue;
     if (i >= bounds.size()) return bounds.back();  // overflow bucket: clamp
     const double lo = (i == 0) ? 0.0 : bounds[i - 1];
     const double hi = bounds[i];
-    if (counts[i] <= 0) return hi;
     const double frac = (target - static_cast<double>(prev)) / static_cast<double>(counts[i]);
     return lo + frac * (hi - lo);
   }

@@ -103,12 +103,21 @@ void CMachine::advance_to(double t) {
       schedule_.set_completion(cur.id, t_complete);
       now_ = t_complete;
       OBS_COUNT("sim.c_machine.completions", 1);
-      if (obs::tracing_enabled()) {
+      const bool tracing = obs::tracing_enabled();
+      if (tracing || online_on_) {
         // int W dt over the finished stretch; for Algorithm C the cumulative
         // energy and cumulative fractional flow are the same integral.
-        energy_acc_ += kin_.decay_integral(w0, std::max(w_done, 0.0), rho);
-        TRACE_EVENT(.kind = obs::EventKind::kJobComplete, .t = t_complete, .job = cur.id,
-                    .machine = obs_machine_, .value = energy_acc_, .aux = energy_acc_);
+        const double de = kin_.decay_integral(w0, std::max(w_done, 0.0), rho);
+        if (online_on_) {
+          om_.add_energy(de);
+          om_.add_fractional_flow(de);
+          om_.add_integral_flow(st.job.weight() * (t_complete - st.job.release));
+        }
+        if (tracing) {
+          energy_acc_ += de;
+          TRACE_EVENT(.kind = obs::EventKind::kJobComplete, .t = t_complete, .job = cur.id,
+                      .machine = obs_machine_, .value = energy_acc_, .aux = energy_acc_);
+        }
       }
     } else {
       const double dt = t_event - now_;
@@ -116,7 +125,14 @@ void CMachine::advance_to(double t) {
       st.remaining = std::max(0.0, st.remaining - (w0 - w1) / rho);
       total_weight_ = w1;
       now_ = t_event;
-      if (obs::tracing_enabled()) energy_acc_ += kin_.decay_integral(w0, w1, rho);
+      if (obs::tracing_enabled() || online_on_) {
+        const double de = kin_.decay_integral(w0, w1, rho);
+        if (online_on_) {
+          om_.add_energy(de);
+          om_.add_fractional_flow(de);
+        }
+        if (obs::tracing_enabled()) energy_acc_ += de;
+      }
     }
     release_due_jobs();
   }

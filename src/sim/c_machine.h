@@ -23,7 +23,9 @@
 
 #include "src/core/instance.h"
 #include "src/core/kinematics.h"
+#include "src/core/metrics.h"
 #include "src/core/schedule.h"
+#include "src/engine/online_metrics.h"
 
 namespace speedscale {
 
@@ -85,6 +87,17 @@ class CMachine {
   /// pay the closed-form integral per segment.
   [[nodiscard]] double traced_energy() const { return energy_acc_; }
 
+  /// Opt-in online objective accumulation (off by default for the same
+  /// hot-path reason as traced_energy).  Enable before the first advance:
+  /// every stretch adds its int W dt — which under P = W is both energy and
+  /// fractional flow — and every completion lands the job's integral
+  /// weighted flow.  Kahan-compensated; see docs/performance.md.
+  void set_online_metrics(bool on) { online_on_ = on; }
+  [[nodiscard]] bool online_metrics_enabled() const { return online_on_; }
+
+  /// The objective accumulated so far (zeros unless enabled).
+  [[nodiscard]] Metrics online_metrics() const { return om_.metrics(); }
+
  private:
   struct ActiveKey {
     double density;
@@ -113,6 +126,8 @@ class CMachine {
   double now_ = 0.0;
   double total_weight_ = 0.0;
   double energy_acc_ = 0.0;         // cumulative int W dt (tracing only)
+  bool online_on_ = false;
+  engine::OnlineMetrics om_;        // online objective (opt-in only)
   JobId running_ = kNoJob;          // job of the last appended segment
   MachineId obs_machine_ = kNoMachine;
   Schedule schedule_;

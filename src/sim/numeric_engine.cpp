@@ -7,6 +7,7 @@
 #include <set>
 #include <string>
 
+#include "src/engine/online_metrics.h"
 #include "src/numerics/ode.h"
 #include "src/obs/metrics_registry.h"
 #include "src/obs/trace.h"
@@ -34,6 +35,19 @@ IntervalOutcome integrate_interval(const PowerFunction& power, double rho, doubl
                                    int substeps, SampledRun* run) {
   OBS_COUNT("numerics.engine.intervals", 1);
   IntervalOutcome out;
+  if (run) {
+    // Reserve the whole interval's worth of samples up front (1 entry sample
+    // + at most one per substep), growing geometrically, so the substep loop
+    // below never reallocates mid-evolve.
+    const std::size_t need = run->t.size() + static_cast<std::size_t>(substeps) + 2;
+    if (run->t.capacity() < need) {
+      const std::size_t cap = std::max({need, run->t.capacity() * 2, std::size_t{1024}});
+      run->t.reserve(cap);
+      run->speed.reserve(cap);
+      run->weight.reserve(cap);
+      ++run->sample_reallocs;
+    }
+  }
   const auto rhs = [&](double /*t*/, double y) {
     return sign * rho * power.speed_for_power(std::max(y, 0.0));
   };
@@ -144,6 +158,9 @@ double SampledRun::time_at_or_above(double x) const {
 SampledRun run_generic_c(const Instance& instance, const PowerFunction& power,
                          const NumericConfig& cfg) {
   SampledRun run;
+  // Compensated accumulation: objective integrals are sums of millions of
+  // tiny trapezoid pieces at high substep counts — plain += loses digits.
+  engine::OnlineMetrics om;
   std::vector<JobProgress> prog(instance.size());
   for (const Job& j : instance.jobs()) {
     prog[static_cast<std::size_t>(j.id)].remaining = j.volume;
@@ -222,7 +239,7 @@ SampledRun run_generic_c(const Instance& instance, const PowerFunction& power,
     const double dt = oc.t_end - t;
     const double dV = (W - oc.y_end) / job.density;
     // Energy: P(s) = W along the run.
-    run.energy += oc.int_y;
+    om.add_energy(oc.int_y);
     // Fractional flow: every active job accrues rho * V; the current job's
     // V decreases inside the interval.
     for (JobId id : active) {
@@ -230,9 +247,9 @@ SampledRun run_generic_c(const Instance& instance, const PowerFunction& power,
       const double v = prog[static_cast<std::size_t>(id)].remaining;
       if (id == cur) {
         const double int_processed = (W * dt - oc.int_y) / job.density;
-        run.fractional_flow += ja.density * (v * dt - int_processed);
+        om.add_fractional_flow(ja.density * (v * dt - int_processed));
       } else {
-        run.fractional_flow += ja.density * v * dt;
+        om.add_fractional_flow(ja.density * v * dt);
       }
     }
     t = oc.t_end;
@@ -246,12 +263,15 @@ SampledRun run_generic_c(const Instance& instance, const PowerFunction& power,
       pc.done = true;
       active.erase(active.begin());
       run.completions[cur] = t;
-      run.integral_flow += job.weight() * (t - job.release);
+      om.add_integral_flow(job.weight() * (t - job.release));
       TRACE_EVENT(.kind = obs::EventKind::kJobComplete, .t = t, .job = cur,
-                  .value = run.energy, .aux = run.fractional_flow, .label = "numeric_c");
+                  .value = om.energy(), .aux = om.fractional_flow(), .label = "numeric_c");
     }
     release_due();
   }
+  run.energy = om.energy();
+  run.fractional_flow = om.fractional_flow();
+  run.integral_flow = om.integral_flow();
   return run;
 }
 
@@ -268,6 +288,7 @@ SampledRun run_generic_nc_uniform(const Instance& instance, const PowerFunction&
   }();
 
   SampledRun run;
+  engine::OnlineMetrics om;
   std::vector<JobProgress> prog(instance.size());
   for (const Job& j : instance.jobs()) {
     prog[static_cast<std::size_t>(j.id)].remaining = j.volume;
@@ -330,16 +351,16 @@ SampledRun run_generic_nc_uniform(const Instance& instance, const PowerFunction&
                                                     U_target, cfg.substeps_per_interval, &run);
       const double dt = oc.t_end - t;
       const double dV = (oc.y_end - U) / job.density;
-      run.energy += oc.int_y;  // P(s) = U along the run
+      om.add_energy(oc.int_y);  // P(s) = U along the run
       // Current job's fractional flow.
       const double int_processed = (oc.int_y - U * dt) / job.density;
-      run.fractional_flow += job.density * (pj.remaining * dt - int_processed);
+      om.add_fractional_flow(job.density * (pj.remaining * dt - int_processed));
       // Waiting (released, unfinished, not current) jobs accrue fully.
       for (const Job& other : instance.jobs()) {
         if (other.id == jid) continue;
         const JobProgress& po = prog[static_cast<std::size_t>(other.id)];
         if (!po.done && other.release <= t + 1e-15) {
-          run.fractional_flow += other.density * po.remaining * dt;
+          om.add_fractional_flow(other.density * po.remaining * dt);
         }
       }
       t = oc.t_end;
@@ -350,12 +371,15 @@ SampledRun run_generic_nc_uniform(const Instance& instance, const PowerFunction&
     }
     pj.done = true;
     run.completions[jid] = t;
-    run.integral_flow += job.weight() * (t - job.release);
+    om.add_integral_flow(job.weight() * (t - job.release));
     emit_releases_up_to(t);
     TRACE_EVENT(.kind = obs::EventKind::kJobComplete, .t = t, .job = jid,
-                .value = run.energy, .aux = run.fractional_flow, .label = "numeric_nc");
+                .value = om.energy(), .aux = om.fractional_flow(), .label = "numeric_nc");
   }
   if (obs::tracing_enabled()) emit_releases_up_to(kInf);
+  run.energy = om.energy();
+  run.fractional_flow = om.fractional_flow();
+  run.integral_flow = om.integral_flow();
   return run;
 }
 

@@ -22,6 +22,7 @@
 //     numeric analogue of the paper's "excess speed epsilon" fix.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <vector>
 
@@ -46,6 +47,10 @@ struct SampledRun {
   double energy = 0.0;
   double fractional_flow = 0.0;
   double integral_flow = 0.0;
+  /// Times the three sample vectors grew (geometric, reserved up front for a
+  /// whole interval — the RK4 evolve loop itself never reallocates).  The
+  /// stress test holds this to O(log samples).
+  std::uint64_t sample_reallocs = 0;
 
   [[nodiscard]] double fractional_objective() const { return energy + fractional_flow; }
   [[nodiscard]] double integral_objective() const { return energy + integral_flow; }

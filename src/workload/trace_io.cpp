@@ -45,9 +45,9 @@ bool parse_double(const std::string& field, double& out) {
   return end == field.c_str() + field.size();
 }
 
-/// Parses one data line into `j`.  Returns false (with `why` set) on any
-/// field-count, parse, or finiteness violation.
-bool parse_job_line(const std::string& line, Job& j, std::string& why) {
+}  // namespace
+
+bool parse_trace_job_line(const std::string& line, Job& j, std::string& why) {
   const std::vector<std::string> fields = split_fields(line);
   if (fields.size() != 4) {
     why = "expected 4 fields, got " + std::to_string(fields.size());
@@ -73,8 +73,6 @@ bool parse_job_line(const std::string& line, Job& j, std::string& why) {
   }
   return true;
 }
-
-}  // namespace
 
 void write_trace(std::ostream& os, const Instance& instance) {
   os << "id,release,volume,density\n";
@@ -125,7 +123,7 @@ Instance read_trace(std::istream& is, const TraceReadOptions& options, TraceRead
     }
     Job j;
     std::string why;
-    if (parse_job_line(line, j, why)) {
+    if (parse_trace_job_line(line, j, why)) {
       // Lenient mode also drops semantically-invalid rows (non-positive
       // volume/density) that would fail Instance validation later.
       if (options.mode == TraceReadMode::kLenient && (j.volume <= 0.0 || j.density <= 0.0)) {

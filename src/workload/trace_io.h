@@ -50,6 +50,12 @@ struct TraceReadStats {
   std::size_t lines_skipped = 0;  ///< bad data lines dropped (lenient only)
 };
 
+/// Parses one CSV data line ("id,release,volume,density") into `j`.  Returns
+/// false with `why` set on any field-count, parse, or finiteness violation.
+/// The streaming ingest path (src/engine/job_source.h) shares this with
+/// read_trace so the two cannot drift on what counts as a bad line.
+[[nodiscard]] bool parse_trace_job_line(const std::string& line, Job& j, std::string& why);
+
 void write_trace(std::ostream& os, const Instance& instance);
 /// Crash-safe: tmp + flush + atomic rename.
 void write_trace_file(const std::string& path, const Instance& instance);

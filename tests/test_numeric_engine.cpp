@@ -131,5 +131,30 @@ TEST(NumericEngine, SubstepRefinementConverges) {
   EXPECT_LE(err_b, err_a + 1e-12);
 }
 
+TEST(NumericEngine, SampleVectorsGrowGeometricallyNotPerInterval) {
+  // Stress the sample storage: many inter-event intervals, each appending up
+  // to substeps+1 samples.  Capacity is reserved once per interval with
+  // geometric growth, so the RK4 evolve loop itself never reallocates and the
+  // total number of growth events stays logarithmic in the sample count —
+  // not linear in push_backs (the pre-fix worst case) or in intervals.
+  const Instance inst = uniform_instance(40, 7);
+  const PowerLaw p(2.0);
+  NumericConfig cfg;
+  cfg.substeps_per_interval = 512;
+  const SampledRun run = run_generic_c(inst, p, cfg);
+  ASSERT_GT(run.t.size(), 10'000u);
+  ASSERT_EQ(run.t.size(), run.speed.size());
+  ASSERT_EQ(run.t.size(), run.weight.size());
+  const double log_bound =
+      std::ceil(std::log2(static_cast<double>(run.t.size()) / 1024.0)) + 2.0;
+  EXPECT_LE(static_cast<double>(run.sample_reallocs), log_bound)
+      << "samples=" << run.t.size();
+  EXPECT_GE(run.t.capacity(), run.t.size());
+
+  const SampledRun nc = run_generic_nc_uniform(inst, p, cfg);
+  EXPECT_LE(static_cast<double>(nc.sample_reallocs),
+            std::ceil(std::log2(static_cast<double>(nc.t.size()) / 1024.0)) + 2.0);
+}
+
 }  // namespace
 }  // namespace speedscale

@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <limits>
@@ -168,6 +169,40 @@ TEST(HistogramQuantile, LinearBucketInterpolation) {
   empty.bounds = {1.0};
   empty.counts = {0, 0};
   EXPECT_DOUBLE_EQ(empty.quantile(0.99), 0.0);
+}
+
+TEST(HistogramQuantile, SinglePopulatedBucketSkipsEmptyPrefix) {
+  // All mass in bucket [2, 4]: every quantile must land inside it.  (The old
+  // interpolation entered the empty first bucket at q = 0 and reported 1.0 —
+  // below every observation in the histogram.)
+  obs::HistogramSnapshot h;
+  h.bounds = {1.0, 2.0, 4.0};
+  h.counts = {0, 0, 3, 0};
+  h.count = 3;
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 4.0);
+  for (const double q : {0.0, 0.01, 0.25, 0.5, 0.75, 0.99, 1.0}) {
+    const double v = h.quantile(q);
+    EXPECT_TRUE(std::isfinite(v)) << "q=" << q;
+    EXPECT_GE(v, 2.0) << "q=" << q;
+    EXPECT_LE(v, 4.0) << "q=" << q;
+  }
+}
+
+TEST(HistogramQuantile, EmptyHistogramPinnedToZero) {
+  // Pinned: no observations -> 0.0 for every q (finite, no NaN from 0/0),
+  // including out-of-range q which clamps to [0, 1] first.
+  obs::HistogramSnapshot empty;
+  empty.bounds = {1.0, 8.0};
+  empty.counts = {0, 0, 0};
+  empty.count = 0;
+  for (const double q : {-1.0, 0.0, 0.5, 1.0, 2.0}) {
+    EXPECT_DOUBLE_EQ(empty.quantile(q), 0.0) << "q=" << q;
+  }
+  // Degenerate snapshots (no buckets at all) are equally inert.
+  obs::HistogramSnapshot none;
+  EXPECT_DOUBLE_EQ(none.quantile(0.5), 0.0);
 }
 
 // --- TelemetryHub -----------------------------------------------------------
@@ -389,6 +424,55 @@ TEST(StragglerDetector, MinSecondsGovernsBeforeAnyCompletion) {
   ASSERT_EQ(report.stragglers.size(), 1u);
   EXPECT_EQ(report.stragglers[0], 1u);
   EXPECT_DOUBLE_EQ(report.eta_seconds, -1.0);  // no mean: unknown
+}
+
+TEST_F(TelemetryTest, FirstSampleRateIsZeroAndFinite) {
+  obs::live::TelemetryOptions options;
+  options.publish_sweep_gauges = false;
+  obs::live::TelemetryHub hub(options);
+  obs::Counter& c = obs::registry().counter("telemetry.test.rate_edge");
+  c.reset();
+  c.add(1000);
+  hub.sample_now();  // no previous tick: rate must be 0, not 1000/epsilon
+  EXPECT_DOUBLE_EQ(hub.series("telemetry.test.rate_edge").rate, 0.0);
+  c.add(1);
+  hub.sample_now();
+  EXPECT_TRUE(std::isfinite(hub.series("telemetry.test.rate_edge").rate));
+}
+
+TEST(StragglerDetector, NonfiniteMeanYieldsNoEstimateNotInf) {
+  // A torn or synthetic snapshot can carry inf/NaN in the mean: the detector
+  // must fall back to min_seconds for the threshold and keep the ETA at the
+  // "no estimate" sentinel rather than emitting inf/NaN downstream.
+  for (const double bad : {std::numeric_limits<double>::infinity(),
+                           std::numeric_limits<double>::quiet_NaN()}) {
+    HeartbeatSnapshot hb = synthetic_heartbeats();
+    hb.mean_item_seconds = bad;
+    hb.shards[3].inflight_seconds = 0.2;  // > min_seconds
+    const obs::live::StragglerReport report =
+        obs::live::detect_stragglers(hb, {.factor = 4.0, .min_seconds = 0.05});
+    ASSERT_EQ(report.stragglers.size(), 1u) << "mean=" << bad;
+    EXPECT_EQ(report.stragglers[0], 3u);
+    EXPECT_DOUBLE_EQ(report.eta_seconds, -1.0) << "mean=" << bad;
+  }
+}
+
+TEST(StragglerDetector, OvercountedCompletionClampsEtaToZero) {
+  // snapshot() reads unsynchronized atomics: completed can momentarily exceed
+  // total.  The remaining-work estimate clamps at zero, never negative.
+  HeartbeatSnapshot hb = synthetic_heartbeats();
+  hb.items_completed = hb.items_total + 3;
+  const obs::live::StragglerReport report = obs::live::detect_stragglers(hb);
+  EXPECT_DOUBLE_EQ(report.eta_seconds, 0.0);
+}
+
+TEST(StragglerDetector, SingleCompletedItemBacksFiniteEstimate) {
+  HeartbeatSnapshot hb = synthetic_heartbeats();
+  hb.items_completed = 1;
+  hb.mean_item_seconds = 0.25;
+  const obs::live::StragglerReport report = obs::live::detect_stragglers(hb);
+  EXPECT_TRUE(std::isfinite(report.eta_seconds));
+  EXPECT_DOUBLE_EQ(report.eta_seconds, 99.0 * 0.25 / 4.0);
 }
 
 TEST_F(TelemetryTest, HeartbeatOwnershipAndGauges) {
